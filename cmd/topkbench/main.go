@@ -1,0 +1,229 @@
+// Command topkbench regenerates the tables and figures of the paper's
+// evaluation section (§6) on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	topkbench -exp all                # every experiment at default scale
+//	topkbench -exp fig2 -scale full   # citation pruning table, paper-size data
+//	topkbench -exp fig7 -exp fig6     # selected experiments
+//
+// Experiments: table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank,
+// stream, all. Scales: small, default, full (record counts in DESIGN.md §5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"topkdedup/internal/experiments"
+)
+
+type expFlag []string
+
+func (e *expFlag) String() string { return strings.Join(*e, ",") }
+func (e *expFlag) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			*e = append(*e, part)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var exps expFlag
+	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, all")
+	scaleName := flag.String("scale", "default", "dataset scale: small, default, full")
+	flag.Parse()
+
+	if len(exps) == 0 {
+		exps = expFlag{"all"}
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale
+	case "default":
+		scale = experiments.DefaultScale
+	case "full":
+		scale = experiments.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range exps {
+		want[e] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Printf("== %s (scale %s) ==\n", name, *scaleName)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %s --\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error { return runTable1(scale) })
+	run("fig2", func() error { return runPruning("fig2", scale) })
+	run("fig3", func() error { return runPruning("fig3", scale) })
+	run("fig4", func() error { return runPruning("fig4", scale) })
+	run("fig6", func() error { return runFig6(scale) })
+	run("fig7", func() error { return runFig7(scale) })
+	run("passes", func() error { return runPasses(scale) })
+	run("embed", func() error { return runEmbed(scale) })
+	run("rank", func() error { return runRank(scale) })
+	run("stream", func() error { return runStream(scale) })
+}
+
+func runPruning(which string, scale experiments.Scale) error {
+	var (
+		dd    *experiments.DomainData
+		err   error
+		title string
+	)
+	switch which {
+	case "fig2":
+		dd, err = experiments.CitationSetup(scale.Citations, false)
+		title = fmt.Sprintf("Figure 2 analogue — Citation dataset: %d records", 0)
+	case "fig3":
+		dd, err = experiments.StudentSetup(scale.Students, false)
+		title = "Figure 3 analogue — Student dataset"
+	case "fig4":
+		dd, err = experiments.AddressSetup(scale.Addresses, false)
+		title = "Figure 4 analogue — Address dataset"
+	}
+	if err != nil {
+		return err
+	}
+	if which == "fig2" {
+		title = fmt.Sprintf("Figure 2 analogue — Citation dataset: %d records", dd.Data.Len())
+	} else {
+		title = fmt.Sprintf("%s: %d records", title, dd.Data.Len())
+	}
+	ks := experiments.KsForScale(dd.Data.Len())
+	rows, err := experiments.PruningSweep(dd, ks, 2)
+	if err != nil {
+		return err
+	}
+	experiments.RenderPruneTable(os.Stdout, title, rows)
+	return nil
+}
+
+func runFig6(scale experiments.Scale) error {
+	dd, err := experiments.CitationSetup(scale.Fig6, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 6 analogue — timing on %d citation records (scorer held-out acc %.1f%%)\n",
+		dd.Data.Len(), 100*dd.PairAcc)
+	ks := experiments.KsForScale(dd.Data.Len())
+	rows, err := experiments.Fig6(dd, ks)
+	if err != nil {
+		return err
+	}
+	experiments.RenderTimingTable(os.Stdout, rows)
+	return nil
+}
+
+func runFig7(scale experiments.Scale) error {
+	rows, err := experiments.Fig7All(scale.Fig7)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1 analogue — datasets for comparing with exact algorithms")
+	experiments.RenderTable1(os.Stdout, rows)
+	fmt.Println()
+	fmt.Println("Figure 7 analogue — accuracy of highest scoring grouping vs optimal")
+	experiments.RenderFig7(os.Stdout, rows)
+	return nil
+}
+
+func runTable1(scale experiments.Scale) error {
+	rows, err := experiments.Fig7All(scale.Fig7)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1 analogue — datasets for comparing with exact algorithms")
+	experiments.RenderTable1(os.Stdout, rows)
+	return nil
+}
+
+func runPasses(scale experiments.Scale) error {
+	dd, err := experiments.CitationSetup(scale.Citations, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E7 — upper-bound refinement passes (§4.3) on %d citation records\n", dd.Data.Len())
+	ks := experiments.KsForScale(dd.Data.Len())
+	if len(ks) > 4 {
+		ks = ks[:4]
+	}
+	rows, err := experiments.PrunePassAblation(dd, ks)
+	if err != nil {
+		return err
+	}
+	experiments.RenderPassTable(os.Stdout, rows)
+	return nil
+}
+
+func runEmbed(scale experiments.Scale) error {
+	fmt.Println("E8 — linear-embedding ablation (§5.3.1)")
+	for _, name := range []string{"address", "restaurant"} {
+		rows, err := experiments.EmbedAblation(name, scale.Fig7)
+		if err != nil {
+			return err
+		}
+		experiments.RenderEmbedAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runRank(scale experiments.Scale) error {
+	for _, variant := range []struct {
+		label string
+		noise float64
+	}{
+		{"default noise", 0},
+		{"low noise (0.15)", 0.15},
+	} {
+		dd, err := experiments.StudentSetupNoise(scale.Students, variant.noise, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("E9 — §7 rank-query extensions on %d student records, %s\n",
+			dd.Data.Len(), variant.label)
+		ks := experiments.KsForScale(dd.Data.Len())
+		if len(ks) > 4 {
+			ks = ks[:4]
+		}
+		rows, err := experiments.RankQueries(dd, ks)
+		if err != nil {
+			return err
+		}
+		experiments.RenderRankTable(os.Stdout, rows)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runStream(scale experiments.Scale) error {
+	fmt.Println("E10 — incremental (streaming) accumulator vs from-scratch batch query")
+	rows, err := experiments.StreamVsBatch(scale.Citations, 6, 10)
+	if err != nil {
+		return err
+	}
+	experiments.RenderStreamTable(os.Stdout, rows)
+	return nil
+}

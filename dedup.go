@@ -1,0 +1,120 @@
+package topk
+
+import (
+	"sort"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/embed"
+	"topkdedup/internal/index"
+	"topkdedup/internal/score"
+	"topkdedup/internal/segment"
+)
+
+// DedupResult is the output of Engine.Dedup: a full partition of the
+// dataset into entity groups.
+type DedupResult struct {
+	// Groups are the entity groups in decreasing weight.
+	Groups []AnswerGroup
+	// Score is the correlation-clustering score of the grouping relative
+	// to leaving every sure-duplicate component separate (higher is
+	// better; 0 means the scorer endorsed no merges).
+	Score float64
+}
+
+// Dedup fully deduplicates the dataset: sufficient predicates collapse
+// sure duplicates, the scorer resolves the rest via the embedding +
+// best-segmentation search over each necessary-predicate component. This
+// is the classic batch deduplication the paper's TopK machinery
+// specialises; it is provided for completeness and for building
+// reference answers.
+//
+// With a nil scorer the sure-duplicate components themselves are
+// returned.
+func (e *Engine) Dedup() (*DedupResult, error) {
+	d := e.data
+	groups := coreSingletons(d)
+	for _, level := range e.levels {
+		groups, _ = core.Collapse(d, groups, level.Sufficient)
+	}
+	if e.scorer == nil {
+		res := &DedupResult{}
+		for _, g := range groups {
+			res.Groups = append(res.Groups, AnswerGroup{Records: g.Members, Weight: g.Weight, Rep: g.Rep})
+		}
+		sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Weight > res.Groups[j].Weight })
+		return res, nil
+	}
+
+	n := len(groups)
+	lastN := e.levels[len(e.levels)-1].Necessary
+	keys := make([][]string, n)
+	for i := range groups {
+		keys[i] = lastN.Keys(d.Recs[groups[i].Rep])
+	}
+	ix := index.Build(n, func(i int) []string { return keys[i] })
+	pairScore := make(map[[2]int]float64)
+	var edges []embed.Edge
+	ix.ForEachPair(func(i, j int) bool {
+		ri, rj := d.Recs[groups[i].Rep], d.Recs[groups[j].Rep]
+		if !lastN.Eval(ri, rj) {
+			return true
+		}
+		s := e.scorer.Score(ri, rj)
+		if !e.cfg.ScaleByMembersOff {
+			s *= float64(len(groups[i].Members) * len(groups[j].Members))
+		}
+		pairScore[[2]int{i, j}] = s
+		edges = append(edges, embed.Edge{A: i, B: j})
+		return true
+	})
+	pf := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		if s, ok := pairScore[[2]int{i, j}]; ok {
+			return s
+		}
+		return e.cfg.NonCandidatePenalty
+	}
+	order := embed.Greedy(n, pf, edges, embed.Options{Alpha: e.cfg.EmbedAlpha})
+	posPF := func(a, b int) float64 { return pf(order[a], order[b]) }
+	width := e.cfg.MaxGroupWidth
+	if width > n {
+		width = n
+	}
+	sc := score.NewSegmentScorer(n, width, posPF, nil)
+	segs, best := segment.Best(sc)
+	var base float64
+	for p := 0; p < n; p++ {
+		base += sc.Score(p, p)
+	}
+
+	res := &DedupResult{Score: best - base}
+	for _, clusterIdx := range segment.Clusters(segs, order) {
+		ag := AnswerGroup{}
+		bestW := -1.0
+		for _, gi := range clusterIdx {
+			g := groups[gi]
+			ag.Records = append(ag.Records, g.Members...)
+			ag.Weight += g.Weight
+			if g.Weight > bestW {
+				bestW = g.Weight
+				ag.Rep = g.Rep
+			}
+		}
+		sort.Ints(ag.Records)
+		res.Groups = append(res.Groups, ag)
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Weight > res.Groups[j].Weight })
+	return res, nil
+}
+
+// coreSingletons wraps every record in its own group (mirrors the
+// unexported core helper).
+func coreSingletons(d *Dataset) []Group {
+	groups := make([]Group, d.Len())
+	for i, r := range d.Recs {
+		groups[i] = Group{Rep: r.ID, Members: []int{r.ID}, Weight: r.Weight}
+	}
+	return groups
+}

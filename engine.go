@@ -1,0 +1,356 @@
+package topk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/embed"
+	"topkdedup/internal/index"
+	"topkdedup/internal/rankquery"
+	"topkdedup/internal/score"
+	"topkdedup/internal/segment"
+)
+
+// Mode selects how answer scores combine over the groupings supporting an
+// answer.
+type Mode int
+
+// Answer scoring modes.
+const (
+	// ModeMarginal scores an answer by log Σ exp over all supporting
+	// groupings (the paper's definition of a TopK answer's score).
+	ModeMarginal Mode = iota
+	// ModeViterbi scores an answer by its best single supporting grouping.
+	ModeViterbi
+)
+
+// Config tunes the engine. The zero value gives the paper's defaults.
+type Config struct {
+	// PrunePasses is the number of exact upper-bound refinement passes in
+	// the prune step (default 2, the paper's choice).
+	PrunePasses int
+	// MaxGroupWidth caps how many collapsed groups one answer group may
+	// span in the segmentation search (default 24). Larger is slower;
+	// the paper's equivalent is "not considering any cluster including
+	// too many dissimilar points".
+	MaxGroupWidth int
+	// EmbedAlpha is the distance-decay factor of the greedy linear
+	// embedding, in (0, 1) (default 0.7).
+	EmbedAlpha float64
+	// Mode selects Viterbi or Marginal answer scoring (default Marginal).
+	Mode Mode
+	// NonCandidatePenalty is the score assigned to group pairs failing
+	// the last necessary predicate — known non-duplicates — so that
+	// answer groups never span them (default -1e6; must be negative).
+	NonCandidatePenalty float64
+	// ScaleByMembers multiplies the representative-pair score by the
+	// product of member counts, approximating the aggregate score over
+	// all cross-member pairs (§4.1's closing remark). Default true
+	// (disable with ScaleByMembersOff).
+	ScaleByMembersOff bool
+}
+
+func (c *Config) defaults() {
+	if c.PrunePasses <= 0 {
+		c.PrunePasses = 2
+	}
+	if c.MaxGroupWidth <= 0 {
+		c.MaxGroupWidth = 24
+	}
+	if c.EmbedAlpha <= 0 || c.EmbedAlpha >= 1 {
+		c.EmbedAlpha = 0.7
+	}
+	if c.NonCandidatePenalty >= 0 {
+		c.NonCandidatePenalty = -1e6
+	}
+}
+
+// Engine answers TopK queries over one dataset.
+type Engine struct {
+	data   *Dataset
+	levels []Level
+	scorer PairScorer
+	cfg    Config
+}
+
+// New creates an engine. levels must be non-empty. scorer may be nil, in
+// which case queries still run but residual ambiguity among the surviving
+// groups is not resolved (each survivor is treated as one entity) and R
+// is capped at 1.
+func New(d *Dataset, levels []Level, scorer PairScorer, cfg Config) *Engine {
+	cfg.defaults()
+	return &Engine{data: d, levels: levels, scorer: scorer, cfg: cfg}
+}
+
+// AnswerGroup is one entity group in a TopK answer.
+type AnswerGroup struct {
+	// Records are the record IDs aggregated into this entity.
+	Records []int
+	// Weight is the aggregate weight (the count the query ranks by).
+	Weight float64
+	// Rep is a representative record ID.
+	Rep int
+}
+
+// Answer is one ranked TopK answer: K groups plus a score.
+type Answer struct {
+	// Score of the answer under the engine's Mode. Meaningful only
+	// relative to other answers of the same query.
+	Score float64
+	// Groups are the K answer groups in decreasing weight.
+	Groups []AnswerGroup
+}
+
+// Probabilities normalises the answers' scores into a probability
+// distribution over the returned alternatives (softmax in log space, per
+// the paper's "scores can be converted to probabilities through
+// appropriate normalisation ... a Gibbs distribution"). The distribution
+// is over the R returned answers only — groupings outside them carry the
+// unaccounted remainder — so treat it as relative confidence. Returns nil
+// when there are no answers.
+func (r *Result) Probabilities() []float64 {
+	if len(r.Answers) == 0 {
+		return nil
+	}
+	// log-sum-exp over answer scores.
+	maxS := r.Answers[0].Score
+	for _, a := range r.Answers {
+		if a.Score > maxS {
+			maxS = a.Score
+		}
+	}
+	var z float64
+	for _, a := range r.Answers {
+		z += math.Exp(a.Score - maxS)
+	}
+	probs := make([]float64, len(r.Answers))
+	for i, a := range r.Answers {
+		probs[i] = math.Exp(a.Score-maxS) / z
+	}
+	return probs
+}
+
+// Result is the output of Engine.TopK.
+type Result struct {
+	// Answers holds up to R answers, best first.
+	Answers []Answer
+	// Pruning reports the per-level statistics of the pruning phase.
+	Pruning []LevelStats
+	// Survivors is the number of collapsed groups that reached the final
+	// phase.
+	Survivors int
+	// Exact reports that pruning alone determined the answer (exactly K
+	// groups survived), so Answers has one entry and no scoring ran.
+	Exact bool
+}
+
+// TopK answers the TopK count query: the K groups with the largest
+// aggregate weight, as the R highest-scoring alternatives.
+func (e *Engine) TopK(k, r int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
+	}
+	if r < 1 {
+		r = 1
+	}
+	pd, err := core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Pruning: pd.Stats, Survivors: len(pd.Groups)}
+	if pd.ExactlyK || e.scorer == nil || len(pd.Groups) <= k {
+		res.Exact = pd.ExactlyK || len(pd.Groups) <= k
+		res.Answers = []Answer{e.groupsToAnswer(pd.Groups, k)}
+		return res, nil
+	}
+	answers, err := e.finalPhase(pd.Groups, k, r)
+	if err != nil {
+		return nil, err
+	}
+	res.Answers = answers
+	return res, nil
+}
+
+// groupsToAnswer takes the top-k surviving groups as a single answer.
+func (e *Engine) groupsToAnswer(groups []Group, k int) Answer {
+	if len(groups) > k {
+		groups = groups[:k]
+	}
+	ans := Answer{}
+	for _, g := range groups {
+		ans.Groups = append(ans.Groups, AnswerGroup{Records: g.Members, Weight: g.Weight, Rep: g.Rep})
+	}
+	return ans
+}
+
+// finalPhase resolves residual ambiguity among the surviving groups:
+// score candidate group pairs with P, embed, and run the R-best
+// segmentation search (paper §5).
+func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
+	n := len(groups)
+	lastN := e.levels[len(e.levels)-1].Necessary
+
+	// Candidate group pairs: those passing the last necessary predicate.
+	keys := make([][]string, n)
+	for i := range groups {
+		keys[i] = lastN.Keys(e.data.Recs[groups[i].Rep])
+	}
+	ix := index.Build(n, func(i int) []string { return keys[i] })
+	pairScore := make(map[[2]int]float64)
+	var edges []embed.Edge
+	ix.ForEachPair(func(i, j int) bool {
+		ri, rj := e.data.Recs[groups[i].Rep], e.data.Recs[groups[j].Rep]
+		if !lastN.Eval(ri, rj) {
+			return true
+		}
+		s := e.scorer.Score(ri, rj)
+		if !e.cfg.ScaleByMembersOff {
+			s *= float64(len(groups[i].Members) * len(groups[j].Members))
+		}
+		pairScore[[2]int{i, j}] = s
+		edges = append(edges, embed.Edge{A: i, B: j})
+		return true
+	})
+	pf := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		if s, ok := pairScore[[2]int{i, j}]; ok {
+			return s
+		}
+		return e.cfg.NonCandidatePenalty
+	}
+
+	order := embed.Greedy(n, pf, edges, embed.Options{Alpha: e.cfg.EmbedAlpha})
+	posPF := func(pi, pj int) float64 { return pf(order[pi], order[pj]) }
+	width := e.cfg.MaxGroupWidth
+	if width > n {
+		width = n
+	}
+	sc := score.NewSegmentScorer(n, width, posPF, nil)
+	mode := segment.Marginal
+	if e.cfg.Mode == ModeViterbi {
+		mode = segment.Viterbi
+	}
+	// Answer generation runs over the R'-best groupings rather than the
+	// paper's length-stratified TopR: positions here are collapsed groups
+	// with heterogeneous weights, so "largest segments by position count"
+	// can exclude the best grouping when lengths tie. Each grouping maps
+	// to its K aggregate-weight-largest segments; groupings mapping to the
+	// same answer identity merge (max score in Viterbi mode, log-sum-exp
+	// in Marginal mode — a truncated approximation of the paper's full
+	// marginal, since only the R' best groupings contribute).
+	rPrime := 6*r + 10
+	rankings := segment.BestR(sc, rPrime)
+	if len(rankings) == 0 {
+		return []Answer{e.groupsToAnswer(groups, k)}, nil
+	}
+	// Normalise scores against the all-singletons segmentation so the
+	// partition-independent constant (Eq. 1 rewards every cross negative
+	// edge, including the engine's non-candidate penalties) cancels:
+	// score 0 means "no merging", positive means merges net-agree with P.
+	var base float64
+	for p := 0; p < n; p++ {
+		base += sc.Score(p, p)
+	}
+	var out []Answer
+	index := map[string]int{}
+	for _, rk := range rankings {
+		ans, sig := e.answerFromWitness(groups, order, segment.Answer{Score: rk.Score - base, Full: rk.Segs}, k)
+		if at, ok := index[sig]; ok {
+			if mode == segment.Marginal {
+				out[at].Score = logAddExp(out[at].Score, ans.Score)
+			}
+			continue
+		}
+		index[sig] = len(out)
+		out = append(out, ans)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	if len(out) > r {
+		out = out[:r]
+	}
+	return out, nil
+}
+
+func logAddExp(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// answerFromWitness converts one DP answer into the query's answer form:
+// the K aggregate-weight-largest segments of the witness grouping, with a
+// canonical signature for deduplication.
+func (e *Engine) answerFromWitness(groups []Group, order []int, sa segment.Answer, k int) (Answer, string) {
+	type segGroup struct {
+		ag  AnswerGroup
+		pos int
+	}
+	all := make([]segGroup, 0, len(sa.Full))
+	for si, seg := range sa.Full {
+		ag := AnswerGroup{}
+		bestW := -1.0
+		for p := seg.Start; p <= seg.End; p++ {
+			g := groups[order[p]]
+			ag.Records = append(ag.Records, g.Members...)
+			ag.Weight += g.Weight
+			if g.Weight > bestW {
+				bestW = g.Weight
+				ag.Rep = g.Rep
+			}
+		}
+		sort.Ints(ag.Records)
+		all = append(all, segGroup{ag: ag, pos: si})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].ag.Weight != all[b].ag.Weight {
+			return all[a].ag.Weight > all[b].ag.Weight
+		}
+		return all[a].pos < all[b].pos
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	ans := Answer{Score: sa.Score}
+	var sig strings.Builder
+	for _, sg := range all {
+		ans.Groups = append(ans.Groups, sg.ag)
+		// Identity must reflect the exact record set: rep+size alone can
+		// collide when two candidate groupings swap equal-sized members.
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, id := range sg.ag.Records {
+			binary.LittleEndian.PutUint64(buf[:], uint64(id))
+			h.Write(buf[:])
+		}
+		fmt.Fprintf(&sig, "|%d:%d:%x", sg.ag.Rep, len(sg.ag.Records), h.Sum64())
+	}
+	return ans, sig.String()
+}
+
+// RankEntry is one entry of a rank-query result.
+type RankEntry = rankquery.Entry
+
+// RankResult is the result of TopKRank and ThresholdedRank.
+type RankResult = rankquery.RankResult
+
+// TopKRank answers the TopK rank query (paper §7.1): the ranked order of
+// the K largest groups, each identified by a canonical member, without
+// resolving exact sizes. The rank-specific resolved-group pruning applies
+// on top of the standard TopK pruning.
+func (e *Engine) TopKRank(k int) (*RankResult, error) {
+	return rankquery.TopKRank(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses})
+}
+
+// ThresholdedRank answers the thresholded rank query (paper §7.2): a
+// ranked list of the groups with aggregate weight above t.
+func (e *Engine) ThresholdedRank(t float64) (*RankResult, error) {
+	return rankquery.ThresholdedRank(e.data, e.levels, t, e.cfg.PrunePasses)
+}

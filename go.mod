@@ -1,0 +1,3 @@
+module topkdedup
+
+go 1.22

@@ -1,0 +1,229 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topkdedup/internal/records"
+	"topkdedup/internal/strsim"
+)
+
+// nameFeatures is a minimal feature set over a "name" field.
+func nameFeatures() FeatureSet {
+	return FeatureSet{
+		Names: []string{"jaccard3", "jaro"},
+		Vec: func(a, b *records.Record) []float64 {
+			na, nb := a.Field("name"), b.Field("name")
+			return []float64{
+				strsim.JaccardGrams(na, nb, 3),
+				strsim.JaroWinkler(na, nb),
+			}
+		},
+	}
+}
+
+// separableData builds a labelled dataset where same-entity names are
+// near-identical and cross-entity names are unrelated.
+func separableData(seed int64, entities, mentions int) *records.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := records.New("t", "name")
+	consonants := "bcdfghjklmnpqrstvwxz"
+	for e := 0; e < entities; e++ {
+		base := make([]byte, 8)
+		for i := range base {
+			base[i] = consonants[r.Intn(len(consonants))]
+		}
+		for k := 0; k < mentions; k++ {
+			name := string(base)
+			if k > 0 { // one-character variant
+				b := []byte(name)
+				b[r.Intn(len(b))] = consonants[r.Intn(len(consonants))]
+				name = string(b)
+			}
+			d.Append(1, string(rune('A'+e%26))+string(rune('0'+e/26)), name)
+		}
+	}
+	return d
+}
+
+func allPairs(d *records.Dataset) []LabeledPair {
+	var pairs []LabeledPair
+	for i := 0; i < d.Len(); i++ {
+		for j := i + 1; j < d.Len(); j++ {
+			pairs = append(pairs, LabeledPair{A: i, B: j, Dup: d.Recs[i].Truth == d.Recs[j].Truth})
+		}
+	}
+	return pairs
+}
+
+func TestTrainLearnsSeparableData(t *testing.T) {
+	d := separableData(1, 12, 4)
+	pairs := allPairs(d)
+	m, err := Train(d, nameFeatures(), pairs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(d, pairs); acc < 0.95 {
+		t.Errorf("training accuracy %v < 0.95", acc)
+	}
+	// Held-out data from a different seed.
+	d2 := separableData(2, 12, 4)
+	if acc := m.Accuracy(d2, allPairs(d2)); acc < 0.9 {
+		t.Errorf("held-out accuracy %v < 0.9", acc)
+	}
+}
+
+func TestScoreSignedAndProbConsistent(t *testing.T) {
+	d := separableData(3, 8, 4)
+	m, err := Train(d, nameFeatures(), allPairs(d), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Recs[0], d.Recs[1] // same entity
+	c := d.Recs[d.Len()-1]       // different entity
+	if m.Score(a, b) <= 0 {
+		t.Errorf("duplicate pair score %v should be positive", m.Score(a, b))
+	}
+	if m.Score(a, c) >= 0 {
+		t.Errorf("non-duplicate pair score %v should be negative", m.Score(a, c))
+	}
+	// Prob = sigmoid(score).
+	s, p := m.Score(a, b), m.Prob(a, b)
+	want := 1 / (1 + math.Exp(-s))
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("Prob inconsistent with Score")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	d := separableData(4, 4, 3)
+	if _, err := Train(d, nameFeatures(), nil, TrainOptions{}); err == nil {
+		t.Error("no pairs should error")
+	}
+	onlyPos := []LabeledPair{{A: 0, B: 1, Dup: true}}
+	if _, err := Train(d, nameFeatures(), onlyPos, TrainOptions{}); err == nil {
+		t.Error("single class should error")
+	}
+	badFeats := FeatureSet{
+		Names: []string{"a", "b", "c"},
+		Vec:   func(x, y *records.Record) []float64 { return []float64{1} },
+	}
+	mixed := []LabeledPair{{A: 0, B: 1, Dup: true}, {A: 0, B: 3, Dup: false}}
+	if _, err := Train(d, badFeats, mixed, TrainOptions{}); err == nil {
+		t.Error("feature length mismatch should error")
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	d := separableData(5, 10, 3)
+	train, test := SplitGroups(d, 0.5, 1)
+	if len(train)+len(test) != d.Len() {
+		t.Fatalf("split loses records: %d + %d != %d", len(train), len(test), d.Len())
+	}
+	// No entity straddles the split.
+	where := map[string]string{}
+	for _, id := range train {
+		where[d.Recs[id].Truth] = "train"
+	}
+	for _, id := range test {
+		if where[d.Recs[id].Truth] == "train" {
+			t.Fatal("entity appears in both train and test")
+		}
+	}
+	// Roughly half the groups in each side.
+	if len(train) == 0 || len(test) == 0 {
+		t.Error("both sides should be non-empty")
+	}
+	// Deterministic per seed.
+	tr2, _ := SplitGroups(d, 0.5, 1)
+	for i := range train {
+		if train[i] != tr2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestSamplePairsBalanced(t *testing.T) {
+	d := separableData(6, 10, 4)
+	ids := make([]int, d.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	pairs := SamplePairs(d, ids, SampleOptions{MaxPositive: 30, NegativePerPositive: 2})
+	pos, neg := 0, 0
+	for _, p := range pairs {
+		if p.Dup {
+			if d.Recs[p.A].Truth != d.Recs[p.B].Truth {
+				t.Fatal("mislabelled positive")
+			}
+			pos++
+		} else {
+			if d.Recs[p.A].Truth == d.Recs[p.B].Truth {
+				t.Fatal("mislabelled negative")
+			}
+			neg++
+		}
+	}
+	if pos == 0 || pos > 30 {
+		t.Errorf("positive count %d out of (0, 30]", pos)
+	}
+	if neg == 0 || neg > 2*pos {
+		t.Errorf("negative count %d out of (0, %d]", neg, 2*pos)
+	}
+}
+
+func TestSamplePairsHardNegatives(t *testing.T) {
+	d := separableData(7, 8, 3)
+	ids := make([]int, d.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	// Blocking key: first character — hard negatives share it.
+	cand := func(id int) []string { return []string{d.Recs[id].Field("name")[:1]} }
+	pairs := SamplePairs(d, ids, SampleOptions{MaxPositive: 10, NegativePerPositive: 3, Candidates: cand})
+	sawHard := false
+	for _, p := range pairs {
+		if !p.Dup && d.Recs[p.A].Field("name")[0] == d.Recs[p.B].Field("name")[0] {
+			sawHard = true
+		}
+	}
+	if !sawHard {
+		t.Log("no hard negatives found (acceptable if no key collisions); pairs:", len(pairs))
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no pairs sampled")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	d := separableData(8, 8, 3)
+	pairs := allPairs(d)
+	m1, err := Train(d, nameFeatures(), pairs, TrainOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(d, nameFeatures(), pairs, TrainOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Weights {
+		if m1.Weights[i] != m2.Weights[i] {
+			t.Fatal("training not deterministic for fixed seed")
+		}
+	}
+	if m1.Bias != m2.Bias {
+		t.Fatal("bias not deterministic")
+	}
+}
+
+func TestAccuracyEmptyPairs(t *testing.T) {
+	d := separableData(9, 4, 2)
+	m, err := Train(d, nameFeatures(), allPairs(d), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy(d, nil) != 0 {
+		t.Error("accuracy over no pairs should be 0")
+	}
+}

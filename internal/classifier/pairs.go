@@ -1,0 +1,155 @@
+package classifier
+
+import (
+	"math/rand"
+	"sort"
+
+	"topkdedup/internal/records"
+)
+
+// SplitGroups partitions the dataset's ground-truth groups into a training
+// and a held-out share: trainFrac of the groups (by count) go to training.
+// This mirrors the paper's Figure-7 protocol ("we used 50% of the groups
+// to train a binary logistic classifier"). Returned slices hold record IDs.
+func SplitGroups(d *records.Dataset, trainFrac float64, seed int64) (train, test []int) {
+	groups := d.TruthGroups()
+	labels := make([]string, 0, len(groups))
+	for l := range groups {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(labels), func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	cut := int(trainFrac * float64(len(labels)))
+	for i, l := range labels {
+		if i < cut {
+			train = append(train, groups[l]...)
+		} else {
+			test = append(test, groups[l]...)
+		}
+	}
+	sort.Ints(train)
+	sort.Ints(test)
+	return train, test
+}
+
+// SampleOptions controls labelled-pair sampling.
+type SampleOptions struct {
+	// MaxPositive caps the number of positive (same-truth) pairs (default
+	// 5000).
+	MaxPositive int
+	// NegativePerPositive sets the negative:positive ratio (default 3).
+	NegativePerPositive int
+	// Candidates, when non-nil, restricts negative pairs to ones sharing
+	// a blocking key (hard negatives); otherwise negatives are sampled
+	// uniformly at random.
+	Candidates func(id int) []string
+	// Seed for sampling (default 1).
+	Seed int64
+}
+
+func (o *SampleOptions) defaults() {
+	if o.MaxPositive <= 0 {
+		o.MaxPositive = 5000
+	}
+	if o.NegativePerPositive <= 0 {
+		o.NegativePerPositive = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// SamplePairs draws labelled pairs from the records with the given IDs
+// using their ground-truth labels: all (capped) within-group pairs as
+// positives, and hard or random cross-group pairs as negatives.
+func SamplePairs(d *records.Dataset, ids []int, opts SampleOptions) []LabeledPair {
+	opts.defaults()
+	r := rand.New(rand.NewSource(opts.Seed))
+	inSet := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		inSet[id] = true
+	}
+	byTruth := make(map[string][]int)
+	for _, id := range ids {
+		t := d.Recs[id].Truth
+		if t != "" {
+			byTruth[t] = append(byTruth[t], id)
+		}
+	}
+	labels := make([]string, 0, len(byTruth))
+	for l := range byTruth {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	var pairs []LabeledPair
+	// Positives: within-group pairs.
+	for _, l := range labels {
+		g := byTruth[l]
+		for i := 0; i < len(g) && len(pairs) < opts.MaxPositive; i++ {
+			for j := i + 1; j < len(g) && len(pairs) < opts.MaxPositive; j++ {
+				pairs = append(pairs, LabeledPair{A: g[i], B: g[j], Dup: true})
+			}
+		}
+		if len(pairs) >= opts.MaxPositive {
+			break
+		}
+	}
+	nPos := len(pairs)
+	wantNeg := nPos * opts.NegativePerPositive
+
+	// Hard negatives: pairs sharing a blocking key but with different truth.
+	if opts.Candidates != nil {
+		buckets := make(map[string][]int)
+		for _, id := range ids {
+			for _, k := range opts.Candidates(id) {
+				buckets[k] = append(buckets[k], id)
+			}
+		}
+		keys := make([]string, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		seen := make(map[[2]int]bool)
+		for _, k := range keys {
+			b := buckets[k]
+			for i := 0; i < len(b) && len(pairs)-nPos < wantNeg; i++ {
+				for j := i + 1; j < len(b) && len(pairs)-nPos < wantNeg; j++ {
+					a, c := b[i], b[j]
+					if a > c {
+						a, c = c, a
+					}
+					if a == c || seen[[2]int{a, c}] {
+						continue
+					}
+					seen[[2]int{a, c}] = true
+					ra, rc := d.Recs[a], d.Recs[c]
+					if ra.Truth != "" && rc.Truth != "" && ra.Truth != rc.Truth {
+						pairs = append(pairs, LabeledPair{A: a, B: c, Dup: false})
+					}
+				}
+			}
+			if len(pairs)-nPos >= wantNeg {
+				break
+			}
+		}
+	}
+	// Fill with random negatives if the hard pool was too small.
+	for tries := 0; len(pairs)-nPos < wantNeg && tries < 50*wantNeg+100; tries++ {
+		if len(ids) < 2 {
+			break
+		}
+		a, b := ids[r.Intn(len(ids))], ids[r.Intn(len(ids))]
+		if a == b {
+			continue
+		}
+		ra, rb := d.Recs[a], d.Recs[b]
+		if ra.Truth == "" || rb.Truth == "" || ra.Truth == rb.Truth {
+			continue
+		}
+		pairs = append(pairs, LabeledPair{A: a, B: b, Dup: false})
+	}
+	return pairs
+}

@@ -1,0 +1,166 @@
+// Package cluster provides the clustering algorithms the paper builds on
+// (§3 step 3 and §6.4): the transitive-closure baseline, randomised-pivot
+// correlation clustering with local-search refinement, agglomerative
+// hierarchies (§5.2), and an exact correlation-clustering optimiser used
+// as the Figure-7 reference in place of the paper's LP (see DESIGN.md §3).
+//
+// All algorithms work over a working set [0, n) with a symmetric signed
+// pair score (score.PairFunc) and an explicit list of candidate edges:
+// pairs not listed are assumed to score <= 0 and are treated as 0. This
+// matches the paper's final step, which evaluates the learned criterion P
+// only on pairs passing the last necessary predicate.
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"topkdedup/internal/dsu"
+	"topkdedup/internal/score"
+)
+
+// Edge is a candidate pair of working-set items.
+type Edge struct {
+	A, B int
+}
+
+// TransitiveClosure groups items by the transitive closure of candidate
+// pairs with positive score — the baseline of Figure 7. Clusters are
+// ordered by smallest member, members increasing.
+func TransitiveClosure(n int, pf score.PairFunc, edges []Edge) [][]int {
+	d := dsu.New(n)
+	for _, e := range edges {
+		if pf(e.A, e.B) > 0 {
+			d.Union(e.A, e.B)
+		}
+	}
+	return d.GroupSlices()
+}
+
+// Pivot runs the randomised-pivot approximation to correlation clustering
+// (Ailon, Charikar, Newman): repeatedly pick an unclustered pivot at
+// random and form a cluster from it and every unclustered item whose pair
+// score with the pivot is positive.
+func Pivot(n int, pf score.PairFunc, edges []Edge, seed int64) [][]int {
+	adj := adjacency(n, edges)
+	r := rand.New(rand.NewSource(seed))
+	order := r.Perm(n)
+	assigned := make([]bool, n)
+	var clusters [][]int
+	for _, p := range order {
+		if assigned[p] {
+			continue
+		}
+		assigned[p] = true
+		cluster := []int{p}
+		for _, q := range adj[p] {
+			if !assigned[q] && pf(p, q) > 0 {
+				assigned[q] = true
+				cluster = append(cluster, q)
+			}
+		}
+		sort.Ints(cluster)
+		clusters = append(clusters, cluster)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	return clusters
+}
+
+// LocalSearch improves a partition by single-item moves: each pass tries
+// to move every item to the neighbouring cluster (or a fresh singleton)
+// that maximises its total same-cluster score, until a pass makes no move
+// or maxPasses is hit. It returns the improved partition.
+func LocalSearch(n int, pf score.PairFunc, edges []Edge, clusters [][]int, maxPasses int) [][]int {
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	adj := adjacency(n, edges)
+	clusterOf := make([]int, n)
+	for ci, c := range clusters {
+		for _, x := range c {
+			clusterOf[x] = ci
+		}
+	}
+	// Work with membership only; rebuild slices at the end.
+	nextCluster := len(clusters)
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := false
+		for v := 0; v < n; v++ {
+			// Gain of staying vs. moving: Σ P(v, u) over same-cluster u.
+			gains := map[int]float64{}
+			for _, u := range adj[v] {
+				gains[clusterOf[u]] += pf(v, u)
+			}
+			cur := gains[clusterOf[v]]
+			bestC, bestGain := clusterOf[v], cur
+			for c, g := range gains {
+				if g > bestGain {
+					bestC, bestGain = c, g
+				}
+			}
+			// A fresh singleton has gain 0.
+			if bestGain < 0 {
+				bestC, bestGain = nextCluster, 0
+				nextCluster++
+			}
+			if bestC != clusterOf[v] && bestGain > cur {
+				clusterOf[v] = bestC
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	byCluster := map[int][]int{}
+	for v := 0; v < n; v++ {
+		byCluster[clusterOf[v]] = append(byCluster[clusterOf[v]], v)
+	}
+	out := make([][]int, 0, len(byCluster))
+	for _, c := range byCluster {
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// WithinScore returns Σ over same-cluster unordered pairs of P(i, j) —
+// the partition objective all algorithms in this package maximise
+// (equivalent to the paper's Eq. 1 up to a partition-independent constant;
+// see score.CCScore). Only candidate edges contribute.
+func WithinScore(pf score.PairFunc, edges []Edge, clusters [][]int) float64 {
+	n := 0
+	for _, c := range clusters {
+		for _, x := range c {
+			if x+1 > n {
+				n = x + 1
+			}
+		}
+	}
+	clusterOf := make([]int, n)
+	for ci, c := range clusters {
+		for _, x := range c {
+			clusterOf[x] = ci
+		}
+	}
+	var s float64
+	for _, e := range edges {
+		if clusterOf[e.A] == clusterOf[e.B] {
+			s += pf(e.A, e.B)
+		}
+	}
+	return s
+}
+
+func adjacency(n int, edges []Edge) [][]int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e.A == e.B {
+			continue
+		}
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	return adj
+}

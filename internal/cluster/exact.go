@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"sort"
+
+	"topkdedup/internal/dsu"
+	"topkdedup/internal/score"
+)
+
+// Result is the output of Exact.
+type Result struct {
+	Clusters [][]int
+	// Exact reports whether the returned partition is a guaranteed
+	// optimum of the correlation-clustering objective. It is false when
+	// some positive-edge component exceeded the branch-and-bound size
+	// limit and a pivot+local-search fallback was used there.
+	Exact bool
+	// LargestComponent is the size of the biggest positive component
+	// encountered (diagnostic).
+	LargestComponent int
+}
+
+// Exact computes the optimal correlation clustering of the working set.
+//
+// It stands in for the paper's LP-based reference (Charikar et al.): on
+// the instances the paper reports, the LP returned integral solutions,
+// i.e. the true optimum — which this routine computes directly. The key
+// structural fact makes it feasible: an optimal partition never groups
+// items from different positive-edge connected components (splitting such
+// a group can only increase the objective), so the search decomposes into
+// independent components, each solved exactly by branch-and-bound when its
+// size is at most maxComponent (fallback: pivot + local search, flagged
+// via Result.Exact=false).
+func Exact(n int, pf score.PairFunc, edges []Edge, maxComponent int) Result {
+	if maxComponent <= 0 {
+		maxComponent = 18
+	}
+	// Positive-edge components.
+	d := dsu.New(n)
+	for _, e := range edges {
+		if pf(e.A, e.B) > 0 {
+			d.Union(e.A, e.B)
+		}
+	}
+	compItems := map[int][]int{}
+	for v := 0; v < n; v++ {
+		r := d.Find(v)
+		compItems[r] = append(compItems[r], v)
+	}
+	// Candidate edges grouped per component (both endpoints always end up
+	// in one component or score <= 0 across; cross edges can be dropped —
+	// they are never within a group of any partition we consider).
+	compEdges := map[int][]Edge{}
+	for _, e := range edges {
+		if d.Find(e.A) == d.Find(e.B) {
+			r := d.Find(e.A)
+			compEdges[r] = append(compEdges[r], e)
+		}
+	}
+
+	res := Result{Exact: true}
+	roots := make([]int, 0, len(compItems))
+	for r := range compItems {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		items := compItems[r]
+		sort.Ints(items)
+		if len(items) > res.LargestComponent {
+			res.LargestComponent = len(items)
+		}
+		switch {
+		case len(items) == 1:
+			res.Clusters = append(res.Clusters, items)
+		case len(items) <= maxComponent:
+			parts := solveComponent(items, pf)
+			res.Clusters = append(res.Clusters, parts...)
+		default:
+			res.Exact = false
+			parts := fallbackComponent(items, compEdges[r], pf)
+			res.Clusters = append(res.Clusters, parts...)
+		}
+	}
+	sort.Slice(res.Clusters, func(i, j int) bool { return res.Clusters[i][0] < res.Clusters[j][0] })
+	return res
+}
+
+// solveComponent finds the partition of items maximising Σ same-group
+// P(i, j) by branch-and-bound over assignments in index order.
+func solveComponent(items []int, pf score.PairFunc) [][]int {
+	k := len(items)
+	// Local pair matrix.
+	p := make([][]float64, k)
+	for i := range p {
+		p[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v := pf(items[i], items[j])
+			p[i][j], p[j][i] = v, v
+		}
+	}
+	// posSuffix[t] = Σ over pairs (a, b), a < b, with b >= t of
+	// max(p[a][b], 0): an optimistic bound on what assigning the items
+	// t, t+1, ... can still add (a pair's score is committed when its
+	// larger endpoint is assigned). Recurrence: a pair enters at t == b.
+	posSuffix := make([]float64, k+1)
+	for t := k - 1; t >= 0; t-- {
+		posSuffix[t] = posSuffix[t+1]
+		for a := 0; a < t; a++ {
+			if p[a][t] > 0 {
+				posSuffix[t] += p[a][t]
+			}
+		}
+	}
+
+	best := -1.0 // any assignment scores >= 0 (all singletons = 0)
+	var bestAssign []int
+	assign := make([]int, k) // group id per item
+	var groups [][]int
+	var dfs func(v int, cur float64)
+	dfs = func(v int, cur float64) {
+		if cur+posSuffix[v] <= best {
+			return
+		}
+		if v == k {
+			if cur > best {
+				best = cur
+				bestAssign = append(bestAssign[:0], assign...)
+			}
+			return
+		}
+		// Try existing groups (and prune symmetric new-group choices by
+		// only allowing one "new group" branch).
+		for gi := range groups {
+			delta := 0.0
+			for _, u := range groups[gi] {
+				delta += p[u][v]
+			}
+			groups[gi] = append(groups[gi], v)
+			assign[v] = gi
+			dfs(v+1, cur+delta)
+			groups[gi] = groups[gi][:len(groups[gi])-1]
+		}
+		groups = append(groups, []int{v})
+		assign[v] = len(groups) - 1
+		dfs(v+1, cur)
+		groups = groups[:len(groups)-1]
+	}
+	dfs(0, 0)
+
+	byGroup := map[int][]int{}
+	for i, g := range bestAssign {
+		byGroup[g] = append(byGroup[g], items[i])
+	}
+	out := make([][]int, 0, len(byGroup))
+	gids := make([]int, 0, len(byGroup))
+	for g := range byGroup {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+	for _, g := range gids {
+		sort.Ints(byGroup[g])
+		out = append(out, byGroup[g])
+	}
+	return out
+}
+
+// fallbackComponent handles oversized components with pivot + local
+// search, remapped to component-local indices.
+func fallbackComponent(items []int, edges []Edge, pf score.PairFunc) [][]int {
+	local := make(map[int]int, len(items))
+	for i, v := range items {
+		local[v] = i
+	}
+	le := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		le = append(le, Edge{A: local[e.A], B: local[e.B]})
+	}
+	lpf := func(i, j int) float64 { return pf(items[i], items[j]) }
+	parts := Pivot(len(items), lpf, le, 1)
+	parts = LocalSearch(len(items), lpf, le, parts, 10)
+	out := make([][]int, len(parts))
+	for i, c := range parts {
+		out[i] = make([]int, len(c))
+		for j, v := range c {
+			out[i][j] = items[v]
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}

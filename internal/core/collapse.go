@@ -1,0 +1,63 @@
+package core
+
+import (
+	"topkdedup/internal/dsu"
+	"topkdedup/internal/index"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// Collapse merges groups connected by the transitive closure of the
+// sufficient predicate s, evaluated on group representatives (§4.1:
+// collapsing on representatives is safe because all members are already
+// sure duplicates and "duplicate-of" is transitive). Candidate pairs come
+// from the predicate's blocking keys; the union-find short-circuits pairs
+// already connected, so each effective merge costs one evaluation and
+// redundant pairs cost only a find.
+//
+// Returns the merged groups (unsorted) and the number of predicate
+// evaluations performed.
+func Collapse(d *records.Dataset, groups []Group, s predicate.P) ([]Group, int64) {
+	n := len(groups)
+	keys := make([][]string, n)
+	for i := range groups {
+		keys[i] = s.Keys(d.Recs[groups[i].Rep])
+	}
+	ix := index.Build(n, func(i int) []string { return keys[i] })
+	uf := dsu.New(n)
+	var evals int64
+	ix.ForEachPair(func(i, j int) bool {
+		if uf.Same(i, j) {
+			return true
+		}
+		evals++
+		if s.Eval(d.Recs[groups[i].Rep], d.Recs[groups[j].Rep]) {
+			uf.Union(i, j)
+		}
+		return true
+	})
+	if uf.Components() == n {
+		return groups, evals // nothing merged
+	}
+	merged := make([]Group, 0, uf.Components())
+	for _, members := range uf.GroupSlices() {
+		if len(members) == 1 {
+			merged = append(merged, groups[members[0]])
+			continue
+		}
+		// Representative: the member group with the largest weight, so
+		// later predicate evaluations see the most established rendering.
+		best := members[0]
+		g := Group{}
+		for _, gi := range members {
+			g.Weight += groups[gi].Weight
+			g.Members = append(g.Members, groups[gi].Members...)
+			if groups[gi].Weight > groups[best].Weight {
+				best = gi
+			}
+		}
+		g.Rep = groups[best].Rep
+		merged = append(merged, g)
+	}
+	return merged, evals
+}

@@ -1,0 +1,118 @@
+// Package core implements the paper's central contribution: the
+// PrunedDedup algorithm (§4, Algorithm 2). Records are successively
+// collapsed with sufficient predicates and pruned with necessary
+// predicates so that only tuples that can still participate in the K
+// largest duplicate groups survive to the expensive final deduplication.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"topkdedup/internal/records"
+)
+
+// Group is a set of records established to be duplicates of each other
+// (by the transitive closure of sufficient predicates), treated as a unit
+// by the later phases. The representative stands in for the group when
+// predicates are evaluated — correct by the collapse-safety argument of
+// §4.1.
+type Group struct {
+	// Rep is the representative record ID.
+	Rep int
+	// Members are the record IDs in the group (Rep included).
+	Members []int
+	// Weight is the aggregate weight of the members — the "size" the
+	// TopK count query ranks by (plain counts use weight 1 per record).
+	Weight float64
+}
+
+// Size returns the number of member records.
+func (g *Group) Size() int { return len(g.Members) }
+
+// LevelStats reports one pruning iteration, matching the columns of the
+// paper's Figures 2-4.
+type LevelStats struct {
+	// Level is the 1-based predicate-level index.
+	Level int
+	// NGroups is n: the number of groups after collapsing.
+	NGroups int
+	// NGroupsPct is n as a percentage of the original record count.
+	NGroupsPct float64
+	// M is the rank m at which K distinct groups are guaranteed (0 when
+	// the guarantee was never reached).
+	MRank int
+	// LowerBound is M: the minimum weight a group must be able to reach
+	// to avoid pruning (0 disables pruning).
+	LowerBound float64
+	// Survivors is n′: the number of groups after pruning.
+	Survivors int
+	// SurvivorsPct is n′ as a percentage of the original record count.
+	SurvivorsPct float64
+	// Predicate evaluation counts (diagnostics for the cost model).
+	CollapseEvals, BoundEvals, PruneEvals int64
+	// Wall-clock per phase.
+	CollapseTime, BoundTime, PruneTime time.Duration
+}
+
+// Result is the output of PrunedDedup.
+type Result struct {
+	// Groups are the surviving collapsed groups in decreasing weight.
+	Groups []Group
+	// Stats has one entry per executed predicate level.
+	Stats []LevelStats
+	// ExactlyK reports the early exit of Algorithm 2 step 7: exactly K
+	// groups survive, so they are the exact TopK answer with no further
+	// deduplication needed.
+	ExactlyK bool
+	// TotalRecords is the size of the input dataset.
+	TotalRecords int
+}
+
+// singletonGroups wraps every record of the dataset in its own group.
+func singletonGroups(d *records.Dataset) []Group {
+	groups := make([]Group, d.Len())
+	for i, r := range d.Recs {
+		groups[i] = Group{Rep: r.ID, Members: []int{r.ID}, Weight: r.Weight}
+	}
+	return groups
+}
+
+// sortGroupsByWeight sorts groups by decreasing weight; ties break on
+// representative ID for determinism.
+func sortGroupsByWeight(groups []Group) {
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Weight != groups[j].Weight {
+			return groups[i].Weight > groups[j].Weight
+		}
+		return groups[i].Rep < groups[j].Rep
+	})
+}
+
+// TruthGroups collapses a labelled dataset by its ground-truth labels —
+// the reference answer used by evaluation and tests. Unlabelled records
+// become singletons. Groups come back sorted by decreasing weight.
+func TruthGroups(d *records.Dataset) []Group {
+	byLabel := make(map[string][]int)
+	var unlabelled []int
+	for _, r := range d.Recs {
+		if r.Truth == "" {
+			unlabelled = append(unlabelled, r.ID)
+			continue
+		}
+		byLabel[r.Truth] = append(byLabel[r.Truth], r.ID)
+	}
+	groups := make([]Group, 0, len(byLabel)+len(unlabelled))
+	for _, members := range byLabel {
+		g := Group{Rep: members[0], Members: members}
+		for _, id := range members {
+			g.Weight += d.Recs[id].Weight
+		}
+		groups = append(groups, g)
+	}
+	for _, id := range unlabelled {
+		groups = append(groups, Group{Rep: id, Members: []int{id}, Weight: d.Recs[id].Weight})
+	}
+	sortGroupsByWeight(groups)
+	return groups
+}

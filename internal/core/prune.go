@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sort"
+
+	"topkdedup/internal/index"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// Prune implements §4.3: drop every group whose weight upper bound — the
+// most it could aggregate by merging with necessary-predicate neighbours —
+// falls below the lower bound M. Bounds are tightened in three stages:
+//
+//  0. A free over-approximation from the inverted index: a group's
+//     neighbour weight is at most Σ over its blocking keys of
+//     (bucket total − own weight). This never under-counts (it only
+//     multi-counts neighbours sharing several keys), so pruning on it is
+//     safe, and it eliminates the bulk of the tail without a single
+//     predicate evaluation.
+//  1. Exact N-neighbour sums for the remaining groups.
+//  2. (and further passes) The paper's recursive refinement: only
+//     neighbours whose own bound still reaches M contribute. The paper
+//     reports two passes roughly double the pruning of one and further
+//     passes add little; passes configures the count of exact passes.
+//
+// Groups whose weight already reaches M are never pruned. When M <= 0 the
+// input is returned unchanged. Pruning keeps ties (bound == M) alive so
+// answers tying with the K-th group are not lost.
+func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes int) (alive []Group, evals int64) {
+	if m <= 0 || len(groups) == 0 {
+		return groups, 0
+	}
+	if passes < 1 {
+		passes = 2
+	}
+	ng := len(groups)
+	keys := make([][]string, ng)
+	for i := range groups {
+		keys[i] = n.Keys(d.Recs[groups[i].Rep])
+	}
+	ix := index.Build(ng, func(i int) []string { return keys[i] })
+
+	// Pass 0: bucket-total over-approximation, iterated to a fixpoint-ish
+	// state. Each round recomputes bucket totals over the still-alive
+	// groups only, so pruning one round's tail tightens the next round's
+	// bounds without a single predicate evaluation. (A single round is
+	// far too loose for high-frequency blocking keys such as common
+	// 3-grams, whose bucket totals dwarf any real neighbourhood.)
+	u := make([]float64, ng)
+	live := make([]bool, ng)
+	for i := range live {
+		live[i] = true
+	}
+	for round := 0; round < prunePass0Rounds; round++ {
+		totals := make(map[string]float64, ix.BucketCount())
+		for i := range groups {
+			if !live[i] {
+				continue
+			}
+			for _, k := range keys[i] {
+				totals[k] += groups[i].Weight
+			}
+		}
+		changed := false
+		for i := range groups {
+			if !live[i] {
+				continue
+			}
+			w := groups[i].Weight
+			ub := w
+			for _, k := range keys[i] {
+				ub += totals[k] - w
+			}
+			u[i] = ub
+			if ub < m {
+				live[i] = false
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Exact passes with the previous pass's bounds (Jacobi updates). Two
+	// observations keep the necessary-predicate join far below a full
+	// canopy enumeration:
+	//
+	//   - every bound is only ever compared against M (survive: ub >= M;
+	//     gate a neighbour: u_j >= M), so the neighbour sum of a group can
+	//     stop the moment it crosses M — when M is small, almost every
+	//     group certifies survival after a couple of confirmed
+	//     neighbours;
+	//   - when M is large, the iterated bucket bound above has already
+	//     killed the tail, so only a small live set enumerates at all.
+	//
+	// Early-stopped bounds are stored as exactly M ("at least M"), which
+	// keeps both comparisons truthful.
+	// Stage 0.5: iterate the *deduplicated* candidate-weight bound — the
+	// exact neighbourhood weight an evaluation pass could at most confirm
+	// — to a fixpoint, still without a single predicate evaluation. It is
+	// much tighter than the bucket totals (no multi-counting across
+	// shared keys) and each kill cascades into the next round.
+	stamp := index.NewStamp(ng)
+	var cand, gated []int32
+	for round := 0; round < 4; round++ {
+		changed := false
+		for i := range groups {
+			if !live[i] {
+				continue
+			}
+			w := groups[i].Weight
+			if w >= m {
+				continue
+			}
+			cand = ix.Candidates(i, keys[i], stamp, cand[:0])
+			total := w
+			for _, j32 := range cand {
+				j := int(j32)
+				if !live[j] || (groups[j].Weight < m && u[j] < m) {
+					continue
+				}
+				total += groups[j].Weight
+				if total >= m {
+					break
+				}
+			}
+			if total < u[i] {
+				u[i] = total
+			}
+			if total < m {
+				live[i] = false
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		next := make([]float64, ng)
+		copy(next, u)
+		changed := false
+		for i := range groups {
+			if !live[i] {
+				continue
+			}
+			w := groups[i].Weight
+			if w >= m {
+				continue // survives on its own weight; gates stay valid
+			}
+			// Gate candidates and total their weight without evaluating:
+			// the deduplicated candidate total is itself an upper bound,
+			// so a group whose total cannot reach M dies evaluation-free.
+			cand = ix.Candidates(i, keys[i], stamp, cand[:0])
+			gated = gated[:0]
+			remaining := 0.0
+			for _, j32 := range cand {
+				j := int(j32)
+				if !live[j] || (groups[j].Weight < m && u[j] < m) {
+					continue
+				}
+				gated = append(gated, j32)
+				remaining += groups[j].Weight
+			}
+			ub := w
+			if w+remaining >= m {
+				// Heaviest candidates first: confirmations cross M soonest
+				// and failed evaluations shrink `remaining` fastest. The
+				// sort only pays off near the survive/die boundary; far
+				// above it a handful of evaluations settles the group
+				// anyway, and sorting thousands of candidates per group
+				// would dominate the pass.
+				if w+remaining < 4*m || len(gated) < 64 {
+					sort.Slice(gated, func(a, b int) bool {
+						return groups[gated[a]].Weight > groups[gated[b]].Weight
+					})
+				}
+				repI := d.Recs[groups[i].Rep]
+				for _, j32 := range gated {
+					j := int(j32)
+					evals++
+					if n.Eval(repI, d.Recs[groups[j].Rep]) {
+						ub += groups[j].Weight
+						if ub >= m {
+							ub = m // "at least M": survival certain
+							break
+						}
+					} else {
+						remaining -= groups[j].Weight
+						if ub+remaining < m {
+							break // cannot reach M any more
+						}
+					}
+				}
+			}
+			next[i] = ub
+			if ub < m {
+				live[i] = false
+				changed = true
+			}
+		}
+		u = next
+		if !changed {
+			break
+		}
+	}
+
+	alive = make([]Group, 0, ng)
+	for i, ok := range live {
+		if ok {
+			alive = append(alive, groups[i])
+		}
+	}
+	return alive, evals
+}
+
+// prunePass0Rounds caps the evaluation-free bucket-total refinement
+// rounds. Exposed as a variable for the E7 ablation, which contrasts a
+// single round with the full cascade.
+var prunePass0Rounds = 6
+
+// SetPrunePass0Rounds overrides the stage-0 refinement round cap (for
+// ablation experiments); values < 1 reset the default.
+func SetPrunePass0Rounds(n int) {
+	if n < 1 {
+		n = 6
+	}
+	prunePass0Rounds = n
+}

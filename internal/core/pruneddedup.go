@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// Options configures PrunedDedup.
+type Options struct {
+	// K is the TopK parameter (required, >= 1).
+	K int
+	// PrunePasses is the number of exact upper-bound refinement passes
+	// (default 2, the paper's choice).
+	PrunePasses int
+}
+
+// PrunedDedup runs Algorithm 2 of the paper over the dataset: for each
+// predicate level (S_l, N_l) it collapses sure duplicates, estimates the
+// lower bound M on the K-th group's weight, and prunes groups that cannot
+// reach M. It stops early when exactly K groups survive (they are then
+// the exact answer). The surviving groups — typically a tiny fraction of
+// the input — are what the final expensive deduplication (criterion P +
+// R-best search, §5) operates on.
+func PrunedDedup(d *records.Dataset, levels []predicate.Level, opts Options) (*Result, error) {
+	if d.Len() == 0 {
+		if opts.K < 1 {
+			return nil, fmt.Errorf("core: K must be >= 1, got %d", opts.K)
+		}
+		return &Result{}, nil
+	}
+	return PrunedDedupFrom(d, singletonGroups(d), levels, opts)
+}
+
+// PrunedDedupFrom runs Algorithm 2 starting from an existing grouping
+// (each group's members must already be established duplicates). This is
+// the entry point for incremental/streaming use: stream.Incremental keeps
+// the level-1 sufficient collapse up to date as records arrive and hands
+// its groups here at query time, so only the K-dependent phases are paid
+// per query.
+func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Level, opts Options) (*Result, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1, got %d", opts.K)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: at least one predicate level required")
+	}
+	passes := opts.PrunePasses
+	if passes <= 0 {
+		passes = 2
+	}
+	total := d.Len()
+	if total == 0 {
+		return &Result{}, nil
+	}
+	pct := func(n int) float64 { return 100 * float64(n) / float64(total) }
+
+	res := &Result{TotalRecords: total}
+	for li, level := range levels {
+		stats := LevelStats{Level: li + 1}
+
+		start := time.Now()
+		groups, stats.CollapseEvals = Collapse(d, groups, level.Sufficient)
+		sortGroupsByWeight(groups)
+		stats.CollapseTime = time.Since(start)
+		stats.NGroups = len(groups)
+		stats.NGroupsPct = pct(len(groups))
+
+		start = time.Now()
+		var m float64
+		stats.MRank, m, stats.BoundEvals = EstimateLowerBound(d, groups, level.Necessary, opts.K)
+		stats.BoundTime = time.Since(start)
+		stats.LowerBound = m
+
+		start = time.Now()
+		groups, stats.PruneEvals = Prune(d, groups, level.Necessary, m, passes)
+		stats.PruneTime = time.Since(start)
+		stats.Survivors = len(groups)
+		stats.SurvivorsPct = pct(len(groups))
+
+		res.Stats = append(res.Stats, stats)
+		if len(groups) == opts.K {
+			res.ExactlyK = true
+			break
+		}
+	}
+	sortGroupsByWeight(groups)
+	res.Groups = groups
+	return res, nil
+}
+
+// SurvivorDataset extracts the surviving groups' representative records as
+// a fresh dataset for downstream scoring, returning also the mapping from
+// new record IDs back to group indices in res.Groups.
+func (res *Result) SurvivorDataset(d *records.Dataset) (*records.Dataset, []int) {
+	ids := make([]int, len(res.Groups))
+	for i, g := range res.Groups {
+		ids[i] = g.Rep
+	}
+	sub := d.Subset(ids)
+	groupOf := make([]int, len(res.Groups))
+	for i := range groupOf {
+		groupOf[i] = i
+	}
+	return sub, groupOf
+}

@@ -1,0 +1,24 @@
+package core
+
+import "testing"
+
+// The E7 claim (EXPERIMENTS.md): the iterated stage-0 bound performs the
+// cascading refinement the paper attributes to its second exact pass, so
+// one round vs. the full cascade shows a clear pruning difference.
+func TestPass0RoundsAblation(t *testing.T) {
+	d := genDataset(77, 40, 25)
+	groups, _ := Collapse(d, singletonGroups(d), toyS())
+	sortGroupsByWeight(groups)
+	_, lower, _ := EstimateLowerBound(d, groups, toyN(), 2)
+	if lower == 0 {
+		t.Skip("no bound on this draw")
+	}
+	defer func() { prunePass0Rounds = 6 }()
+	prunePass0Rounds = 1
+	one, _ := Prune(d, groups, toyN(), lower, 2)
+	prunePass0Rounds = 6
+	six, _ := Prune(d, groups, toyN(), lower, 2)
+	if len(six) > len(one) {
+		t.Errorf("more rounds must not keep more groups: %d vs %d", len(six), len(one))
+	}
+}

@@ -1,0 +1,305 @@
+// Package datagen synthesises the datasets of the paper's evaluation
+// (§6.1). The originals (a Citeseer crawl, a primary-school exam database,
+// and a Pune utility address list) are private; these generators reproduce
+// the properties the algorithms are sensitive to — Zipfian entity-mention
+// skew, field-level noise channels, and predicate selectivities — while
+// retaining exact ground truth for evaluation and classifier training.
+// See DESIGN.md §3 for the substitution rationale.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"topkdedup/internal/records"
+)
+
+// Citation field names.
+const (
+	FieldAuthor    = "author"
+	FieldCoauthors = "coauthors"
+	FieldTitle     = "title"
+	FieldYear      = "year"
+)
+
+// CitationConfig parametrises the Citation generator.
+type CitationConfig struct {
+	Seed int64
+	// TargetRecords, when > 0, makes the generator draw author entities
+	// until the total mention count reaches it (NumAuthors is ignored).
+	TargetRecords int
+	// NumAuthors is the number of distinct author entities (used when
+	// TargetRecords is 0).
+	NumAuthors int
+	// Skew is the Zipf exponent (> 1) of mentions per author.
+	Skew float64
+	// MaxMentions caps the number of citations for the most prolific author.
+	MaxMentions int
+	// AuthorsPerCite is the mean number of authors per citation (>= 1).
+	AuthorsPerCite float64
+	// Noise in [0, 1] scales every noise channel.
+	Noise float64
+}
+
+// DefaultCitationConfig returns a configuration producing roughly
+// targetRecords author-citation records.
+func DefaultCitationConfig(targetRecords int) CitationConfig {
+	cfg := CitationConfig{
+		Seed:           1,
+		TargetRecords:  targetRecords,
+		Skew:           1.45,
+		MaxMentions:    targetRecords / 8,
+		AuthorsPerCite: 3, // the paper reports ~3 authors per citation
+		Noise:          0.8,
+	}
+	if cfg.MaxMentions < 10 {
+		cfg.MaxMentions = 10
+	}
+	return cfg
+}
+
+// headedSizesToTarget builds a mention-count distribution whose shape is
+// stable across corpus sizes: a planted head of prolific entities taking
+// fixed corpus shares (the top author holds ~5%, matching the paper's
+// M=11,970 of 240,545 records), plus a Zipf tail with a scale-free mean
+// (~1.6 mentions/entity), so the entity count grows linearly with the
+// corpus. Drawing everything from one capped Zipf instead makes the mean
+// — and with it every predicate selectivity — swing wildly with the cap.
+func headedSizesToTarget(r *rand.Rand, skew float64, target int) []int {
+	if skew <= 1 {
+		skew = 2.0
+	}
+	var sizes []int
+	total := 0
+	// Planted head: shares 5%, 3.1%, 2.3%, ... of the target.
+	for i := 0; total < target/5 && i < 12; i++ {
+		share := 0.05 / (1 + 0.6*float64(i))
+		sz := int(share * float64(target))
+		if sz < 10 {
+			break
+		}
+		sizes = append(sizes, sz)
+		total += sz
+	}
+	// Zipf tail with a bounded cap so its mean stays scale-free.
+	cap := target / 200
+	if cap < 8 {
+		cap = 8
+	}
+	z := rand.NewZipf(r, 2.0, 1, uint64(cap-1))
+	for total < target {
+		sz := int(z.Uint64()) + 1
+		sizes = append(sizes, sz)
+		total += sz
+	}
+	return sizes
+}
+
+// splice fuses the first half of a with the second half of b into one
+// plausible rare token.
+func splice(a, b string) string {
+	return a[:(len(a)+1)/2] + b[len(b)/2:]
+}
+
+// authorEntity is one ground-truth author.
+type authorEntity struct {
+	label string
+	name  string // canonical "first last" (unique across entities)
+}
+
+// uniquePersonNames draws n distinct canonical person names. Most of the
+// surnames are synthesised by splicing the halves of two pool surnames
+// ("kulk|arni" + "sara|wagi" -> "kulkwagi"), giving the corpus the long
+// tail of genuinely rare surnames that real-world name data has — the
+// property the paper's "sufficiently rare" S1 predicate exploits.
+// Splicing (rather than concatenating whole surnames) matters: a
+// concatenation contains its components, so 3-gram canopies would link
+// every compound to the entire population of both component surnames,
+// creating hub neighbourhoods no real corpus exhibits. When the name
+// space runs low a middle token is appended.
+func uniquePersonNames(r *rand.Rand, n int) []string {
+	return uniquePersonNamesRare(r, n, nil)
+}
+
+// uniquePersonNamesRare is uniquePersonNames with per-entity control over
+// surname rarity: entities with rare[i] true always get a spliced (rare)
+// surname; others draw a common pool surname with probability 0.28. The
+// citation generator forces rare names on prolific entities — in real
+// bibliographic data the head of the citation distribution is dominated
+// by distinctive full names, which is precisely what makes the paper's
+// rarity-based S1 able to collapse the few large groups (the huge skew in
+// M the paper reports).
+func uniquePersonNamesRare(r *rand.Rand, n int, rare []bool) []string {
+	seen := make(map[string]struct{}, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		forceRare := rare != nil && rare[len(out)]
+		surname := pick(r, lastNames)
+		if forceRare || r.Float64() < 0.72 {
+			surname = splice(pick(r, lastNames), pick(r, lastNames))
+		}
+		first := pick(r, firstNames)
+		if forceRare || r.Float64() < 0.5 {
+			// Both words of a head entity's name must be distinctive for
+			// the rarity-gated S1 to collapse its many mentions; a common
+			// first name alone drags the minimum IDF below any useful bar.
+			// Half of all other entities get distinctive first names too:
+			// a fixed 190-name pool would otherwise saturate with corpus
+			// growth (every first name's frequency scales linearly while
+			// any rarity bar does not), which no real vocabulary does
+			// (Heaps' law).
+			first = splice(pick(r, firstNames), pick(r, firstNames))
+		}
+		name := first + " " + surname
+		if _, dup := seen[name]; dup {
+			name = pick(r, firstNames) + " " + pick(r, firstNames) + " " + surname
+			if _, dup2 := seen[name]; dup2 {
+				continue
+			}
+		}
+		seen[name] = struct{}{}
+		out = append(out, name)
+	}
+	return out
+}
+
+// Citations generates an author-citation-pair dataset in the style of the
+// paper's Citation dataset: every record is one author mention on one
+// citation, the TopK query is "most cited authors", and the ground truth
+// is the generating author entity.
+func Citations(cfg CitationConfig) *records.Dataset {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var mentions []int
+	if cfg.TargetRecords > 0 {
+		mentions = headedSizesToTarget(r, cfg.Skew, cfg.TargetRecords)
+	} else {
+		mentions = zipfSizes(r, cfg.NumAuthors, cfg.Skew, cfg.MaxMentions)
+	}
+	rare := make([]bool, len(mentions))
+	for i, m := range mentions {
+		rare[i] = m >= 15
+	}
+	names := uniquePersonNamesRare(r, len(mentions), rare)
+	authors := make([]authorEntity, len(mentions))
+	for i := range authors {
+		authors[i] = authorEntity{label: fmt.Sprintf("A%06d", i), name: names[i]}
+	}
+
+	// Distribute author slots over citations.
+	totalSlots := 0
+	for _, m := range mentions {
+		totalSlots += m
+	}
+	apc := cfg.AuthorsPerCite
+	if apc < 1 {
+		apc = 3
+	}
+	numCites := int(float64(totalSlots)/apc) + 1
+	citeAuthors := make([][]int, numCites)
+	for ai, m := range mentions {
+		for k := 0; k < m; k++ {
+			c := r.Intn(numCites)
+			citeAuthors[c] = append(citeAuthors[c], ai)
+		}
+	}
+
+	d := records.New("citations", FieldAuthor, FieldCoauthors, FieldTitle, FieldYear)
+	for _, as := range citeAuthors {
+		if len(as) == 0 {
+			continue
+		}
+		dedupAuthors(&as)
+		title := citationTitle(r)
+		year := fmt.Sprintf("%d", 1985+r.Intn(24))
+		renders := make([]string, len(as))
+		for i, ai := range as {
+			renders[i] = noisyPersonName(r, authors[ai].name, cfg.Noise)
+		}
+		for i, ai := range as {
+			co := make([]string, 0, len(as)-1)
+			for j := range as {
+				if j != i {
+					co = append(co, renders[j])
+				}
+			}
+			d.Append(1, authors[ai].label,
+				renders[i],
+				strings.Join(co, "; "),
+				maybeTypo(r, title, 0.05*cfg.Noise),
+				year,
+			)
+		}
+	}
+	return d
+}
+
+func dedupAuthors(as *[]int) {
+	seen := make(map[int]struct{}, len(*as))
+	out := (*as)[:0]
+	for _, a := range *as {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	*as = out
+}
+
+func citationTitle(r *rand.Rand) string {
+	n := 4 + r.Intn(5)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = pick(r, titleWords)
+	}
+	return strings.Join(words, " ")
+}
+
+// AuthorNames generates the Figure-7 "Authors" benchmark: a singleton list
+// of author name strings (field "author" only) with a small number of
+// noisy mentions per author, sized to roughly targetRecords records.
+func AuthorNames(seed int64, targetRecords int) *records.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	// ~1.25 mentions per entity as in the paper's Authors set (1822/1466).
+	numEntities := targetRecords * 4 / 5
+	names := uniquePersonNames(r, numEntities)
+	d := records.New("authors", FieldAuthor)
+	for i, name := range names {
+		label := fmt.Sprintf("A%06d", i)
+		m := 1
+		if roll := r.Float64(); roll < 0.18 {
+			m = 2
+		} else if roll < 0.22 {
+			m = 3
+		}
+		for k := 0; k < m; k++ {
+			d.Append(1, label, noisyPersonName(r, name, 0.8))
+		}
+	}
+	return d
+}
+
+// Getoor generates the Figure-7 "Getoor" benchmark analogue: citation-like
+// records with author and title fields, ~1.45 mentions per entity
+// (1716/1172 in the paper).
+func Getoor(seed int64, targetRecords int) *records.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	numEntities := targetRecords * 2 / 3
+	names := uniquePersonNames(r, numEntities)
+	d := records.New("getoor", FieldAuthor, FieldTitle)
+	for i, name := range names {
+		label := fmt.Sprintf("G%06d", i)
+		title := citationTitle(r)
+		m := 1 + r.Intn(2)
+		if r.Float64() < 0.15 {
+			m++
+		}
+		for k := 0; k < m; k++ {
+			d.Append(1, label,
+				noisyPersonName(r, name, 0.8),
+				maybeTypo(r, title, 0.1),
+			)
+		}
+	}
+	return d
+}

@@ -1,0 +1,293 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"topkdedup/internal/records"
+)
+
+func TestCitationsBasicShape(t *testing.T) {
+	cfg := DefaultCitationConfig(3000)
+	d := Citations(cfg)
+	if d.Len() < 1500 || d.Len() > 6000 {
+		t.Fatalf("unexpected record count %d for target 3000", d.Len())
+	}
+	for _, f := range []string{FieldAuthor, FieldCoauthors, FieldTitle, FieldYear} {
+		found := false
+		for _, s := range d.Schema {
+			if s == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("schema missing field %s", f)
+		}
+	}
+	for _, r := range d.Recs[:50] {
+		if r.Truth == "" {
+			t.Fatal("citation records must carry truth labels")
+		}
+		if r.Field(FieldAuthor) == "" {
+			t.Fatal("author field must be non-empty")
+		}
+		if r.Weight != 1 {
+			t.Fatalf("citation weights should be 1, got %v", r.Weight)
+		}
+	}
+}
+
+func TestCitationsDeterministic(t *testing.T) {
+	cfg := DefaultCitationConfig(500)
+	a, b := Citations(cfg), Citations(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic length: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Recs {
+		if a.Recs[i].Field(FieldAuthor) != b.Recs[i].Field(FieldAuthor) ||
+			a.Recs[i].Truth != b.Recs[i].Truth {
+			t.Fatalf("non-deterministic record %d", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c := Citations(cfg2)
+	same := c.Len() == a.Len()
+	if same {
+		diff := false
+		for i := range a.Recs {
+			if a.Recs[i].Field(FieldAuthor) != c.Recs[i].Field(FieldAuthor) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds should give different data")
+		}
+	}
+}
+
+func TestCitationsSkew(t *testing.T) {
+	d := Citations(DefaultCitationConfig(5000))
+	sizes := truthSizes(d)
+	max1, total := 0, 0
+	for _, s := range sizes {
+		total += s
+		if s > max1 {
+			max1 = s
+		}
+	}
+	if max1 < 10 {
+		t.Errorf("skewed distribution expected: largest group only %d", max1)
+	}
+	if float64(max1) < 0.005*float64(total) {
+		t.Errorf("largest group %d is too small a share of %d", max1, total)
+	}
+}
+
+func TestCitationsAuthorVariants(t *testing.T) {
+	d := Citations(DefaultCitationConfig(4000))
+	// Within a large truth group, author renderings should differ (noise).
+	groups := d.TruthGroups()
+	var big []int
+	for _, ids := range groups {
+		if len(ids) > len(big) {
+			big = ids
+		}
+	}
+	variants := map[string]struct{}{}
+	for _, id := range big {
+		variants[d.Recs[id].Field(FieldAuthor)] = struct{}{}
+	}
+	if len(variants) < 2 {
+		t.Errorf("largest group (%d mentions) has no rendering variation", len(big))
+	}
+}
+
+func TestStudentsShape(t *testing.T) {
+	d := Students(DefaultStudentConfig(2000))
+	if d.Len() < 800 || d.Len() > 5000 {
+		t.Fatalf("unexpected record count %d", d.Len())
+	}
+	sawCurrentDate := false
+	for _, r := range d.Recs {
+		if r.Weight < 0 || r.Weight > 100 {
+			t.Fatalf("marks out of range: %v", r.Weight)
+		}
+		if r.Field(FieldClass) == "" || r.Field(FieldSchool) == "" {
+			t.Fatal("class/school must be present")
+		}
+		if r.Field(FieldBirthdate) == currentDate {
+			sawCurrentDate = true
+		}
+	}
+	if !sawCurrentDate {
+		t.Error("current-date birthdate error channel never fired")
+	}
+	// Class and school are reliable: all members of a truth group agree.
+	for _, ids := range d.TruthGroups() {
+		c0, s0 := d.Recs[ids[0]].Field(FieldClass), d.Recs[ids[0]].Field(FieldSchool)
+		for _, id := range ids[1:] {
+			if d.Recs[id].Field(FieldClass) != c0 || d.Recs[id].Field(FieldSchool) != s0 {
+				t.Fatal("class/school must be noise-free within a student")
+			}
+		}
+	}
+}
+
+func TestStudentsMissingSpaceNoise(t *testing.T) {
+	d := Students(DefaultStudentConfig(3000))
+	joined := 0
+	for _, ids := range d.TruthGroups() {
+		lens := map[int]struct{}{}
+		for _, id := range ids {
+			lens[len(strings.Fields(d.Recs[id].Field(FieldName)))] = struct{}{}
+		}
+		if len(lens) > 1 {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Error("missing-space noise channel never fired")
+	}
+}
+
+func TestAddressesShape(t *testing.T) {
+	d := Addresses(DefaultAddressConfig(2000))
+	if d.Len() < 800 || d.Len() > 5000 {
+		t.Fatalf("unexpected record count %d", d.Len())
+	}
+	for _, r := range d.Recs {
+		if r.Weight <= 0 {
+			t.Fatalf("asset weight must be positive, got %v", r.Weight)
+		}
+		pin := r.Field(FieldPin)
+		if len(pin) != 6 || !strings.HasPrefix(pin, "4110") {
+			t.Fatalf("bad pin %q", pin)
+		}
+	}
+	sizes := truthSizes(d)
+	max1 := 0
+	for _, s := range sizes {
+		if s > max1 {
+			max1 = s
+		}
+	}
+	if max1 < 5 {
+		t.Errorf("address mentions should be skewed; largest=%d", max1)
+	}
+}
+
+func TestRestaurantsShape(t *testing.T) {
+	d := Restaurants(RestaurantConfig{Seed: 4, NumRestaurants: 700, Noise: 0.8})
+	groups := d.TruthGroups()
+	if len(groups) != 700 {
+		t.Fatalf("expected 700 entities, got %d", len(groups))
+	}
+	ratio := float64(d.Len()) / float64(len(groups))
+	if ratio < 1.05 || ratio > 1.5 {
+		t.Errorf("mention ratio %.2f outside paper-like range (860/734≈1.17)", ratio)
+	}
+}
+
+func TestAuthorNamesShape(t *testing.T) {
+	d := AuthorNames(5, 1800)
+	groups := d.TruthGroups()
+	ratio := float64(d.Len()) / float64(len(groups))
+	if ratio < 1.05 || ratio > 1.6 {
+		t.Errorf("authors mention ratio %.2f outside range (1822/1466≈1.24)", ratio)
+	}
+	if len(d.Schema) != 1 || d.Schema[0] != FieldAuthor {
+		t.Errorf("authors dataset should have a single author field, got %v", d.Schema)
+	}
+}
+
+func TestGetoorShape(t *testing.T) {
+	d := Getoor(6, 1700)
+	groups := d.TruthGroups()
+	ratio := float64(d.Len()) / float64(len(groups))
+	if ratio < 1.2 || ratio > 1.9 {
+		t.Errorf("getoor mention ratio %.2f outside range (1716/1172≈1.46)", ratio)
+	}
+}
+
+func TestUniquePersonNames(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	names := uniquePersonNames(r, 5000)
+	seen := map[string]struct{}{}
+	for _, n := range names {
+		if _, dup := seen[n]; dup {
+			t.Fatalf("duplicate canonical name %q", n)
+		}
+		seen[n] = struct{}{}
+	}
+}
+
+func TestNoiseFunctions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if got := typo(r, "ab"); got != "ab" {
+		t.Errorf("short strings should pass through typo, got %q", got)
+	}
+	if got := initialize(r, "sunita sarawagi", 0); !strings.HasSuffix(got, "sarawagi") || len(strings.Fields(got)[0]) > 2 {
+		t.Errorf("initialize = %q", got)
+	}
+	if got := dropWord("a b c", 1); got != "a c" {
+		t.Errorf("dropWord = %q", got)
+	}
+	if got := dropWord("single", 0); got != "single" {
+		t.Errorf("dropWord on single word = %q", got)
+	}
+	if got := joinWords("a b c", 0); got != "ab c" {
+		t.Errorf("joinWords = %q", got)
+	}
+	if got := joinWords("a", 0); got != "a" {
+		t.Errorf("joinWords single = %q", got)
+	}
+	if got := swapOrder("first last"); got != "last first" {
+		t.Errorf("swapOrder = %q", got)
+	}
+}
+
+func TestTypoSingleEdit(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		in := "sarawagi"
+		out := typo(r, in)
+		if d := len(in) - len(out); d < -1 || d > 1 {
+			t.Fatalf("typo changed length by %d: %q -> %q", d, in, out)
+		}
+	}
+}
+
+func TestZipfSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sizes := zipfSizes(r, 10000, 1.7, 500)
+	ones, max1 := 0, 0
+	for _, s := range sizes {
+		if s < 1 || s > 500 {
+			t.Fatalf("size %d out of [1, 500]", s)
+		}
+		if s == 1 {
+			ones++
+		}
+		if s > max1 {
+			max1 = s
+		}
+	}
+	if ones < 4000 {
+		t.Errorf("Zipf tail too thin: only %d ones of 10000", ones)
+	}
+	if max1 < 20 {
+		t.Errorf("Zipf head too small: max=%d", max1)
+	}
+}
+
+func truthSizes(d *records.Dataset) []int {
+	groups := d.TruthGroups()
+	sizes := make([]int, 0, len(groups))
+	for _, ids := range groups {
+		sizes = append(sizes, len(ids))
+	}
+	return sizes
+}

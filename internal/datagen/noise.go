@@ -1,0 +1,160 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Noise channels applied by the generators. Each takes the source RNG so
+// whole datasets are reproducible from one seed.
+
+// typo applies a single random character edit (substitute, delete, insert,
+// or adjacent transposition) to a random position of s. Strings shorter
+// than 3 bytes are returned unchanged so tokens do not vanish.
+func typo(r *rand.Rand, s string) string {
+	if len(s) < 3 {
+		return s
+	}
+	b := []byte(s)
+	pos := r.Intn(len(b))
+	if b[pos] == ' ' { // keep token structure; retarget to a letter
+		pos = (pos + 1) % len(b)
+		if b[pos] == ' ' {
+			return s
+		}
+	}
+	switch r.Intn(4) {
+	case 0: // substitute
+		b[pos] = byte('a' + r.Intn(26))
+	case 1: // delete
+		b = append(b[:pos], b[pos+1:]...)
+	case 2: // insert
+		c := byte('a' + r.Intn(26))
+		b = append(b[:pos], append([]byte{c}, b[pos:]...)...)
+	case 3: // transpose with next
+		if pos+1 < len(b) && b[pos+1] != ' ' {
+			b[pos], b[pos+1] = b[pos+1], b[pos]
+		}
+	}
+	return string(b)
+}
+
+// maybeTypo applies typo with probability p.
+func maybeTypo(r *rand.Rand, s string, p float64) string {
+	if r.Float64() < p {
+		return typo(r, s)
+	}
+	return s
+}
+
+// initialize replaces the word at index i of the space-separated name with
+// its first letter (optionally dotted): "sunita sarawagi" -> "s sarawagi".
+func initialize(r *rand.Rand, name string, i int) string {
+	parts := strings.Fields(name)
+	if i < 0 || i >= len(parts) || len(parts[i]) == 0 {
+		return name
+	}
+	ini := parts[i][:1]
+	if r.Intn(2) == 0 {
+		ini += "."
+	}
+	parts[i] = ini
+	return strings.Join(parts, " ")
+}
+
+// dropWord removes the word at index i.
+func dropWord(name string, i int) string {
+	parts := strings.Fields(name)
+	if i < 0 || i >= len(parts) || len(parts) <= 1 {
+		return name
+	}
+	parts = append(parts[:i], parts[i+1:]...)
+	return strings.Join(parts, " ")
+}
+
+// joinWords removes the space between word i and i+1 — the "missing space
+// between different parts of the name" error common in the paper's
+// Students dataset.
+func joinWords(name string, i int) string {
+	parts := strings.Fields(name)
+	if i < 0 || i+1 >= len(parts) {
+		return name
+	}
+	merged := parts[i] + parts[i+1]
+	out := append(append([]string{}, parts[:i]...), merged)
+	out = append(out, parts[i+2:]...)
+	return strings.Join(out, " ")
+}
+
+// swapOrder reverses the word order ("sunita sarawagi" -> "sarawagi
+// sunita"), a common name rendering difference.
+func swapOrder(name string) string {
+	parts := strings.Fields(name)
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " ")
+}
+
+// noisyPersonName renders a canonical "first last" name through the
+// standard noise channels used for authors and asset owners. Higher noise
+// means more aggressive abbreviation.
+func noisyPersonName(r *rand.Rand, name string, noise float64) string {
+	out := name
+	roll := r.Float64()
+	switch {
+	case roll < 0.35*noise+0.15:
+		// First name reduced to an initial — the dominant citation style.
+		out = initialize(r, out, 0)
+	case roll < 0.45*noise+0.17:
+		out = swapOrder(out)
+	}
+	out = maybeTypo(r, out, 0.05*noise)
+	return out
+}
+
+// gaussian returns a normally distributed value with the given mean and
+// standard deviation.
+func gaussian(r *rand.Rand, mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// zipfSizes draws n group sizes from a Zipf-like distribution with
+// exponent s and maximum size cap, sorted in the generator's entity order
+// (not sorted by size). The head entities receive large sizes; the tail is
+// mostly 1s — the "real-life distributions are skewed" property the paper
+// leans on.
+func zipfSizes(r *rand.Rand, n int, s float64, cap int) []int {
+	if cap < 1 {
+		cap = 1
+	}
+	z := rand.NewZipf(r, s, 1, uint64(cap-1))
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = int(z.Uint64()) + 1
+	}
+	return sizes
+}
+
+// zipfSizesToTarget draws Zipf-distributed group sizes until their sum
+// reaches target, so the total record count lands close to target
+// regardless of the distribution's (cap-sensitive) mean.
+func zipfSizesToTarget(r *rand.Rand, s float64, cap, target int) []int {
+	if cap < 1 {
+		cap = 1
+	}
+	z := rand.NewZipf(r, s, 1, uint64(cap-1))
+	var sizes []int
+	total := 0
+	for total < target {
+		sz := int(z.Uint64()) + 1
+		sizes = append(sizes, sz)
+		total += sz
+	}
+	return sizes
+}
+
+// pick returns a uniformly random element of pool.
+func pick(r *rand.Rand, pool []string) string {
+	return pool[r.Intn(len(pool))]
+}

@@ -1,0 +1,157 @@
+package datagen
+
+// Name and word pools for the synthetic dataset generators. The pools are
+// intentionally large enough that token IDF statistics resemble real
+// corpora: a long tail of rare surnames plus a head of very common ones.
+
+var firstNames = []string{
+	"aarav", "abhay", "aditi", "aditya", "ajay", "akash", "alice", "alok",
+	"amar", "amit", "amita", "ananya", "anil", "anita", "anjali", "ankit",
+	"anna", "anthony", "anup", "arjun", "arun", "asha", "ashok", "barbara",
+	"benjamin", "bhavna", "brian", "carol", "charles", "chetan", "chitra",
+	"christopher", "daniel", "david", "deepa", "deepak", "dennis", "dev",
+	"dilip", "dinesh", "donald", "dorothy", "edward", "elizabeth", "emma",
+	"eric", "farhan", "gauri", "gautam", "george", "girish", "gopal",
+	"hari", "harish", "helen", "hema", "henry", "indira", "isha", "jacob",
+	"james", "janaki", "jason", "jaya", "jayant", "jeffrey", "jennifer",
+	"jessica", "john", "jonathan", "joseph", "joshua", "juhi", "karan",
+	"karen", "kavita", "kevin", "kiran", "kishore", "kunal", "lakshmi",
+	"larry", "laura", "lata", "linda", "lisa", "madhav", "madhuri",
+	"mahesh", "maya", "manish", "manoj", "margaret", "mark", "mary",
+	"matthew", "meena", "michael", "michelle", "mohan", "mukesh", "nancy",
+	"nandini", "naveen", "neha", "nikhil", "nisha", "nitin", "om", "pallavi",
+	"pamela", "pankaj", "patricia", "paul", "pooja", "prakash", "pranav",
+	"prasad", "praveen", "preeti", "prem", "priya", "rahul", "raj", "raja",
+	"rajesh", "rajiv", "rakesh", "ram", "ramesh", "rani", "ravi", "rekha",
+	"richard", "rita", "robert", "rohan", "rohit", "ronald", "ruth", "ryan",
+	"sachin", "sameer", "sandeep", "sandra", "sanjay", "sarah", "sarita",
+	"satish", "scott", "seema", "shalini", "shankar", "sharon", "shashi",
+	"shilpa", "shiv", "shobha", "shreya", "shyam", "smita", "sneha", "sonia",
+	"stephen", "steven", "subhash", "sudha", "sudhir", "sujata", "sunil",
+	"sunita", "suresh", "susan", "sushma", "swati", "tanvi", "tara", "tejas",
+	"thomas", "timothy", "uday", "uma", "usha", "varun", "vandana", "vasant",
+	"veena", "vijay", "vikas", "vikram", "vinay", "vinod", "vivek", "walter",
+	"william", "yash", "yogesh", "zara",
+}
+
+var lastNames = []string{
+	"agarwal", "agnihotri", "ahuja", "anderson", "apte", "arora", "bajaj",
+	"bakshi", "banerjee", "bansal", "barnes", "basu", "bedi", "bell",
+	"bhagat", "bhalla", "bhandari", "bharadwaj", "bhasin", "bhatia",
+	"bhatt", "bhattacharya", "bhave", "bose", "brooks", "brown", "butler",
+	"campbell", "carter", "chandra", "chandran", "chatterjee", "chaudhari",
+	"chauhan", "chawla", "chopra", "clark", "coleman", "collins", "cook",
+	"cooper", "cox", "das", "dasgupta", "datta", "davis", "deshmukh",
+	"deshpande", "dewan", "dhar", "dixit", "dubey", "dutta", "edwards",
+	"evans", "fernandes", "foster", "gandhi", "ganesan", "ganguly", "garg",
+	"gawande", "ghosh", "gill", "goel", "gokhale", "gonzalez", "gore",
+	"goswami", "goyal", "gray", "green", "griffin", "grover", "gupta",
+	"hait", "hall", "harris", "hayes", "hegde", "henderson", "hill",
+	"howard", "hughes", "iyer", "jain", "james", "jenkins", "jha", "johari",
+	"johnson", "jones", "joshi", "kale", "kamat", "kane", "kapoor", "kapur",
+	"karnik", "kasliwal", "kaul", "kelly", "khan", "khanna", "khare",
+	"kher", "king", "kohli", "kulkarni", "kumar", "lal", "lee", "lewis",
+	"limaye", "long", "madan", "mahajan", "malhotra", "malik", "marathe",
+	"martin", "mathur", "mehta", "menon", "merchant", "miller", "mishra",
+	"mitchell", "mitra", "mittal", "moore", "morgan", "morris", "mukherjee",
+	"murphy", "murthy", "nadkarni", "nagpal", "naik", "nair", "narang",
+	"narayan", "nayak", "nelson", "oak", "oberoi", "pandey", "pandit",
+	"paranjpe", "parekh", "parker", "patel", "pathak", "patil", "perry",
+	"peterson", "phadke", "pillai", "powell", "prabhu", "prasad", "price",
+	"puri", "raghavan", "rajan", "ramakrishnan", "raman", "ramaswamy",
+	"ranade", "rao", "rastogi", "reddy", "reed", "richardson", "rivera",
+	"roberts", "robinson", "rogers", "ross", "roy", "russell", "sabnis",
+	"sachdev", "saha", "sahni", "saksena", "sanders", "sane", "sanyal",
+	"sarawagi", "sardesai", "sarin", "sathe", "saxena", "scott", "sehgal",
+	"sen", "sengupta", "seth", "sethi", "shah", "sharma", "shenoy",
+	"shinde", "shirke", "shukla", "sinha", "smith", "sood", "srinivasan",
+	"srivastava", "stewart", "subramaniam", "sundaram", "suri", "swamy",
+	"tagore", "talwar", "tandon", "taylor", "tendulkar", "thakur", "thomas",
+	"thompson", "tiwari", "torres", "trivedi", "turner", "tyagi", "uppal",
+	"vaidya", "varma", "vasudevan", "venkatesan", "verma", "vora", "wagle",
+	"walker", "ward", "washington", "watson", "white", "wilson", "wood",
+	"wright", "yadav", "young", "zaveri",
+}
+
+var titleWords = []string{
+	"adaptive", "aggregate", "algorithms", "analysis", "approach",
+	"approximate", "architecture", "automatic", "bayesian", "benchmark",
+	"caching", "classification", "cleaning", "clustering", "collective",
+	"compression", "computation", "concurrent", "constraints", "data",
+	"databases", "decision", "deduplication", "design", "detection",
+	"dimensional", "discovery", "distributed", "duplicate", "dynamic",
+	"efficient", "elimination", "embedding", "entities", "entity",
+	"estimation", "evaluation", "exact", "extraction", "fast", "feature",
+	"filtering", "framework", "functions", "fuzzy", "graph", "grouping",
+	"hashing", "hierarchical", "high", "identification", "imprecise",
+	"incremental", "indexing", "inference", "information", "integration",
+	"interactive", "joins", "knowledge", "language", "large", "learning",
+	"linear", "linkage", "management", "matching", "measures", "memory",
+	"methods", "mining", "model", "models", "networks", "noisy", "online",
+	"optimization", "parallel", "partitioning", "performance", "pipeline",
+	"prediction", "probabilistic", "processing", "pruning", "quality",
+	"queries", "query", "random", "ranking", "records", "relational",
+	"resolution", "retrieval", "robust", "scalable", "scaling", "schema",
+	"search", "segmentation", "selection", "semantic", "similarity",
+	"spatial", "statistical", "storage", "stream", "streaming", "string",
+	"structured", "systems", "techniques", "temporal", "text", "top",
+	"tracking", "transactions", "transformation", "tree", "uncertain",
+	"uncertainty", "warehouse", "web", "workloads",
+}
+
+var streetNames = []string{
+	"ashok", "bajirao", "bhandarkar", "boat club", "bund garden", "camp",
+	"canal", "college", "deccan", "dhole patil", "east", "fergusson",
+	"ganesh", "ganeshkhind", "gandhi", "hill", "jangali maharaj", "karve",
+	"kothrud", "lakshmi", "law college", "link", "main", "mangaldas",
+	"market", "model colony", "nagar", "nehru", "north", "parvati",
+	"paud", "prabhat", "railway", "ring", "sadashiv", "satara", "senapati bapat", "shankar sheth", "shivaji", "sinhagad", "solapur", "south",
+	"station", "swargate", "tilak", "university", "west",
+}
+
+var localities = []string{
+	"aundh", "balewadi", "baner", "bavdhan", "bhosari", "bibwewadi",
+	"chinchwad", "dapodi", "deccan gymkhana", "dhanori", "dhankawadi",
+	"erandwane", "hadapsar", "hinjewadi", "kalyani nagar", "karve nagar",
+	"katraj", "khadki", "kharadi", "kondhwa", "koregaon park", "kothrud",
+	"magarpatta", "model colony", "mundhwa", "nigdi", "pashan", "pimpri",
+	"sadashiv peth", "sahakar nagar", "shivaji nagar", "sinhagad road",
+	"somwar peth", "swargate", "undri", "vadgaon", "viman nagar",
+	"vishrantwadi", "wakad", "wanowrie", "warje", "yerawada",
+}
+
+var cuisines = []string{
+	"american", "barbecue", "bengali", "cafe", "chinese", "continental",
+	"fast food", "french", "fusion", "greek", "gujarati", "italian",
+	"japanese", "korean", "lebanese", "maharashtrian", "mexican", "mughlai",
+	"north indian", "punjabi", "seafood", "south indian", "steakhouse",
+	"thai", "udupi", "vegan", "vietnamese",
+}
+
+var restaurantWords = []string{
+	"amber", "annapurna", "aroma", "blue", "bombay", "casa", "copper",
+	"corner", "courtyard", "crown", "darbar", "delight", "diner", "dragon",
+	"durbar", "east", "elephant", "embassy", "express", "garden", "gateway",
+	"george", "golden", "grand", "green", "grill", "harbor", "heritage",
+	"hideout", "house", "imperial", "inn", "jade", "junction", "kitchen",
+	"kohinoor", "lotus", "lucky", "madras", "mahal", "mandarin", "masala",
+	"mint", "moon", "olive", "orchid", "oven", "palace", "paradise",
+	"pavilion", "pearl", "plaza", "punjab", "rasoi", "regal", "river",
+	"royal", "ruby", "saffron", "sagar", "silk", "silver", "spice",
+	"square", "star", "swad", "tandoor", "taste", "tavern", "terrace",
+	"tiffin", "treat", "urban", "valley", "village", "vista", "zaika",
+}
+
+var schoolNames = []string{
+	"SCH001", "SCH002", "SCH003", "SCH004", "SCH005", "SCH006", "SCH007",
+	"SCH008", "SCH009", "SCH010", "SCH011", "SCH012", "SCH013", "SCH014",
+	"SCH015", "SCH016", "SCH017", "SCH018", "SCH019", "SCH020", "SCH021",
+	"SCH022", "SCH023", "SCH024", "SCH025", "SCH026", "SCH027", "SCH028",
+	"SCH029", "SCH030", "SCH031", "SCH032", "SCH033", "SCH034", "SCH035",
+	"SCH036", "SCH037", "SCH038", "SCH039", "SCH040",
+}
+
+var paperCodes = []string{
+	"MATH1", "MATH2", "SCI1", "SCI2", "ENG1", "ENG2", "HIST1", "GEO1",
+	"LANG1", "LANG2", "ART1", "GK1",
+}

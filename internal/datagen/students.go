@@ -1,0 +1,121 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+import "topkdedup/internal/records"
+
+// Student field names.
+const (
+	FieldName      = "name"
+	FieldClass     = "class"
+	FieldSchool    = "school"
+	FieldBirthdate = "birthdate"
+	FieldPaper     = "paper"
+)
+
+// StudentConfig parametrises the Students generator.
+type StudentConfig struct {
+	Seed int64
+	// NumStudents is the number of distinct student entities.
+	NumStudents int
+	// MeanPapers is the average number of exam papers per student.
+	MeanPapers float64
+	// Noise in [0, 1] scales the noise channels.
+	Noise float64
+}
+
+// DefaultStudentConfig returns a configuration producing roughly
+// targetRecords exam-paper records.
+func DefaultStudentConfig(targetRecords int) StudentConfig {
+	cfg := StudentConfig{Seed: 2, MeanPapers: 4, Noise: 0.8}
+	cfg.NumStudents = int(float64(targetRecords) / cfg.MeanPapers)
+	if cfg.NumStudents < 5 {
+		cfg.NumStudents = 5
+	}
+	return cfg
+}
+
+// currentDate is the "today" young students mistakenly enter in the
+// birth-date field (a noise channel the paper calls out explicitly).
+const currentDate = "15/06/2008"
+
+// Students generates the paper's Students dataset analogue: one record per
+// exam paper, the TopK query is "highest-scoring students" (aggregate of
+// Weight), disambiguation is needed because names and birth dates carry
+// entry errors while class and school code are reliable. Scores follow the
+// paper's own synthetic scheme: a per-student Gaussian proficiency drives
+// the per-paper marks.
+func Students(cfg StudentConfig) *records.Dataset {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	names := uniquePersonNames(r, cfg.NumStudents)
+	d := records.New("students", FieldName, FieldClass, FieldSchool, FieldBirthdate, FieldPaper)
+	for i, name := range names {
+		label := fmt.Sprintf("S%06d", i)
+		class := fmt.Sprintf("%d", 1+r.Intn(7))
+		school := pick(r, schoolNames)
+		dob := randomDate(r, 1995, 2001)
+		proficiency := r.NormFloat64() // paper: N(0, 1) per group
+		// Paper count distribution: most students take a handful of
+		// papers; a few take many (multiple subjects across terms).
+		papers := 1 + r.Intn(int(2*cfg.MeanPapers))
+		for p := 0; p < papers; p++ {
+			marks := 50 + 18*proficiency + 5*r.NormFloat64()
+			if marks < 0 {
+				marks = 0
+			}
+			if marks > 100 {
+				marks = 100
+			}
+			d.Append(marks, label,
+				noisyStudentName(r, name, cfg.Noise),
+				class,
+				school,
+				noisyBirthdate(r, dob, cfg.Noise),
+				pick(r, paperCodes),
+			)
+		}
+	}
+	return d
+}
+
+func randomDate(r *rand.Rand, fromYear, toYear int) string {
+	day := 1 + r.Intn(28)
+	month := 1 + r.Intn(12)
+	year := fromYear + r.Intn(toYear-fromYear)
+	return fmt.Sprintf("%02d/%02d/%04d", day, month, year)
+}
+
+// noisyStudentName applies the Students noise channels: missing space
+// between name parts (common for primary-school children, per the paper)
+// and occasional typos. Initials are rare on exam papers.
+func noisyStudentName(r *rand.Rand, name string, noise float64) string {
+	out := name
+	if r.Float64() < 0.15*noise {
+		parts := strings.Fields(out)
+		out = joinWords(out, r.Intn(len(parts)))
+	}
+	out = maybeTypo(r, out, 0.1*noise)
+	return out
+}
+
+// noisyBirthdate swaps in the current date with small probability (the
+// paper's "filling in the current date instead of the birth date" error)
+// and occasionally garbles a digit.
+func noisyBirthdate(r *rand.Rand, dob string, noise float64) string {
+	if r.Float64() < 0.08*noise {
+		return currentDate
+	}
+	if r.Float64() < 0.05*noise {
+		b := []byte(dob)
+		pos := r.Intn(len(b))
+		if b[pos] >= '0' && b[pos] <= '9' {
+			b[pos] = byte('0' + r.Intn(10))
+		}
+		return string(b)
+	}
+	return dob
+}

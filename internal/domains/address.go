@@ -1,0 +1,149 @@
+package domains
+
+import (
+	"topkdedup/internal/datagen"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+	"topkdedup/internal/strsim"
+)
+
+// AddressOptions tunes the address-domain predicates.
+type AddressOptions struct {
+	// NameWordOverlap is S1's required fraction of common non-stop name
+	// words (default 0.7, the paper's "greater than 0.7").
+	NameWordOverlap float64
+	// AddrWordOverlap is S1's required fraction of matching non-stop
+	// address words (default 0.6).
+	AddrWordOverlap float64
+	// CommonWords is N1's required number of common non-stop words in the
+	// name+address concatenation (default 4).
+	CommonWords int
+	// StopWords used for the non-stop filters (default
+	// strsim.AddressStopWords).
+	StopWords strsim.StopWords
+}
+
+func (o *AddressOptions) defaults() {
+	if o.NameWordOverlap <= 0 {
+		o.NameWordOverlap = 0.7
+	}
+	if o.AddrWordOverlap <= 0 {
+		o.AddrWordOverlap = 0.6
+	}
+	if o.CommonWords <= 0 {
+		o.CommonWords = 4
+	}
+	if o.StopWords == nil {
+		o.StopWords = strsim.AddressStopWords
+	}
+}
+
+// Addresses builds the address domain of §6.1.3 with its single
+// sufficient/necessary predicate level.
+func Addresses(c *strsim.Corpus, opts AddressOptions) Domain {
+	opts.defaults()
+	cache := strsim.NewCache(c)
+	nonStopCache := make(map[string]map[string]struct{})
+	name := func(r *records.Record) string { return r.Field(datagen.FieldOwner) }
+	addr := func(r *records.Record) string { return r.Field(datagen.FieldAddress) }
+
+	nonStopSet := func(s string) map[string]struct{} {
+		if set, ok := nonStopCache[s]; ok {
+			return set
+		}
+		set := make(map[string]struct{})
+		for _, t := range opts.StopWords.Filter(s) {
+			set[t] = struct{}{}
+		}
+		nonStopCache[s] = set
+		return set
+	}
+
+	// S1: initials of names match exactly, > 0.7 common non-stop name
+	// words, and >= 0.6 matching non-stop address words.
+	s1 := predicate.P{
+		Name: "S1",
+		Eval: func(a, b *records.Record) bool {
+			na, nb := name(a), name(b)
+			if !cache.InitialsEqual(na, nb) {
+				return false
+			}
+			if strsim.Overlap(nonStopSet(na), nonStopSet(nb)) <= opts.NameWordOverlap {
+				return false
+			}
+			return strsim.Overlap(nonStopSet(addr(a)), nonStopSet(addr(b))) >= opts.AddrWordOverlap
+		},
+		Keys: func(r *records.Record) []string {
+			return []string{keyf("a.s1", cache.SortedInitials(name(r)))}
+		},
+	}
+
+	// N1: at least 4 common non-stop words in the name+address
+	// concatenation. Since 4 common words imply 2 common words, unordered
+	// word-pair keys are complete and give much smaller buckets than
+	// single-word keys.
+	n1 := predicate.P{
+		Name: "N1",
+		Eval: func(a, b *records.Record) bool {
+			sa := nonStopSet(name(a) + " " + addr(a))
+			sb := nonStopSet(name(b) + " " + addr(b))
+			return strsim.IntersectionSize(sa, sb) >= opts.CommonWords
+		},
+		Keys: func(r *records.Record) []string {
+			return wordPairKeys("a.n1|", opts.StopWords.Filter(name(r)+" "+addr(r)))
+		},
+	}
+
+	return Domain{
+		Name:     "addresses",
+		Levels:   []predicate.Level{{Sufficient: s1, Necessary: n1}},
+		Features: AddressFeatures(c, opts.StopWords),
+	}
+}
+
+// AddressFeatures is the paper's similarity list for the final address
+// predicate: Jaccard on name and address with 3-grams and initials,
+// JaroWinkler on the name, fraction of common non-stop address words,
+// pincode match, and the custom author similarity applied to owner names.
+func AddressFeatures(c *strsim.Corpus, stop strsim.StopWords) FeatureSet {
+	if stop == nil {
+		stop = strsim.AddressStopWords
+	}
+	names := []string{
+		"name.jaccard3gram",
+		"name.initialsJaccard",
+		"name.jarowinkler",
+		"name.custom",
+		"addr.jaccard3gram",
+		"addr.nonstopOverlap",
+		"pin.equal",
+	}
+	return FeatureSet{
+		Names: names,
+		Vec: func(a, b *records.Record) []float64 {
+			na, nb := a.Field(datagen.FieldOwner), b.Field(datagen.FieldOwner)
+			aa, ab := a.Field(datagen.FieldAddress), b.Field(datagen.FieldAddress)
+			pinEq := 0.0
+			if a.Field(datagen.FieldPin) != "" && a.Field(datagen.FieldPin) == b.Field(datagen.FieldPin) {
+				pinEq = 1
+			}
+			fa := make(map[string]struct{})
+			for _, t := range stop.Filter(aa) {
+				fa[t] = struct{}{}
+			}
+			fb := make(map[string]struct{})
+			for _, t := range stop.Filter(ab) {
+				fb[t] = struct{}{}
+			}
+			return []float64{
+				strsim.JaccardGrams(na, nb, 3),
+				initialsJaccard(na, nb),
+				strsim.JaroWinkler(na, nb),
+				strsim.AuthorSimilarity(c, na, nb),
+				strsim.JaccardGrams(aa, ab, 3),
+				strsim.Overlap(fa, fb),
+				pinEq,
+			}
+		},
+	}
+}

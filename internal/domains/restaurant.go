@@ -1,0 +1,199 @@
+package domains
+
+import (
+	"topkdedup/internal/datagen"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+	"topkdedup/internal/strsim"
+)
+
+// Restaurants builds a domain for the Figure-7 Restaurant benchmark: a
+// single predicate level (name-gram canopy plus a strict sufficient
+// predicate) and a feature set over name/address/city/cuisine.
+func Restaurants(c *strsim.Corpus) Domain {
+	cache := strsim.NewCache(c)
+	name := func(r *records.Record) string { return r.Field(datagen.FieldOwner) }
+	addr := func(r *records.Record) string { return r.Field(datagen.FieldAddress) }
+	city := func(r *records.Record) string { return r.Field(datagen.FieldCity) }
+
+	s1 := predicate.P{
+		Name: "S1",
+		Eval: func(a, b *records.Record) bool {
+			return sortedTokensKey(name(a)) == sortedTokensKey(name(b)) &&
+				sortedTokensKey(addr(a)) == sortedTokensKey(addr(b)) &&
+				city(a) == city(b)
+		},
+		Keys: func(r *records.Record) []string {
+			return []string{keyf("r.s1", sortedTokensKey(name(r)), sortedTokensKey(addr(r)), city(r))}
+		},
+	}
+
+	n1 := predicate.P{
+		Name: "N1",
+		Eval: func(a, b *records.Record) bool {
+			return cache.GramOverlapRatio(name(a), name(b)) > 0.4
+		},
+		Keys: func(r *records.Record) []string {
+			return gramKeys(cache, "r.n1", name(r))
+		},
+	}
+
+	return Domain{
+		Name:     "restaurant",
+		Levels:   []predicate.Level{{Sufficient: s1, Necessary: n1}},
+		Features: RestaurantFeatures(c),
+	}
+}
+
+// RestaurantFeatures is a similarity feature set for restaurant records.
+func RestaurantFeatures(c *strsim.Corpus) FeatureSet {
+	names := []string{
+		"name.jaccard3gram",
+		"name.jarowinkler",
+		"name.tfidf",
+		"addr.jaccardTokens",
+		"city.equal",
+		"cuisine.equal",
+	}
+	return FeatureSet{
+		Names: names,
+		Vec: func(a, b *records.Record) []float64 {
+			na, nb := a.Field(datagen.FieldOwner), b.Field(datagen.FieldOwner)
+			eq := func(f string) float64 {
+				if a.Field(f) != "" && a.Field(f) == b.Field(f) {
+					return 1
+				}
+				return 0
+			}
+			return []float64{
+				strsim.JaccardGrams(na, nb, 3),
+				strsim.JaroWinkler(na, nb),
+				c.TFIDFCosine(na, nb),
+				strsim.JaccardTokens(a.Field(datagen.FieldAddress), b.Field(datagen.FieldAddress)),
+				eq(datagen.FieldCity),
+				eq(datagen.FieldCuisine),
+			}
+		},
+	}
+}
+
+// AuthorsOnly builds a domain for the Figure-7 Authors benchmark: records
+// holding a single author-name field.
+func AuthorsOnly(c *strsim.Corpus) Domain {
+	cache := strsim.NewCache(c)
+	name := func(r *records.Record) string { return r.Field(datagen.FieldAuthor) }
+
+	// Exact token-multiset equality is NOT sufficient for bare author
+	// names: two entities can both render as "s. sarawagi". Only full
+	// names (no single-letter initials) matching exactly is safe.
+	s1 := predicate.P{
+		Name: "S1",
+		Eval: func(a, b *records.Record) bool {
+			return strsim.FullNamesEqual(name(a), name(b))
+		},
+		Keys: func(r *records.Record) []string {
+			n := name(r)
+			if hasInitialToken(n) || n == "" {
+				return nil // can never satisfy S1
+			}
+			return []string{keyf("au.s1", sortedTokensKey(n))}
+		},
+	}
+	n1 := predicate.P{
+		Name: "N1",
+		Eval: func(a, b *records.Record) bool {
+			return cache.GramOverlapRatio(name(a), name(b)) > 0.3
+		},
+		Keys: func(r *records.Record) []string {
+			return gramKeys(cache, "au.n1", name(r))
+		},
+	}
+	return Domain{
+		Name:     "authors",
+		Levels:   []predicate.Level{{Sufficient: s1, Necessary: n1}},
+		Features: AuthorOnlyFeatures(c),
+	}
+}
+
+// AuthorOnlyFeatures scores single-field author-name pairs.
+func AuthorOnlyFeatures(c *strsim.Corpus) FeatureSet {
+	names := []string{
+		"author.jaccard3gram",
+		"author.overlap3gram",
+		"author.initialsJaccard",
+		"author.jarowinkler",
+		"author.custom",
+		"author.tfidf",
+		"author.mongeelkan",
+		"author.softtfidf",
+	}
+	return FeatureSet{
+		Names: names,
+		Vec: func(a, b *records.Record) []float64 {
+			na, nb := a.Field(datagen.FieldAuthor), b.Field(datagen.FieldAuthor)
+			return []float64{
+				strsim.JaccardGrams(na, nb, 3),
+				strsim.GramOverlapRatio(na, nb, 3),
+				initialsJaccard(na, nb),
+				strsim.JaroWinkler(na, nb),
+				strsim.AuthorSimilarity(c, na, nb),
+				c.TFIDFCosine(na, nb),
+				strsim.MongeElkan(na, nb, nil),
+				c.SoftTFIDF(na, nb, nil, 0.9),
+			}
+		},
+	}
+}
+
+// GetoorDomain builds a domain for the Figure-7 Getoor benchmark
+// (author + title records).
+func GetoorDomain(c *strsim.Corpus) Domain {
+	cache := strsim.NewCache(c)
+	name := func(r *records.Record) string { return r.Field(datagen.FieldAuthor) }
+	title := func(r *records.Record) string { return r.Field(datagen.FieldTitle) }
+
+	s1 := predicate.P{
+		Name: "S1",
+		Eval: func(a, b *records.Record) bool {
+			return sortedTokensKey(name(a)) == sortedTokensKey(name(b)) &&
+				sortedTokensKey(title(a)) == sortedTokensKey(title(b))
+		},
+		Keys: func(r *records.Record) []string {
+			return []string{keyf("g.s1", sortedTokensKey(name(r)), sortedTokensKey(title(r)))}
+		},
+	}
+	n1 := predicate.P{
+		Name: "N1",
+		Eval: func(a, b *records.Record) bool {
+			return cache.GramOverlapRatio(name(a), name(b)) > 0.3
+		},
+		Keys: func(r *records.Record) []string {
+			return gramKeys(cache, "g.n1", name(r))
+		},
+	}
+	feats := FeatureSet{
+		Names: []string{
+			"author.jaccard3gram",
+			"author.jarowinkler",
+			"author.custom",
+			"title.jaccardTokens",
+			"title.tfidf",
+		},
+		Vec: func(a, b *records.Record) []float64 {
+			na, nb := name(a), name(b)
+			ta, tb := title(a), title(b)
+			return []float64{
+				strsim.JaccardGrams(na, nb, 3),
+				strsim.JaroWinkler(na, nb),
+				strsim.AuthorSimilarity(c, na, nb),
+				strsim.JaccardTokens(ta, tb),
+				c.TFIDFCosine(ta, tb),
+			}
+		},
+	}
+	return Domain{
+		Name:     "getoor",
+		Levels:   []predicate.Level{{Sufficient: s1, Necessary: n1}},
+		Features: feats,
+	}
+}

@@ -1,0 +1,108 @@
+// Package dsu implements a disjoint-set union (union-find) structure with
+// path halving and union by size. It backs the collapse step of
+// PrunedDedup: the transitive closure of pairs satisfying a sufficient
+// predicate is exactly the set of DSU components after unioning those
+// pairs (paper §4.1).
+package dsu
+
+// DSU is a disjoint-set forest over the integers [0, n).
+type DSU struct {
+	parent []int32
+	size   []int32
+	comps  int
+}
+
+// NewGrowable returns an empty DSU to which elements are appended with
+// Add — the form streaming accumulators need.
+func NewGrowable() *DSU { return New(0) }
+
+// Add appends a new singleton element and returns its index.
+func (d *DSU) Add() int {
+	i := len(d.parent)
+	d.parent = append(d.parent, int32(i))
+	d.size = append(d.size, 1)
+	d.comps++
+	return i
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		comps:  n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Components returns the current number of disjoint sets.
+func (d *DSU) Components() int { return d.comps }
+
+// Find returns the canonical representative of x's set, using path halving.
+func (d *DSU) Find(x int) int {
+	p := int32(x)
+	for d.parent[p] != p {
+		d.parent[p] = d.parent[d.parent[p]]
+		p = d.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.size[rx] < d.size[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = int32(rx)
+	d.size[rx] += d.size[ry]
+	d.comps--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// SetSize returns the size of the set containing x.
+func (d *DSU) SetSize(x int) int { return int(d.size[d.Find(x)]) }
+
+// Groups returns the members of every set with at least one element, as a
+// map from representative to member indices. Member order within a group
+// is increasing.
+func (d *DSU) Groups() map[int][]int {
+	groups := make(map[int][]int, d.comps)
+	for i := range d.parent {
+		r := d.Find(i)
+		groups[r] = append(groups[r], i)
+	}
+	return groups
+}
+
+// GroupSlices returns the sets as slices, ordered by their smallest member
+// (deterministic), with members in increasing order.
+func (d *DSU) GroupSlices() [][]int {
+	byRep := d.Groups()
+	out := make([][]int, 0, len(byRep))
+	// Collect in order of smallest member: iterate elements in order and
+	// emit a group the first time its representative is seen.
+	seen := make(map[int]bool, len(byRep))
+	for i := range d.parent {
+		r := d.Find(i)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, byRep[r])
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if d.Len() != 5 || d.Components() != 5 {
+		t.Fatalf("Len=%d Components=%d, want 5/5", d.Len(), d.Components())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, d.Find(i), i)
+		}
+		if d.SetSize(i) != 1 {
+			t.Errorf("SetSize(%d) = %d, want 1", i, d.SetSize(i))
+		}
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	d := New(4)
+	if !d.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if d.Union(0, 1) || d.Union(1, 0) {
+		t.Error("repeat union should be a no-op")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Error("Same wrong after union")
+	}
+	if d.Components() != 3 {
+		t.Errorf("Components = %d, want 3", d.Components())
+	}
+	if d.SetSize(1) != 2 {
+		t.Errorf("SetSize = %d, want 2", d.SetSize(1))
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(1, 2) // bridges the two pairs
+	for _, pair := range [][2]int{{0, 3}, {1, 3}, {0, 2}} {
+		if !d.Same(pair[0], pair[1]) {
+			t.Errorf("transitivity broken for %v", pair)
+		}
+	}
+	if d.Same(0, 4) {
+		t.Error("unrelated elements should stay separate")
+	}
+	if d.SetSize(0) != 4 {
+		t.Errorf("merged size = %d, want 4", d.SetSize(0))
+	}
+}
+
+func TestGroups(t *testing.T) {
+	d := New(5)
+	d.Union(0, 2)
+	d.Union(3, 4)
+	groups := d.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	total := 0
+	for _, members := range groups {
+		total += len(members)
+	}
+	if total != 5 {
+		t.Errorf("groups cover %d elements, want 5", total)
+	}
+}
+
+func TestGroupSlicesDeterministic(t *testing.T) {
+	d := New(6)
+	d.Union(5, 0)
+	d.Union(3, 2)
+	g1 := d.GroupSlices()
+	g2 := d.GroupSlices()
+	if len(g1) != 4 {
+		t.Fatalf("got %d groups, want 4", len(g1))
+	}
+	// Ordered by smallest member: first group contains 0.
+	if g1[0][0] != 0 {
+		t.Errorf("first group should start at 0, got %v", g1[0])
+	}
+	for i := range g1 {
+		if len(g1[i]) != len(g2[i]) {
+			t.Fatal("GroupSlices not deterministic")
+		}
+		for j := range g1[i] {
+			if g1[i][j] != g2[i][j] {
+				t.Fatal("GroupSlices not deterministic")
+			}
+		}
+	}
+}
+
+// Property: after any sequence of unions, component count plus number of
+// effective merges equals n, Same is an equivalence relation on samples,
+// and set sizes sum to n.
+func TestDSUProperties(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		d := New(n)
+		merges := 0
+		for k := 0; k < 3*n; k++ {
+			if d.Union(r.Intn(n), r.Intn(n)) {
+				merges++
+			}
+		}
+		if d.Components() != n-merges {
+			return false
+		}
+		// Sizes over distinct roots sum to n.
+		total := 0
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			root := d.Find(i)
+			if !seen[root] {
+				seen[root] = true
+				total += d.SetSize(root)
+			}
+		}
+		if total != n {
+			return false
+		}
+		// Same must agree with Find equality, and be symmetric/transitive.
+		for k := 0; k < 20; k++ {
+			a, b, c := r.Intn(n), r.Intn(n), r.Intn(n)
+			if d.Same(a, b) != (d.Find(a) == d.Find(b)) {
+				return false
+			}
+			if d.Same(a, b) != d.Same(b, a) {
+				return false
+			}
+			if d.Same(a, b) && d.Same(b, c) && !d.Same(a, c) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 10000
+	r := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package embed
+
+import (
+	"math"
+	"sort"
+
+	"topkdedup/internal/score"
+)
+
+// Spectral computes the spectral linear arrangement the paper lists as an
+// alternative to the greedy method (§5.3.1): order items by their
+// coordinate in the Fiedler-style second eigenvector of the similarity
+// matrix. Only positive pair scores act as similarities; the eigenvector
+// is obtained by power iteration on the similarity matrix with the
+// all-ones direction deflated, which needs no linear-algebra dependency.
+//
+// Ties (including all-isolated items) break on item id, so the result is
+// deterministic.
+func Spectral(n int, pf score.PairFunc, edges []Edge, iterations int) []int {
+	if n == 0 {
+		return nil
+	}
+	if iterations <= 0 {
+		iterations = 60
+	}
+	type wEdge struct {
+		a, b int
+		w    float64
+	}
+	var ws []wEdge
+	for _, e := range edges {
+		if e.A == e.B {
+			continue
+		}
+		if p := pf(e.A, e.B); p > 0 {
+			ws = append(ws, wEdge{e.A, e.B, p})
+		}
+	}
+	// Power iteration on S = A + cI (shift keeps eigenvalues positive so
+	// the dominant direction is the structural one), deflating the
+	// all-ones vector each step. The resulting vector approximates the
+	// eigenvector of the largest eigenvalue orthogonal to 1 — clustering
+	// items with strong mutual similarity at the same coordinate.
+	var maxDeg float64
+	deg := make([]float64, n)
+	for _, e := range ws {
+		deg[e.a] += e.w
+		deg[e.b] += e.w
+	}
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	shift := maxDeg + 1
+
+	x := make([]float64, n)
+	for i := range x {
+		// Deterministic pseudo-random start, orthogonalised below.
+		x[i] = math.Sin(float64(i)*12.9898) * 43758.5453
+		x[i] -= math.Floor(x[i])
+	}
+	y := make([]float64, n)
+	for it := 0; it < iterations; it++ {
+		// y = (A + shift·I) x
+		for i := range y {
+			y[i] = shift * x[i]
+		}
+		for _, e := range ws {
+			y[e.a] += e.w * x[e.b]
+			y[e.b] += e.w * x[e.a]
+		}
+		// Deflate the all-ones direction and normalise.
+		var mean float64
+		for _, v := range y {
+			mean += v
+		}
+		mean /= float64(n)
+		var norm float64
+		for i := range y {
+			y[i] -= mean
+			norm += y[i] * y[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			break // no structure beyond the trivial direction
+		}
+		for i := range y {
+			x[i] = y[i] / norm
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if x[order[a]] != x[order[b]] {
+			return x[order[a]] < x[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,88 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpectralIsPermutation(t *testing.T) {
+	pf, edges, n := twoClusterPF()
+	order := Spectral(n, pf, edges, 0)
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("not a permutation: %v", order)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSpectralSeparatesClusters(t *testing.T) {
+	pf, edges, n := twoClusterPF()
+	order := Spectral(n, pf, edges, 100)
+	group := func(i int) int {
+		if i < 3 {
+			return 0
+		}
+		return 1
+	}
+	switches := 0
+	for p := 1; p < n; p++ {
+		if group(order[p]) != group(order[p-1]) {
+			switches++
+		}
+	}
+	if switches != 1 {
+		t.Errorf("clusters not contiguous in spectral order %v", order)
+	}
+}
+
+func TestSpectralDeterministic(t *testing.T) {
+	pf, edges, n := twoClusterPF()
+	a := Spectral(n, pf, edges, 50)
+	b := Spectral(n, pf, edges, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("spectral embedding must be deterministic")
+		}
+	}
+}
+
+func TestSpectralNoEdges(t *testing.T) {
+	order := Spectral(5, func(i, j int) float64 { return -1 }, nil, 10)
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := Spectral(0, func(i, j int) float64 { return 0 }, nil, 10); got != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+func TestSpectralBeatsRandomOnCost(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 60
+	gOf := make([]int, n)
+	for i := range gOf {
+		gOf[i] = r.Intn(6)
+	}
+	pf := func(i, j int) float64 {
+		if gOf[i] == gOf[j] {
+			return 1
+		}
+		return -1
+	}
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if gOf[i] == gOf[j] || r.Intn(12) == 0 {
+				edges = append(edges, Edge{A: i, B: j})
+			}
+		}
+	}
+	spec := Spectral(n, pf, edges, 80)
+	random := Random(n, 3)
+	if Cost(spec, pf, edges) >= Cost(random, pf, edges) {
+		t.Errorf("spectral cost %v should beat random %v",
+			Cost(spec, pf, edges), Cost(random, pf, edges))
+	}
+}

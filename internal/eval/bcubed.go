@@ -1,0 +1,67 @@
+package eval
+
+import "topkdedup/internal/records"
+
+// BCubed computes the B-cubed precision/recall/F1 of a predicted
+// clustering against the dataset's truth labels — the standard
+// entity-resolution complement to pairwise F1 (Bagga & Baldwin 1998):
+// per record, precision is the fraction of its cluster sharing its label
+// and recall the fraction of its label's records in its cluster,
+// averaged over labelled records. Records missing from clusters count as
+// singletons.
+func BCubed(d *records.Dataset, clusters [][]int) PairMetrics {
+	clusterOf := make([]int, d.Len())
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	for ci, c := range clusters {
+		for _, id := range c {
+			clusterOf[id] = ci
+		}
+	}
+	// Label counts per cluster (singletons keyed by -1-id).
+	type key struct{ cluster, pseudo int }
+	labelInCluster := map[key]map[string]int{}
+	clusterSize := map[key]int{}
+	keyOf := func(id int) key {
+		if clusterOf[id] >= 0 {
+			return key{cluster: clusterOf[id], pseudo: -1}
+		}
+		return key{cluster: -1, pseudo: id}
+	}
+	truthSize := map[string]int{}
+	for _, r := range d.Recs {
+		if r.Truth == "" {
+			continue
+		}
+		k := keyOf(r.ID)
+		if labelInCluster[k] == nil {
+			labelInCluster[k] = map[string]int{}
+		}
+		labelInCluster[k][r.Truth]++
+		clusterSize[k]++
+		truthSize[r.Truth]++
+	}
+	var m PairMetrics
+	var pSum, rSum float64
+	labelled := 0
+	for _, r := range d.Recs {
+		if r.Truth == "" {
+			continue
+		}
+		labelled++
+		k := keyOf(r.ID)
+		same := labelInCluster[k][r.Truth]
+		pSum += float64(same) / float64(clusterSize[k])
+		rSum += float64(same) / float64(truthSize[r.Truth])
+	}
+	if labelled == 0 {
+		return m
+	}
+	m.Precision = pSum / float64(labelled)
+	m.Recall = rSum / float64(labelled)
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}

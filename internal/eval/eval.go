@@ -1,0 +1,174 @@
+// Package eval provides the evaluation utilities of the paper's §6:
+// pairwise F1 agreement between clusterings (Figure 7's metric), the
+// pruning statistics tables of Figures 2-4, and fixed-width text table
+// rendering for the benchmark harness.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"topkdedup/internal/records"
+)
+
+// PairMetrics holds pairwise precision/recall/F1 of a predicted
+// clustering against reference labels.
+type PairMetrics struct {
+	Precision, Recall, F1 float64
+	TruePairs             int64 // same-cluster pairs that are truly duplicates
+	PredictedPairs        int64 // same-cluster pairs predicted
+	ActualPairs           int64 // duplicate pairs in the reference
+}
+
+// PairF1 scores predicted clusters (record-ID groups) against the
+// dataset's ground-truth labels: a pair of records counts as predicted
+// positive when both land in the same cluster, and as actually positive
+// when they share a truth label. Records missing from clusters are
+// treated as singletons.
+func PairF1(d *records.Dataset, clusters [][]int) PairMetrics {
+	clusterOf := make([]int, d.Len())
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	for ci, c := range clusters {
+		for _, id := range c {
+			clusterOf[id] = ci
+		}
+	}
+	var m PairMetrics
+	// Predicted pairs and true positives per cluster.
+	for _, c := range clusters {
+		n := int64(len(c))
+		m.PredictedPairs += n * (n - 1) / 2
+		byTruth := map[string]int64{}
+		for _, id := range c {
+			if t := d.Recs[id].Truth; t != "" {
+				byTruth[t]++
+			}
+		}
+		for _, cnt := range byTruth {
+			m.TruePairs += cnt * (cnt - 1) / 2
+		}
+	}
+	for _, ids := range d.TruthGroups() {
+		n := int64(len(ids))
+		m.ActualPairs += n * (n - 1) / 2
+	}
+	if m.PredictedPairs > 0 {
+		m.Precision = float64(m.TruePairs) / float64(m.PredictedPairs)
+	}
+	if m.ActualPairs > 0 {
+		m.Recall = float64(m.TruePairs) / float64(m.ActualPairs)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// AgreementF1 scores a predicted clustering against a reference
+// clustering (rather than truth labels): the Figure-7 comparison "treats
+// as positive any pair of records that appears in the same cluster in the
+// LP (reference), and negative otherwise".
+func AgreementF1(n int, predicted, reference [][]int) PairMetrics {
+	predOf := assignment(n, predicted)
+	refOf := assignment(n, reference)
+	var m PairMetrics
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			samePred := predOf[i] >= 0 && predOf[i] == predOf[j]
+			sameRef := refOf[i] >= 0 && refOf[i] == refOf[j]
+			if samePred {
+				m.PredictedPairs++
+			}
+			if sameRef {
+				m.ActualPairs++
+			}
+			if samePred && sameRef {
+				m.TruePairs++
+			}
+		}
+	}
+	if m.PredictedPairs > 0 {
+		m.Precision = float64(m.TruePairs) / float64(m.PredictedPairs)
+	}
+	if m.ActualPairs > 0 {
+		m.Recall = float64(m.TruePairs) / float64(m.ActualPairs)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+func assignment(n int, clusters [][]int) []int {
+	of := make([]int, n)
+	for i := range of {
+		of[i] = -1
+	}
+	for ci, c := range clusters {
+		for _, id := range c {
+			if id >= 0 && id < n {
+				of[id] = ci
+			}
+		}
+	}
+	return of
+}
+
+// Table renders fixed-width text tables for the harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}

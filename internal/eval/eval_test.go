@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"topkdedup/internal/records"
+)
+
+func labelled() *records.Dataset {
+	d := records.New("t", "x")
+	d.Append(1, "A", "1") // 0
+	d.Append(1, "A", "2") // 1
+	d.Append(1, "A", "3") // 2
+	d.Append(1, "B", "4") // 3
+	d.Append(1, "B", "5") // 4
+	d.Append(1, "", "6")  // 5 unlabelled
+	return d
+}
+
+func TestPairF1Perfect(t *testing.T) {
+	d := labelled()
+	m := PairF1(d, [][]int{{0, 1, 2}, {3, 4}, {5}})
+	if m.F1 != 1 || m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("perfect clustering scored %+v", m)
+	}
+	if m.ActualPairs != 4 || m.PredictedPairs != 4 || m.TruePairs != 4 {
+		t.Errorf("pair counts wrong: %+v", m)
+	}
+}
+
+func TestPairF1Split(t *testing.T) {
+	d := labelled()
+	// Splitting A into {0,1} and {2} loses 2 of 3 A-pairs.
+	m := PairF1(d, [][]int{{0, 1}, {2}, {3, 4}})
+	if m.Precision != 1 {
+		t.Errorf("precision = %v, want 1", m.Precision)
+	}
+	if m.Recall != 0.5 {
+		t.Errorf("recall = %v, want 0.5 (2 of 4 pairs)", m.Recall)
+	}
+}
+
+func TestPairF1OverMerge(t *testing.T) {
+	d := labelled()
+	m := PairF1(d, [][]int{{0, 1, 2, 3, 4}})
+	if m.Recall != 1 {
+		t.Errorf("recall = %v, want 1", m.Recall)
+	}
+	if m.Precision != 0.4 {
+		t.Errorf("precision = %v, want 0.4 (4 of 10 pairs)", m.Precision)
+	}
+}
+
+func TestPairF1MissingRecordsAreSingletons(t *testing.T) {
+	d := labelled()
+	// Only cluster part of the data; rest implicitly singleton.
+	m := PairF1(d, [][]int{{0, 1}})
+	if m.TruePairs != 1 || m.PredictedPairs != 1 {
+		t.Errorf("partial clustering counts wrong: %+v", m)
+	}
+}
+
+func TestPairF1Empty(t *testing.T) {
+	d := records.New("t", "x")
+	m := PairF1(d, nil)
+	if m.F1 != 0 || m.Precision != 0 || m.Recall != 0 {
+		t.Errorf("empty should be all zero: %+v", m)
+	}
+}
+
+func TestAgreementF1(t *testing.T) {
+	ref := [][]int{{0, 1, 2}, {3, 4}}
+	if m := AgreementF1(5, ref, ref); m.F1 != 1 {
+		t.Errorf("self agreement = %+v", m)
+	}
+	pred := [][]int{{0, 1}, {2}, {3, 4}}
+	m := AgreementF1(5, pred, ref)
+	if m.Precision != 1 || m.Recall != 0.5 {
+		t.Errorf("agreement = %+v", m)
+	}
+	// Disjoint clusterings.
+	m2 := AgreementF1(4, [][]int{{0, 1}, {2, 3}}, [][]int{{0, 2}, {1, 3}})
+	if m2.F1 != 0 {
+		t.Errorf("disjoint agreement F1 = %v, want 0", m2.F1)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("K", "n%", "note")
+	tbl.AddRow(1, 67.22, "first")
+	tbl.AddRow(1000, 30.06, "last row long")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "K ") || !strings.Contains(lines[0], "n%") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "67.22") {
+		t.Errorf("float formatting wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}
+
+func TestBCubedPerfect(t *testing.T) {
+	d := labelled()
+	m := BCubed(d, [][]int{{0, 1, 2}, {3, 4}})
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect clustering scored %+v", m)
+	}
+}
+
+func TestBCubedOverMerge(t *testing.T) {
+	d := labelled()
+	m := BCubed(d, [][]int{{0, 1, 2, 3, 4}})
+	if m.Recall != 1 {
+		t.Errorf("recall = %v, want 1", m.Recall)
+	}
+	// Precision: A records see 3/5, B records 2/5 -> (3*0.6 + 2*0.4)/5 = 0.52
+	if !closeEnough(m.Precision, 0.52) {
+		t.Errorf("precision = %v, want 0.52", m.Precision)
+	}
+}
+
+func TestBCubedSplit(t *testing.T) {
+	d := labelled()
+	m := BCubed(d, [][]int{{0, 1}, {2}, {3, 4}})
+	if m.Precision != 1 {
+		t.Errorf("precision = %v, want 1", m.Precision)
+	}
+	// Recall: the two A records in {0,1} each see 2/3 of A, the split-off
+	// A record sees 1/3, both B records see 1: (2/3+2/3+1/3+1+1)/5 = 11/15.
+	if !closeEnough(m.Recall, 11.0/15.0) {
+		t.Errorf("recall = %v, want 11/15", m.Recall)
+	}
+}
+
+func TestBCubedMissingRecordsSingletons(t *testing.T) {
+	d := labelled()
+	// Only cluster {0,1}; 2 is an implicit singleton: its precision is 1,
+	// recall 1/3.
+	m := BCubed(d, [][]int{{0, 1}})
+	if m.Precision != 1 {
+		t.Errorf("precision = %v, want 1", m.Precision)
+	}
+	want := (2.0/3 + 2.0/3 + 1.0/3 + 0.5 + 0.5) / 5
+	if !closeEnough(m.Recall, want) {
+		t.Errorf("recall = %v, want %v", m.Recall, want)
+	}
+}
+
+func TestBCubedEmpty(t *testing.T) {
+	m := BCubed(records.New("e", "x"), nil)
+	if m.F1 != 0 {
+		t.Errorf("empty = %+v", m)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

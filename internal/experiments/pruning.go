@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"io"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/eval"
+)
+
+// PruneRow is one K row of the Figures 2-4 pruning tables: per iteration
+// (predicate level), n (groups after collapse, % of records), m (rank at
+// which K distinct groups are guaranteed), M (the weight lower bound),
+// and n′ (survivors, % of records).
+type PruneRow struct {
+	K     int
+	Iters []core.LevelStats
+}
+
+// PruningSweep runs PrunedDedup for every K and collects the per-level
+// statistics. It mirrors the protocol behind Figures 2, 3 and 4.
+func PruningSweep(dd *DomainData, ks []int, passes int) ([]PruneRow, error) {
+	rows := make([]PruneRow, 0, len(ks))
+	for _, k := range ks {
+		res, err := core.PrunedDedup(dd.Data, dd.Domain.Levels, core.Options{K: k, PrunePasses: passes})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PruneRow{K: k, Iters: res.Stats})
+	}
+	return rows, nil
+}
+
+// RenderPruneTable prints a Figures-2/3/4 style table: one row per K with
+// n%, m, M, n′% repeated per iteration.
+func RenderPruneTable(w io.Writer, title string, rows []PruneRow) {
+	iters := 0
+	for _, r := range rows {
+		if len(r.Iters) > iters {
+			iters = len(r.Iters)
+		}
+	}
+	header := []string{"K"}
+	for it := 1; it <= iters; it++ {
+		header = append(header,
+			colName("n%", it, iters),
+			colName("m", it, iters),
+			colName("M", it, iters),
+			colName("n'%", it, iters),
+		)
+	}
+	tbl := eval.NewTable(header...)
+	for _, r := range rows {
+		vals := []interface{}{r.K}
+		for it := 0; it < iters; it++ {
+			if it < len(r.Iters) {
+				st := r.Iters[it]
+				vals = append(vals, st.NGroupsPct, st.MRank, st.LowerBound, st.SurvivorsPct)
+			} else {
+				// Early exit before this level: repeat the final state.
+				st := r.Iters[len(r.Iters)-1]
+				vals = append(vals, "-", "-", "-", st.SurvivorsPct)
+			}
+		}
+		tbl.AddRow(vals...)
+	}
+	if title != "" {
+		io.WriteString(w, title+"\n")
+	}
+	tbl.Render(w)
+}
+
+func colName(base string, it, iters int) string {
+	if iters <= 1 {
+		return base
+	}
+	return base + "(" + string(rune('0'+it)) + ")"
+}
+
+// PassRow is one row of the E7 ablation: pruning power per number of
+// upper-bound refinement passes (§4.3's "two iterations caused two-fold
+// more pruning than a single iteration").
+type PassRow struct {
+	K         int
+	Passes    int
+	Survivors int
+	PruneEval int64
+}
+
+// PrunePassAblation reruns the sweep with 1, 2 and 3 refinement passes.
+func PrunePassAblation(dd *DomainData, ks []int) ([]PassRow, error) {
+	var rows []PassRow
+	for _, k := range ks {
+		for passes := 1; passes <= 3; passes++ {
+			res, err := core.PrunedDedup(dd.Data, dd.Domain.Levels, core.Options{K: k, PrunePasses: passes})
+			if err != nil {
+				return nil, err
+			}
+			last := res.Stats[len(res.Stats)-1]
+			var evals int64
+			for _, st := range res.Stats {
+				evals += st.PruneEvals
+			}
+			rows = append(rows, PassRow{K: k, Passes: passes, Survivors: last.Survivors, PruneEval: evals})
+		}
+	}
+	return rows, nil
+}
+
+// RenderPassTable prints the E7 ablation table.
+func RenderPassTable(w io.Writer, rows []PassRow) {
+	tbl := eval.NewTable("K", "passes", "survivors", "pruneEvals")
+	for _, r := range rows {
+		tbl.AddRow(r.K, r.Passes, r.Survivors, r.PruneEval)
+	}
+	tbl.Render(w)
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/dsu"
+	"topkdedup/internal/eval"
+	"topkdedup/internal/index"
+	"topkdedup/internal/records"
+)
+
+// TimingRow is one point of the Figure-6 running-time comparison.
+type TimingRow struct {
+	Method    string
+	K         int
+	Elapsed   time.Duration
+	PairEvals int64 // evaluations of the expensive criterion P
+}
+
+// Fig6Methods in paper order.
+var Fig6Methods = []string{"None", "Canopy", "Canopy+Collapse", "Canopy+Collapse+Prune"}
+
+// Fig6 reproduces the timing comparison of Figure 6 on the given
+// (sub)dataset: the full Cartesian product ("None"), the canopy join
+// ("Canopy"), canopy after collapsing sure duplicates
+// ("Canopy+Collapse"), and the full PrunedDedup pipeline
+// ("Canopy+Collapse+Prune"). K only affects the pruned method; the flat
+// baselines are measured once and replicated across the K sweep, exactly
+// as their flat lines in the paper's plot.
+func Fig6(dd *DomainData, ks []int) ([]TimingRow, error) {
+	if dd.Model == nil {
+		return nil, fmt.Errorf("fig6 requires a trained scorer")
+	}
+	var rows []TimingRow
+
+	start := time.Now()
+	evals := runNone(dd, ks[0])
+	noneTime := time.Since(start)
+	for _, k := range ks {
+		rows = append(rows, TimingRow{Method: "None", K: k, Elapsed: noneTime, PairEvals: evals})
+	}
+
+	start = time.Now()
+	evals = runCanopy(dd, ks[0])
+	canopyTime := time.Since(start)
+	for _, k := range ks {
+		rows = append(rows, TimingRow{Method: "Canopy", K: k, Elapsed: canopyTime, PairEvals: evals})
+	}
+
+	start = time.Now()
+	evals = runCanopyCollapse(dd, ks[0])
+	ccTime := time.Since(start)
+	for _, k := range ks {
+		rows = append(rows, TimingRow{Method: "Canopy+Collapse", K: k, Elapsed: ccTime, PairEvals: evals})
+	}
+
+	for _, k := range ks {
+		start = time.Now()
+		evals, err := runPruned(dd, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TimingRow{
+			Method: "Canopy+Collapse+Prune", K: k,
+			Elapsed: time.Since(start), PairEvals: evals,
+		})
+	}
+	return rows, nil
+}
+
+// RunFig6Method executes one Figure-6 strategy once and returns the
+// number of P evaluations it performed. Exposed for the benchmark
+// harness, which times each method in isolation.
+func RunFig6Method(dd *DomainData, method string, k int) (int64, error) {
+	if dd.Model == nil {
+		return 0, fmt.Errorf("fig6 requires a trained scorer")
+	}
+	switch method {
+	case "None":
+		return runNone(dd, k), nil
+	case "Canopy":
+		return runCanopy(dd, k), nil
+	case "Canopy+Collapse":
+		return runCanopyCollapse(dd, k), nil
+	case "Canopy+Collapse+Prune":
+		return runPruned(dd, k)
+	}
+	return 0, fmt.Errorf("unknown fig6 method %q", method)
+}
+
+// topKByWeight finalises any of the baselines: group weights from a
+// disjoint-set over records, then take the K heaviest.
+func topKByWeight(d *records.Dataset, uf *dsu.DSU, k int) []float64 {
+	weights := map[int]float64{}
+	for _, r := range d.Recs {
+		weights[uf.Find(r.ID)] += r.Weight
+	}
+	top := make([]float64, 0, len(weights))
+	for _, w := range weights {
+		top = append(top, w)
+	}
+	// partial selection is unnecessary here; n is small after grouping
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j] > top[i] {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+		if i == k-1 {
+			break
+		}
+	}
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// runNone deduplicates with no optimisation at all: the full Cartesian
+// product of records is scored with P and positive pairs are clustered by
+// transitive closure (paper: "a straight Cartesian product of the records
+// enumerates pairs on which we apply the final predicate").
+func runNone(dd *DomainData, k int) int64 {
+	d := dd.Data
+	uf := dsu.New(d.Len())
+	var evals int64
+	for i := 0; i < d.Len(); i++ {
+		for j := i + 1; j < d.Len(); j++ {
+			if uf.Same(i, j) {
+				continue
+			}
+			evals++
+			if dd.Model.Score(d.Recs[i], d.Recs[j]) > 0 {
+				uf.Union(i, j)
+			}
+		}
+	}
+	topKByWeight(d, uf, k)
+	return evals
+}
+
+// runCanopy applies the necessary predicate as a canopy (blocking) step
+// and scores only canopy pairs.
+func runCanopy(dd *DomainData, k int) int64 {
+	d := dd.Data
+	n1 := dd.Domain.Levels[0].Necessary
+	keys := make([][]string, d.Len())
+	for i, r := range d.Recs {
+		keys[i] = n1.Keys(r)
+	}
+	ix := index.Build(d.Len(), func(i int) []string { return keys[i] })
+	uf := dsu.New(d.Len())
+	var evals int64
+	ix.ForEachPair(func(i, j int) bool {
+		if uf.Same(i, j) {
+			return true
+		}
+		if !n1.Eval(d.Recs[i], d.Recs[j]) {
+			return true
+		}
+		evals++
+		if dd.Model.Score(d.Recs[i], d.Recs[j]) > 0 {
+			uf.Union(i, j)
+		}
+		return true
+	})
+	topKByWeight(d, uf, k)
+	return evals
+}
+
+// runCanopyCollapse additionally collapses sure duplicates with the
+// sufficient predicates before the canopy join, so P runs on collapsed
+// representatives.
+func runCanopyCollapse(dd *DomainData, k int) int64 {
+	d := dd.Data
+	groups := singletons(d)
+	for _, level := range dd.Domain.Levels {
+		groups, _ = core.Collapse(d, groups, level.Sufficient)
+	}
+	n1 := dd.Domain.Levels[0].Necessary
+	keys := make([][]string, len(groups))
+	for i := range groups {
+		keys[i] = n1.Keys(d.Recs[groups[i].Rep])
+	}
+	ix := index.Build(len(groups), func(i int) []string { return keys[i] })
+	uf := dsu.New(len(groups))
+	var evals int64
+	ix.ForEachPair(func(i, j int) bool {
+		if uf.Same(i, j) {
+			return true
+		}
+		ri, rj := d.Recs[groups[i].Rep], d.Recs[groups[j].Rep]
+		if !n1.Eval(ri, rj) {
+			return true
+		}
+		evals++
+		if dd.Model.Score(ri, rj) > 0 {
+			uf.Union(i, j)
+		}
+		return true
+	})
+	// Aggregate weights through group membership.
+	weights := map[int]float64{}
+	for gi, g := range groups {
+		weights[uf.Find(gi)] += g.Weight
+	}
+	_ = k
+	return evals
+}
+
+// runPruned is the full Algorithm 2: PrunedDedup, then P only on the
+// surviving groups' candidate pairs.
+func runPruned(dd *DomainData, k int) (int64, error) {
+	d := dd.Data
+	res, err := core.PrunedDedup(d, dd.Domain.Levels, core.Options{K: k})
+	if err != nil {
+		return 0, err
+	}
+	groups := res.Groups
+	lastN := dd.Domain.Levels[len(dd.Domain.Levels)-1].Necessary
+	keys := make([][]string, len(groups))
+	for i := range groups {
+		keys[i] = lastN.Keys(d.Recs[groups[i].Rep])
+	}
+	ix := index.Build(len(groups), func(i int) []string { return keys[i] })
+	uf := dsu.New(len(groups))
+	var evals int64
+	ix.ForEachPair(func(i, j int) bool {
+		if uf.Same(i, j) {
+			return true
+		}
+		ri, rj := d.Recs[groups[i].Rep], d.Recs[groups[j].Rep]
+		if !lastN.Eval(ri, rj) {
+			return true
+		}
+		evals++
+		if dd.Model.Score(ri, rj) > 0 {
+			uf.Union(i, j)
+		}
+		return true
+	})
+	weights := map[int]float64{}
+	for gi, g := range groups {
+		weights[uf.Find(gi)] += g.Weight
+	}
+	_ = k
+	return evals, nil
+}
+
+func singletons(d *records.Dataset) []core.Group {
+	groups := make([]core.Group, d.Len())
+	for i, r := range d.Recs {
+		groups[i] = core.Group{Rep: r.ID, Members: []int{r.ID}, Weight: r.Weight}
+	}
+	return groups
+}
+
+// RenderTimingTable prints the Figure-6 comparison.
+func RenderTimingTable(w io.Writer, rows []TimingRow) {
+	tbl := eval.NewTable("method", "K", "time", "P-evals")
+	for _, r := range rows {
+		tbl.AddRow(r.Method, r.K, r.Elapsed.Round(time.Millisecond).String(), r.PairEvals)
+	}
+	tbl.Render(w)
+}

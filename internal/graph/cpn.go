@@ -1,0 +1,210 @@
+package graph
+
+import "container/heap"
+
+// This file implements Algorithm 1 of the paper: estimate a lower bound on
+// the clique partition number (CPN) of a graph by (1) computing a Min-fill
+// elimination ordering, implicitly triangulating the graph by adding fill
+// edges, and (2) greedily extracting an independent set along that
+// ordering. The size of an independent set of the filled supergraph G' is
+// a lower bound on CPN(G') which in turn lower-bounds CPN(G), because an
+// independent set of a supergraph is independent in the subgraph and no
+// clique can contain two independent vertices. For triangulated graphs the
+// ordering is a perfect elimination ordering and the bound is exact
+// (Gavril's algorithm).
+
+// MinFillResult carries the outputs of the Min-fill phase.
+type MinFillResult struct {
+	// Order is the elimination ordering π (Order[0] eliminated first).
+	Order []int
+	// Filled is the triangulated supergraph (original plus fill edges).
+	Filled *Graph
+	// FillEdges is the number of fill edges added.
+	FillEdges int
+}
+
+// fillHeap is a lazy min-heap of (vertex, cached fill cost) entries.
+// Cached costs are upper bounds: eliminating a vertex only ever removes
+// pairs from its neighbours' neighbourhoods, and fill-edge insertion
+// marks affected vertices stale, so a popped entry is re-verified before
+// use.
+type fillHeap struct {
+	vertex []int32
+	cost   []int32
+}
+
+func (h *fillHeap) Len() int { return len(h.vertex) }
+func (h *fillHeap) Less(i, j int) bool {
+	if h.cost[i] != h.cost[j] {
+		return h.cost[i] < h.cost[j]
+	}
+	return h.vertex[i] < h.vertex[j] // deterministic tie-break
+}
+func (h *fillHeap) Swap(i, j int) {
+	h.vertex[i], h.vertex[j] = h.vertex[j], h.vertex[i]
+	h.cost[i], h.cost[j] = h.cost[j], h.cost[i]
+}
+func (h *fillHeap) Push(x interface{}) {
+	e := x.([2]int32)
+	h.vertex = append(h.vertex, e[0])
+	h.cost = append(h.cost, e[1])
+}
+func (h *fillHeap) Pop() interface{} {
+	n := len(h.vertex) - 1
+	e := [2]int32{h.vertex[n], h.cost[n]}
+	h.vertex = h.vertex[:n]
+	h.cost = h.cost[:n]
+	return e
+}
+
+// MinFillOrder computes a Min-fill elimination ordering of g: repeatedly
+// eliminate the vertex whose un-eliminated neighbours need the fewest
+// extra edges to become a clique, adding those fill edges. Ties break on
+// the lowest vertex index so results are deterministic. A lazy heap of
+// cached fill costs keeps the selection sub-quadratic on sparse graphs.
+func MinFillOrder(g *Graph) MinFillResult {
+	n := g.Len()
+	work := g.Clone()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	order := make([]int, 0, n)
+	fills := 0
+
+	fillCost := func(v int) int {
+		var nbrs []int
+		for u := range work.adj[v] {
+			if alive[u] {
+				nbrs = append(nbrs, int(u))
+			}
+		}
+		missing := 0
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if !work.HasEdge(nbrs[i], nbrs[j]) {
+					missing++
+				}
+			}
+		}
+		return missing
+	}
+
+	h := &fillHeap{}
+	stale := make([]bool, n)
+	for v := 0; v < n; v++ {
+		heap.Push(h, [2]int32{int32(v), int32(fillCost(v))})
+	}
+	for len(order) < n {
+		e := heap.Pop(h).([2]int32)
+		v, cached := int(e[0]), int(e[1])
+		if !alive[v] {
+			continue
+		}
+		if stale[v] {
+			stale[v] = false
+			heap.Push(h, [2]int32{int32(v), int32(fillCost(v))})
+			continue
+		}
+		// cached is exact for fresh entries and an upper bound otherwise;
+		// zero-cost entries are always safe to take immediately.
+		if cached > 0 {
+			exact := fillCost(v)
+			if exact < cached {
+				// Cost improved (a neighbour was eliminated); entry may no
+				// longer be minimal relative to the heap — reinsert.
+				heap.Push(h, [2]int32{int32(v), int32(exact)})
+				continue
+			}
+			cached = exact
+		}
+		// Eliminate v: connect its alive neighbours into a clique.
+		if cached > 0 {
+			var nbrs []int
+			for u := range work.adj[v] {
+				if alive[u] {
+					nbrs = append(nbrs, int(u))
+				}
+			}
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if work.AddEdge(nbrs[i], nbrs[j]) {
+						fills++
+						// New edge can only increase costs of vertices
+						// adjacent to either endpoint; conservatively mark
+						// both endpoints' neighbourhoods stale.
+						markStale(work, alive, stale, nbrs[i])
+						markStale(work, alive, stale, nbrs[j])
+					}
+				}
+			}
+		}
+		order = append(order, v)
+		alive[v] = false
+	}
+	return MinFillResult{Order: order, Filled: work, FillEdges: fills}
+}
+
+func markStale(g *Graph, alive, stale []bool, v int) {
+	if alive[v] {
+		stale[v] = true
+	}
+	for u := range g.adj[v] {
+		if alive[u] {
+			stale[u] = true
+		}
+	}
+}
+
+// CPNLowerBound runs Algorithm 1 of the paper on g and returns a lower
+// bound on its clique partition number together with the witness
+// independent set (one representative vertex per guaranteed-distinct
+// clique).
+func CPNLowerBound(g *Graph) (int, []int) {
+	mf := MinFillOrder(g)
+	return greedyCoverCPN(mf.Filled, mf.Order)
+}
+
+// greedyCoverCPN performs the second loop of Algorithm 1: walk the
+// elimination order; each still-uncovered vertex starts a new partition
+// and covers itself and all its neighbours in the filled graph.
+func greedyCoverCPN(filled *Graph, order []int) (int, []int) {
+	covered := make([]bool, filled.Len())
+	cpn := 0
+	var witnesses []int
+	for _, v := range order {
+		if covered[v] {
+			continue
+		}
+		covered[v] = true
+		for u := range filled.adj[v] {
+			covered[u] = true
+		}
+		cpn++
+		witnesses = append(witnesses, v)
+	}
+	return cpn, witnesses
+}
+
+// GreedyIndependentSetSize returns the size of the independent set built
+// by scanning vertices in index order and keeping every vertex not
+// adjacent to a kept one. This is a cheap, always-valid CPN lower bound
+// used as the fast path of the incremental estimator.
+func GreedyIndependentSetSize(g *Graph) int {
+	kept := make([]bool, g.Len())
+	size := 0
+	for v := 0; v < g.Len(); v++ {
+		ok := true
+		for u := range g.adj[v] {
+			if kept[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept[v] = true
+			size++
+		}
+	}
+	return size
+}

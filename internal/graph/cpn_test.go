@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// exactCPN computes the true clique partition number by branch-and-bound:
+// place each vertex into a compatible existing clique or open a new one.
+// Only usable for small graphs.
+func exactCPN(g *Graph) int {
+	n := g.Len()
+	if n == 0 {
+		return 0
+	}
+	best := n
+	cliques := make([][]int, 0, n)
+	var dfs func(v int)
+	dfs = func(v int) {
+		if len(cliques) >= best {
+			return
+		}
+		if v == n {
+			if len(cliques) < best {
+				best = len(cliques)
+			}
+			return
+		}
+		for ci := range cliques {
+			ok := true
+			for _, u := range cliques[ci] {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cliques[ci] = append(cliques[ci], v)
+				dfs(v + 1)
+				cliques[ci] = cliques[ci][:len(cliques[ci])-1]
+			}
+		}
+		cliques = append(cliques, []int{v})
+		dfs(v + 1)
+		cliques = cliques[:len(cliques)-1]
+	}
+	dfs(0)
+	return best
+}
+
+// paperFigure1 builds the example graph of the paper's Figure 1: five
+// groups c1..c5 (vertices 0..4) whose optimal clique partition is
+// {c1,c5}, {c2,c3,c4} — CPN 2.
+func paperFigure1() *Graph {
+	g := New(5)
+	g.AddEdge(0, 1) // c1-c2
+	g.AddEdge(0, 4) // c1-c5
+	g.AddEdge(1, 2) // c2-c3
+	g.AddEdge(1, 3) // c2-c4
+	g.AddEdge(2, 3) // c3-c4
+	return g
+}
+
+func TestExactCPNKnownGraphs(t *testing.T) {
+	empty := New(4)
+	if got := exactCPN(empty); got != 4 {
+		t.Errorf("empty graph CPN = %d, want 4", got)
+	}
+	complete := New(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			complete.AddEdge(i, j)
+		}
+	}
+	if got := exactCPN(complete); got != 1 {
+		t.Errorf("complete graph CPN = %d, want 1", got)
+	}
+	if got := exactCPN(paperFigure1()); got != 2 {
+		t.Errorf("figure-1 CPN = %d, want 2", got)
+	}
+}
+
+func TestCPNLowerBoundPaperExample(t *testing.T) {
+	cpn, witnesses := CPNLowerBound(paperFigure1())
+	if cpn != 2 {
+		t.Errorf("Algorithm 1 on figure 1 = %d, want 2", cpn)
+	}
+	if len(witnesses) != cpn {
+		t.Errorf("witness count %d != cpn %d", len(witnesses), cpn)
+	}
+}
+
+func TestCPNLowerBoundExtremes(t *testing.T) {
+	empty := New(5)
+	if cpn, _ := CPNLowerBound(empty); cpn != 5 {
+		t.Errorf("edgeless graph bound = %d, want 5", cpn)
+	}
+	complete := New(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			complete.AddEdge(i, j)
+		}
+	}
+	if cpn, _ := CPNLowerBound(complete); cpn != 1 {
+		t.Errorf("complete graph bound = %d, want 1", cpn)
+	}
+	zero := New(0)
+	if cpn, _ := CPNLowerBound(zero); cpn != 0 {
+		t.Errorf("empty graph bound = %d, want 0", cpn)
+	}
+}
+
+func TestMinFillOrderTriangulates(t *testing.T) {
+	// A 4-cycle needs exactly one fill edge.
+	cycle := New(4)
+	cycle.AddEdge(0, 1)
+	cycle.AddEdge(1, 2)
+	cycle.AddEdge(2, 3)
+	cycle.AddEdge(3, 0)
+	mf := MinFillOrder(cycle)
+	if mf.FillEdges != 1 {
+		t.Errorf("4-cycle fill edges = %d, want 1", mf.FillEdges)
+	}
+	if len(mf.Order) != 4 {
+		t.Errorf("order length = %d", len(mf.Order))
+	}
+	// Already-triangulated graphs need no fill.
+	tri := New(4)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	tri.AddEdge(2, 3)
+	if mf := MinFillOrder(tri); mf.FillEdges != 0 {
+		t.Errorf("triangulated graph fill edges = %d, want 0", mf.FillEdges)
+	}
+}
+
+func TestMinFillOrderIsPermutation(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(7)), 12, 20)
+	mf := MinFillOrder(g)
+	seen := make([]bool, 12)
+	for _, v := range mf.Order {
+		if v < 0 || v >= 12 || seen[v] {
+			t.Fatalf("order is not a permutation: %v", mf.Order)
+		}
+		seen[v] = true
+	}
+}
+
+func randomGraph(r *rand.Rand, n, edges int) *Graph {
+	g := New(n)
+	for k := 0; k < edges; k++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// Property: Algorithm 1 and the greedy independent set are true lower
+// bounds on the exact CPN, and at least 1 on non-empty graphs.
+func TestCPNLowerBoundIsLowerBound(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		g := randomGraph(r, n, r.Intn(2*n+1))
+		exact := exactCPN(g)
+		lb, wit := CPNLowerBound(g)
+		if lb < 1 || lb > exact {
+			t.Logf("n=%d exact=%d minfill-bound=%d", n, exact, lb)
+			return false
+		}
+		if len(wit) != lb {
+			return false
+		}
+		// Witnesses must form an independent set in the original graph.
+		for i := 0; i < len(wit); i++ {
+			for j := i + 1; j < len(wit); j++ {
+				if g.HasEdge(wit[i], wit[j]) {
+					t.Logf("witnesses not independent: %v", wit)
+					return false
+				}
+			}
+		}
+		if gis := GreedyIndependentSetSize(g); gis < 1 || gis > exact {
+			t.Logf("greedy IS bound %d vs exact %d", gis, exact)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// For triangulated (chordal) graphs Algorithm 1 is exact. Interval graphs
+// are chordal; generate random interval graphs and compare.
+func TestCPNExactOnIntervalGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(8)
+		type iv struct{ lo, hi int }
+		ivs := make([]iv, n)
+		for i := range ivs {
+			a, b := r.Intn(20), r.Intn(20)
+			if a > b {
+				a, b = b, a
+			}
+			ivs[i] = iv{a, b}
+		}
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if ivs[i].lo <= ivs[j].hi && ivs[j].lo <= ivs[i].hi {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		exact := exactCPN(g)
+		lb, _ := CPNLowerBound(g)
+		if lb != exact {
+			t.Errorf("interval graph trial %d: bound %d != exact %d", trial, lb, exact)
+		}
+	}
+}
+
+func TestGreedyIndependentSetSize(t *testing.T) {
+	g := New(4) // path 0-1-2-3
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if got := GreedyIndependentSetSize(g); got != 2 { // {0, 2}
+		t.Errorf("path IS = %d, want 2", got)
+	}
+}
+
+func BenchmarkCPNLowerBound(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 200, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CPNLowerBound(g)
+	}
+}
+
+func TestExactCPNMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(9)
+		g := randomGraph(r, n, r.Intn(2*n+1))
+		want := exactCPN(g)
+		got, ok := ExactCPN(g, 0)
+		if !ok {
+			t.Fatalf("trial %d: tiny instance should complete", trial)
+		}
+		if got != want {
+			t.Errorf("trial %d: ExactCPN = %d, reference = %d", trial, got, want)
+		}
+	}
+}
+
+func TestExactCPNBudget(t *testing.T) {
+	// A dense-ish 24-vertex graph with a 1-node budget cannot complete,
+	// but must still return a valid upper bound (a real clique cover).
+	r := rand.New(rand.NewSource(5))
+	g := randomGraph(r, 24, 60)
+	got, ok := ExactCPN(g, 1)
+	if ok {
+		t.Fatal("budget 1 should not complete")
+	}
+	if got < 1 || got > 24 {
+		t.Errorf("upper bound out of range: %d", got)
+	}
+	lb, _ := CPNLowerBound(g)
+	if got < lb {
+		t.Errorf("upper bound %d below lower bound %d", got, lb)
+	}
+}
+
+func TestExactCPNEmpty(t *testing.T) {
+	if got, ok := ExactCPN(New(0), 0); got != 0 || !ok {
+		t.Errorf("empty graph: %d %v", got, ok)
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+// ExactCPN computes the exact clique partition number of g by
+// branch-and-bound (place each vertex into a compatible existing clique
+// or open a new one, pruning branches that cannot beat the incumbent).
+// Exponential in the worst case: ok reports whether the search completed
+// within maxNodes search-tree nodes; when false, the returned value is
+// the best upper bound found (a valid clique cover size, >= the true
+// CPN).
+//
+// PrunedDedup uses the polynomial lower bound (CPNLowerBound); the exact
+// solver exists to quantify the bound's tightness on small graphs (see
+// the property tests) and for callers that need certainty on tiny
+// instances.
+func ExactCPN(g *Graph, maxNodes int) (cpn int, ok bool) {
+	n := g.Len()
+	if n == 0 {
+		return 0, true
+	}
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	best := n
+	cliques := make([][]int, 0, n)
+	nodes := 0
+	complete := true
+	var dfs func(v int)
+	dfs = func(v int) {
+		nodes++
+		if nodes > maxNodes {
+			complete = false
+			return
+		}
+		if len(cliques) >= best {
+			return
+		}
+		if v == n {
+			best = len(cliques)
+			return
+		}
+		for ci := range cliques {
+			fits := true
+			for _, u := range cliques[ci] {
+				if !g.HasEdge(u, v) {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				cliques[ci] = append(cliques[ci], v)
+				dfs(v + 1)
+				cliques[ci] = cliques[ci][:len(cliques[ci])-1]
+				if !complete {
+					return
+				}
+			}
+		}
+		cliques = append(cliques, []int{v})
+		dfs(v + 1)
+		cliques = cliques[:len(cliques)-1]
+	}
+	dfs(0)
+	return best, complete
+}

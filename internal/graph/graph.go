@@ -1,0 +1,138 @@
+// Package graph provides the undirected-graph machinery behind the
+// lower-bound estimation step of PrunedDedup (paper §4.2): Min-fill
+// triangulation ordering and the clique-partition-number (CPN) lower
+// bound of Algorithm 1, plus an incremental variant used to find the
+// smallest vertex prefix whose CPN reaches K.
+package graph
+
+// Graph is a simple undirected graph over vertices [0, n) with adjacency
+// sets. Self-loops and parallel edges are ignored.
+type Graph struct {
+	adj []map[int32]struct{}
+	m   int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([]map[int32]struct{}, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int { return g.m }
+
+// AddVertex appends a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge (u, v). It reports whether the edge
+// is new. Self-loops are rejected (returns false).
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int32]struct{})
+	}
+	if _, ok := g.adj[u][int32(v)]; ok {
+		return false
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int32]struct{})
+	}
+	g.adj[u][int32(v)] = struct{}{}
+	g.adj[v][int32(u)] = struct{}{}
+	g.m++
+	return true
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v || g.adj[u] == nil {
+		return false
+	}
+	_, ok := g.adj[u][int32(v)]
+	return ok
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for every neighbour of v.
+func (g *Graph) Neighbors(v int, fn func(u int)) {
+	for u := range g.adj[v] {
+		fn(int(u))
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{adj: make([]map[int32]struct{}, len(g.adj)), m: g.m}
+	for v, set := range g.adj {
+		if set == nil {
+			continue
+		}
+		ns := make(map[int32]struct{}, len(set))
+		for u := range set {
+			ns[u] = struct{}{}
+		}
+		cp.adj[v] = ns
+	}
+	return cp
+}
+
+// InducedSubgraph returns the subgraph induced by the first n vertices.
+func (g *Graph) InducedSubgraph(n int) *Graph {
+	sub := New(n)
+	for v := 0; v < n; v++ {
+		for u := range g.adj[v] {
+			if int(u) < v {
+				sub.AddEdge(int(u), v)
+			}
+		}
+	}
+	return sub
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted increasing, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := len(g.adj)
+	seen := make([]bool, n)
+	var comps [][]int
+	stack := make([]int, 0, 16)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], s)
+		comp := []int{}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, int(u))
+				}
+			}
+		}
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	if !g.AddEdge(0, 1) {
+		t.Error("new edge should return true")
+	}
+	if g.AddEdge(0, 1) || g.AddEdge(1, 0) {
+		t.Error("duplicate edge should return false")
+	}
+	if g.AddEdge(2, 2) {
+		t.Error("self loop should be rejected")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge should be symmetric")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(3, 3) {
+		t.Error("absent edges reported present")
+	}
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Error("degree wrong")
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.Len() != 3 {
+		t.Fatalf("AddVertex = %d, Len = %d", v, g.Len())
+	}
+	g.AddEdge(0, v)
+	if !g.HasEdge(2, 0) {
+		t.Error("edge to new vertex missing")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	seen := map[int]bool{}
+	g.Neighbors(0, func(u int) { seen[u] = true })
+	if len(seen) != 2 || !seen[1] || !seen[2] {
+		t.Errorf("Neighbors(0) = %v", seen)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	cp := g.Clone()
+	cp.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone affected original")
+	}
+	if !cp.HasEdge(0, 1) {
+		t.Error("clone lost original edge")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 4)
+	g.AddEdge(2, 3)
+	sub := g.InducedSubgraph(3)
+	if sub.Len() != 3 {
+		t.Fatalf("sub.Len = %d", sub.Len())
+	}
+	if !sub.HasEdge(0, 1) {
+		t.Error("edge inside prefix missing")
+	}
+	if sub.EdgeCount() != 1 {
+		t.Errorf("sub.EdgeCount = %d, want 1", sub.EdgeCount())
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("first component = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Errorf("singleton component = %v", comps[1])
+	}
+	if len(comps[2]) != 2 || comps[2][0] != 4 {
+		t.Errorf("last component = %v", comps[2])
+	}
+}
+
+// Property: components partition the vertex set and no edge crosses
+// components.
+func TestConnectedComponentsProperties(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		g := New(n)
+		for k := 0; k < n; k++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		comps := g.ConnectedComponents()
+		seen := make([]int, n)
+		for ci, comp := range comps {
+			for _, v := range comp {
+				seen[v]++
+				_ = ci
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// Map vertex -> component id, check edges stay inside.
+		compOf := make([]int, n)
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		for v := 0; v < n; v++ {
+			bad := false
+			g.Neighbors(v, func(u int) {
+				if compOf[u] != compOf[v] {
+					bad = true
+				}
+			})
+			if bad {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

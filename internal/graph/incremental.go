@@ -1,0 +1,130 @@
+package graph
+
+// PrefixCPN incrementally grows a graph one vertex at a time (each new
+// vertex arrives with its edges to earlier vertices) and finds the
+// smallest prefix length m such that the CPN lower bound of the induced
+// prefix graph reaches a target K. This is the "incremental version" of
+// Algorithm 1 the paper alludes to in §4.2.1: PrunedDedup feeds in
+// collapsed groups in decreasing size order and stops as soon as K
+// distinct entities are guaranteed.
+//
+// Two bounds are combined:
+//
+//   - a cheap greedy independent set maintained incrementally in O(deg)
+//     per insertion (a new vertex joins the set iff none of its
+//     neighbours is in it), and
+//   - the full Min-fill bound of Algorithm 1, run every few insertions;
+//     when it reaches the target, a binary search over prefix lengths
+//     narrows down the smallest qualifying prefix.
+//
+// Both are true lower bounds on the clique partition number, so whichever
+// fires first yields a correct (merely possibly non-minimal) m.
+type PrefixCPN struct {
+	target    int
+	g         *Graph
+	inIS      []bool
+	isSize    int
+	sinceFull int
+	interval  int
+	reachedAt int // smallest prefix known to reach target; -1 if none
+}
+
+// NewPrefixCPN returns an estimator for the given target K (must be >= 1).
+func NewPrefixCPN(target int) *PrefixCPN {
+	if target < 1 {
+		target = 1
+	}
+	interval := 8 + target/4
+	return &PrefixCPN{target: target, g: New(0), interval: interval, reachedAt: -1}
+}
+
+// Len returns the number of vertices added so far.
+func (p *PrefixCPN) Len() int { return p.g.Len() }
+
+// Reached reports whether some prefix has hit the target.
+func (p *PrefixCPN) Reached() bool { return p.reachedAt >= 0 }
+
+// ReachedAt returns the smallest prefix length known to reach the target,
+// or -1 when the target has not been reached.
+func (p *PrefixCPN) ReachedAt() int { return p.reachedAt }
+
+// Add inserts the next vertex together with its edges to earlier vertices
+// (indices < current Len) and reports whether the target is now reached.
+// Adding after the target is reached is allowed but does no further work.
+func (p *PrefixCPN) Add(neighbors []int) bool {
+	v := p.g.AddVertex()
+	p.inIS = append(p.inIS, false)
+	for _, u := range neighbors {
+		if u >= 0 && u < v {
+			p.g.AddEdge(u, v)
+		}
+	}
+	if p.reachedAt >= 0 {
+		return true
+	}
+	// Cheap path: maintain the greedy independent set.
+	independent := true
+	for _, u := range neighbors {
+		if u >= 0 && u < v && p.inIS[u] {
+			independent = false
+			break
+		}
+	}
+	if independent {
+		p.inIS[v] = true
+		p.isSize++
+		p.sinceFull = 0 // still making progress cheaply
+		if p.isSize >= p.target {
+			p.reachedAt = v + 1
+			return true
+		}
+		return false
+	}
+	// The cheap bound has stalled for a while: bring in Algorithm 1,
+	// whose Min-fill ordering finds independent sets the insertion-order
+	// greedy misses.
+	p.sinceFull++
+	if p.sinceFull >= p.interval {
+		p.sinceFull = 0
+		p.fullCheck()
+	}
+	return p.reachedAt >= 0
+}
+
+// Finish runs a final strong check; call it when no more vertices remain.
+// It reports whether the target was reached.
+func (p *PrefixCPN) Finish() bool {
+	if p.reachedAt < 0 {
+		p.fullCheck()
+	}
+	return p.reachedAt >= 0
+}
+
+func (p *PrefixCPN) fullCheck() {
+	n := p.g.Len()
+	if n == 0 || n > 2500 {
+		// Min-fill on very large (and, when the cheap bound has stalled
+		// this long, typically dense) prefixes costs more than the
+		// pruning its tighter m could save; stay on the cheap bound.
+		return
+	}
+	cpn, _ := CPNLowerBound(p.g)
+	if cpn < p.target {
+		return
+	}
+	// Binary search the smallest prefix whose bound reaches the target.
+	// The true CPN is monotone in the prefix (adding vertices cannot
+	// decrease it); the estimate may dip occasionally, in which case we
+	// simply settle for a slightly larger — still correct — m.
+	lo, hi := p.target, n // prefixes < target can never reach target
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c, _ := CPNLowerBound(p.g.InducedSubgraph(mid))
+		if c >= p.target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	p.reachedAt = lo
+}

@@ -1,0 +1,154 @@
+// Package index provides the inverted index used to generate candidate
+// pairs for blocking-key predicates without an O(n²) scan. Items are
+// integers [0, n) (record or group IDs); each item exposes a set of string
+// keys, and only items sharing a key can possibly satisfy the predicate
+// (the completeness contract of predicate.P.Keys).
+package index
+
+// Index is an inverted index from blocking key to the items carrying it.
+type Index struct {
+	n       int
+	buckets map[string][]int32
+}
+
+// Build indexes items [0, n) using their keys.
+func Build(n int, keysOf func(i int) []string) *Index {
+	ix := &Index{n: n, buckets: make(map[string][]int32)}
+	for i := 0; i < n; i++ {
+		for _, k := range keysOf(i) {
+			ix.buckets[k] = append(ix.buckets[k], int32(i))
+		}
+	}
+	return ix
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return ix.n }
+
+// BucketCount returns the number of distinct keys.
+func (ix *Index) BucketCount() int { return len(ix.buckets) }
+
+// Bucket returns the items carrying the key (shared slice; do not mutate).
+func (ix *Index) Bucket(key string) []int32 { return ix.buckets[key] }
+
+// MaxBucket returns the size of the largest bucket.
+func (ix *Index) MaxBucket() int {
+	best := 0
+	for _, b := range ix.buckets {
+		if len(b) > best {
+			best = len(b)
+		}
+	}
+	return best
+}
+
+// ForEachBucket calls fn for every key's bucket.
+func (ix *Index) ForEachBucket(fn func(key string, items []int32)) {
+	for k, b := range ix.buckets {
+		fn(k, b)
+	}
+}
+
+// BucketWeightTotals returns, for each key, the total weight of the items
+// in its bucket. Used for the cheap pass-0 upper bound in the prune step:
+// an item's neighbour weight is at most Σ over its keys of
+// (bucketTotal − ownWeight), since that sum only overcounts.
+func (ix *Index) BucketWeightTotals(weight func(i int) float64) map[string]float64 {
+	totals := make(map[string]float64, len(ix.buckets))
+	for k, b := range ix.buckets {
+		var t float64
+		for _, i := range b {
+			t += weight(int(i))
+		}
+		totals[k] = t
+	}
+	return totals
+}
+
+// Stamp is a reusable visited-set over [0, n) with O(1) reset.
+type Stamp struct {
+	mark []int32
+	cur  int32
+}
+
+// NewStamp returns a Stamp for n items.
+func NewStamp(n int) *Stamp { return &Stamp{mark: make([]int32, n)} }
+
+// Reset clears the stamp in O(1).
+func (s *Stamp) Reset() {
+	s.cur++
+	if s.cur == 0 { // wrapped; clear explicitly
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.cur = 1
+	}
+}
+
+// Visit marks i and reports whether i was already marked since Reset.
+func (s *Stamp) Visit(i int) bool {
+	if s.mark[i] == s.cur {
+		return true
+	}
+	s.mark[i] = s.cur
+	return false
+}
+
+// Candidates appends to dst the distinct items sharing at least one of the
+// given keys, excluding self, and returns the extended slice. The stamp is
+// reset internally.
+func (ix *Index) Candidates(self int, keys []string, stamp *Stamp, dst []int32) []int32 {
+	stamp.Reset()
+	if self >= 0 {
+		stamp.Visit(self)
+	}
+	for _, k := range keys {
+		for _, j := range ix.buckets[k] {
+			if !stamp.Visit(int(j)) {
+				dst = append(dst, j)
+			}
+		}
+	}
+	return dst
+}
+
+// ForEachPair enumerates every distinct unordered pair of items sharing at
+// least one key, as (i, j) with i < j, each pair exactly once. fn
+// returning false stops the walk. Cost is Σ_buckets |b|² stamp operations
+// but each expensive downstream evaluation runs once per distinct pair.
+func (ix *Index) ForEachPair(fn func(i, j int) bool) {
+	// Per-item pair dedup: for item i, walk its buckets and visit each
+	// partner once. To know an item's keys we invert once.
+	keysOf := make([][]string, ix.n)
+	for k, b := range ix.buckets {
+		for _, i := range b {
+			keysOf[i] = append(keysOf[i], k)
+		}
+	}
+	stamp := NewStamp(ix.n)
+	for i := 0; i < ix.n; i++ {
+		stamp.Reset()
+		stamp.Visit(i)
+		for _, k := range keysOf[i] {
+			for _, j := range ix.buckets[k] {
+				if int(j) <= i { // emit each unordered pair once, from the smaller side
+					continue
+				}
+				if stamp.Visit(int(j)) {
+					continue
+				}
+				if !fn(i, int(j)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// PairCount returns the number of distinct candidate pairs (the size of
+// the canopy join ForEachPair would enumerate).
+func (ix *Index) PairCount() int {
+	count := 0
+	ix.ForEachPair(func(_, _ int) bool { count++; return true })
+	return count
+}

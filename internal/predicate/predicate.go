@@ -1,0 +1,152 @@
+// Package predicate implements the necessary/sufficient predicate
+// framework of PrunedDedup (paper §4).
+//
+// A necessary predicate N must be true for every duplicate pair:
+// N(a,b) = false ⇒ duplicate(a,b) = false. A sufficient predicate S must
+// be false for every non-duplicate pair: S(a,b) = true ⇒ duplicate(a,b) =
+// true. Both are assumed much cheaper than the final pairwise criterion P.
+//
+// Every predicate carries a blocking-key function so candidate pairs can
+// be generated with an inverted index instead of an O(n²) scan: the key
+// function must be *complete* — whenever the predicate holds for a pair,
+// the two records share at least one key. (This is the standard canopy /
+// blocking property.)
+package predicate
+
+import (
+	"fmt"
+
+	"topkdedup/internal/records"
+)
+
+// P is a cheap pairwise predicate with blocking keys.
+type P struct {
+	// Name identifies the predicate in logs and stats (e.g. "S1", "N2").
+	Name string
+	// Eval reports whether the predicate holds for the pair.
+	Eval func(a, b *records.Record) bool
+	// Keys returns the blocking keys of a record. Completeness contract:
+	// Eval(a,b) == true implies Keys(a) ∩ Keys(b) ≠ ∅.
+	Keys func(r *records.Record) []string
+}
+
+// Level pairs one sufficient with one necessary predicate; PrunedDedup
+// takes a schedule of levels of increasing cost and tightness.
+type Level struct {
+	Sufficient P
+	Necessary  P
+}
+
+// Violation describes a pair breaking a predicate contract, found by
+// Validate.
+type Violation struct {
+	Kind string // "sufficient" or "necessary" or "keys"
+	Pred string
+	A, B int // record IDs
+}
+
+// String renders the violation for logs and error messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s predicate %s violated by pair (%d, %d)", v.Kind, v.Pred, v.A, v.B)
+}
+
+// ValidateSufficient checks S's contract against ground truth on all
+// within-key candidate pairs: whenever S holds, the two records must share
+// a truth label. Records without truth labels are skipped. At most
+// maxViolations are reported (0 means collect all).
+func ValidateSufficient(d *records.Dataset, s P, maxViolations int) []Violation {
+	var out []Violation
+	forEachKeyPair(d, s, func(a, b *records.Record) bool {
+		if a.Truth == "" || b.Truth == "" {
+			return true
+		}
+		if s.Eval(a, b) && a.Truth != b.Truth {
+			out = append(out, Violation{Kind: "sufficient", Pred: s.Name, A: a.ID, B: b.ID})
+			if maxViolations > 0 && len(out) >= maxViolations {
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ValidateNecessary checks N's contract against ground truth: every
+// same-truth pair must satisfy N. This is inherently O(Σ group²) over
+// truth groups, which is fine for labelled validation sets. It also
+// verifies key completeness: same-truth pairs satisfying N must share a
+// key. At most maxViolations are reported (0 means collect all).
+func ValidateNecessary(d *records.Dataset, n P, maxViolations int) []Violation {
+	var out []Violation
+	add := func(v Violation) bool {
+		out = append(out, v)
+		return maxViolations <= 0 || len(out) < maxViolations
+	}
+	for _, ids := range d.TruthGroups() {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := d.Recs[ids[i]], d.Recs[ids[j]]
+				if !n.Eval(a, b) {
+					if !add(Violation{Kind: "necessary", Pred: n.Name, A: a.ID, B: b.ID}) {
+						return out
+					}
+					continue
+				}
+				if !keysIntersect(n, a, b) {
+					if !add(Violation{Kind: "keys", Pred: n.Name, A: a.ID, B: b.ID}) {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func keysIntersect(p P, a, b *records.Record) bool {
+	ka := p.Keys(a)
+	if len(ka) == 0 {
+		return false
+	}
+	set := make(map[string]struct{}, len(ka))
+	for _, k := range ka {
+		set[k] = struct{}{}
+	}
+	for _, k := range p.Keys(b) {
+		if _, ok := set[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachKeyPair enumerates candidate pairs sharing at least one blocking
+// key and calls fn for each distinct pair once; fn returning false stops
+// the enumeration.
+func forEachKeyPair(d *records.Dataset, p P, fn func(a, b *records.Record) bool) {
+	buckets := make(map[string][]int)
+	for _, r := range d.Recs {
+		for _, k := range p.Keys(r) {
+			buckets[k] = append(buckets[k], r.ID)
+		}
+	}
+	seen := make(map[[2]int]struct{})
+	for _, ids := range buckets {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if _, ok := seen[key]; ok {
+					continue
+				}
+				seen[key] = struct{}{}
+				if !fn(d.Recs[a], d.Recs[b]) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package predicate
+
+import (
+	"testing"
+
+	"topkdedup/internal/records"
+)
+
+// nameEq is a toy sufficient predicate: exact name equality.
+func nameEq() P {
+	return P{
+		Name: "nameEq",
+		Eval: func(a, b *records.Record) bool {
+			return a.Field("name") == b.Field("name") && a.Field("name") != ""
+		},
+		Keys: func(r *records.Record) []string { return []string{r.Field("name")} },
+	}
+}
+
+// sharesInitial is a toy necessary predicate: names share a first letter.
+func sharesInitial() P {
+	return P{
+		Name: "sharesInitial",
+		Eval: func(a, b *records.Record) bool {
+			na, nb := a.Field("name"), b.Field("name")
+			return len(na) > 0 && len(nb) > 0 && na[0] == nb[0]
+		},
+		Keys: func(r *records.Record) []string {
+			n := r.Field("name")
+			if n == "" {
+				return nil
+			}
+			return []string{n[:1]}
+		},
+	}
+}
+
+func dataset() *records.Dataset {
+	d := records.New("t", "name")
+	d.Append(1, "E1", "alice")  // 0
+	d.Append(1, "E1", "alice")  // 1 exact dup
+	d.Append(1, "E1", "alicia") // 2 variant
+	d.Append(1, "E2", "bob")    // 3
+	d.Append(1, "E3", "amy")    // 4 shares initial with E1
+	return d
+}
+
+func TestValidateSufficientPasses(t *testing.T) {
+	if v := ValidateSufficient(dataset(), nameEq(), 0); len(v) != 0 {
+		t.Errorf("valid sufficient predicate reported violations: %v", v)
+	}
+}
+
+func TestValidateSufficientCatchesViolation(t *testing.T) {
+	d := records.New("t", "name")
+	d.Append(1, "E1", "same")
+	d.Append(1, "E2", "same") // different entity, same name: nameEq breaks
+	v := ValidateSufficient(d, nameEq(), 0)
+	if len(v) != 1 {
+		t.Fatalf("expected 1 violation, got %v", v)
+	}
+	if v[0].Kind != "sufficient" || v[0].Pred != "nameEq" {
+		t.Errorf("violation fields wrong: %+v", v[0])
+	}
+	if v[0].String() == "" {
+		t.Error("violation should render")
+	}
+}
+
+func TestValidateSufficientSkipsUnlabelled(t *testing.T) {
+	d := records.New("t", "name")
+	d.Append(1, "", "same")
+	d.Append(1, "E2", "same")
+	if v := ValidateSufficient(d, nameEq(), 0); len(v) != 0 {
+		t.Errorf("unlabelled records should be skipped, got %v", v)
+	}
+}
+
+func TestValidateNecessaryPasses(t *testing.T) {
+	if v := ValidateNecessary(dataset(), sharesInitial(), 0); len(v) != 0 {
+		t.Errorf("valid necessary predicate reported violations: %v", v)
+	}
+}
+
+func TestValidateNecessaryCatchesViolation(t *testing.T) {
+	d := records.New("t", "name")
+	d.Append(1, "E1", "alice")
+	d.Append(1, "E1", "bob") // same entity, different initial: N breaks
+	v := ValidateNecessary(d, sharesInitial(), 0)
+	if len(v) != 1 || v[0].Kind != "necessary" {
+		t.Fatalf("expected 1 necessary violation, got %v", v)
+	}
+}
+
+func TestValidateNecessaryCatchesIncompleteKeys(t *testing.T) {
+	// Predicate true for same-entity pair but keys don't intersect.
+	badKeys := P{
+		Name: "badKeys",
+		Eval: func(a, b *records.Record) bool { return true },
+		Keys: func(r *records.Record) []string { return []string{r.Field("name")} },
+	}
+	d := records.New("t", "name")
+	d.Append(1, "E1", "alice")
+	d.Append(1, "E1", "bob")
+	v := ValidateNecessary(d, badKeys, 0)
+	if len(v) != 1 || v[0].Kind != "keys" {
+		t.Fatalf("expected 1 keys violation, got %v", v)
+	}
+}
+
+func TestValidateMaxViolations(t *testing.T) {
+	d := records.New("t", "name")
+	for i := 0; i < 5; i++ {
+		d.Append(1, "E1", string(rune('a'+i))) // all same entity, no shared initials
+	}
+	v := ValidateNecessary(d, sharesInitial(), 3)
+	if len(v) != 3 {
+		t.Errorf("maxViolations not honoured: got %d", len(v))
+	}
+}
+
+func TestForEachKeyPairDedup(t *testing.T) {
+	d := records.New("t", "name")
+	d.Append(1, "E1", "aa")
+	d.Append(1, "E1", "aa")
+	p := P{
+		Name: "two-keys",
+		Eval: func(a, b *records.Record) bool { return true },
+		Keys: func(r *records.Record) []string { return []string{"k1", "k2"} },
+	}
+	count := 0
+	forEachKeyPair(d, p, func(a, b *records.Record) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("pair sharing two keys visited %d times, want 1", count)
+	}
+}

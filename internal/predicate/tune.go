@@ -1,0 +1,142 @@
+package predicate
+
+import (
+	"fmt"
+	"math"
+
+	"topkdedup/internal/records"
+)
+
+// This file implements the paper's stated future work (§8): automatically
+// choosing necessary and sufficient predicates. Given a labelled sample
+// and a threshold-parameterised predicate family, TuneNecessary and
+// TuneSufficient binary-search the tightest threshold whose violation
+// rate on the sample stays within a tolerance.
+
+// Family is a predicate family parameterised by a real threshold. Build
+// must be monotone: for a necessary family, raising the threshold only
+// removes pairs (tighter); for a sufficient family, raising the threshold
+// only removes pairs (safer).
+type Family struct {
+	// Name prefixes the tuned predicate's name.
+	Name string
+	// Build constructs the predicate at a threshold.
+	Build func(threshold float64) P
+	// Lo and Hi bound the threshold search range.
+	Lo, Hi float64
+}
+
+// TuneResult reports a tuned predicate.
+type TuneResult struct {
+	Pred          P
+	Threshold     float64
+	ViolationRate float64
+}
+
+// TuneNecessary finds the largest threshold in [Lo, Hi] whose predicate
+// still satisfies the necessary contract on the labelled dataset with at
+// most maxViolationRate violations (relative to labelled duplicate
+// pairs). Larger thresholds give tighter canopies and better pruning, so
+// the search maximises the threshold subject to validity.
+func TuneNecessary(d *records.Dataset, fam Family, maxViolationRate float64, steps int) (*TuneResult, error) {
+	totalPairs := labelledPairs(d)
+	if totalPairs == 0 {
+		return nil, fmt.Errorf("predicate: no labelled duplicate pairs to tune against")
+	}
+	rate := func(th float64) float64 {
+		v := ValidateNecessary(d, fam.Build(th), 0)
+		return float64(len(v)) / float64(totalPairs)
+	}
+	if steps <= 0 {
+		steps = 20
+	}
+	lo, hi := fam.Lo, fam.Hi
+	if rate(lo) > maxViolationRate {
+		return nil, fmt.Errorf("predicate: family %s invalid even at loosest threshold %g", fam.Name, lo)
+	}
+	// Binary search the validity boundary (rate is monotone non-decreasing
+	// in the threshold for a monotone family).
+	best := lo
+	for i := 0; i < steps && hi-lo > 1e-9; i++ {
+		mid := (lo + hi) / 2
+		if rate(mid) <= maxViolationRate {
+			best, lo = mid, mid
+		} else {
+			hi = mid
+		}
+	}
+	r := rate(best)
+	pred := fam.Build(best)
+	pred.Name = fmt.Sprintf("%s@%.4g", fam.Name, best)
+	return &TuneResult{Pred: pred, Threshold: best, ViolationRate: r}, nil
+}
+
+// TuneSufficient finds the smallest threshold in [Lo, Hi] whose predicate
+// satisfies the sufficient contract with at most maxViolationRate
+// violations (relative to labelled duplicate pairs — the same
+// normalisation the validity tests use). Smaller thresholds collapse more
+// pairs, so the search minimises the threshold subject to validity.
+func TuneSufficient(d *records.Dataset, fam Family, maxViolationRate float64, steps int) (*TuneResult, error) {
+	totalPairs := labelledPairs(d)
+	if totalPairs == 0 {
+		return nil, fmt.Errorf("predicate: no labelled duplicate pairs to tune against")
+	}
+	rate := func(th float64) float64 {
+		v := ValidateSufficient(d, fam.Build(th), 0)
+		return float64(len(v)) / float64(totalPairs)
+	}
+	if steps <= 0 {
+		steps = 20
+	}
+	lo, hi := fam.Lo, fam.Hi
+	if rate(hi) > maxViolationRate {
+		return nil, fmt.Errorf("predicate: family %s invalid even at strictest threshold %g", fam.Name, hi)
+	}
+	best := hi
+	for i := 0; i < steps && hi-lo > 1e-9; i++ {
+		mid := (lo + hi) / 2
+		if rate(mid) <= maxViolationRate {
+			best, hi = mid, mid
+		} else {
+			lo = mid
+		}
+	}
+	r := rate(best)
+	pred := fam.Build(best)
+	pred.Name = fmt.Sprintf("%s@%.4g", fam.Name, best)
+	return &TuneResult{Pred: pred, Threshold: best, ViolationRate: r}, nil
+}
+
+// Selectivity estimates a predicate's candidate-pair selectivity on the
+// dataset: the number of blocking-key candidate pairs divided by the
+// number of all pairs. Low selectivity means cheaper joins; it is the
+// cost signal a predicate-choosing optimiser would weigh against
+// tightness (the paper's §8 "query optimization framework for selecting
+// the best subset of predicates based on selectivity and running time").
+func Selectivity(d *records.Dataset, p P) float64 {
+	n := d.Len()
+	if n < 2 {
+		return 0
+	}
+	var cand float64
+	buckets := make(map[string]float64)
+	for _, r := range d.Recs {
+		for _, k := range p.Keys(r) {
+			buckets[k]++
+		}
+	}
+	for _, c := range buckets {
+		cand += c * (c - 1) / 2
+	}
+	all := float64(n) * float64(n-1) / 2
+	return math.Min(1, cand/all)
+}
+
+func labelledPairs(d *records.Dataset) int64 {
+	var total int64
+	for _, ids := range d.TruthGroups() {
+		n := int64(len(ids))
+		total += n * (n - 1) / 2
+	}
+	return total
+}

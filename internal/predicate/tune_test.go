@@ -1,0 +1,211 @@
+package predicate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topkdedup/internal/records"
+	"topkdedup/internal/strsim"
+)
+
+// tuneDataset: entities with 1-char-noisy renderings of 8-char names.
+func tuneDataset(seed int64, entities, mentions int) *records.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := records.New("tune", "name")
+	letters := "bcdfghjklmnpqrstvwz"
+	for e := 0; e < entities; e++ {
+		base := make([]byte, 8)
+		for i := range base {
+			base[i] = letters[r.Intn(len(letters))]
+		}
+		for k := 0; k < mentions; k++ {
+			name := string(base)
+			if k > 0 {
+				b := []byte(name)
+				b[r.Intn(len(b))] = letters[r.Intn(len(letters))]
+				name = string(b)
+			}
+			d.Append(1, fmt.Sprintf("E%03d", e), name)
+		}
+	}
+	return d
+}
+
+// gramOverlapFamily: N(a, b) iff 3-gram overlap > threshold.
+func gramOverlapFamily() Family {
+	cache := strsim.NewCache(nil)
+	return Family{
+		Name: "gram-overlap",
+		Lo:   0.0,
+		Hi:   0.95,
+		Build: func(th float64) P {
+			return P{
+				Name: "gram-overlap",
+				Eval: func(a, b *records.Record) bool {
+					return cache.GramOverlapRatio(a.Field("name"), b.Field("name")) > th
+				},
+				Keys: func(r *records.Record) []string {
+					grams := cache.TriGrams(r.Field("name"))
+					keys := make([]string, 0, len(grams))
+					for g := range grams {
+						keys = append(keys, g)
+					}
+					return keys
+				},
+			}
+		},
+	}
+}
+
+// jaccardSufficientFamily: S(a, b) iff gram Jaccard >= threshold.
+func jaccardSufficientFamily() Family {
+	cache := strsim.NewCache(nil)
+	return Family{
+		Name: "gram-jaccard",
+		Lo:   0.3,
+		Hi:   1.0,
+		Build: func(th float64) P {
+			return P{
+				Name: "gram-jaccard",
+				Eval: func(a, b *records.Record) bool {
+					return cache.JaccardGrams(a.Field("name"), b.Field("name")) >= th
+				},
+				Keys: func(r *records.Record) []string {
+					grams := cache.TriGrams(r.Field("name"))
+					keys := make([]string, 0, len(grams))
+					for g := range grams {
+						keys = append(keys, g)
+					}
+					return keys
+				},
+			}
+		},
+	}
+}
+
+func TestTuneNecessaryFindsTightestValid(t *testing.T) {
+	// Two spread single-edits can destroy every shared 3-gram of a pair,
+	// so even a "shares a gram" canopy has a small violation rate on this
+	// data; tune against a 5% tolerance.
+	const tol = 0.05
+	d := tuneDataset(1, 30, 4)
+	res, err := TuneNecessary(d, gramOverlapFamily(), tol, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold >= 0.9 {
+		t.Errorf("tuned threshold %v implausibly tight", res.Threshold)
+	}
+	if res.ViolationRate > tol {
+		t.Errorf("tuned predicate rate %v exceeds tolerance %v", res.ViolationRate, tol)
+	}
+	// A clearly tighter threshold must break the tolerance (tightest-valid
+	// property, with slack for search resolution).
+	fam := gramOverlapFamily()
+	tighter := fam.Build(res.Threshold + 0.1)
+	var pairs int64
+	for _, ids := range d.TruthGroups() {
+		n := int64(len(ids))
+		pairs += n * (n - 1) / 2
+	}
+	v := ValidateNecessary(d, tighter, 0)
+	if rate := float64(len(v)) / float64(pairs); rate <= tol {
+		t.Errorf("threshold %v+0.1 still within tolerance (rate %v); tuner under-shot",
+			res.Threshold, rate)
+	}
+}
+
+func TestTuneSufficientFindsLoosestValid(t *testing.T) {
+	d := tuneDataset(2, 30, 4)
+	res, err := TuneSufficient(d, jaccardSufficientFamily(), 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ValidateSufficient(d, res.Pred, 0); len(v) != 0 {
+		t.Errorf("tuned sufficient predicate has %d violations", len(v))
+	}
+	if res.Threshold >= 1.0 {
+		t.Error("tuner should find a threshold below exact match")
+	}
+	// A looser threshold must violate (loosest-valid property) — unless
+	// the search bottomed out at the family's lower bound, where the
+	// whole range is valid.
+	if res.Threshold > jaccardSufficientFamily().Lo+0.02 {
+		fam := jaccardSufficientFamily()
+		looser := fam.Build(res.Threshold - 0.05)
+		if v := ValidateSufficient(d, looser, 0); len(v) == 0 {
+			t.Errorf("threshold %v-0.05 still valid; tuner over-shot", res.Threshold)
+		}
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	empty := records.New("e", "name")
+	if _, err := TuneNecessary(empty, gramOverlapFamily(), 0, 8); err == nil {
+		t.Error("no labelled pairs should error")
+	}
+	if _, err := TuneSufficient(empty, jaccardSufficientFamily(), 0, 8); err == nil {
+		t.Error("no labelled pairs should error")
+	}
+	// A family that is invalid even at its safest end errors out.
+	d := tuneDataset(3, 10, 3)
+	alwaysTrue := Family{
+		Name: "always",
+		Lo:   0,
+		Hi:   1,
+		Build: func(th float64) P {
+			return P{
+				Name: "always",
+				Eval: func(a, b *records.Record) bool { return true },
+				Keys: func(r *records.Record) []string { return []string{"k"} },
+			}
+		},
+	}
+	if _, err := TuneSufficient(d, alwaysTrue, 0, 8); err == nil {
+		t.Error("always-true sufficient family should be rejected")
+	}
+	neverTrue := Family{
+		Name: "never",
+		Lo:   0,
+		Hi:   1,
+		Build: func(th float64) P {
+			return P{
+				Name: "never",
+				Eval: func(a, b *records.Record) bool { return false },
+				Keys: func(r *records.Record) []string { return nil },
+			}
+		},
+	}
+	if _, err := TuneNecessary(d, neverTrue, 0, 8); err == nil {
+		t.Error("never-true necessary family should be rejected")
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	d := records.New("t", "name")
+	for i := 0; i < 10; i++ {
+		d.Append(1, "", fmt.Sprintf("rec%d", i))
+	}
+	// All records share one key: selectivity 1.
+	allOne := P{
+		Name: "one-bucket",
+		Eval: func(a, b *records.Record) bool { return true },
+		Keys: func(r *records.Record) []string { return []string{"k"} },
+	}
+	if got := Selectivity(d, allOne); got != 1 {
+		t.Errorf("single-bucket selectivity = %v, want 1", got)
+	}
+	// Each record its own key: selectivity 0.
+	each := P{
+		Name: "own-bucket",
+		Eval: func(a, b *records.Record) bool { return false },
+		Keys: func(r *records.Record) []string { return []string{r.Field("name")} },
+	}
+	if got := Selectivity(d, each); got != 0 {
+		t.Errorf("per-record selectivity = %v, want 0", got)
+	}
+	if got := Selectivity(records.New("e", "x"), allOne); got != 0 {
+		t.Errorf("empty dataset selectivity = %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+package rankquery
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// Same toy domain as the core tests: S = exact name match, N = shared
+// first letter; entity renderings keep their first letter.
+func toyS() predicate.P {
+	return predicate.P{
+		Name: "S",
+		Eval: func(a, b *records.Record) bool {
+			return a.Field("name") != "" && a.Field("name") == b.Field("name")
+		},
+		Keys: func(r *records.Record) []string { return []string{"s:" + r.Field("name")} },
+	}
+}
+
+func toyN() predicate.P {
+	return predicate.P{
+		Name: "N",
+		Eval: func(a, b *records.Record) bool {
+			na, nb := a.Field("name"), b.Field("name")
+			return len(na) > 0 && len(nb) > 0 && na[0] == nb[0]
+		},
+		Keys: func(r *records.Record) []string {
+			n := r.Field("name")
+			if n == "" {
+				return nil
+			}
+			return []string{"n:" + n[:1]}
+		},
+	}
+}
+
+func toyLevels() []predicate.Level {
+	return []predicate.Level{{Sufficient: toyS(), Necessary: toyN()}}
+}
+
+func genDataset(seed int64, numEntities, maxMentions int) *records.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := records.New("toy", "name")
+	for e := 0; e < numEntities; e++ {
+		base := fmt.Sprintf("%c%03d", 'a'+r.Intn(6), e)
+		nRend := 1 + r.Intn(3)
+		mentions := 1 + r.Intn(maxMentions)
+		for k := 0; k < mentions; k++ {
+			d.Append(1+r.Float64()*0.001, fmt.Sprintf("E%03d", e),
+				fmt.Sprintf("%s.v%d", base, r.Intn(nRend)))
+		}
+	}
+	return d
+}
+
+func TestTopKRankBasics(t *testing.T) {
+	d := genDataset(1, 12, 10)
+	rr, err := TopKRank(d, toyLevels(), core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	for i, e := range rr.Entries {
+		if e.Upper < e.Group.Weight {
+			t.Errorf("entry %d: upper bound %v below weight %v", i, e.Upper, e.Group.Weight)
+		}
+		if i > 0 && rr.Entries[i-1].Group.Weight < e.Group.Weight {
+			t.Error("entries not sorted by weight")
+		}
+	}
+}
+
+func TestTopKRankDistinctLettersSettled(t *testing.T) {
+	// Entities with distinct letters: no N edges between groups, so every
+	// group is resolved and the ranking settles.
+	d := records.New("t", "name")
+	letters := []string{"a", "b", "c", "d"}
+	for e, letter := range letters {
+		for k := 0; k < 8-2*e; k++ { // weights 8, 6, 4, 2
+			d.Append(1, fmt.Sprintf("E%d", e), letter+".v0")
+		}
+	}
+	rr, err := TopKRank(d, toyLevels(), core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Settled {
+		t.Errorf("ranking should settle: %+v", rr.Entries)
+	}
+	if len(rr.Entries) < 2 || rr.Entries[0].Group.Weight != 8 || rr.Entries[1].Group.Weight != 6 {
+		t.Errorf("top entries wrong: %+v", rr.Entries)
+	}
+	for _, e := range rr.Entries {
+		if e.Upper != e.Group.Weight {
+			t.Errorf("isolated group upper bound should equal weight: %+v", e)
+		}
+		if !e.Resolved {
+			t.Errorf("isolated group should be resolved: %+v", e)
+		}
+	}
+}
+
+func TestTopKRankAmbiguousNotSettled(t *testing.T) {
+	// Two same-letter groups that could merge: their relative rank vs a
+	// distinct group stays ambiguous.
+	d := records.New("t", "name")
+	for k := 0; k < 5; k++ {
+		d.Append(1, "E0", "a.v0")
+	}
+	for k := 0; k < 4; k++ {
+		d.Append(1, "E1", "a.v1") // could merge with E0 under N
+	}
+	for k := 0; k < 6; k++ {
+		d.Append(1, "E2", "b.v0")
+	}
+	rr, err := TopKRank(d, toyLevels(), core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Settled {
+		t.Errorf("ambiguous instance should not settle: %+v", rr.Entries)
+	}
+}
+
+func TestThresholdedRankBasics(t *testing.T) {
+	d := genDataset(2, 10, 12)
+	rr, err := ThresholdedRank(d, toyLevels(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truth entity with weight clearly above the threshold must
+	// still be represented among the entries.
+	truth := core.TruthGroups(d)
+	kept := map[int]bool{}
+	for _, e := range rr.Entries {
+		for _, id := range e.Group.Members {
+			kept[id] = true
+		}
+	}
+	for _, g := range truth {
+		if g.Weight >= 5 {
+			for _, id := range g.Members {
+				if !kept[id] {
+					t.Fatalf("entity with weight %v lost record %d", g.Weight, id)
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdedRankSettledCase(t *testing.T) {
+	d := records.New("t", "name")
+	for k := 0; k < 10; k++ {
+		d.Append(1, "E0", "a.v0")
+	}
+	for k := 0; k < 2; k++ {
+		d.Append(1, "E1", "b.v0")
+	}
+	rr, err := ThresholdedRank(d, toyLevels(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Settled {
+		t.Errorf("clear-cut threshold query should settle: %+v", rr.Entries)
+	}
+	if len(rr.Entries) != 1 || rr.Entries[0].Group.Weight != 10 {
+		t.Errorf("entries = %+v, want single weight-10 group", rr.Entries)
+	}
+}
+
+func TestThresholdedRankRejectsBadThreshold(t *testing.T) {
+	d := genDataset(3, 4, 4)
+	if _, err := ThresholdedRank(d, toyLevels(), 0, 2); err == nil {
+		t.Error("threshold 0 should error")
+	}
+	if _, err := ThresholdedRank(d, toyLevels(), -2, 2); err == nil {
+		t.Error("negative threshold should error")
+	}
+}
+
+func TestTopKRankExtraPruning(t *testing.T) {
+	// The rank query may prune more than the plain TopK query; at minimum
+	// it must never keep more entries than TopK kept groups.
+	for seed := int64(10); seed <= 20; seed++ {
+		d := genDataset(seed, 15, 12)
+		opts := core.Options{K: 2}
+		pd, err := core.PrunedDedup(d, toyLevels(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := TopKRank(d, toyLevels(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rr.Entries) > len(pd.Groups) {
+			t.Errorf("seed %d: rank query kept %d > TopK %d",
+				seed, len(rr.Entries), len(pd.Groups))
+		}
+		if rr.ExtraPruned != len(pd.Groups)-len(rr.Entries) {
+			// ExtraPruned counts groups dropped by resolveEntries relative
+			// to its input (the TopK survivors).
+			t.Errorf("seed %d: ExtraPruned %d inconsistent (%d -> %d)",
+				seed, rr.ExtraPruned, len(pd.Groups), len(rr.Entries))
+		}
+	}
+}
+
+func TestResolveEntriesEmpty(t *testing.T) {
+	rr := resolveEntries(records.New("t", "name"), nil, toyN(), 1)
+	if len(rr.Entries) != 0 {
+		t.Error("empty input should give empty result")
+	}
+}

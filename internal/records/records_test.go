@@ -1,0 +1,209 @@
+package records
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Dataset {
+	d := New("test", "name", "city")
+	d.Append(1, "E1", "alice smith", "pune")
+	d.Append(2, "E1", "a smith", "pune")
+	d.Append(1.5, "E2", "bob jones", "mumbai")
+	d.Append(1, "", "mystery person", "delhi")
+	return d
+}
+
+func TestAppendAndFields(t *testing.T) {
+	d := sample()
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	r := d.Recs[0]
+	if r.ID != 0 || r.Field("name") != "alice smith" || r.Field("city") != "pune" {
+		t.Errorf("record 0 wrong: %+v", r)
+	}
+	if r.Field("missing") != "" {
+		t.Error("missing field should be empty")
+	}
+	if d.Recs[3].Truth != "" {
+		t.Error("unlabelled record should have empty truth")
+	}
+}
+
+func TestAppendSchemaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong value count")
+		}
+	}()
+	d := New("t", "a", "b")
+	d.Append(1, "", "only-one")
+}
+
+func TestTotalWeight(t *testing.T) {
+	if got := sample().TotalWeight(); got != 5.5 {
+		t.Errorf("TotalWeight = %v, want 5.5", got)
+	}
+}
+
+func TestTruthGroups(t *testing.T) {
+	groups := sample().TruthGroups()
+	if len(groups) != 2 {
+		t.Fatalf("got %d truth groups, want 2", len(groups))
+	}
+	if len(groups["E1"]) != 2 || len(groups["E2"]) != 1 {
+		t.Errorf("group sizes wrong: %v", groups)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample()
+	sub := d.Subset([]int{2, 0})
+	if sub.Len() != 2 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if sub.Recs[0].ID != 0 || sub.Recs[1].ID != 1 {
+		t.Error("subset should renumber records")
+	}
+	if sub.Recs[0].Field("name") != "bob jones" {
+		t.Errorf("subset order wrong: %v", sub.Recs[0].Fields)
+	}
+	// Mutating the subset must not affect the parent.
+	sub.Recs[0].Fields["name"] = "changed"
+	if d.Recs[2].Field("name") != "bob jones" {
+		t.Error("subset mutation leaked into parent")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV("reloaded", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip len %d != %d", got.Len(), d.Len())
+	}
+	for i := range d.Recs {
+		a, b := d.Recs[i], got.Recs[i]
+		if a.Weight != b.Weight || a.Truth != b.Truth {
+			t.Errorf("record %d meta mismatch: %+v vs %+v", i, a, b)
+		}
+		for _, f := range d.Schema {
+			if a.Field(f) != b.Field(f) {
+				t.Errorf("record %d field %s: %q vs %q", i, f, a.Field(f), b.Field(f))
+			}
+		}
+	}
+}
+
+func TestTSVEscapesTabsAndNewlines(t *testing.T) {
+	d := New("t", "name")
+	d.Append(1, "lab\tel", "va\tl\nue")
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV("t", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recs[0].Field("name") != "va l ue" {
+		t.Errorf("tab/newline not sanitised: %q", got.Recs[0].Field("name"))
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV("x", strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadTSV("x", strings.NewReader("bad\theader\nrow")); err == nil {
+		t.Error("bad header should error")
+	}
+	if _, err := ReadTSV("x", strings.NewReader("#weight\ttruth\tname\n1\tE1")); err == nil {
+		t.Error("short row should error")
+	}
+	if _, err := ReadTSV("x", strings.NewReader("#weight\ttruth\tname\n1\tE1\tbob\textra")); err == nil {
+		t.Error("mismatched columns should error")
+	}
+	if _, err := ReadTSV("x", strings.NewReader("#weight\ttruth\tname\nxx\tE1\tbob")); err == nil {
+		t.Error("bad weight should error")
+	}
+}
+
+func TestSaveAndLoadTSV(t *testing.T) {
+	d := sample()
+	path := filepath.Join(t.TempDir(), "data.tsv")
+	if err := d.SaveTSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTSV("reloaded", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Errorf("loaded %d records, want %d", got.Len(), d.Len())
+	}
+	if _, err := LoadTSV("nope", filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+// failWriter errors after n bytes, for exercising write error paths.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errWrite
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errWrite
+	}
+	return n, nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "injected write failure" }
+
+func TestWriteTSVPropagatesWriterErrors(t *testing.T) {
+	d := sample()
+	for _, budget := range []int{0, 5, 40} {
+		if err := d.WriteTSV(&failWriter{left: budget}); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	d := sample()
+	for _, budget := range []int{0, 5, 40} {
+		if err := d.WriteCSV(&failWriter{left: budget}); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestSaveTSVBadPath(t *testing.T) {
+	d := sample()
+	if err := d.SaveTSV("/nonexistent-dir/x/y.tsv"); err == nil {
+		t.Error("bad path should error")
+	}
+	if err := d.SaveCSV("/nonexistent-dir/x/y.csv"); err == nil {
+		t.Error("bad path should error")
+	}
+}

@@ -1,0 +1,123 @@
+// Package score implements the grouping score functions of the paper (§5.1):
+// the correlation-clustering objective (Eq. 1) composed from signed
+// pairwise scores P, its per-group decomposition Group_Score (Eq. 2), a
+// dense cached pair matrix for small working sets, and a banded segment
+// scorer used by the segmentation DP over a linear embedding.
+package score
+
+// PairFunc returns the signed duplicate score of items i and j of a
+// working set: positive means duplicate, negative non-duplicate, the
+// magnitude is the confidence. Implementations must be symmetric.
+type PairFunc func(i, j int) float64
+
+// Matrix is a dense symmetric pair-score cache with triangular storage.
+// The diagonal is implicitly 0.
+type Matrix struct {
+	n int
+	v []float64
+}
+
+// NewMatrix evaluates f on every unordered pair of [0, n) and caches the
+// results. Use only for small working sets (O(n²) memory).
+func NewMatrix(n int, f PairFunc) *Matrix {
+	m := &Matrix{n: n, v: make([]float64, n*(n-1)/2)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.v[m.idx(i, j)] = f(i, j)
+		}
+	}
+	return m
+}
+
+func (m *Matrix) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Row-major upper triangle: row i starts at i*n - i*(i+1)/2 - i ... use
+	// the standard closed form.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// N returns the working-set size.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the cached score of (i, j); 0 when i == j.
+func (m *Matrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return m.v[m.idx(i, j)]
+}
+
+// Func returns the matrix's lookup as a PairFunc.
+func (m *Matrix) Func() PairFunc { return m.At }
+
+// GroupScore computes the paper's Group_Score(c, D−c) for one group under
+// the correlation-clustering objective of Eq. 1. Following the paper's
+// ordered-pair convention, positive pair scores inside the group count
+// once per ordered pair (i.e. twice per unordered pair), and negative
+// scores from group members to everything outside are subtracted once from
+// this group's side (the other group subtracts them again, so a full
+// partition rewards each cross negative edge twice). members lists the
+// item indices of the group; all other indices of the matrix are outside.
+func GroupScore(m *Matrix, members []int) float64 {
+	inGroup := make([]bool, m.n)
+	for _, x := range members {
+		inGroup[x] = true
+	}
+	var s float64
+	for ai, a := range members {
+		for _, b := range members[ai+1:] {
+			if p := m.At(a, b); p > 0 {
+				s += 2 * p
+			}
+		}
+		for b := 0; b < m.n; b++ {
+			if inGroup[b] {
+				continue
+			}
+			if p := m.At(a, b); p < 0 {
+				s -= p
+			}
+		}
+	}
+	return s
+}
+
+// CCScore computes the correlation-clustering score (Eq. 1) of a complete
+// partition: Σ over groups of GroupScore. Maximising it is equivalent to
+// maximising Σ over same-group unordered pairs of P(i, j), since
+// CCScore = 2·(withinPos + withinNeg) − 2·(total negative mass) and the
+// last term is partition-independent. clusters must partition [0, n).
+func CCScore(m *Matrix, clusters [][]int) float64 {
+	var s float64
+	for _, c := range clusters {
+		s += GroupScore(m, c)
+	}
+	return s
+}
+
+// Agreements counts the standard correlation-clustering agreement value of
+// a partition: the total |P| over positive within-group pairs and negative
+// cross-group pairs. Useful as an alternative quality view in tests.
+func Agreements(m *Matrix, clusters [][]int) float64 {
+	groupOf := make([]int, m.n)
+	for gi, c := range clusters {
+		for _, x := range c {
+			groupOf[x] = gi
+		}
+	}
+	var s float64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			p := m.At(i, j)
+			if groupOf[i] == groupOf[j] && p > 0 {
+				s += p
+			}
+			if groupOf[i] != groupOf[j] && p < 0 {
+				s -= p
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package score
+
+// SegmentScorer precomputes Group_Score values for contiguous segments of
+// a linear ordering, the S(i, j) of the paper's segmentation DP (§5.3.2).
+// Only segments of width at most maxWidth are representable — the paper's
+// "not considering any cluster including too many dissimilar points"
+// speed-up — so memory and pair evaluations stay O(n·maxWidth).
+//
+// For the correlation-clustering objective (Eq. 1 with its ordered-pair
+// convention, matching score.GroupScore), the score of segment [i, j] is
+//
+//	S(i,j) = 2·posIn(i,j) − (negAll(i,j) − 2·negIn(i,j))
+//
+// where posIn/negIn sum the positive/negative pair scores inside the
+// segment and negAll sums each member's total negative score against the
+// whole working set. The scorer needs those totals, so construction also
+// evaluates each item's negative mass; to keep that subquadratic the
+// caller may provide a candidate list per item (pairs outside candidate
+// lists score zero and contribute nothing).
+type SegmentScorer struct {
+	n, w int
+	// pos[i][d] = Σ positive P(a,b) for i <= a < b <= i+d (band storage).
+	pos [][]float64
+	// neg[i][d] = Σ negative P(a,b) for i <= a < b <= i+d.
+	neg [][]float64
+	// negAllPrefix[i] = Σ_{a < i} negAll(a), negAll(a) = Σ_b min(P(a,b),0).
+	negAllPrefix []float64
+}
+
+// NewSegmentScorer builds the banded tables over n ordered items. f is the
+// pair score in ordering positions. negAll gives each position's total
+// negative score against all items (inside or outside the band); pass nil
+// to derive it from the band only (treating out-of-band pairs as zero).
+func NewSegmentScorer(n, maxWidth int, f PairFunc, negAll []float64) *SegmentScorer {
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+	if maxWidth > n {
+		maxWidth = n
+	}
+	s := &SegmentScorer{
+		n:            n,
+		w:            maxWidth,
+		pos:          make([][]float64, n),
+		neg:          make([][]float64, n),
+		negAllPrefix: make([]float64, n+1),
+	}
+	// Band pair cache to avoid re-evaluating f: band[a][b-a-1] for
+	// b-a < maxWidth.
+	band := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		width := maxWidth - 1
+		if a+width >= n {
+			width = n - 1 - a
+		}
+		band[a] = make([]float64, width)
+		for d := range band[a] {
+			band[a][d] = f(a, a+d+1)
+		}
+	}
+	if negAll == nil {
+		negAll = make([]float64, n)
+		for a := 0; a < n; a++ {
+			for d, p := range band[a] {
+				if p < 0 {
+					negAll[a] += p
+					negAll[a+d+1] += p
+				}
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		s.negAllPrefix[a+1] = s.negAllPrefix[a] + negAll[a]
+	}
+	// pos[i][d]: segment [i, i+d]. pos[i][0] = 0. Recurrence: extending
+	// [i, j-1] to [i, j] adds column Σ_{a=i..j-1} P(a, j), accumulated from
+	// the bottom (i decreasing) so each (i, j) costs O(1).
+	for j := 0; j < n; j++ {
+		var colPos, colNeg float64
+		lo := j - maxWidth + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for i := j - 1; i >= lo; i-- {
+			p := band[i][j-i-1]
+			if p > 0 {
+				colPos += p
+			} else {
+				colNeg += p
+			}
+			if s.pos[i] == nil {
+				width := maxWidth
+				if i+width > n {
+					width = n - i
+				}
+				s.pos[i] = make([]float64, width)
+				s.neg[i] = make([]float64, width)
+			}
+			s.pos[i][j-i] = s.pos[i][j-i-1] + colPos
+			s.neg[i][j-i] = s.neg[i][j-i-1] + colNeg
+		}
+		if s.pos[j] == nil {
+			width := maxWidth
+			if j+width > n {
+				width = n - j
+			}
+			s.pos[j] = make([]float64, width)
+			s.neg[j] = make([]float64, width)
+		}
+	}
+	return s
+}
+
+// N returns the number of ordered items.
+func (s *SegmentScorer) N() int { return s.n }
+
+// MaxWidth returns the largest representable segment width.
+func (s *SegmentScorer) MaxWidth() int { return s.w }
+
+// Score returns Group_Score of the segment covering ordering positions
+// [i, j] inclusive. It panics when the segment exceeds MaxWidth.
+func (s *SegmentScorer) Score(i, j int) float64 {
+	if j-i >= s.w {
+		panic("score: segment wider than MaxWidth")
+	}
+	posIn := s.pos[i][j-i]
+	negIn := s.neg[i][j-i]
+	negAll := s.negAllPrefix[j+1] - s.negAllPrefix[i]
+	// Cross negative mass = total negative mass of members − the negative
+	// mass between members (counted twice in negAll).
+	cross := negAll - 2*negIn
+	return 2*posIn - cross
+}

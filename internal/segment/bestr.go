@@ -1,0 +1,77 @@
+package segment
+
+import (
+	"sort"
+
+	"topkdedup/internal/score"
+)
+
+// Ranked is one segmentation with its total score.
+type Ranked struct {
+	Score float64
+	Segs  []Segment
+}
+
+// BestR returns the R highest-scoring segmentations of the ordered
+// working set (standard k-best segmentation DP, no TopK structure). It
+// generalises Best: BestR(sc, 1)[0] is the optimum.
+//
+// The engine uses BestR rather than the length-stratified TopR for answer
+// generation over collapsed groups: group weights are heterogeneous there,
+// so a "largest segments by position count" stratification can exclude
+// the highest-scoring grouping when segment lengths tie (see
+// Engine.finalPhase). TopR remains the paper-faithful construction for
+// unit-weight records.
+func BestR(sc *score.SegmentScorer, r int) []Ranked {
+	n, w := sc.N(), sc.MaxWidth()
+	if n == 0 || r < 1 {
+		return nil
+	}
+	type cell struct {
+		score    float64
+		prevPos  int // start of the last segment
+		prevRank int // which entry of dp[prevPos] it extends
+	}
+	// dp[i] holds up to r best scores for the first i positions.
+	dp := make([][]cell, n+1)
+	dp[0] = []cell{{score: 0, prevPos: -1}}
+	for i := 1; i <= n; i++ {
+		var cands []cell
+		lo := i - w
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			s := sc.Score(j, i-1)
+			for rank, pe := range dp[j] {
+				cands = append(cands, cell{score: pe.score + s, prevPos: j, prevRank: rank})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].score != cands[b].score {
+				return cands[a].score > cands[b].score
+			}
+			if cands[a].prevPos != cands[b].prevPos {
+				return cands[a].prevPos > cands[b].prevPos
+			}
+			return cands[a].prevRank < cands[b].prevRank
+		})
+		if len(cands) > r {
+			cands = cands[:r]
+		}
+		dp[i] = cands
+	}
+	out := make([]Ranked, 0, len(dp[n]))
+	for rank := range dp[n] {
+		var segs []Segment
+		pos, rk := n, rank
+		for pos > 0 {
+			c := dp[pos][rk]
+			segs = append(segs, Segment{Start: c.prevPos, End: pos - 1})
+			pos, rk = c.prevPos, c.prevRank
+		}
+		reverseSegs(segs)
+		out = append(out, Ranked{Score: dp[n][rank].score, Segs: segs})
+	}
+	return out
+}

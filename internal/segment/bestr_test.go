@@ -1,0 +1,104 @@
+package segment
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestBestRTopIsBest(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		n := 3 + int(seed%5)
+		sc := randScorer(seed, n, n)
+		ranked := BestR(sc, 3)
+		if len(ranked) == 0 {
+			t.Fatal("no segmentations")
+		}
+		_, best := Best(sc)
+		if math.Abs(ranked[0].Score-best) > 1e-9 {
+			t.Errorf("seed %d: BestR[0] = %v, Best = %v", seed, ranked[0].Score, best)
+		}
+	}
+}
+
+func TestBestRMatchesBruteForce(t *testing.T) {
+	for seed := int64(20); seed <= 32; seed++ {
+		n := 3 + int(seed%4)
+		sc := randScorer(seed, n, n)
+		const r = 5
+		ranked := BestR(sc, r)
+		// Brute force: all segmentations scored and sorted.
+		var scores []float64
+		for _, segs := range allSegmentations(n, n) {
+			scores = append(scores, segScore(sc, segs))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		want := r
+		if len(scores) < want {
+			want = len(scores)
+		}
+		if len(ranked) != want {
+			t.Fatalf("seed %d: got %d segmentations, want %d", seed, len(ranked), want)
+		}
+		for i := 0; i < want; i++ {
+			if math.Abs(ranked[i].Score-scores[i]) > 1e-9 {
+				t.Errorf("seed %d rank %d: %v, want %v", seed, i, ranked[i].Score, scores[i])
+			}
+		}
+	}
+}
+
+func TestBestRSegmentationsValidAndDistinct(t *testing.T) {
+	sc := randScorer(7, 8, 4)
+	ranked := BestR(sc, 6)
+	seen := map[string]bool{}
+	for _, rk := range ranked {
+		// Valid cover of [0, n).
+		next := 0
+		key := ""
+		for _, s := range rk.Segs {
+			if s.Start != next {
+				t.Fatalf("gap in segmentation %v", rk.Segs)
+			}
+			if s.Len() > 4 {
+				t.Fatalf("segment %v exceeds width cap", s)
+			}
+			next = s.End + 1
+			key += keyOf([]Segment{s})
+		}
+		if next != 8 {
+			t.Fatalf("segmentation %v does not cover all positions", rk.Segs)
+		}
+		if seen[key] {
+			t.Fatalf("duplicate segmentation %v", rk.Segs)
+		}
+		seen[key] = true
+		// Reported score matches the segments.
+		if math.Abs(segScore(sc, rk.Segs)-rk.Score) > 1e-9 {
+			t.Errorf("score mismatch for %v", rk.Segs)
+		}
+	}
+	// Sorted by decreasing score.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Score < ranked[i].Score {
+			t.Error("segmentations not sorted")
+		}
+	}
+}
+
+func TestBestREdgeCases(t *testing.T) {
+	sc := randScorer(1, 4, 4)
+	if got := BestR(sc, 0); got != nil {
+		t.Error("r=0 should return nil")
+	}
+	// Fewer segmentations than r: return all of them.
+	tiny := randScorer(2, 2, 2)
+	got := BestR(tiny, 10)
+	if len(got) != 2 { // {01} and {0}{1}
+		t.Errorf("expected 2 segmentations of 2 items, got %d", len(got))
+	}
+	empty := randScorer(3, 0, 1)
+	if got := BestR(empty, 3); got != nil {
+		t.Error("empty input should return nil")
+	}
+}

@@ -1,0 +1,319 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"topkdedup/internal/score"
+)
+
+// randScorer builds a segment scorer over n items with random pair scores.
+func randScorer(seed int64, n, width int) *score.SegmentScorer {
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := r.Float64()*4 - 2
+			vals[i*n+j], vals[j*n+i] = v, v
+		}
+	}
+	pf := func(i, j int) float64 { return vals[i*n+j] }
+	return score.NewSegmentScorer(n, width, pf, nil)
+}
+
+// enumerate2 recursively enumerates all segmentations of [0, n) with the
+// given width cap and calls fn on each complete one.
+func enumerate2(n, width int, segs []Segment, fn func([]Segment)) {
+	from := 0
+	if len(segs) > 0 {
+		from = segs[len(segs)-1].End + 1
+	}
+	if from == n {
+		fn(segs)
+		return
+	}
+	for j := 1; j <= width && from+j <= n; j++ {
+		enumerate2(n, width, append(segs, Segment{Start: from, End: from + j - 1}), fn)
+	}
+}
+
+func allSegmentations(n, width int) [][]Segment {
+	var out [][]Segment
+	enumerate2(n, width, nil, func(segs []Segment) {
+		cp := make([]Segment, len(segs))
+		copy(cp, segs)
+		out = append(out, cp)
+	})
+	return out
+}
+
+func segScore(sc *score.SegmentScorer, segs []Segment) float64 {
+	var s float64
+	for _, seg := range segs {
+		s += sc.Score(seg.Start, seg.End)
+	}
+	return s
+}
+
+// answerOf returns the unique TopK answer a segmentation supports, or
+// false when the K-th and K+1-th longest segments tie.
+func answerOf(segs []Segment, k int) ([]Segment, bool) {
+	if len(segs) < k {
+		return nil, false
+	}
+	bySize := make([]Segment, len(segs))
+	copy(bySize, segs)
+	sort.Slice(bySize, func(i, j int) bool { return bySize[i].Len() > bySize[j].Len() })
+	if len(bySize) > k && bySize[k-1].Len() == bySize[k].Len() {
+		return nil, false
+	}
+	top := bySize[:k]
+	sort.Slice(top, func(i, j int) bool { return top[i].Start < top[j].Start })
+	return top, true
+}
+
+func keyOf(segs []Segment) string {
+	s := ""
+	for _, seg := range segs {
+		s += "|" + string(rune('0'+seg.Start)) + ":" + string(rune('0'+seg.End))
+	}
+	return s
+}
+
+// bruteTopR computes the reference answers by full enumeration.
+func bruteTopR(sc *score.SegmentScorer, k, r int, mode Mode) []Answer {
+	type agg struct {
+		score float64
+		wit   float64
+		top   []Segment
+		full  []Segment
+	}
+	byKey := map[string]*agg{}
+	for _, segs := range allSegmentations(sc.N(), sc.MaxWidth()) {
+		top, ok := answerOf(segs, k)
+		if !ok {
+			continue
+		}
+		s := segScore(sc, segs)
+		key := keyOf(top)
+		a, exists := byKey[key]
+		if !exists {
+			byKey[key] = &agg{score: s, wit: s, top: top, full: segs}
+			continue
+		}
+		if mode == Viterbi {
+			if s > a.score {
+				a.score, a.wit, a.full = s, s, segs
+			}
+		} else {
+			a.score = logAddExp(a.score, s)
+			if s > a.wit {
+				a.wit, a.full = s, segs
+			}
+		}
+	}
+	var out []Answer
+	for _, a := range byKey {
+		out = append(out, Answer{Score: a.score, TopSegs: a.top, Full: a.full})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return keyOf(out[i].TopSegs) < keyOf(out[j].TopSegs)
+	})
+	if len(out) > r {
+		out = out[:r]
+	}
+	return out
+}
+
+func TestTopRMatchesBruteForceViterbi(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		n := 4 + int(seed%4)
+		sc := randScorer(seed, n, n)
+		for _, k := range []int{1, 2} {
+			got := TopR(sc, k, 3, Viterbi)
+			want := bruteTopR(sc, k, 3, Viterbi)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d k=%d: %d answers, want %d", seed, k, len(got), len(want))
+			}
+			for i := range want {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Errorf("seed %d k=%d answer %d: score %v, want %v",
+						seed, k, i, got[i].Score, want[i].Score)
+				}
+				if !reflect.DeepEqual(got[i].TopSegs, want[i].TopSegs) {
+					// Equal scores can legitimately reorder; only complain
+					// when the score differs too.
+					if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+						t.Errorf("seed %d k=%d answer %d: segs %v, want %v",
+							seed, k, i, got[i].TopSegs, want[i].TopSegs)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopRMatchesBruteForceMarginal(t *testing.T) {
+	for seed := int64(21); seed <= 35; seed++ {
+		n := 4 + int(seed%3)
+		sc := randScorer(seed, n, n)
+		got := TopR(sc, 2, 4, Marginal)
+		want := bruteTopR(sc, 2, 4, Marginal)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d answers, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-6 {
+				t.Errorf("seed %d answer %d: marginal score %v, want %v",
+					seed, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestTopRWidthCapRespected(t *testing.T) {
+	sc := randScorer(5, 8, 3)
+	for _, ans := range TopR(sc, 2, 3, Viterbi) {
+		for _, s := range ans.Full {
+			if s.Len() > 3 {
+				t.Errorf("segment %v exceeds width cap", s)
+			}
+		}
+		if len(ans.TopSegs) != 2 {
+			t.Errorf("answer should have 2 top segments: %v", ans.TopSegs)
+		}
+	}
+}
+
+func TestTopRAnswersAreRankedAndDistinct(t *testing.T) {
+	sc := randScorer(11, 7, 7)
+	answers := TopR(sc, 2, 5, Viterbi)
+	keys := map[string]bool{}
+	for i, a := range answers {
+		if i > 0 && answers[i-1].Score < a.Score {
+			t.Error("answers must be sorted by decreasing score")
+		}
+		k := keyOf(a.TopSegs)
+		if keys[k] {
+			t.Errorf("duplicate answer identity %s", k)
+		}
+		keys[k] = true
+	}
+}
+
+func TestTopRFullIsValidSegmentation(t *testing.T) {
+	sc := randScorer(13, 8, 8)
+	for _, a := range TopR(sc, 2, 3, Viterbi) {
+		next := 0
+		for _, s := range a.Full {
+			if s.Start != next {
+				t.Fatalf("gap in segmentation %v", a.Full)
+			}
+			next = s.End + 1
+		}
+		if next != 8 {
+			t.Fatalf("segmentation doesn't cover all positions: %v", a.Full)
+		}
+		// Viterbi score of the witness must equal the answer score.
+		if math.Abs(segScore(sc, a.Full)-a.Score) > 1e-9 {
+			t.Errorf("witness score %v != answer score %v", segScore(sc, a.Full), a.Score)
+		}
+	}
+}
+
+func TestTopREdgeCases(t *testing.T) {
+	sc := randScorer(1, 5, 5)
+	if got := TopR(sc, 0, 3, Viterbi); got != nil {
+		t.Error("K=0 should return nil")
+	}
+	if got := TopR(sc, 6, 3, Viterbi); got != nil {
+		t.Error("K > n should return nil")
+	}
+	if got := TopR(sc, 1, 0, Viterbi); got != nil {
+		t.Error("R=0 should return nil")
+	}
+	// K == n: every position its own big segment; one possible answer.
+	got := TopR(sc, 5, 3, Viterbi)
+	if len(got) != 1 || len(got[0].TopSegs) != 5 {
+		t.Errorf("K=n should give the all-singletons answer, got %v", got)
+	}
+}
+
+func TestMarginalScoreExceedsViterbi(t *testing.T) {
+	// The marginal aggregates over more groupings, so for the same answer
+	// identity its (log-sum-exp) score is >= the Viterbi score.
+	sc := randScorer(17, 7, 7)
+	vit := TopR(sc, 2, 5, Viterbi)
+	marg := TopR(sc, 2, 5, Marginal)
+	vitByKey := map[string]float64{}
+	for _, a := range vit {
+		vitByKey[keyOf(a.TopSegs)] = a.Score
+	}
+	for _, a := range marg {
+		if v, ok := vitByKey[keyOf(a.TopSegs)]; ok {
+			if a.Score < v-1e-9 {
+				t.Errorf("marginal %v < viterbi %v for %v", a.Score, v, a.TopSegs)
+			}
+		}
+	}
+}
+
+func TestBestMatchesBruteForce(t *testing.T) {
+	for seed := int64(41); seed <= 55; seed++ {
+		n := 3 + int(seed%5)
+		sc := randScorer(seed, n, n)
+		segs, got := Best(sc)
+		best := math.Inf(-1)
+		for _, cand := range allSegmentations(n, n) {
+			if s := segScore(sc, cand); s > best {
+				best = s
+			}
+		}
+		if math.Abs(got-best) > 1e-9 {
+			t.Errorf("seed %d: Best = %v, brute force = %v", seed, got, best)
+		}
+		if math.Abs(segScore(sc, segs)-got) > 1e-9 {
+			t.Errorf("seed %d: returned segments score mismatch", seed)
+		}
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	sc := score.NewSegmentScorer(0, 1, func(i, j int) float64 { return 0 }, nil)
+	segs, s := Best(sc)
+	if segs != nil || s != 0 {
+		t.Errorf("empty Best = %v, %v", segs, s)
+	}
+}
+
+func TestClusters(t *testing.T) {
+	order := []int{4, 2, 0, 3, 1}
+	segs := []Segment{{0, 1}, {2, 4}}
+	got := Clusters(segs, order)
+	want := [][]int{{2, 4}, {0, 1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Clusters = %v, want %v", got, want)
+	}
+}
+
+func TestSegmentLen(t *testing.T) {
+	if (Segment{2, 5}).Len() != 4 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestLogAddExp(t *testing.T) {
+	got := logAddExp(math.Log(2), math.Log(3))
+	if math.Abs(got-math.Log(5)) > 1e-12 {
+		t.Errorf("logAddExp = %v, want log 5", got)
+	}
+	if got := logAddExp(0, math.Inf(-1)); got != 0 {
+		t.Errorf("logAddExp with -inf = %v", got)
+	}
+}

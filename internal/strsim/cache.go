@@ -1,0 +1,173 @@
+package strsim
+
+import "sort"
+
+// Cache memoises per-string derived structures (token sets, 3-gram sets,
+// initials, IDF minima) keyed by the raw field value. Field values repeat
+// heavily across records and every predicate evaluation needs the same
+// derived sets, so memoisation turns the canopy join's per-pair cost into
+// set intersection only. A Cache is NOT safe for concurrent use; give
+// each goroutine its own.
+type Cache struct {
+	grams    map[string]map[string]struct{}
+	tokens   map[string]map[string]struct{}
+	initials map[string]string
+	letters  map[string]uint32
+	minIDF   map[string]float64
+	corpus   *Corpus
+	// Interned gram representation: every distinct gram gets an integer
+	// id; per-string gram sets are cached as sorted id slices, so hot
+	// overlap predicates intersect by merge instead of map probing.
+	gramID  map[string]int32
+	gramIDs map[string][]int32
+}
+
+// NewCache returns an empty cache. corpus may be nil when IDF-based
+// lookups are not needed.
+func NewCache(corpus *Corpus) *Cache {
+	return &Cache{
+		grams:    make(map[string]map[string]struct{}),
+		tokens:   make(map[string]map[string]struct{}),
+		initials: make(map[string]string),
+		letters:  make(map[string]uint32),
+		minIDF:   make(map[string]float64),
+		corpus:   corpus,
+		gramID:   make(map[string]int32),
+		gramIDs:  make(map[string][]int32),
+	}
+}
+
+// TriGrams returns the memoised 3-gram set of s.
+func (c *Cache) TriGrams(s string) map[string]struct{} {
+	if g, ok := c.grams[s]; ok {
+		return g
+	}
+	g := TriGrams(s)
+	c.grams[s] = g
+	return g
+}
+
+// TokenSet returns the memoised token set of s.
+func (c *Cache) TokenSet(s string) map[string]struct{} {
+	if t, ok := c.tokens[s]; ok {
+		return t
+	}
+	t := TokenSet(s)
+	c.tokens[s] = t
+	return t
+}
+
+// SortedInitials returns the memoised sorted initials of s.
+func (c *Cache) SortedInitials(s string) string {
+	if v, ok := c.initials[s]; ok {
+		return v
+	}
+	v := SortedInitials(s)
+	c.initials[s] = v
+	return v
+}
+
+// InitialsEqual compares memoised sorted initials.
+func (c *Cache) InitialsEqual(a, b string) bool {
+	return c.SortedInitials(a) == c.SortedInitials(b)
+}
+
+// InitialLetters returns a bitmask of the a-z initial letters of the
+// tokens of s (bit 0 = 'a'). Non-letter initials are ignored.
+func (c *Cache) InitialLetters(s string) uint32 {
+	if v, ok := c.letters[s]; ok {
+		return v
+	}
+	var mask uint32
+	for _, t := range Tokenize(s) {
+		if ch := t[0]; ch >= 'a' && ch <= 'z' {
+			mask |= 1 << (ch - 'a')
+		}
+	}
+	c.letters[s] = mask
+	return mask
+}
+
+// InitialsMatch reports whether the two strings share at least one token
+// initial, via the memoised letter bitmasks.
+func (c *Cache) InitialsMatch(a, b string) bool {
+	return c.InitialLetters(a)&c.InitialLetters(b) != 0
+}
+
+// MinIDF returns the memoised minimum token IDF of s (0 without a corpus
+// or for token-less strings).
+func (c *Cache) MinIDF(s string) float64 {
+	if v, ok := c.minIDF[s]; ok {
+		return v
+	}
+	var v float64
+	if c.corpus != nil {
+		v = c.corpus.MinIDF(s)
+	}
+	c.minIDF[s] = v
+	return v
+}
+
+// GramIDs returns the string's 3-gram set as a sorted slice of interned
+// gram ids (memoised).
+func (c *Cache) GramIDs(s string) []int32 {
+	if ids, ok := c.gramIDs[s]; ok {
+		return ids
+	}
+	grams := c.TriGrams(s)
+	ids := make([]int32, 0, len(grams))
+	for g := range grams {
+		id, ok := c.gramID[g]
+		if !ok {
+			id = int32(len(c.gramID))
+			c.gramID[g] = id
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c.gramIDs[s] = ids
+	return ids
+}
+
+// GramOverlapRatio is GramOverlapRatio over memoised 3-gram sets, using
+// the interned sorted-id representation (merge intersection — the hot
+// path of the necessary-predicate joins).
+func (c *Cache) GramOverlapRatio(a, b string) float64 {
+	ga, gb := c.GramIDs(a), c.GramIDs(b)
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	common, i, j := 0, 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i] == gb[j]:
+			common++
+			i++
+			j++
+		case ga[i] < gb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	small := len(ga)
+	if len(gb) < small {
+		small = len(gb)
+	}
+	return float64(common) / float64(small)
+}
+
+// JaccardGrams is Jaccard similarity over memoised 3-gram sets.
+func (c *Cache) JaccardGrams(a, b string) float64 {
+	return Jaccard(c.TriGrams(a), c.TriGrams(b))
+}
+
+// JaccardTokens is Jaccard similarity over memoised token sets.
+func (c *Cache) JaccardTokens(a, b string) float64 {
+	return Jaccard(c.TokenSet(a), c.TokenSet(b))
+}
+
+// CommonTokenCount counts shared tokens via the memoised sets.
+func (c *Cache) CommonTokenCount(a, b string) int {
+	return IntersectionSize(c.TokenSet(a), c.TokenSet(b))
+}

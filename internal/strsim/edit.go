@@ -1,0 +1,128 @@
+package strsim
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete, substitute), computed over bytes with two rolling rows.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(a)+1)
+	cur := make([]int, len(a)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(b); j++ {
+		cur[0] = j
+		bj := b[j-1]
+		for i := 1; i <= len(a); i++ {
+			cost := 1
+			if a[i-1] == bj {
+				cost = 0
+			}
+			m := prev[i-1] + cost        // substitute / match
+			if d := prev[i] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[i-1] + 1; d < m { // insert
+				m = d
+			}
+			cur[i] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(a)]
+}
+
+// EditSimilarity maps Levenshtein distance into [0,1]:
+// 1 - dist/max(len(a), len(b)). Two empty strings give 1.
+func EditSimilarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Jaro returns the Jaro similarity of a and b in [0,1].
+func Jaro(a, b string) float64 {
+	if a == b {
+		if len(a) == 0 {
+			return 1
+		}
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	window := max(len(a), len(b))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, len(a))
+	bMatch := make([]bool, len(b))
+	matches := 0
+	for i := 0; i < len(a); i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for j := lo; j < hi; j++ {
+			if bMatch[j] || a[i] != b[j] {
+				continue
+			}
+			aMatch[i] = true
+			bMatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transpositions := 0
+	j := 0
+	for i := 0; i < len(a); i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(a)) + m/float64(len(b)) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale p = 0.1 and maximum prefix length 4 — "an efficient approximation
+// of edit distance specifically tailored for names" (paper §6.1.1).
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}

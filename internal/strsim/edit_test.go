@@ -1,0 +1,144 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"sarawagi", "sarawgi", 1},
+		{"ab", "ba", 2},
+	}
+	for _, tc := range tests {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: Levenshtein is a metric — symmetric, zero iff equal, and
+// satisfies the triangle inequality.
+func TestLevenshteinMetricProperties(t *testing.T) {
+	gen := func(r *rand.Rand) string {
+		n := r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		return string(b)
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		if Levenshtein(a, c) > dab+Levenshtein(b, c) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity("", ""); got != 1 {
+		t.Errorf("empty-empty = %v, want 1", got)
+	}
+	if got := EditSimilarity("abc", "abc"); got != 1 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	if got := EditSimilarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	mid := EditSimilarity("abcd", "abcx")
+	if mid != 0.75 {
+		t.Errorf("one sub of four = %v, want 0.75", mid)
+	}
+}
+
+func TestJaro(t *testing.T) {
+	if got := Jaro("martha", "marhta"); !close64(got, 0.944444, 1e-5) {
+		t.Errorf("Jaro(martha, marhta) = %v, want ~0.944444", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); !close64(got, 0.766667, 1e-5) {
+		t.Errorf("Jaro(dixon, dicksonx) = %v, want ~0.766667", got)
+	}
+	if Jaro("", "") != 1 {
+		t.Error("Jaro empty-empty should be 1")
+	}
+	if Jaro("a", "") != 0 || Jaro("", "a") != 0 {
+		t.Error("Jaro with one empty should be 0")
+	}
+	if Jaro("abc", "cba") == 1 {
+		t.Error("permuted strings should not be identical under Jaro")
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); !close64(got, 0.961111, 1e-5) {
+		t.Errorf("JaroWinkler(martha, marhta) = %v, want ~0.961111", got)
+	}
+	// Winkler boost only helps with a common prefix.
+	j, jw := Jaro("sarawagi", "sarawgi"), JaroWinkler("sarawagi", "sarawgi")
+	if jw <= j {
+		t.Errorf("prefix boost missing: jw=%v <= j=%v", jw, j)
+	}
+	if got := JaroWinkler("abc", "abc"); got != 1 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+}
+
+// Property: Jaro and JaroWinkler are symmetric and in [0,1], and
+// JaroWinkler >= Jaro.
+func TestJaroProperties(t *testing.T) {
+	gen := func(r *rand.Rand) string {
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(5))
+		}
+		return string(b)
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		j1, j2 := Jaro(a, b), Jaro(b, a)
+		if j1 != j2 || j1 < 0 || j1 > 1 {
+			return false
+		}
+		w := JaroWinkler(a, b)
+		if w < j1-1e-12 || w > 1 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close64(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

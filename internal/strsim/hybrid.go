@@ -1,0 +1,137 @@
+package strsim
+
+import "math"
+
+// Hybrid token-level similarity measures from the record-linkage
+// literature (Cohen, Ravikumar & Fienberg 2003 — the toolkit the paper's
+// similarity functions draw on): Monge-Elkan, Soft-TFIDF, and the
+// Needleman-Wunsch alignment score they build on.
+
+// NeedlemanWunsch returns the global-alignment similarity of a and b in
+// [0, 1]: match +1, mismatch -1, gap -1 (affine-free), normalised by the
+// longer length and clamped at 0. Two empty strings give 1.
+func NeedlemanWunsch(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = -j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = -i
+		for j := 1; j <= len(b); j++ {
+			s := 1
+			if a[i-1] != b[j-1] {
+				s = -1
+			}
+			best := prev[j-1] + s
+			if d := prev[j] - 1; d > best {
+				best = d
+			}
+			if d := cur[j-1] - 1; d > best {
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	sim := float64(prev[len(b)]) / float64(maxLen)
+	if sim < 0 {
+		sim = 0
+	}
+	return sim
+}
+
+// MongeElkan returns the Monge-Elkan similarity of two strings: for each
+// token of the shorter side, the best inner similarity against the other
+// side's tokens, averaged. inner defaults to JaroWinkler when nil. The
+// measure is made symmetric by taking the max of both directions.
+func MongeElkan(a, b string, inner func(x, y string) float64) float64 {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	dir := func(xs, ys []string) float64 {
+		var total float64
+		for _, x := range xs {
+			best := 0.0
+			for _, y := range ys {
+				if s := inner(x, y); s > best {
+					best = s
+				}
+			}
+			total += best
+		}
+		return total / float64(len(xs))
+	}
+	ab, ba := dir(ta, tb), dir(tb, ta)
+	if ab > ba {
+		return ab
+	}
+	return ba
+}
+
+// SoftTFIDF returns the Soft-TFIDF similarity (Cohen et al.): a TF-IDF
+// cosine where tokens need not match exactly — token pairs with inner
+// similarity at least theta count, weighted by that similarity. inner
+// defaults to JaroWinkler; theta defaults to 0.9 when <= 0.
+func (c *Corpus) SoftTFIDF(a, b string, inner func(x, y string) float64, theta float64) float64 {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	if theta <= 0 {
+		theta = 0.9
+	}
+	ta, tb := termCounts(a), termCounts(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	norm := func(tc map[string]int) float64 {
+		var n float64
+		for t, f := range tc {
+			v := float64(f) * c.IDF(t)
+			n += v * v
+		}
+		return n
+	}
+	na, nb := norm(ta), norm(tb)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	var dot float64
+	for x, fa := range ta {
+		bestSim, bestTok := 0.0, ""
+		for y := range tb {
+			if s := inner(x, y); s >= theta && s > bestSim {
+				bestSim, bestTok = s, y
+			}
+		}
+		if bestTok == "" {
+			continue
+		}
+		dot += float64(fa) * c.IDF(x) * float64(tb[bestTok]) * c.IDF(bestTok) * bestSim
+	}
+	sim := dot / math.Sqrt(na*nb)
+	if sim > 1 {
+		sim = 1
+	}
+	return sim
+}

@@ -1,0 +1,138 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNeedlemanWunsch(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abc", "abc", 1},
+		{"abcd", "abxd", 0.5}, // 3 matches - 1 mismatch = 2; /4
+	}
+	for _, tc := range tests {
+		if got := NeedlemanWunsch(tc.a, tc.b); got != tc.want {
+			t.Errorf("NeedlemanWunsch(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Disjoint strings clamp at 0.
+	if got := NeedlemanWunsch("aaaa", "zzzz"); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+}
+
+func TestNeedlemanWunschProperties(t *testing.T) {
+	gen := func(r *rand.Rand) string {
+		n := r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		return string(b)
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		s1, s2 := NeedlemanWunsch(a, b), NeedlemanWunsch(b, a)
+		if s1 != s2 || s1 < 0 || s1 > 1 {
+			return false
+		}
+		if a == b && len(a) > 0 && s1 != 1 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	// Token reordering should not matter much; Monge-Elkan pairs tokens.
+	if got := MongeElkan("sunita sarawagi", "sarawagi sunita", nil); got != 1 {
+		t.Errorf("reordered tokens = %v, want 1", got)
+	}
+	// Partial: one matching token out of two.
+	got := MongeElkan("sunita sarawagi", "sunita deshpande", nil)
+	if got <= 0.5 || got >= 1 {
+		t.Errorf("partial = %v, want in (0.5, 1)", got)
+	}
+	// Subset: "s sarawagi" vs full name stays high.
+	if got := MongeElkan("sarawagi", "sunita sarawagi", nil); got != 1 {
+		t.Errorf("subset direction should take the max: %v", got)
+	}
+	if MongeElkan("", "", nil) != 1 {
+		t.Error("empty-empty should be 1")
+	}
+	if MongeElkan("a", "", nil) != 0 {
+		t.Error("one empty should be 0")
+	}
+	// Custom inner function is honoured.
+	exact := func(x, y string) float64 {
+		if x == y {
+			return 1
+		}
+		return 0
+	}
+	if got := MongeElkan("a b", "a c", exact); got != 0.5 {
+		t.Errorf("exact-inner = %v, want 0.5", got)
+	}
+}
+
+func TestMongeElkanSymmetricBounded(t *testing.T) {
+	pairs := [][2]string{
+		{"sunita sarawagi", "s sarawagi"},
+		{"a b c", "c d"},
+		{"x", "very long token sequence here"},
+	}
+	for _, p := range pairs {
+		s1, s2 := MongeElkan(p[0], p[1], nil), MongeElkan(p[1], p[0], nil)
+		if s1 != s2 {
+			t.Errorf("asymmetric: %v vs %v", s1, s2)
+		}
+		if s1 < 0 || s1 > 1 {
+			t.Errorf("out of range: %v", s1)
+		}
+	}
+}
+
+func TestSoftTFIDF(t *testing.T) {
+	c := buildCorpus("sunita sarawagi", "vinay deshpande", "sunita mittal", "alok sharma")
+	// Identical strings: 1.
+	if got := c.SoftTFIDF("sunita sarawagi", "sunita sarawagi", nil, 0.9); got < 0.999 {
+		t.Errorf("identical = %v, want ~1", got)
+	}
+	// A typo'd surname still matches softly where exact TF-IDF fails.
+	soft := c.SoftTFIDF("sunita sarawagi", "sunita sarawagee", nil, 0.85)
+	hard := c.TFIDFCosine("sunita sarawagi", "sunita sarawagee")
+	if soft <= hard {
+		t.Errorf("soft (%v) should exceed exact cosine (%v) under typos", soft, hard)
+	}
+	// Disjoint tokens: 0.
+	if got := c.SoftTFIDF("alpha beta", "gamma delta", nil, 0.9); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	// Empty handling.
+	if c.SoftTFIDF("", "", nil, 0.9) != 1 {
+		t.Error("empty-empty should be 1")
+	}
+	if c.SoftTFIDF("x", "", nil, 0.9) != 0 {
+		t.Error("one empty should be 0")
+	}
+	// Theta defaulting: theta <= 0 behaves like 0.9.
+	a, b := "sunita sarawagi", "sunita sarawagee"
+	if c.SoftTFIDF(a, b, nil, 0) != c.SoftTFIDF(a, b, nil, 0.9) {
+		t.Error("theta default broken")
+	}
+	// Bounded in [0, 1].
+	if got := c.SoftTFIDF(a, b, nil, 0.5); got < 0 || got > 1 {
+		t.Errorf("out of range: %v", got)
+	}
+}

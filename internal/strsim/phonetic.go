@@ -1,0 +1,87 @@
+package strsim
+
+// Soundex returns the American Soundex code of the first token of s
+// (letter + three digits, e.g. "sarawagi" -> "S620"). Phonetic codes are
+// a classic blocking key for person names: spelling variants that sound
+// alike share a code. Empty or non-letter input returns "".
+func Soundex(s string) string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	word := toks[0]
+	first := word[0]
+	if first < 'a' || first > 'z' {
+		return ""
+	}
+	code := make([]byte, 1, 4)
+	code[0] = first - 'a' + 'A'
+	prev := soundexDigit(first)
+	for i := 1; i < len(word) && len(code) < 4; i++ {
+		ch := word[i]
+		if ch < 'a' || ch > 'z' {
+			continue
+		}
+		d := soundexDigit(ch)
+		switch {
+		case d == 0:
+			// Vowels and h/w/y: vowels reset the run so repeated
+			// consonant codes separated by a vowel are kept; h and w do
+			// not reset.
+			if ch != 'h' && ch != 'w' {
+				prev = 0
+			}
+		case d != prev:
+			code = append(code, '0'+d)
+			prev = d
+		}
+	}
+	for len(code) < 4 {
+		code = append(code, '0')
+	}
+	return string(code)
+}
+
+func soundexDigit(ch byte) byte {
+	switch ch {
+	case 'b', 'f', 'p', 'v':
+		return 1
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return 2
+	case 'd', 't':
+		return 3
+	case 'l':
+		return 4
+	case 'm', 'n':
+		return 5
+	case 'r':
+		return 6
+	}
+	return 0
+}
+
+// SoundexKeys returns the Soundex codes of every token of s, deduplicated
+// in token order — ready to use as blocking keys for a name field.
+func SoundexKeys(s string) []string {
+	var keys []string
+	seen := map[string]struct{}{}
+	for _, tok := range Tokenize(s) {
+		code := Soundex(tok)
+		if code == "" {
+			continue
+		}
+		if _, dup := seen[code]; dup {
+			continue
+		}
+		seen[code] = struct{}{}
+		keys = append(keys, code)
+	}
+	return keys
+}
+
+// SoundexEqual reports whether the first tokens of a and b share a
+// Soundex code (both non-empty).
+func SoundexEqual(a, b string) bool {
+	ca, cb := Soundex(a), Soundex(b)
+	return ca != "" && ca == cb
+}

@@ -1,0 +1,76 @@
+package strsim
+
+import "testing"
+
+func TestSoundexKnownCodes(t *testing.T) {
+	// Classic reference values.
+	tests := map[string]string{
+		"Robert":     "R163",
+		"Rupert":     "R163",
+		"Ashcraft":   "A261",
+		"Ashcroft":   "A261",
+		"Tymczak":    "T522",
+		"Pfister":    "P236",
+		"Honeyman":   "H555",
+		"Washington": "W252",
+		"Lee":        "L000",
+		"Gutierrez":  "G362",
+		"Jackson":    "J250",
+	}
+	for in, want := range tests {
+		if got := Soundex(in); got != want {
+			t.Errorf("Soundex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSoundexEdgeCases(t *testing.T) {
+	if got := Soundex(""); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := Soundex("123"); got != "" {
+		t.Errorf("digits = %q", got)
+	}
+	// Only the first token is encoded.
+	if Soundex("robert smith") != Soundex("robert") {
+		t.Error("Soundex should encode the first token")
+	}
+	// Case-insensitive.
+	if Soundex("ROBERT") != Soundex("robert") {
+		t.Error("case sensitivity")
+	}
+}
+
+func TestSoundexKeys(t *testing.T) {
+	keys := SoundexKeys("Robert Rupert Smith")
+	// robert and rupert share R163 -> deduplicated.
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != "R163" || keys[1] != "S530" {
+		t.Errorf("keys = %v", keys)
+	}
+	if got := SoundexKeys(""); got != nil {
+		t.Errorf("empty keys = %v", got)
+	}
+}
+
+func TestSoundexEqual(t *testing.T) {
+	if !SoundexEqual("Robert", "Rupert") {
+		t.Error("Robert/Rupert should match")
+	}
+	if SoundexEqual("Robert", "Smith") {
+		t.Error("Robert/Smith should not match")
+	}
+	if SoundexEqual("", "") {
+		t.Error("empty strings should not match")
+	}
+}
+
+func TestSoundexTypoTolerance(t *testing.T) {
+	// A vowel typo keeps the code; that's the point of phonetic blocking.
+	if Soundex("sarawagi") != Soundex("sarawagee") {
+		t.Errorf("vowel variant codes differ: %q vs %q",
+			Soundex("sarawagi"), Soundex("sarawagee"))
+	}
+}

@@ -1,0 +1,104 @@
+package strsim
+
+// Jaccard returns |A ∩ B| / |A ∪ B| for the two sets. Two empty sets are
+// defined to have similarity 1 (identical), one empty set gives 0.
+func Jaccard[T comparable](a, b map[T]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	inter := 0
+	for x := range a {
+		if _, ok := b[x]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Overlap returns the overlap coefficient |A ∩ B| / min(|A|, |B|).
+// Two empty sets give 1, one empty set gives 0.
+func Overlap[T comparable](a, b map[T]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	return setOverlapRatioGeneric(a, b)
+}
+
+// Dice returns the Sørensen–Dice coefficient 2|A ∩ B| / (|A| + |B|).
+func Dice[T comparable](a, b map[T]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	inter := 0
+	for x := range a {
+		if _, ok := b[x]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// IntersectionSize returns |A ∩ B|.
+func IntersectionSize[T comparable](a, b map[T]struct{}) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	inter := 0
+	for x := range a {
+		if _, ok := b[x]; ok {
+			inter++
+		}
+	}
+	return inter
+}
+
+func setOverlapRatioGeneric[T comparable](a, b map[T]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	inter := 0
+	for x := range a {
+		if _, ok := b[x]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a))
+}
+
+// JaccardGrams is Jaccard similarity over the q-gram sets of two strings:
+// the "Jaccard similarity of 3-grams > T" predicate family from the paper.
+func JaccardGrams(a, b string, q int) float64 {
+	return Jaccard(QGrams(a, q), QGrams(b, q))
+}
+
+// JaccardTokens is Jaccard similarity over the word-token sets.
+func JaccardTokens(a, b string) float64 {
+	return Jaccard(TokenSet(a), TokenSet(b))
+}
+
+// WordOverlapFraction returns |tokens(a) ∩ tokens(b)| / min(|tokens(a)|,
+// |tokens(b)|): the paper's "fraction of common (non-stop) words" measure.
+func WordOverlapFraction(a, b string) float64 {
+	return setOverlapRatioGeneric(TokenSet(a), TokenSet(b))
+}
+
+// CommonTokenCount returns the number of distinct tokens shared by a and b.
+func CommonTokenCount(a, b string) int {
+	return IntersectionSize(TokenSet(a), TokenSet(b))
+}

@@ -1,0 +1,128 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func setOf(items ...string) map[string]struct{} {
+	s := make(map[string]struct{}, len(items))
+	for _, it := range items {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"a"}, nil, 0},
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3.0},
+		{[]string{"a"}, []string{"b"}, 0},
+	}
+	for _, tc := range tests {
+		if got := Jaccard(setOf(tc.a...), setOf(tc.b...)); got != tc.want {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestOverlapAndDice(t *testing.T) {
+	a, b := setOf("a", "b", "c"), setOf("b", "c", "d", "e")
+	if got := Overlap(a, b); got != 2.0/3.0 {
+		t.Errorf("Overlap = %v, want 2/3", got)
+	}
+	if got := Dice(a, b); got != 4.0/7.0 {
+		t.Errorf("Dice = %v, want 4/7", got)
+	}
+	empty := map[string]struct{}{}
+	if Overlap(empty, empty) != 1 || Dice(empty, empty) != 1 {
+		t.Error("empty-empty should be 1")
+	}
+	if Overlap(a, empty) != 0 || Dice(a, empty) != 0 {
+		t.Error("nonempty-empty should be 0")
+	}
+}
+
+func TestIntersectionSize(t *testing.T) {
+	if got := IntersectionSize(setOf("a", "b"), setOf("b", "c")); got != 1 {
+		t.Errorf("IntersectionSize = %d, want 1", got)
+	}
+}
+
+func randomSet(r *rand.Rand) map[string]struct{} {
+	n := r.Intn(8)
+	s := make(map[string]struct{}, n)
+	for i := 0; i < n; i++ {
+		s[string(rune('a'+r.Intn(10)))] = struct{}{}
+	}
+	return s
+}
+
+// Property: all set similarities are symmetric and within [0, 1].
+func TestSetSimilarityProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		for name, f := range map[string]func(x, y map[string]struct{}) float64{
+			"jaccard": Jaccard[string],
+			"overlap": Overlap[string],
+			"dice":    Dice[string],
+		} {
+			ab, ba := f(a, b), f(b, a)
+			if ab != ba {
+				t.Logf("%s asymmetric: %v vs %v", name, ab, ba)
+				return false
+			}
+			if ab < 0 || ab > 1 {
+				t.Logf("%s out of range: %v", name, ab)
+				return false
+			}
+			if ab == 1 && name == "jaccard" {
+				// jaccard == 1 iff sets equal
+				if len(a) != len(b) || IntersectionSize(a, b) != len(a) {
+					t.Logf("jaccard=1 but sets differ: %v %v", a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardGramsAndTokens(t *testing.T) {
+	if got := JaccardGrams("abc", "abc", 3); got != 1 {
+		t.Errorf("identical strings should have gram Jaccard 1, got %v", got)
+	}
+	if got := JaccardTokens("the quick fox", "fox quick the"); got != 1 {
+		t.Errorf("token order should not matter, got %v", got)
+	}
+	if got := JaccardTokens("alpha beta", "gamma delta"); got != 0 {
+		t.Errorf("disjoint tokens should give 0, got %v", got)
+	}
+}
+
+func TestWordOverlapFraction(t *testing.T) {
+	// min side has 2 tokens, 2 shared -> 1.0
+	if got := WordOverlapFraction("baker street", "221 baker street london"); got != 1 {
+		t.Errorf("WordOverlapFraction = %v, want 1", got)
+	}
+	if got := WordOverlapFraction("", "x"); got != 0 {
+		t.Errorf("empty side should give 0, got %v", got)
+	}
+}
+
+func TestCommonTokenCount(t *testing.T) {
+	if got := CommonTokenCount("a b c", "b c d"); got != 2 {
+		t.Errorf("CommonTokenCount = %d, want 2", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package strsim provides the string-similarity primitives used by the
+// duplicate-detection predicates and classifiers: tokenisation, q-grams,
+// set-overlap measures (Jaccard, overlap, Dice), edit-based measures
+// (Levenshtein, Jaro, Jaro-Winkler), corpus IDF statistics with TF-IDF
+// cosine similarity, and the custom author/co-author similarity functions
+// described in Sarawagi et al. (EDBT 2009), section 6.1.
+//
+// All similarity functions return values in [0, 1] with 1 meaning
+// identical, and are symmetric in their two string arguments.
+package strsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lower-cased word tokens. A token is a maximal run
+// of letters or digits; everything else is a separator. The result is
+// allocated fresh on every call.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// TokenSet returns the set of distinct tokens of s.
+func TokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range Tokenize(s) {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// Initials returns the sorted-order first letters of each token of s, in
+// token order (not sorted): e.g. "Sunita Sarawagi" -> "ss".
+func Initials(s string) string {
+	var b strings.Builder
+	for _, t := range Tokenize(s) {
+		b.WriteByte(t[0])
+	}
+	return b.String()
+}
+
+// SortedInitials returns the multiset of first letters of the tokens of s
+// in sorted order, so that "J. Smith" and "Smith, J." compare equal.
+func SortedInitials(s string) string {
+	toks := Tokenize(s)
+	letters := make([]byte, 0, len(toks))
+	for _, t := range toks {
+		letters = append(letters, t[0])
+	}
+	// Insertion sort: token counts are tiny (names have <10 tokens).
+	for i := 1; i < len(letters); i++ {
+		for j := i; j > 0 && letters[j-1] > letters[j]; j-- {
+			letters[j-1], letters[j] = letters[j], letters[j-1]
+		}
+	}
+	return string(letters)
+}
+
+// InitialsMatch reports whether the two strings have at least one common
+// initial letter among their tokens.
+func InitialsMatch(a, b string) bool {
+	var seen [26]bool
+	for _, t := range Tokenize(a) {
+		if c := t[0]; c >= 'a' && c <= 'z' {
+			seen[c-'a'] = true
+		}
+	}
+	for _, t := range Tokenize(b) {
+		if c := t[0]; c >= 'a' && c <= 'z' && seen[c-'a'] {
+			return true
+		}
+	}
+	return false
+}
+
+// InitialsEqual reports whether the sorted initials of the two strings are
+// exactly equal (the paper's "initials match exactly" condition).
+func InitialsEqual(a, b string) bool {
+	return SortedInitials(a) == SortedInitials(b)
+}
+
+// StopWords is the kind of hand-compiled list the paper uses for
+// addresses ("street", "house", ...). A StopWords value is an immutable
+// membership set.
+type StopWords map[string]struct{}
+
+// NewStopWords builds a stop-word set from the given words (lower-cased).
+func NewStopWords(words ...string) StopWords {
+	sw := make(StopWords, len(words))
+	for _, w := range words {
+		sw[strings.ToLower(w)] = struct{}{}
+	}
+	return sw
+}
+
+// Contains reports membership of the lower-cased word.
+func (sw StopWords) Contains(word string) bool {
+	_, ok := sw[strings.ToLower(word)]
+	return ok
+}
+
+// Filter returns the tokens of s that are not stop words.
+func (sw StopWords) Filter(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0]
+	for _, t := range toks {
+		if _, ok := sw[t]; !ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AddressStopWords is a default stop-word list for postal addresses,
+// mirroring the paper's hand-compiled list of words commonly seen in
+// addresses.
+var AddressStopWords = NewStopWords(
+	"street", "st", "road", "rd", "lane", "ln", "house", "flat", "apt",
+	"apartment", "block", "building", "society", "nagar", "colony", "near",
+	"opposite", "opp", "behind", "no", "number", "floor", "plot", "sector",
+	"phase", "main", "cross", "area", "the",
+)

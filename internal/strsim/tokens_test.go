@@ -1,0 +1,112 @@
+package strsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"Sunita Sarawagi", []string{"sunita", "sarawagi"}},
+		{"S. Sarawagi", []string{"s", "sarawagi"}},
+		{"Smith, J.R.", []string{"smith", "j", "r"}},
+		{"12-B Baker Street", []string{"12", "b", "baker", "street"}},
+		{"O'Brien", []string{"o", "brien"}},
+		{"ALL CAPS", []string{"all", "caps"}},
+		{"tab\tand\nnewline", []string{"tab", "and", "newline"}},
+	}
+	for _, tc := range tests {
+		if got := Tokenize(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	set := TokenSet("a b a c b")
+	if len(set) != 3 {
+		t.Fatalf("TokenSet dedup failed: %v", set)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := set[k]; !ok {
+			t.Errorf("missing token %q", k)
+		}
+	}
+}
+
+func TestInitials(t *testing.T) {
+	if got := Initials("Sunita Sarawagi"); got != "ss" {
+		t.Errorf("Initials = %q, want ss", got)
+	}
+	if got := Initials("J. R. Smith"); got != "jrs" {
+		t.Errorf("Initials = %q, want jrs", got)
+	}
+	if got := Initials(""); got != "" {
+		t.Errorf("Initials(empty) = %q", got)
+	}
+}
+
+func TestSortedInitials(t *testing.T) {
+	a := SortedInitials("Smith, J.")
+	b := SortedInitials("J. Smith")
+	if a != b {
+		t.Errorf("SortedInitials order-sensitivity: %q vs %q", a, b)
+	}
+	if a != "js" {
+		t.Errorf("SortedInitials = %q, want js", a)
+	}
+}
+
+func TestInitialsMatch(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"Sunita Sarawagi", "S. Sarawagi", true},
+		{"Alice Zed", "Bob Young", false},
+		{"", "anything", false},
+		{"John Smith", "Jane Doe", true}, // shares 'j'
+	}
+	for _, tc := range tests {
+		if got := InitialsMatch(tc.a, tc.b); got != tc.want {
+			t.Errorf("InitialsMatch(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestInitialsEqual(t *testing.T) {
+	if !InitialsEqual("Sunita Sarawagi", "S. Sarawagi") {
+		t.Error("expected equal initials for full name vs initialed name")
+	}
+	if InitialsEqual("Sunita Sarawagi", "Sarawagi") {
+		t.Error("different token counts should not have equal initials")
+	}
+}
+
+func TestStopWords(t *testing.T) {
+	sw := NewStopWords("Street", "house")
+	if !sw.Contains("street") || !sw.Contains("STREET") || !sw.Contains("house") {
+		t.Error("stop word membership should be case-insensitive")
+	}
+	if sw.Contains("baker") {
+		t.Error("baker should not be a stop word")
+	}
+	got := sw.Filter("12 Baker Street house")
+	want := []string{"12", "baker"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Filter = %v, want %v", got, want)
+	}
+}
+
+func TestAddressStopWordsHasCommonTerms(t *testing.T) {
+	for _, w := range []string{"street", "house", "road", "near"} {
+		if !AddressStopWords.Contains(w) {
+			t.Errorf("AddressStopWords should contain %q", w)
+		}
+	}
+}

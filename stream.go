@@ -1,0 +1,24 @@
+package topk
+
+import (
+	"topkdedup/internal/core"
+	"topkdedup/internal/stream"
+)
+
+// Stream is an incremental accumulator for evolving sources: records are
+// appended as they arrive, the sufficient-predicate collapse is
+// maintained per insertion, and TopK queries pay only the K-dependent
+// phases. See examples/newsfeed for an end-to-end use.
+type Stream = stream.Incremental
+
+// StreamResult is the result of Stream.TopK: the surviving collapsed
+// groups (in decreasing weight) and the per-level pruning statistics.
+// Unlike Engine.TopK it does not run the final R-best scoring phase; for
+// that, hand Stream.Dataset() to New and query the engine.
+type StreamResult = core.Result
+
+// NewStream creates an empty incremental accumulator with the given
+// schema and predicate schedule.
+func NewStream(name string, schema []string, levels []Level) (*Stream, error) {
+	return stream.New(name, schema, levels)
+}

@@ -1,0 +1,43 @@
+package topk
+
+import "testing"
+
+func TestStreamFacade(t *testing.T) {
+	st, err := NewStream("feed", []string{"name"}, toyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStream("bad", []string{"name"}, nil); err == nil {
+		t.Fatal("empty levels must error")
+	}
+	st.Add(1, "E1", "a.v0")
+	st.Add(1, "E1", "a.v0")
+	st.Add(2, "E2", "b.v0")
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	res, err := st.TopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Groups))
+	}
+	if res.Groups[0].Weight != 2 {
+		t.Errorf("top weight = %v, want 2", res.Groups[0].Weight)
+	}
+	// Incremental state reflected in Groups.
+	groups := st.Groups()
+	if len(groups) != 2 {
+		t.Errorf("collapsed groups = %d, want 2", len(groups))
+	}
+	// The exposed dataset can seed a full engine for scored answers.
+	eng := New(st.Dataset(), toyLevels(), oracleScorer(), Config{})
+	full, err := eng.TopK(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Answers) != 1 || len(full.Answers[0].Groups) != 2 {
+		t.Errorf("engine over stream dataset: %+v", full.Answers)
+	}
+}
