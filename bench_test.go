@@ -6,6 +6,7 @@ package topk
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -203,6 +204,30 @@ func BenchmarkEngineTopK(b *testing.B) {
 		if _, err := eng.TopK(10, 3); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineTopKWorkers sweeps the worker-pool bound on the full
+// query, to measure the parallel execution layer's speedup (results are
+// identical at every bound; only wall clock may differ — and only
+// improves when the host actually has more than one CPU).
+func BenchmarkEngineTopKWorkers(b *testing.B) {
+	benchSetup(b)
+	counts := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() > 4 {
+		counts = []int{1, 4, runtime.NumCPU()}
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := New(benchFig6.Data, benchFig6.Domain.Levels, benchFig6.Model, Config{Workers: w})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.TopK(10, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repo verification: vet, build, and the full test suite under the race
+# detector (the race run is what enforces the strsim.Cache concurrency
+# contract and the parallel pipeline's worker-pool discipline).
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race ./...

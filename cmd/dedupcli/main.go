@@ -123,7 +123,7 @@ func run(path, field string, k, r int, rank bool, threshold, overlap float64) er
 // genericDomain builds schema-agnostic predicates and a scorer around one
 // primary field.
 func genericDomain(field string, overlap float64) ([]topk.Level, topk.PairScorer) {
-	cache := strsim.NewCache(nil)
+	cache := strsim.NewSharedCache(nil)
 	val := func(rec *topk.Record) string { return rec.Field(field) }
 
 	s := topk.Predicate{

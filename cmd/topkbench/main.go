@@ -12,14 +12,36 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"topkdedup/internal/experiments"
 )
+
+// benchReport is the machine-readable form of one topkbench run, written
+// by -json so the repo can track a BENCH_*.json perf trajectory across
+// changes.
+type benchReport struct {
+	Timestamp   string            `json:"timestamp"`
+	Scale       string            `json:"scale"`
+	NumCPU      int               `json:"num_cpu"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+// benchExperiment records one experiment's wall clock plus, where the
+// experiment produces them, its per-point timing rows (predicate evals,
+// survivor counts, worker-pool bound).
+type benchExperiment struct {
+	Name      string                  `json:"name"`
+	ElapsedMS float64                 `json:"elapsed_ms"`
+	Rows      []experiments.TimingRow `json:"timing_rows,omitempty"`
+}
 
 type expFlag []string
 
@@ -38,7 +60,25 @@ func main() {
 	var exps expFlag
 	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, all")
 	scaleName := flag.String("scale", "default", "dataset scale: small, default, full")
+	jsonPath := flag.String("json", "", "write a machine-readable benchReport of the run to this path")
+	workersFlag := flag.String("workers", "", "comma-separated worker-pool bounds for the fig6 sweep (default \"1,<NumCPU>\"; 0 = NumCPU)")
 	flag.Parse()
+
+	workerSweep := []int{1, runtime.NumCPU()}
+	if *workersFlag != "" {
+		workerSweep = workerSweep[:0]
+		for _, part := range strings.Split(*workersFlag, ",") {
+			var w int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil {
+				fmt.Fprintf(os.Stderr, "bad -workers value %q\n", part)
+				os.Exit(2)
+			}
+			if w <= 0 {
+				w = runtime.NumCPU()
+			}
+			workerSweep = append(workerSweep, w)
+		}
+	}
 
 	if len(exps) == 0 {
 		exps = expFlag{"all"}
@@ -61,29 +101,57 @@ func main() {
 		want[e] = true
 	}
 	all := want["all"]
-	run := func(name string, fn func() error) {
+	report := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      *scaleName,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	run := func(name string, fn func() ([]experiments.TimingRow, error)) {
 		if !all && !want[name] {
 			return
 		}
 		fmt.Printf("== %s (scale %s) ==\n", name, *scaleName)
 		start := time.Now()
-		if err := fn(); err != nil {
+		rows, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("-- %s done in %s --\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		report.Experiments = append(report.Experiments, benchExperiment{
+			Name: name, ElapsedMS: float64(elapsed.Microseconds()) / 1000, Rows: rows,
+		})
+		fmt.Printf("-- %s done in %s --\n\n", name, elapsed.Round(time.Millisecond))
+	}
+	noRows := func(fn func() error) func() ([]experiments.TimingRow, error) {
+		return func() ([]experiments.TimingRow, error) { return nil, fn() }
 	}
 
-	run("table1", func() error { return runTable1(scale) })
-	run("fig2", func() error { return runPruning("fig2", scale) })
-	run("fig3", func() error { return runPruning("fig3", scale) })
-	run("fig4", func() error { return runPruning("fig4", scale) })
-	run("fig6", func() error { return runFig6(scale) })
-	run("fig7", func() error { return runFig7(scale) })
-	run("passes", func() error { return runPasses(scale) })
-	run("embed", func() error { return runEmbed(scale) })
-	run("rank", func() error { return runRank(scale) })
-	run("stream", func() error { return runStream(scale) })
+	run("table1", noRows(func() error { return runTable1(scale) }))
+	run("fig2", noRows(func() error { return runPruning("fig2", scale) }))
+	run("fig3", noRows(func() error { return runPruning("fig3", scale) }))
+	run("fig4", noRows(func() error { return runPruning("fig4", scale) }))
+	run("fig6", func() ([]experiments.TimingRow, error) { return runFig6(scale, workerSweep) })
+	run("fig7", noRows(func() error { return runFig7(scale) }))
+	run("passes", noRows(func() error { return runPasses(scale) }))
+	run("embed", noRows(func() error { return runEmbed(scale) }))
+	run("rank", noRows(func() error { return runRank(scale) }))
+	run("stream", noRows(func() error { return runStream(scale) }))
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }
 
 func runPruning(which string, scale experiments.Scale) error {
@@ -120,20 +188,28 @@ func runPruning(which string, scale experiments.Scale) error {
 	return nil
 }
 
-func runFig6(scale experiments.Scale) error {
+func runFig6(scale experiments.Scale, workerSweep []int) ([]experiments.TimingRow, error) {
 	dd, err := experiments.CitationSetup(scale.Fig6, true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("Figure 6 analogue — timing on %d citation records (scorer held-out acc %.1f%%)\n",
 		dd.Data.Len(), 100*dd.PairAcc)
 	ks := experiments.KsForScale(dd.Data.Len())
 	rows, err := experiments.Fig6(dd, ks)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	experiments.RenderTimingTable(os.Stdout, rows)
-	return nil
+	// Worker sweep over the full pruned pipeline: same answers and eval
+	// counts at every bound, wall clock is the variable under test.
+	fmt.Printf("\nworker sweep (pruned pipeline), workers = %v\n", workerSweep)
+	sweep, err := experiments.Fig6WorkerSweep(dd, ks, workerSweep)
+	if err != nil {
+		return nil, err
+	}
+	experiments.RenderWorkerSweep(os.Stdout, sweep)
+	return append(rows, sweep...), nil
 }
 
 func runFig7(scale experiments.Scale) error {

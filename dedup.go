@@ -5,7 +5,6 @@ import (
 
 	"topkdedup/internal/core"
 	"topkdedup/internal/embed"
-	"topkdedup/internal/index"
 	"topkdedup/internal/score"
 	"topkdedup/internal/segment"
 )
@@ -34,7 +33,7 @@ func (e *Engine) Dedup() (*DedupResult, error) {
 	d := e.data
 	groups := coreSingletons(d)
 	for _, level := range e.levels {
-		groups, _ = core.Collapse(d, groups, level.Sufficient)
+		groups, _ = core.CollapseWorkers(d, groups, level.Sufficient, e.cfg.Workers)
 	}
 	if e.scorer == nil {
 		res := &DedupResult{}
@@ -47,26 +46,7 @@ func (e *Engine) Dedup() (*DedupResult, error) {
 
 	n := len(groups)
 	lastN := e.levels[len(e.levels)-1].Necessary
-	keys := make([][]string, n)
-	for i := range groups {
-		keys[i] = lastN.Keys(d.Recs[groups[i].Rep])
-	}
-	ix := index.Build(n, func(i int) []string { return keys[i] })
-	pairScore := make(map[[2]int]float64)
-	var edges []embed.Edge
-	ix.ForEachPair(func(i, j int) bool {
-		ri, rj := d.Recs[groups[i].Rep], d.Recs[groups[j].Rep]
-		if !lastN.Eval(ri, rj) {
-			return true
-		}
-		s := e.scorer.Score(ri, rj)
-		if !e.cfg.ScaleByMembersOff {
-			s *= float64(len(groups[i].Members) * len(groups[j].Members))
-		}
-		pairScore[[2]int{i, j}] = s
-		edges = append(edges, embed.Edge{A: i, B: j})
-		return true
-	})
+	pairScore, edges := e.scoredCandidates(groups, lastN)
 	pf := func(i, j int) float64 {
 		if i > j {
 			i, j = j, i

@@ -11,6 +11,7 @@ import (
 	"topkdedup/internal/core"
 	"topkdedup/internal/embed"
 	"topkdedup/internal/index"
+	"topkdedup/internal/parallel"
 	"topkdedup/internal/rankquery"
 	"topkdedup/internal/score"
 	"topkdedup/internal/segment"
@@ -53,6 +54,16 @@ type Config struct {
 	// all cross-member pairs (§4.1's closing remark). Default true
 	// (disable with ScaleByMembersOff).
 	ScaleByMembersOff bool
+	// Workers bounds the worker pool used for predicate evaluation and
+	// pair scoring throughout the pipeline (collapse, bound estimation,
+	// prune, and the final phase's candidate scoring). <= 0 (the default)
+	// means all CPUs; 1 runs fully serial. Results are byte-identical at
+	// every worker count. When Workers != 1 the predicates and scorer
+	// must be safe for concurrent use — the built-in domains are (they
+	// share a strsim.NewSharedCache); custom predicates built over
+	// strsim.NewCache must either switch to NewSharedCache or set
+	// Workers to 1.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -158,7 +169,7 @@ func (e *Engine) TopK(k, r int) (*Result, error) {
 	if r < 1 {
 		r = 1
 	}
-	pd, err := core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses})
+	pd, err := core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -196,26 +207,7 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 	lastN := e.levels[len(e.levels)-1].Necessary
 
 	// Candidate group pairs: those passing the last necessary predicate.
-	keys := make([][]string, n)
-	for i := range groups {
-		keys[i] = lastN.Keys(e.data.Recs[groups[i].Rep])
-	}
-	ix := index.Build(n, func(i int) []string { return keys[i] })
-	pairScore := make(map[[2]int]float64)
-	var edges []embed.Edge
-	ix.ForEachPair(func(i, j int) bool {
-		ri, rj := e.data.Recs[groups[i].Rep], e.data.Recs[groups[j].Rep]
-		if !lastN.Eval(ri, rj) {
-			return true
-		}
-		s := e.scorer.Score(ri, rj)
-		if !e.cfg.ScaleByMembersOff {
-			s *= float64(len(groups[i].Members) * len(groups[j].Members))
-		}
-		pairScore[[2]int{i, j}] = s
-		edges = append(edges, embed.Edge{A: i, B: j})
-		return true
-	})
+	pairScore, edges := e.scoredCandidates(groups, lastN)
 	pf := func(i, j int) float64 {
 		if i > j {
 			i, j = j, i
@@ -276,6 +268,55 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 		out = out[:r]
 	}
 	return out, nil
+}
+
+// scoredCandidates enumerates the candidate group pairs — those sharing a
+// blocking key and passing the last necessary predicate — and scores each
+// with P, returning the pair-score map plus the embedding edges. The
+// pairs are buffered serially from the blocking index, evaluated and
+// scored in parallel (one result slot per pair), and folded back into the
+// map in enumeration order, so the output is identical at every
+// Config.Workers value.
+func (e *Engine) scoredCandidates(groups []Group, lastN Predicate) (map[[2]int]float64, []embed.Edge) {
+	n := len(groups)
+	keys := make([][]string, n)
+	for i := range groups {
+		keys[i] = lastN.Keys(e.data.Recs[groups[i].Rep])
+	}
+	ix := index.Build(n, func(i int) []string { return keys[i] })
+	type cand struct{ i, j int32 }
+	var cands []cand
+	ix.ForEachPair(func(i, j int) bool {
+		cands = append(cands, cand{int32(i), int32(j)})
+		return true
+	})
+	type slot struct {
+		s  float64
+		ok bool
+	}
+	slots := make([]slot, len(cands))
+	parallel.For(e.cfg.Workers, len(cands), func(t int) {
+		c := cands[t]
+		ri, rj := e.data.Recs[groups[c.i].Rep], e.data.Recs[groups[c.j].Rep]
+		if !lastN.Eval(ri, rj) {
+			return
+		}
+		s := e.scorer.Score(ri, rj)
+		if !e.cfg.ScaleByMembersOff {
+			s *= float64(len(groups[c.i].Members) * len(groups[c.j].Members))
+		}
+		slots[t] = slot{s: s, ok: true}
+	})
+	pairScore := make(map[[2]int]float64)
+	var edges []embed.Edge
+	for t, c := range cands {
+		if !slots[t].ok {
+			continue
+		}
+		pairScore[[2]int{int(c.i), int(c.j)}] = slots[t].s
+		edges = append(edges, embed.Edge{A: int(c.i), B: int(c.j)})
+	}
+	return pairScore, edges
 }
 
 func logAddExp(a, b float64) float64 {
@@ -346,7 +387,7 @@ type RankResult = rankquery.RankResult
 // resolving exact sizes. The rank-specific resolved-group pruning applies
 // on top of the standard TopK pruning.
 func (e *Engine) TopKRank(k int) (*RankResult, error) {
-	return rankquery.TopKRank(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses})
+	return rankquery.TopKRank(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers})
 }
 
 // ThresholdedRank answers the thresholded rank query (paper §7.2): a

@@ -140,7 +140,7 @@ func main() {
 
 // orgDomain builds the predicate schedule and scorer for org mentions.
 func orgDomain() ([]topk.Level, topk.PairScorer) {
-	cache := strsim.NewCache(nil)
+	cache := strsim.NewSharedCache(nil)
 	name := func(rec *topk.Record) string { return rec.Field("org") }
 
 	s := topk.Predicate{

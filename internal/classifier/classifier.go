@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"topkdedup/internal/parallel"
 	"topkdedup/internal/records"
 )
 
@@ -70,6 +71,12 @@ type TrainOptions struct {
 	L2 float64
 	// Seed for shuffling (default 1).
 	Seed int64
+	// Workers bounds the worker pool for the feature-extraction
+	// precompute (<= 0 means all CPUs, 1 is serial). The SGD loop itself
+	// stays serial — it is inherently sequential and cheap next to
+	// feature extraction. Feats.Vec must be safe for concurrent use when
+	// Workers != 1. The trained model is identical at every worker count.
+	Workers int
 }
 
 func (o *TrainOptions) defaults() {
@@ -109,18 +116,22 @@ func Train(d *records.Dataset, feats FeatureSet, pairs []LabeledPair, opts Train
 		return nil, fmt.Errorf("classifier: need both classes, got %d positive / %d negative", pos, neg)
 	}
 
-	// Precompute feature vectors once.
+	// Precompute feature vectors once — the expensive part of training,
+	// and embarrassingly parallel (one slot per pair; the dimension check
+	// folds serially afterwards).
 	dim := len(feats.Names)
 	xs := make([][]float64, len(pairs))
 	ys := make([]float64, len(pairs))
-	for i, p := range pairs {
-		x := feats.Vec(d.Recs[p.A], d.Recs[p.B])
-		if len(x) != dim {
-			return nil, fmt.Errorf("classifier: feature vector length %d != %d names", len(x), dim)
-		}
-		xs[i] = x
+	parallel.For(opts.Workers, len(pairs), func(i int) {
+		p := pairs[i]
+		xs[i] = feats.Vec(d.Recs[p.A], d.Recs[p.B])
 		if p.Dup {
 			ys[i] = 1
+		}
+	})
+	for i := range xs {
+		if len(xs[i]) != dim {
+			return nil, fmt.Errorf("classifier: feature vector length %d != %d names", len(xs[i]), dim)
 		}
 	}
 	// Class-balance weights so the skewed negative pool does not drown

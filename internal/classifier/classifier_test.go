@@ -227,3 +227,56 @@ func TestAccuracyEmptyPairs(t *testing.T) {
 		t.Error("accuracy over no pairs should be 0")
 	}
 }
+
+// TestSamplePairsRoundRobinPositives is the regression test for the
+// positive-sampling bias: with a MaxPositive cap far below the total
+// within-group pair count, every group (not just the lexicographically
+// first labels) must contribute at least one positive.
+func TestSamplePairsRoundRobinPositives(t *testing.T) {
+	const entities = 12
+	d := separableData(9, entities, 6) // 15 within-pairs per group, 180 total
+	ids := make([]int, d.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	cap := entities + 3 // enough for one pair per group, far below 180
+	pairs := SamplePairs(d, ids, SampleOptions{MaxPositive: cap, NegativePerPositive: 1})
+	covered := map[string]bool{}
+	pos := 0
+	for _, p := range pairs {
+		if p.Dup {
+			pos++
+			covered[d.Recs[p.A].Truth] = true
+		}
+	}
+	if pos != cap {
+		t.Errorf("positives = %d, want the full cap %d", pos, cap)
+	}
+	if len(covered) != entities {
+		t.Errorf("only %d of %d groups contributed a positive under the cap "+
+			"(group-order bias is back)", len(covered), entities)
+	}
+
+	// Sanity at an uncapped setting: round-robin must still enumerate every
+	// within-group pair exactly once.
+	all := SamplePairs(d, ids, SampleOptions{MaxPositive: 100000, NegativePerPositive: 1})
+	seen := map[[2]int]bool{}
+	pos = 0
+	for _, p := range all {
+		if !p.Dup {
+			continue
+		}
+		pos++
+		a, b := p.A, p.B
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			t.Fatalf("positive pair (%d,%d) sampled twice", a, b)
+		}
+		seen[[2]int{a, b}] = true
+	}
+	if want := entities * 6 * 5 / 2; pos != want {
+		t.Errorf("uncapped positives = %d, want all %d within-group pairs", pos, want)
+	}
+}

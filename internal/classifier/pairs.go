@@ -84,17 +84,39 @@ func SamplePairs(d *records.Dataset, ids []int, opts SampleOptions) []LabeledPai
 	sort.Strings(labels)
 
 	var pairs []LabeledPair
-	// Positives: within-group pairs.
+	// Positives: within-group pairs, taken round-robin across groups —
+	// round r contributes the r-th within-group pair (i<j enumeration
+	// order) of every group that still has one. A straight group-by-group
+	// sweep would let the MaxPositive cap exhaust the budget on the
+	// lexicographically-first labels, training the classifier on a biased
+	// slice of the entities; round-robin guarantees every group with a
+	// pair is represented whenever the cap is at least the group count.
+	type cursor struct {
+		g    []int
+		i, j int
+	}
+	curs := make([]cursor, 0, len(labels))
 	for _, l := range labels {
-		g := byTruth[l]
-		for i := 0; i < len(g) && len(pairs) < opts.MaxPositive; i++ {
-			for j := i + 1; j < len(g) && len(pairs) < opts.MaxPositive; j++ {
-				pairs = append(pairs, LabeledPair{A: g[i], B: g[j], Dup: true})
+		if g := byTruth[l]; len(g) >= 2 {
+			curs = append(curs, cursor{g: g, i: 0, j: 1})
+		}
+	}
+	for len(pairs) < opts.MaxPositive && len(curs) > 0 {
+		next := curs[:0]
+		for _, c := range curs {
+			if len(pairs) >= opts.MaxPositive {
+				break
+			}
+			pairs = append(pairs, LabeledPair{A: c.g[c.i], B: c.g[c.j], Dup: true})
+			if c.j++; c.j >= len(c.g) {
+				c.i++
+				c.j = c.i + 1
+			}
+			if c.i < len(c.g)-1 {
+				next = append(next, c)
 			}
 		}
-		if len(pairs) >= opts.MaxPositive {
-			break
-		}
+		curs = next
 	}
 	nPos := len(pairs)
 	wantNeg := nPos * opts.NegativePerPositive

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"topkdedup/internal/dsu"
+	"topkdedup/internal/parallel"
 	"topkdedup/internal/score"
 )
 
@@ -31,7 +32,21 @@ type Result struct {
 // independent components, each solved exactly by branch-and-bound when its
 // size is at most maxComponent (fallback: pivot + local search, flagged
 // via Result.Exact=false).
+//
+// Serial entry point: ExactWorkers with one worker.
 func Exact(n int, pf score.PairFunc, edges []Edge, maxComponent int) Result {
+	return ExactWorkers(n, pf, edges, maxComponent, 1)
+}
+
+// ExactWorkers is Exact with one task per positive-edge component spread
+// over a worker pool (workers <= 0 means all CPUs, 1 is serial) — the
+// components are independent subproblems, which is exactly why the
+// decomposition makes the exact objective feasible in the first place.
+// pf must be safe for concurrent use when workers != 1 (a score.Matrix
+// lookup is; a raw closure over a non-shared cache is not). Components
+// are solved into per-component slots and concatenated in sorted-root
+// order, so the partition is identical at every worker count.
+func ExactWorkers(n int, pf score.PairFunc, edges []Edge, maxComponent, workers int) Result {
 	if maxComponent <= 0 {
 		maxComponent = 18
 	}
@@ -64,23 +79,35 @@ func Exact(n int, pf score.PairFunc, edges []Edge, maxComponent int) Result {
 		roots = append(roots, r)
 	}
 	sort.Ints(roots)
+	// Solve components in parallel, one result slot per component, then
+	// fold the slots serially in sorted-root order (deterministic
+	// reduction). approx[ci] marks components that fell back.
+	parts := make([][][]int, len(roots))
+	approx := make([]bool, len(roots))
 	for _, r := range roots {
+		sort.Ints(compItems[r])
+	}
+	parallel.For(workers, len(roots), func(ci int) {
+		r := roots[ci]
 		items := compItems[r]
-		sort.Ints(items)
-		if len(items) > res.LargestComponent {
-			res.LargestComponent = len(items)
-		}
 		switch {
 		case len(items) == 1:
-			res.Clusters = append(res.Clusters, items)
+			parts[ci] = [][]int{items}
 		case len(items) <= maxComponent:
-			parts := solveComponent(items, pf)
-			res.Clusters = append(res.Clusters, parts...)
+			parts[ci] = solveComponent(items, pf)
 		default:
-			res.Exact = false
-			parts := fallbackComponent(items, compEdges[r], pf)
-			res.Clusters = append(res.Clusters, parts...)
+			approx[ci] = true
+			parts[ci] = fallbackComponent(items, compEdges[r], pf)
 		}
+	})
+	for ci, r := range roots {
+		if n := len(compItems[r]); n > res.LargestComponent {
+			res.LargestComponent = n
+		}
+		if approx[ci] {
+			res.Exact = false
+		}
+		res.Clusters = append(res.Clusters, parts[ci]...)
 	}
 	sort.Slice(res.Clusters, func(i, j int) bool { return res.Clusters[i][0] < res.Clusters[j][0] })
 	return res

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// randomInstance builds a working set with several positive components of
+// mixed sizes (some above the branch-and-bound limit, to hit the
+// fallback path too).
+func randomInstance(seed int64, n int) (func(i, j int) float64, []Edge) {
+	r := rand.New(rand.NewSource(seed))
+	scores := map[[2]int]float64{}
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() > 0.15 {
+				continue
+			}
+			s := r.Float64()*4 - 1.5
+			scores[[2]int{i, j}] = s
+			edges = append(edges, Edge{A: i, B: j})
+		}
+	}
+	pf := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		return scores[[2]int{i, j}]
+	}
+	return pf, edges
+}
+
+// TestExactWorkersDeterministic: the partition, the Exact flag, and the
+// component diagnostic must be identical at every worker count,
+// including on instances that exercise the oversized-component fallback.
+func TestExactWorkersDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		seed       int64
+		n, maxComp int
+	}{
+		{seed: 1, n: 30, maxComp: 18},
+		{seed: 2, n: 60, maxComp: 10}, // forces fallback components
+		{seed: 3, n: 12, maxComp: 18},
+	} {
+		pf, edges := randomInstance(tc.seed, tc.n)
+		ref := ExactWorkers(tc.n, pf, edges, tc.maxComp, 1)
+		for _, w := range []int{4, runtime.NumCPU()} {
+			got := ExactWorkers(tc.n, pf, edges, tc.maxComp, w)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("seed=%d workers=%d: result differs from serial\n got %+v\nwant %+v",
+					tc.seed, w, got, ref)
+			}
+		}
+		// The serial wrapper is the one-worker special case.
+		if !reflect.DeepEqual(Exact(tc.n, pf, edges, tc.maxComp), ref) {
+			t.Errorf("seed=%d: Exact != ExactWorkers(..., 1)", tc.seed)
+		}
+	}
+}

@@ -2,9 +2,21 @@ package core
 
 import (
 	"topkdedup/internal/graph"
+	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 )
+
+// boundBlock is how many prefix groups have their candidate pairs
+// enumerated before one parallel evaluation round. Candidate enumeration
+// depends only on blocking keys — never on evaluation results — so whole
+// blocks can be enumerated serially (keeping the bucket/seen sweep
+// identical to a plain loop) and their pairs verified in parallel. The
+// CPN early-exit is then applied serially in group order, counting only
+// the consumed groups' evaluations, so m, M, and the eval counter are
+// the same at every worker count (a block may evaluate a few pairs past
+// the exit point; those are discarded and never counted).
+const boundBlock = 256
 
 // EstimateLowerBound implements §4.2: given groups in decreasing weight
 // order and a necessary predicate n, find the smallest rank m such that
@@ -16,7 +28,17 @@ import (
 // When the guarantee cannot be established over all groups (the data may
 // hold fewer than K entities), it returns m = 0, M = 0, which disables
 // pruning.
+//
+// Serial entry point: EstimateLowerBoundWorkers with one worker.
 func EstimateLowerBound(d *records.Dataset, groups []Group, n predicate.P, k int) (m int, lower float64, evals int64) {
+	return EstimateLowerBoundWorkers(d, groups, n, k, 1)
+}
+
+// EstimateLowerBoundWorkers is EstimateLowerBound with the
+// necessary-predicate edge construction spread over a worker pool
+// (workers <= 0 means all CPUs, 1 is serial). n.Eval must be safe for
+// concurrent use when workers != 1.
+func EstimateLowerBoundWorkers(d *records.Dataset, groups []Group, n predicate.P, k, workers int) (m int, lower float64, evals int64) {
 	if len(groups) == 0 || k < 1 {
 		return 0, 0, 0
 	}
@@ -39,31 +61,71 @@ func EstimateLowerBound(d *records.Dataset, groups []Group, n predicate.P, k int
 	pcpn := graph.NewPrefixCPN(k)
 	buckets := make(map[string][]int) // key -> prior group indices
 	seen := make(map[int]int)         // candidate dedup, stamped by group index
-	var nbrs []int
-	for gi := range groups {
-		if groups[gi].Weight <= minWeight || gi >= maxPrefix {
-			return 0, 0, evals
-		}
-		repI := d.Recs[groups[gi].Rep]
-		keys := n.Keys(repI)
-		nbrs = nbrs[:0]
-		for _, key := range keys {
-			for _, gj := range buckets[key] {
-				if seen[gj] == gi+1 {
-					continue
+	type pair struct{ gi, gj int32 }
+	var (
+		pairs     []pair // flattened candidate pairs of the current block
+		pairStart []int  // per block group: offset of its pairs (+ sentinel)
+		verdict   []bool
+		nbrs      []int
+	)
+	for gi0 := 0; gi0 < len(groups); {
+		// Enumerate one block's candidates — serial, and byte-identical to
+		// the single-loop sweep because nothing here reads a verdict.
+		pairs = pairs[:0]
+		pairStart = pairStart[:0]
+		blockEnd := gi0
+		stop := false
+		for gi := gi0; gi < gi0+boundBlock && gi < len(groups); gi++ {
+			if groups[gi].Weight <= minWeight || gi >= maxPrefix {
+				stop = true
+				break
+			}
+			pairStart = append(pairStart, len(pairs))
+			for _, key := range n.Keys(d.Recs[groups[gi].Rep]) {
+				for _, gj := range buckets[key] {
+					if seen[gj] == gi+1 {
+						continue
+					}
+					seen[gj] = gi + 1
+					pairs = append(pairs, pair{int32(gi), int32(gj)})
 				}
-				seen[gj] = gi + 1
-				evals++
-				if n.Eval(repI, d.Recs[groups[gj].Rep]) {
-					nbrs = append(nbrs, gj)
+				buckets[key] = append(buckets[key], gi)
+			}
+			blockEnd = gi + 1
+		}
+		pairStart = append(pairStart, len(pairs))
+
+		// Verify the block's pairs in parallel; each slot owned by one index.
+		if cap(verdict) < len(pairs) {
+			verdict = make([]bool, len(pairs))
+		}
+		verdict = verdict[:len(pairs)]
+		parallel.For(workers, len(pairs), func(t int) {
+			p := pairs[t]
+			verdict[t] = n.Eval(d.Recs[groups[p.gi].Rep], d.Recs[groups[p.gj].Rep])
+		})
+
+		// Consume serially in group order; stop at the first rank where the
+		// CPN bound certifies K entities. Only consumed groups' pairs count
+		// as evaluations, so the counter matches the serial sweep exactly.
+		for bi := 0; bi < blockEnd-gi0; bi++ {
+			lo, hi := pairStart[bi], pairStart[bi+1]
+			evals += int64(hi - lo)
+			nbrs = nbrs[:0]
+			for t := lo; t < hi; t++ {
+				if verdict[t] {
+					nbrs = append(nbrs, int(pairs[t].gj))
 				}
 			}
-			buckets[key] = append(buckets[key], gi)
+			if pcpn.Add(nbrs) {
+				m = pcpn.ReachedAt()
+				return m, groups[m-1].Weight, evals
+			}
 		}
-		if pcpn.Add(nbrs) {
-			m = pcpn.ReachedAt()
-			return m, groups[m-1].Weight, evals
+		if stop {
+			return 0, 0, evals
 		}
+		gi0 = blockEnd
 	}
 	if pcpn.Finish() {
 		m = pcpn.ReachedAt()

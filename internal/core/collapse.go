@@ -3,21 +3,43 @@ package core
 import (
 	"topkdedup/internal/dsu"
 	"topkdedup/internal/index"
+	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 )
+
+// collapseChunk is how many candidate pairs are buffered before a
+// verify-and-merge flush. The chunk boundary is what makes the parallel
+// schedule deterministic: pairs already connected at the start of a
+// chunk are filtered without evaluation, the rest are verified (in
+// parallel when workers > 1), and the resulting merges apply serially in
+// enumeration order — so the evaluation set, the eval counter, and the
+// union sequence depend only on the chunk size, never on the worker
+// count.
+const collapseChunk = 4096
 
 // Collapse merges groups connected by the transitive closure of the
 // sufficient predicate s, evaluated on group representatives (§4.1:
 // collapsing on representatives is safe because all members are already
 // sure duplicates and "duplicate-of" is transitive). Candidate pairs come
 // from the predicate's blocking keys; the union-find short-circuits pairs
-// already connected, so each effective merge costs one evaluation and
-// redundant pairs cost only a find.
+// already connected at chunk granularity, so redundant pairs cost a find
+// (plus, at most, one extra evaluation when the connecting merge landed
+// within the same chunk).
 //
 // Returns the merged groups (unsorted) and the number of predicate
-// evaluations performed.
+// evaluations performed. Serial entry point: CollapseWorkers with one
+// worker.
 func Collapse(d *records.Dataset, groups []Group, s predicate.P) ([]Group, int64) {
+	return CollapseWorkers(d, groups, s, 1)
+}
+
+// CollapseWorkers is Collapse with predicate verification spread over a
+// worker pool (workers <= 0 means all CPUs, 1 is serial). s.Eval must be
+// safe for concurrent use when workers != 1. The result — groups, group
+// membership, and the eval counter — is identical for every worker
+// count.
+func CollapseWorkers(d *records.Dataset, groups []Group, s predicate.P, workers int) ([]Group, int64) {
 	n := len(groups)
 	keys := make([][]string, n)
 	for i := range groups {
@@ -26,16 +48,47 @@ func Collapse(d *records.Dataset, groups []Group, s predicate.P) ([]Group, int64
 	ix := index.Build(n, func(i int) []string { return keys[i] })
 	uf := dsu.New(n)
 	var evals int64
-	ix.ForEachPair(func(i, j int) bool {
-		if uf.Same(i, j) {
-			return true
+
+	type pair struct{ a, b int32 }
+	buf := make([]pair, 0, collapseChunk)
+	todo := make([]int32, 0, collapseChunk) // indices into buf needing evaluation
+	verdict := make([]bool, collapseChunk)
+	flush := func() {
+		// Filter: pairs already connected need no evaluation. This runs
+		// before any of the chunk's merges, so it is independent of the
+		// worker count.
+		todo = todo[:0]
+		for t, p := range buf {
+			if !uf.Same(int(p.a), int(p.b)) {
+				todo = append(todo, int32(t))
+			}
 		}
-		evals++
-		if s.Eval(d.Recs[groups[i].Rep], d.Recs[groups[j].Rep]) {
-			uf.Union(i, j)
+		evals += int64(len(todo))
+		// Verify in parallel; each slot is owned by one index.
+		parallel.For(workers, len(todo), func(k int) {
+			p := buf[todo[k]]
+			verdict[k] = s.Eval(d.Recs[groups[p.a].Rep], d.Recs[groups[p.b].Rep])
+		})
+		// Merge serially in enumeration order — the deterministic
+		// reduction that keeps the union-find state identical at every
+		// worker count.
+		for k, t := range todo {
+			if verdict[k] {
+				p := buf[t]
+				uf.Union(int(p.a), int(p.b))
+			}
+		}
+		buf = buf[:0]
+	}
+	ix.ForEachPair(func(i, j int) bool {
+		buf = append(buf, pair{int32(i), int32(j)})
+		if len(buf) == collapseChunk {
+			flush()
 		}
 		return true
 	})
+	flush()
+
 	if uf.Components() == n {
 		return groups, evals // nothing merged
 	}

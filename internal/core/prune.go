@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"topkdedup/internal/index"
+	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 )
@@ -27,7 +28,20 @@ import (
 // Groups whose weight already reaches M are never pruned. When M <= 0 the
 // input is returned unchanged. Pruning keeps ties (bound == M) alive so
 // answers tying with the K-th group are not lost.
+//
+// Serial entry point: PruneWorkers with one worker.
 func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes int) (alive []Group, evals int64) {
+	return PruneWorkers(d, groups, n, m, passes, 1)
+}
+
+// PruneWorkers is Prune with the exact refinement passes spread over a
+// worker pool (workers <= 0 means all CPUs, 1 is serial). Each exact
+// pass is a Jacobi update — every group's new bound reads only the
+// previous pass's bounds and liveness, so the per-group computations are
+// independent and the survivor set, bounds, and eval counter are
+// identical for every worker count. n.Eval must be safe for concurrent
+// use when workers != 1.
+func PruneWorkers(d *records.Dataset, groups []Group, n predicate.P, m float64, passes, workers int) (alive []Group, evals int64) {
 	if m <= 0 || len(groups) == 0 {
 		return groups, 0
 	}
@@ -46,7 +60,9 @@ func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes 
 	// groups only, so pruning one round's tail tightens the next round's
 	// bounds without a single predicate evaluation. (A single round is
 	// far too loose for high-frequency blocking keys such as common
-	// 3-grams, whose bucket totals dwarf any real neighbourhood.)
+	// 3-grams, whose bucket totals dwarf any real neighbourhood.) Cheap
+	// map arithmetic — always serial, so it contributes the same state at
+	// every worker count.
 	u := make([]float64, ng)
 	live := make([]bool, ng)
 	for i := range live {
@@ -83,27 +99,14 @@ func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes 
 		}
 	}
 
-	// Exact passes with the previous pass's bounds (Jacobi updates). Two
-	// observations keep the necessary-predicate join far below a full
-	// canopy enumeration:
-	//
-	//   - every bound is only ever compared against M (survive: ub >= M;
-	//     gate a neighbour: u_j >= M), so the neighbour sum of a group can
-	//     stop the moment it crosses M — when M is small, almost every
-	//     group certifies survival after a couple of confirmed
-	//     neighbours;
-	//   - when M is large, the iterated bucket bound above has already
-	//     killed the tail, so only a small live set enumerates at all.
-	//
-	// Early-stopped bounds are stored as exactly M ("at least M"), which
-	// keeps both comparisons truthful.
 	// Stage 0.5: iterate the *deduplicated* candidate-weight bound — the
 	// exact neighbourhood weight an evaluation pass could at most confirm
 	// — to a fixpoint, still without a single predicate evaluation. It is
 	// much tighter than the bucket totals (no multi-counting across
-	// shared keys) and each kill cascades into the next round.
+	// shared keys) and each kill cascades into the next round. Also
+	// serial: it is evaluation-free index walking.
 	stamp := index.NewStamp(ng)
-	var cand, gated []int32
+	var cand []int32
 	for round := 0; round < 4; round++ {
 		changed := false
 		for i := range groups {
@@ -139,30 +142,61 @@ func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes 
 		}
 	}
 
+	// Exact passes with the previous pass's bounds (Jacobi updates over
+	// both bounds and liveness — the pass reads `u` and `live` as frozen
+	// snapshots and publishes into `next`/`die`, so groups are
+	// independent and the pass parallelises). Two observations keep the
+	// necessary-predicate join far below a full canopy enumeration:
+	//
+	//   - every bound is only ever compared against M (survive: ub >= M;
+	//     gate a neighbour: u_j >= M), so the neighbour sum of a group can
+	//     stop the moment it crosses M — when M is small, almost every
+	//     group certifies survival after a couple of confirmed
+	//     neighbours;
+	//   - when M is large, the iterated bucket bound above has already
+	//     killed the tail, so only a small live set enumerates at all.
+	//
+	// Early-stopped bounds are stored as exactly M ("at least M"), which
+	// keeps both comparisons truthful.
+	nWorkers := parallel.Resolve(workers)
+	type scratch struct {
+		stamp       *index.Stamp
+		cand, gated []int32
+	}
+	scratches := make([]scratch, nWorkers)
+	for w := range scratches {
+		scratches[w].stamp = index.NewStamp(ng)
+	}
+	evalCount := make([]int64, ng)
+	die := make([]bool, ng)
 	for pass := 0; pass < passes; pass++ {
 		next := make([]float64, ng)
 		copy(next, u)
-		changed := false
-		for i := range groups {
+		for i := range evalCount {
+			evalCount[i] = 0
+			die[i] = false
+		}
+		parallel.ForWorker(workers, ng, func(wk, i int) {
 			if !live[i] {
-				continue
+				return
 			}
 			w := groups[i].Weight
 			if w >= m {
-				continue // survives on its own weight; gates stay valid
+				return // survives on its own weight; gates stay valid
 			}
+			sc := &scratches[wk]
 			// Gate candidates and total their weight without evaluating:
 			// the deduplicated candidate total is itself an upper bound,
 			// so a group whose total cannot reach M dies evaluation-free.
-			cand = ix.Candidates(i, keys[i], stamp, cand[:0])
-			gated = gated[:0]
+			sc.cand = ix.Candidates(i, keys[i], sc.stamp, sc.cand[:0])
+			sc.gated = sc.gated[:0]
 			remaining := 0.0
-			for _, j32 := range cand {
+			for _, j32 := range sc.cand {
 				j := int(j32)
 				if !live[j] || (groups[j].Weight < m && u[j] < m) {
 					continue
 				}
-				gated = append(gated, j32)
+				sc.gated = append(sc.gated, j32)
 				remaining += groups[j].Weight
 			}
 			ub := w
@@ -173,6 +207,7 @@ func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes 
 				// above it a handful of evaluations settles the group
 				// anyway, and sorting thousands of candidates per group
 				// would dominate the pass.
+				gated := sc.gated
 				if w+remaining < 4*m || len(gated) < 64 {
 					sort.Slice(gated, func(a, b int) bool {
 						return groups[gated[a]].Weight > groups[gated[b]].Weight
@@ -181,7 +216,7 @@ func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes 
 				repI := d.Recs[groups[i].Rep]
 				for _, j32 := range gated {
 					j := int(j32)
-					evals++
+					evalCount[i]++
 					if n.Eval(repI, d.Recs[groups[j].Rep]) {
 						ub += groups[j].Weight
 						if ub >= m {
@@ -198,6 +233,15 @@ func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes 
 			}
 			next[i] = ub
 			if ub < m {
+				die[i] = true
+			}
+		})
+		// Deterministic reduction: fold counters and liveness in index
+		// order on the calling goroutine.
+		changed := false
+		for i := range groups {
+			evals += evalCount[i]
+			if die[i] {
 				live[i] = false
 				changed = true
 			}

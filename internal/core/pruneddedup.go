@@ -15,6 +15,12 @@ type Options struct {
 	// PrunePasses is the number of exact upper-bound refinement passes
 	// (default 2, the paper's choice).
 	PrunePasses int
+	// Workers bounds the worker pool used for predicate evaluation in the
+	// collapse, bound-estimation, and prune phases. <= 0 means all CPUs;
+	// 1 runs fully serial. Results are identical at every worker count;
+	// the predicates must be safe for concurrent Eval when Workers != 1
+	// (the built-in domains are — they share a strsim.NewSharedCache).
+	Workers int
 }
 
 // PrunedDedup runs Algorithm 2 of the paper over the dataset: for each
@@ -62,7 +68,7 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 		stats := LevelStats{Level: li + 1}
 
 		start := time.Now()
-		groups, stats.CollapseEvals = Collapse(d, groups, level.Sufficient)
+		groups, stats.CollapseEvals = CollapseWorkers(d, groups, level.Sufficient, opts.Workers)
 		sortGroupsByWeight(groups)
 		stats.CollapseTime = time.Since(start)
 		stats.NGroups = len(groups)
@@ -70,12 +76,12 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 
 		start = time.Now()
 		var m float64
-		stats.MRank, m, stats.BoundEvals = EstimateLowerBound(d, groups, level.Necessary, opts.K)
+		stats.MRank, m, stats.BoundEvals = EstimateLowerBoundWorkers(d, groups, level.Necessary, opts.K, opts.Workers)
 		stats.BoundTime = time.Since(start)
 		stats.LowerBound = m
 
 		start = time.Now()
-		groups, stats.PruneEvals = Prune(d, groups, level.Necessary, m, passes)
+		groups, stats.PruneEvals = PruneWorkers(d, groups, level.Necessary, m, passes, opts.Workers)
 		stats.PruneTime = time.Since(start)
 		stats.Survivors = len(groups)
 		stats.SurvivorsPct = pct(len(groups))

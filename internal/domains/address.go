@@ -42,7 +42,7 @@ func (o *AddressOptions) defaults() {
 // sufficient/necessary predicate level.
 func Addresses(c *strsim.Corpus, opts AddressOptions) Domain {
 	opts.defaults()
-	cache := strsim.NewCache(c)
+	cache := strsim.NewSharedCache(c)
 	nonStopCache := make(map[string]map[string]struct{})
 	name := func(r *records.Record) string { return r.Field(datagen.FieldOwner) }
 	addr := func(r *records.Record) string { return r.Field(datagen.FieldAddress) }

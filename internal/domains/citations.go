@@ -48,7 +48,7 @@ func (o *CitationOptions) defaults(corpusDocs int) {
 func Citations(c *strsim.Corpus, opts CitationOptions) Domain {
 	opts.defaults(c.DocCount())
 	rareIDF := rareWordIDFThreshold(c, opts.RareDFCap)
-	cache := strsim.NewCache(c)
+	cache := strsim.NewSharedCache(c)
 
 	author := func(r *records.Record) string { return r.Field(datagen.FieldAuthor) }
 	coauth := func(r *records.Record) string { return r.Field(datagen.FieldCoauthors) }

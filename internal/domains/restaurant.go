@@ -11,7 +11,7 @@ import (
 // single predicate level (name-gram canopy plus a strict sufficient
 // predicate) and a feature set over name/address/city/cuisine.
 func Restaurants(c *strsim.Corpus) Domain {
-	cache := strsim.NewCache(c)
+	cache := strsim.NewSharedCache(c)
 	name := func(r *records.Record) string { return r.Field(datagen.FieldOwner) }
 	addr := func(r *records.Record) string { return r.Field(datagen.FieldAddress) }
 	city := func(r *records.Record) string { return r.Field(datagen.FieldCity) }
@@ -80,7 +80,7 @@ func RestaurantFeatures(c *strsim.Corpus) FeatureSet {
 // AuthorsOnly builds a domain for the Figure-7 Authors benchmark: records
 // holding a single author-name field.
 func AuthorsOnly(c *strsim.Corpus) Domain {
-	cache := strsim.NewCache(c)
+	cache := strsim.NewSharedCache(c)
 	name := func(r *records.Record) string { return r.Field(datagen.FieldAuthor) }
 
 	// Exact token-multiset equality is NOT sufficient for bare author
@@ -148,7 +148,7 @@ func AuthorOnlyFeatures(c *strsim.Corpus) FeatureSet {
 // GetoorDomain builds a domain for the Figure-7 Getoor benchmark
 // (author + title records).
 func GetoorDomain(c *strsim.Corpus) Domain {
-	cache := strsim.NewCache(c)
+	cache := strsim.NewSharedCache(c)
 	name := func(r *records.Record) string { return r.Field(datagen.FieldAuthor) }
 	title := func(r *records.Record) string { return r.Field(datagen.FieldTitle) }
 

@@ -32,7 +32,7 @@ func (o *StudentOptions) defaults() {
 // entry errors.
 func Students(opts StudentOptions) Domain {
 	opts.defaults()
-	cache := strsim.NewCache(nil)
+	cache := strsim.NewSharedCache(nil)
 	name := func(r *records.Record) string { return r.Field(datagen.FieldName) }
 	class := func(r *records.Record) string { return r.Field(datagen.FieldClass) }
 	school := func(r *records.Record) string { return r.Field(datagen.FieldSchool) }

@@ -12,12 +12,19 @@ import (
 	"topkdedup/internal/records"
 )
 
-// TimingRow is one point of the Figure-6 running-time comparison.
+// TimingRow is one point of the Figure-6 running-time comparison. The
+// JSON form feeds the topkbench -json trajectory (BENCH_*.json).
 type TimingRow struct {
-	Method    string
-	K         int
-	Elapsed   time.Duration
-	PairEvals int64 // evaluations of the expensive criterion P
+	Method    string        `json:"method"`
+	K         int           `json:"k"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	PairEvals int64         `json:"pair_evals"` // evaluations of the expensive criterion P
+	// Workers is the worker-pool bound the row was measured with (1 =
+	// serial; 0 on baseline methods that have no parallel path).
+	Workers int `json:"workers,omitempty"`
+	// Survivors is the group count entering the final phase (pruned
+	// method only).
+	Survivors int `json:"survivors,omitempty"`
 }
 
 // Fig6Methods in paper order.
@@ -59,14 +66,41 @@ func Fig6(dd *DomainData, ks []int) ([]TimingRow, error) {
 
 	for _, k := range ks {
 		start = time.Now()
-		evals, err := runPruned(dd, k)
+		evals, survivors, err := runPruned(dd, k, 1)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, TimingRow{
 			Method: "Canopy+Collapse+Prune", K: k,
 			Elapsed: time.Since(start), PairEvals: evals,
+			Workers: 1, Survivors: survivors,
 		})
+	}
+	return rows, nil
+}
+
+// Fig6WorkerSweep times the full pruned pipeline at each worker-pool
+// bound, per K. The survivor sets and eval counters are identical at
+// every worker count (the pipeline's determinism guarantee); only the
+// wall-clock differs, which is exactly what the sweep records.
+func Fig6WorkerSweep(dd *DomainData, ks, workers []int) ([]TimingRow, error) {
+	if dd.Model == nil {
+		return nil, fmt.Errorf("fig6 requires a trained scorer")
+	}
+	var rows []TimingRow
+	for _, k := range ks {
+		for _, nw := range workers {
+			start := time.Now()
+			evals, survivors, err := runPruned(dd, k, nw)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, TimingRow{
+				Method: "Canopy+Collapse+Prune", K: k,
+				Elapsed: time.Since(start), PairEvals: evals,
+				Workers: nw, Survivors: survivors,
+			})
+		}
 	}
 	return rows, nil
 }
@@ -86,9 +120,24 @@ func RunFig6Method(dd *DomainData, method string, k int) (int64, error) {
 	case "Canopy+Collapse":
 		return runCanopyCollapse(dd, k), nil
 	case "Canopy+Collapse+Prune":
-		return runPruned(dd, k)
+		evals, _, err := runPruned(dd, k, 1)
+		return evals, err
 	}
 	return 0, fmt.Errorf("unknown fig6 method %q", method)
+}
+
+// RunFig6MethodWorkers is RunFig6Method for the pruned pipeline at an
+// explicit worker-pool bound (other methods have no parallel path and
+// ignore workers).
+func RunFig6MethodWorkers(dd *DomainData, method string, k, workers int) (int64, error) {
+	if method == "Canopy+Collapse+Prune" {
+		if dd.Model == nil {
+			return 0, fmt.Errorf("fig6 requires a trained scorer")
+		}
+		evals, _, err := runPruned(dd, k, workers)
+		return evals, err
+	}
+	return RunFig6Method(dd, method, k)
 }
 
 // topKByWeight finalises any of the baselines: group weights from a
@@ -212,12 +261,13 @@ func runCanopyCollapse(dd *DomainData, k int) int64 {
 }
 
 // runPruned is the full Algorithm 2: PrunedDedup, then P only on the
-// surviving groups' candidate pairs.
-func runPruned(dd *DomainData, k int) (int64, error) {
+// surviving groups' candidate pairs. workers bounds the pipeline's
+// worker pool (1 = serial). Returns P evaluations and the survivor count.
+func runPruned(dd *DomainData, k, workers int) (int64, int, error) {
 	d := dd.Data
-	res, err := core.PrunedDedup(d, dd.Domain.Levels, core.Options{K: k})
+	res, err := core.PrunedDedup(d, dd.Domain.Levels, core.Options{K: k, Workers: workers})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	groups := res.Groups
 	lastN := dd.Domain.Levels[len(dd.Domain.Levels)-1].Necessary
@@ -247,7 +297,7 @@ func runPruned(dd *DomainData, k int) (int64, error) {
 		weights[uf.Find(gi)] += g.Weight
 	}
 	_ = k
-	return evals, nil
+	return evals, len(groups), nil
 }
 
 func singletons(d *records.Dataset) []core.Group {
@@ -263,6 +313,15 @@ func RenderTimingTable(w io.Writer, rows []TimingRow) {
 	tbl := eval.NewTable("method", "K", "time", "P-evals")
 	for _, r := range rows {
 		tbl.AddRow(r.Method, r.K, r.Elapsed.Round(time.Millisecond).String(), r.PairEvals)
+	}
+	tbl.Render(w)
+}
+
+// RenderWorkerSweep prints the pruned pipeline's worker sweep.
+func RenderWorkerSweep(w io.Writer, rows []TimingRow) {
+	tbl := eval.NewTable("K", "workers", "time", "P-evals", "survivors")
+	for _, r := range rows {
+		tbl.AddRow(r.K, r.Workers, r.Elapsed.Round(time.Millisecond).String(), r.PairEvals, r.Survivors)
 	}
 	tbl.Render(w)
 }

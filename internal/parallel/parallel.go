@@ -1,0 +1,84 @@
+// Package parallel provides the bounded worker-pool primitives the
+// PrunedDedup pipeline uses to spread independent work — predicate
+// evaluations, pair scoring, per-component clustering — across CPU
+// cores. It is stdlib-only (sync, sync/atomic, runtime).
+//
+// The pipeline's contract is parallel evaluation, deterministic
+// reduction: callers fan independent computations out with For/ForWorker,
+// each body writing only to its own index's slot, and fold the results
+// serially in index order afterwards. Under that discipline results are
+// byte-identical regardless of the worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalises a Workers knob: values <= 0 mean runtime.NumCPU(),
+// anything else is taken as-is. 1 selects the serial in-line path (no
+// goroutines are spawned anywhere in this package when workers == 1).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// grain is how many consecutive indices a worker claims per atomic
+// fetch. Pipeline work items (one predicate evaluation, one pair score)
+// run in the microsecond range, so batching keeps the cursor off the
+// hot path while still load-balancing skewed items.
+const grain = 32
+
+// For runs body(i) for every i in [0, n) across the given number of
+// workers (after Resolve). body must be safe for concurrent invocation
+// and must only write to state owned by index i; the iteration order
+// across workers is unspecified. With workers == 1 or tiny n the loop
+// runs inline on the calling goroutine.
+func For(workers, n int, body func(i int)) {
+	ForWorker(workers, n, func(_, i int) { body(i) })
+}
+
+// ForWorker is For with the worker's identity passed to the body, so
+// callers can hand each worker private scratch state (a reusable stamp,
+// a candidate buffer). Worker ids are dense in [0, Resolve(workers));
+// the caller can size per-worker state by Resolve(workers).
+func ForWorker(workers, n int, body func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(grain)) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

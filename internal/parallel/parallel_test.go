@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Errorf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Errorf("Resolve(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	for _, w := range []int{1, 2, 7, 64} {
+		if got := Resolve(w); got != w {
+			t.Errorf("Resolve(%d) = %d", w, got)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 5, grain - 1, grain, grain + 1, 10 * grain, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	const n = 500
+	var bad atomic.Int32
+	counts := make([]int64, workers)
+	ForWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+			return
+		}
+		atomic.AddInt64(&counts[w], 1)
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d body calls saw an out-of-range worker id", bad.Load())
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("total body calls %d, want %d", total, n)
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	hits := make([]int32, 3)
+	ForWorker(100, 3, func(w, i int) {
+		if w >= 3 {
+			t.Errorf("worker id %d after clamping to n=3", w)
+		}
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	// workers == 1 must run inline and in index order (callers rely on it
+	// matching the plain loop exactly).
+	var order []int
+	For(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestDeterministicReduction(t *testing.T) {
+	// The package's usage contract: per-index slots + serial fold give the
+	// same answer at any worker count.
+	const n = 4096
+	ref := make([]int, n)
+	for i := range ref {
+		ref[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		out := make([]int, n)
+		For(workers, n, func(i int) { out[i] = i * i })
+		sum, refSum := 0, 0
+		for i := range out {
+			sum += out[i]
+			refSum += ref[i]
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d differs", workers, i)
+			}
+		}
+		if sum != refSum {
+			t.Fatalf("workers=%d: reduction differs", workers)
+		}
+	}
+}

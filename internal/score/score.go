@@ -5,6 +5,8 @@
 // scorer used by the segmentation DP over a linear embedding.
 package score
 
+import "topkdedup/internal/parallel"
+
 // PairFunc returns the signed duplicate score of items i and j of a
 // working set: positive means duplicate, negative non-duplicate, the
 // magnitude is the confidence. Implementations must be symmetric.
@@ -19,13 +21,24 @@ type Matrix struct {
 
 // NewMatrix evaluates f on every unordered pair of [0, n) and caches the
 // results. Use only for small working sets (O(n²) memory).
+//
+// Serial entry point: NewMatrixWorkers with one worker.
 func NewMatrix(n int, f PairFunc) *Matrix {
+	return NewMatrixWorkers(n, f, 1)
+}
+
+// NewMatrixWorkers is NewMatrix with the fill spread over a worker pool
+// (workers <= 0 means all CPUs, 1 is serial), one task per row — every
+// cell is written by exactly one row, so the matrix is identical at
+// every worker count. f must be symmetric and, when workers != 1, safe
+// for concurrent use.
+func NewMatrixWorkers(n int, f PairFunc, workers int) *Matrix {
 	m := &Matrix{n: n, v: make([]float64, n*(n-1)/2)}
-	for i := 0; i < n; i++ {
+	parallel.For(workers, n, func(i int) {
 		for j := i + 1; j < n; j++ {
 			m.v[m.idx(i, j)] = f(i, j)
 		}
-	}
+	})
 	return m
 }
 

@@ -33,6 +33,10 @@ type Incremental struct {
 	buckets map[string][]int32
 	// evals counts sufficient-predicate evaluations (diagnostics).
 	evals int64
+	// workers bounds the worker pool of the query-time phases (see
+	// SetWorkers). Insertion-time maintenance is always serial — it is
+	// one record against a handful of components.
+	workers int
 }
 
 // New creates an empty accumulator with the given schema and predicate
@@ -78,6 +82,13 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 	}
 	return id
 }
+
+// SetWorkers bounds the worker pool used by TopK's query-time phases
+// (collapse of deeper levels, bound estimation, prune). <= 0 — the
+// zero-valued default — means all CPUs; 1 runs fully serial. Query
+// results are identical at every worker count; the predicates must be
+// safe for concurrent Eval when workers != 1 (the built-in domains are).
+func (inc *Incremental) SetWorkers(workers int) { inc.workers = workers }
 
 // Len returns the number of accumulated records.
 func (inc *Incremental) Len() int { return inc.data.Len() }
@@ -130,5 +141,5 @@ func (inc *Incremental) TopK(k int) (*core.Result, error) {
 	if inc.data.Len() == 0 {
 		return &core.Result{}, nil
 	}
-	return core.PrunedDedupFrom(inc.data, inc.Groups(), inc.levels, core.Options{K: k})
+	return core.PrunedDedupFrom(inc.data, inc.Groups(), inc.levels, core.Options{K: k, Workers: inc.workers})
 }

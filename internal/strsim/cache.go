@@ -1,70 +1,164 @@
 package strsim
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Cache memoises per-string derived structures (token sets, 3-gram sets,
 // initials, IDF minima) keyed by the raw field value. Field values repeat
 // heavily across records and every predicate evaluation needs the same
 // derived sets, so memoisation turns the canopy join's per-pair cost into
-// set intersection only. A Cache is NOT safe for concurrent use; give
-// each goroutine its own.
+// set intersection only.
+//
+// Concurrency semantics are fixed at construction:
+//
+//   - NewCache returns an unsynchronised cache: zero locking overhead,
+//     NOT safe for concurrent use. Use it for strictly serial code.
+//   - NewSharedCache returns a sharded concurrent cache, safe for use
+//     from many goroutines at once — this is what the predicate domains
+//     use so that the pipeline's parallel phases can evaluate predicates
+//     from worker pools. Entries shard by a string hash, each shard
+//     guarded by its own RWMutex; after warm-up every access is a
+//     read-lock on one shard.
+//
+// The maps and slices returned by Cache methods are shared memoised
+// values: callers must treat them as read-only.
 type Cache struct {
+	shared bool
+	shards []cacheShard
+	mask   uint32
+	corpus *Corpus
+	// Interned gram representation: every distinct gram gets an integer
+	// id; per-string gram sets are cached as sorted id slices, so hot
+	// overlap predicates intersect by merge instead of map probing. The
+	// id table is global (ids must agree across shards) with its own
+	// lock in shared mode.
+	internMu sync.Mutex
+	gramID   map[string]int32
+}
+
+// cacheShard holds the per-string memo maps for one slice of the key
+// space. mu is only used when the cache is shared.
+type cacheShard struct {
+	mu       sync.RWMutex
 	grams    map[string]map[string]struct{}
 	tokens   map[string]map[string]struct{}
 	initials map[string]string
 	letters  map[string]uint32
 	minIDF   map[string]float64
-	corpus   *Corpus
-	// Interned gram representation: every distinct gram gets an integer
-	// id; per-string gram sets are cached as sorted id slices, so hot
-	// overlap predicates intersect by merge instead of map probing.
-	gramID  map[string]int32
-	gramIDs map[string][]int32
+	gramIDs  map[string][]int32
 }
 
-// NewCache returns an empty cache. corpus may be nil when IDF-based
-// lookups are not needed.
+func (sh *cacheShard) init() {
+	sh.grams = make(map[string]map[string]struct{})
+	sh.tokens = make(map[string]map[string]struct{})
+	sh.initials = make(map[string]string)
+	sh.letters = make(map[string]uint32)
+	sh.minIDF = make(map[string]float64)
+	sh.gramIDs = make(map[string][]int32)
+}
+
+// sharedCacheShards is the shard count of NewSharedCache (power of two).
+// 16 shards keep write contention negligible for worker pools up to a
+// few dozen goroutines while costing only a handful of empty maps.
+const sharedCacheShards = 16
+
+// NewCache returns an empty unsynchronised cache. corpus may be nil when
+// IDF-based lookups are not needed. A Cache from NewCache is NOT safe
+// for concurrent use; give each goroutine its own, or build a
+// NewSharedCache.
 func NewCache(corpus *Corpus) *Cache {
-	return &Cache{
-		grams:    make(map[string]map[string]struct{}),
-		tokens:   make(map[string]map[string]struct{}),
-		initials: make(map[string]string),
-		letters:  make(map[string]uint32),
-		minIDF:   make(map[string]float64),
-		corpus:   corpus,
-		gramID:   make(map[string]int32),
-		gramIDs:  make(map[string][]int32),
+	c := &Cache{corpus: corpus, shards: make([]cacheShard, 1), gramID: make(map[string]int32)}
+	c.shards[0].init()
+	return c
+}
+
+// NewSharedCache returns an empty concurrency-safe cache, sharded so
+// that goroutines evaluating predicates in parallel contend only on
+// cold-miss writes to the same shard. corpus may be nil.
+func NewSharedCache(corpus *Corpus) *Cache {
+	c := &Cache{
+		shared: true,
+		shards: make([]cacheShard, sharedCacheShards),
+		mask:   sharedCacheShards - 1,
+		corpus: corpus,
+		gramID: make(map[string]int32),
 	}
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	return c
+}
+
+// Shared reports whether the cache is safe for concurrent use.
+func (c *Cache) Shared() bool { return c.shared }
+
+// shard picks the shard of key s (FNV-1a, inlined to avoid allocating a
+// hasher on every lookup).
+func (c *Cache) shard(s string) *cacheShard {
+	if c.mask == 0 {
+		return &c.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return &c.shards[h&c.mask]
+}
+
+// lookup memoises compute() under key s in the map sel selects from s's
+// shard, with the locking discipline the cache was constructed with.
+// On a concurrent double-compute the first stored value wins, so all
+// callers observe one canonical entry.
+func lookup[V any](c *Cache, s string, sel func(*cacheShard) map[string]V, compute func() V) V {
+	sh := c.shard(s)
+	if !c.shared {
+		m := sel(sh)
+		if v, ok := m[s]; ok {
+			return v
+		}
+		v := compute()
+		m[s] = v
+		return v
+	}
+	sh.mu.RLock()
+	v, ok := sel(sh)[s]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = compute()
+	sh.mu.Lock()
+	if prev, ok := sel(sh)[s]; ok {
+		v = prev
+	} else {
+		sel(sh)[s] = v
+	}
+	sh.mu.Unlock()
+	return v
 }
 
 // TriGrams returns the memoised 3-gram set of s.
 func (c *Cache) TriGrams(s string) map[string]struct{} {
-	if g, ok := c.grams[s]; ok {
-		return g
-	}
-	g := TriGrams(s)
-	c.grams[s] = g
-	return g
+	return lookup(c, s,
+		func(sh *cacheShard) map[string]map[string]struct{} { return sh.grams },
+		func() map[string]struct{} { return TriGrams(s) })
 }
 
 // TokenSet returns the memoised token set of s.
 func (c *Cache) TokenSet(s string) map[string]struct{} {
-	if t, ok := c.tokens[s]; ok {
-		return t
-	}
-	t := TokenSet(s)
-	c.tokens[s] = t
-	return t
+	return lookup(c, s,
+		func(sh *cacheShard) map[string]map[string]struct{} { return sh.tokens },
+		func() map[string]struct{} { return TokenSet(s) })
 }
 
 // SortedInitials returns the memoised sorted initials of s.
 func (c *Cache) SortedInitials(s string) string {
-	if v, ok := c.initials[s]; ok {
-		return v
-	}
-	v := SortedInitials(s)
-	c.initials[s] = v
-	return v
+	return lookup(c, s,
+		func(sh *cacheShard) map[string]string { return sh.initials },
+		func() string { return SortedInitials(s) })
 }
 
 // InitialsEqual compares memoised sorted initials.
@@ -75,17 +169,17 @@ func (c *Cache) InitialsEqual(a, b string) bool {
 // InitialLetters returns a bitmask of the a-z initial letters of the
 // tokens of s (bit 0 = 'a'). Non-letter initials are ignored.
 func (c *Cache) InitialLetters(s string) uint32 {
-	if v, ok := c.letters[s]; ok {
-		return v
-	}
-	var mask uint32
-	for _, t := range Tokenize(s) {
-		if ch := t[0]; ch >= 'a' && ch <= 'z' {
-			mask |= 1 << (ch - 'a')
-		}
-	}
-	c.letters[s] = mask
-	return mask
+	return lookup(c, s,
+		func(sh *cacheShard) map[string]uint32 { return sh.letters },
+		func() uint32 {
+			var mask uint32
+			for _, t := range Tokenize(s) {
+				if ch := t[0]; ch >= 'a' && ch <= 'z' {
+					mask |= 1 << (ch - 'a')
+				}
+			}
+			return mask
+		})
 }
 
 // InitialsMatch reports whether the two strings share at least one token
@@ -97,36 +191,42 @@ func (c *Cache) InitialsMatch(a, b string) bool {
 // MinIDF returns the memoised minimum token IDF of s (0 without a corpus
 // or for token-less strings).
 func (c *Cache) MinIDF(s string) float64 {
-	if v, ok := c.minIDF[s]; ok {
-		return v
-	}
-	var v float64
-	if c.corpus != nil {
-		v = c.corpus.MinIDF(s)
-	}
-	c.minIDF[s] = v
-	return v
+	return lookup(c, s,
+		func(sh *cacheShard) map[string]float64 { return sh.minIDF },
+		func() float64 {
+			if c.corpus == nil {
+				return 0
+			}
+			return c.corpus.MinIDF(s)
+		})
 }
 
 // GramIDs returns the string's 3-gram set as a sorted slice of interned
-// gram ids (memoised).
+// gram ids (memoised). Id values depend on interning order and are only
+// meaningful within one Cache; intersection sizes are order-independent.
 func (c *Cache) GramIDs(s string) []int32 {
-	if ids, ok := c.gramIDs[s]; ok {
-		return ids
-	}
-	grams := c.TriGrams(s)
-	ids := make([]int32, 0, len(grams))
-	for g := range grams {
-		id, ok := c.gramID[g]
-		if !ok {
-			id = int32(len(c.gramID))
-			c.gramID[g] = id
-		}
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	c.gramIDs[s] = ids
-	return ids
+	return lookup(c, s,
+		func(sh *cacheShard) map[string][]int32 { return sh.gramIDs },
+		func() []int32 {
+			grams := c.TriGrams(s)
+			ids := make([]int32, 0, len(grams))
+			if c.shared {
+				c.internMu.Lock()
+			}
+			for g := range grams {
+				id, ok := c.gramID[g]
+				if !ok {
+					id = int32(len(c.gramID))
+					c.gramID[g] = id
+				}
+				ids = append(ids, id)
+			}
+			if c.shared {
+				c.internMu.Unlock()
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		})
 }
 
 // GramOverlapRatio is GramOverlapRatio over memoised 3-gram sets, using
