@@ -1,11 +1,51 @@
 #!/bin/sh
-# Repo verification: vet, build, and the full test suite under the race
-# detector (the race run is what enforces the strsim.Cache concurrency
-# contract and the parallel pipeline's worker-pool discipline).
+# Repo verification: formatting, vet, doc coverage, build, the full test
+# suite under the race detector (the race run is what enforces the
+# strsim.Cache concurrency contract and the parallel pipeline's
+# worker-pool discipline), and a short-mode smoke run of the no-op-sink
+# overhead benchmark (guards the "nil metrics sink is free" claim of
+# OBSERVABILITY.md).
 set -eux
 
 cd "$(dirname "$0")"
 
+# gofmt -l lists unformatted files; any output is a failure.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
+
+# Every exported identifier must carry a doc comment (see cmd/doccheck).
+go run ./cmd/doccheck \
+    . \
+    ./internal/classifier \
+    ./internal/cluster \
+    ./internal/core \
+    ./internal/datagen \
+    ./internal/domains \
+    ./internal/dsu \
+    ./internal/embed \
+    ./internal/eval \
+    ./internal/experiments \
+    ./internal/graph \
+    ./internal/index \
+    ./internal/obs \
+    ./internal/parallel \
+    ./internal/predicate \
+    ./internal/rankquery \
+    ./internal/records \
+    ./internal/score \
+    ./internal/segment \
+    ./internal/stream \
+    ./internal/strsim
+
 go build ./...
 go test -race ./...
+
+# Smoke-run the instrumentation overhead benchmark (one iteration per
+# variant; the full comparison is `go test -bench=NoopSinkOverhead`).
+go test -run '^$' -bench BenchmarkNoopSinkOverhead -benchtime 1x -short .

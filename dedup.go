@@ -5,6 +5,7 @@ import (
 
 	"topkdedup/internal/core"
 	"topkdedup/internal/embed"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/score"
 	"topkdedup/internal/segment"
 )
@@ -30,10 +31,14 @@ type DedupResult struct {
 // With a nil scorer the sure-duplicate components themselves are
 // returned.
 func (e *Engine) Dedup() (*DedupResult, error) {
+	sp := obs.StartSpan(e.cfg.Metrics, "engine.dedup")
+	defer sp.End()
 	d := e.data
 	groups := coreSingletons(d)
 	for _, level := range e.levels {
-		groups, _ = core.CollapseWorkers(d, groups, level.Sufficient, e.cfg.Workers)
+		var evals int64
+		groups, evals = core.CollapseWorkers(d, groups, level.Sufficient, e.cfg.Workers)
+		obs.Count(e.cfg.Metrics, "core.collapse.evals", evals)
 	}
 	if e.scorer == nil {
 		res := &DedupResult{}

@@ -11,6 +11,7 @@ import (
 	"topkdedup/internal/core"
 	"topkdedup/internal/embed"
 	"topkdedup/internal/index"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/rankquery"
 	"topkdedup/internal/score"
@@ -64,7 +65,34 @@ type Config struct {
 	// strsim.NewCache must either switch to NewSharedCache or set
 	// Workers to 1.
 	Workers int
+	// Metrics, when non-nil, receives per-phase metrics and spans from
+	// every query this engine answers (see OBSERVABILITY.md for the name
+	// registry; obs.Collector aggregates in memory). Metrics are
+	// observational only: results are byte-identical with or without a
+	// sink, at every Workers count. The default nil sink costs nothing.
+	Metrics MetricsSink
 }
+
+// MetricsSink is the observability sink interface of the pipeline — an
+// alias of the internal obs.Sink so callers can pass a
+// *MetricsCollector or any custom implementation.
+type MetricsSink = obs.Sink
+
+// MetricsCollector is the in-memory sink implementation (an alias of
+// the internal obs.Collector): it aggregates counters, gauges, and
+// log2-bucketed histograms; read it with Snapshot or WriteJSON.
+type MetricsCollector = obs.Collector
+
+// NewMetricsCollector returns an empty in-memory metrics sink. Assign
+// it to Config.Metrics (and, for pool-level metrics, SetPoolMetrics).
+func NewMetricsCollector() *MetricsCollector { return obs.NewCollector() }
+
+// SetPoolMetrics attaches a process-wide sink to the internal worker
+// pool: every parallel loop then emits parallel.for_calls and
+// parallel.tasks counters plus per-worker busy-time observations. The
+// pool is shared by all engines in the process, hence the separate,
+// process-wide knob. Pass nil to detach.
+func SetPoolMetrics(s MetricsSink) { parallel.SetSink(s) }
 
 func (c *Config) defaults() {
 	if c.PrunePasses <= 0 {
@@ -169,7 +197,9 @@ func (e *Engine) TopK(k, r int) (*Result, error) {
 	if r < 1 {
 		r = 1
 	}
-	pd, err := core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers})
+	sp := obs.StartSpan(e.cfg.Metrics, "engine.topk")
+	defer sp.End()
+	pd, err := core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers, Sink: e.cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +237,9 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 	lastN := e.levels[len(e.levels)-1].Necessary
 
 	// Candidate group pairs: those passing the last necessary predicate.
+	scoreSpan := obs.StartSpan(e.cfg.Metrics, "engine.final.score")
 	pairScore, edges := e.scoredCandidates(groups, lastN)
+	scoreSpan.End()
 	pf := func(i, j int) float64 {
 		if i > j {
 			i, j = j, i
@@ -218,7 +250,9 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 		return e.cfg.NonCandidatePenalty
 	}
 
+	embedSpan := obs.StartSpan(e.cfg.Metrics, "engine.final.embed")
 	order := embed.Greedy(n, pf, edges, embed.Options{Alpha: e.cfg.EmbedAlpha})
+	embedSpan.End()
 	posPF := func(pi, pj int) float64 { return pf(order[pi], order[pj]) }
 	width := e.cfg.MaxGroupWidth
 	if width > n {
@@ -238,6 +272,8 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 	// in Marginal mode — a truncated approximation of the paper's full
 	// marginal, since only the R' best groupings contribute).
 	rPrime := 6*r + 10
+	segSpan := obs.StartSpan(e.cfg.Metrics, "engine.final.segment")
+	defer segSpan.End()
 	rankings := segment.BestR(sc, rPrime)
 	if len(rankings) == 0 {
 		return []Answer{e.groupsToAnswer(groups, k)}, nil
@@ -316,6 +352,8 @@ func (e *Engine) scoredCandidates(groups []Group, lastN Predicate) (map[[2]int]f
 		pairScore[[2]int{int(c.i), int(c.j)}] = slots[t].s
 		edges = append(edges, embed.Edge{A: int(c.i), B: int(c.j)})
 	}
+	obs.Count(e.cfg.Metrics, "engine.final.candidate_pairs", int64(len(cands)))
+	obs.Count(e.cfg.Metrics, "engine.final.scored_pairs", int64(len(edges)))
 	return pairScore, edges
 }
 
@@ -387,7 +425,7 @@ type RankResult = rankquery.RankResult
 // resolving exact sizes. The rank-specific resolved-group pruning applies
 // on top of the standard TopK pruning.
 func (e *Engine) TopKRank(k int) (*RankResult, error) {
-	return rankquery.TopKRank(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers})
+	return rankquery.TopKRank(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers, Sink: e.cfg.Metrics})
 }
 
 // ThresholdedRank answers the thresholded rank query (paper §7.2): a

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/records"
 )
@@ -77,6 +78,10 @@ type TrainOptions struct {
 	// feature extraction. Feats.Vec must be safe for concurrent use when
 	// Workers != 1. The trained model is identical at every worker count.
 	Workers int
+	// Sink, when non-nil, receives the classifier.features.* and
+	// classifier.train.* metrics (see OBSERVABILITY.md). Observational
+	// only: the trained model is byte-identical with or without it.
+	Sink obs.Sink
 }
 
 func (o *TrainOptions) defaults() {
@@ -122,6 +127,7 @@ func Train(d *records.Dataset, feats FeatureSet, pairs []LabeledPair, opts Train
 	dim := len(feats.Names)
 	xs := make([][]float64, len(pairs))
 	ys := make([]float64, len(pairs))
+	featSpan := obs.StartSpan(opts.Sink, "classifier.features")
 	parallel.For(opts.Workers, len(pairs), func(i int) {
 		p := pairs[i]
 		xs[i] = feats.Vec(d.Recs[p.A], d.Recs[p.B])
@@ -129,6 +135,8 @@ func Train(d *records.Dataset, feats FeatureSet, pairs []LabeledPair, opts Train
 			ys[i] = 1
 		}
 	})
+	featSpan.End()
+	obs.Count(opts.Sink, "classifier.features.pairs", int64(len(pairs)))
 	for i := range xs {
 		if len(xs[i]) != dim {
 			return nil, fmt.Errorf("classifier: feature vector length %d != %d names", len(xs[i]), dim)
@@ -140,6 +148,8 @@ func Train(d *records.Dataset, feats FeatureSet, pairs []LabeledPair, opts Train
 	wNeg := float64(len(pairs)) / (2 * float64(neg))
 
 	m := &Model{Feats: feats, Weights: make([]float64, dim)}
+	trainSpan := obs.StartSpan(opts.Sink, "classifier.train")
+	defer trainSpan.End()
 	r := rand.New(rand.NewSource(opts.Seed))
 	order := r.Perm(len(pairs))
 	for epoch := 0; epoch < opts.Epochs; epoch++ {

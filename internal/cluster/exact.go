@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"sort"
+	"time"
 
 	"topkdedup/internal/dsu"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/score"
 )
@@ -47,6 +49,22 @@ func Exact(n int, pf score.PairFunc, edges []Edge, maxComponent int) Result {
 // are solved into per-component slots and concatenated in sorted-root
 // order, so the partition is identical at every worker count.
 func ExactWorkers(n int, pf score.PairFunc, edges []Edge, maxComponent, workers int) Result {
+	return ExactWorkersObs(n, pf, edges, maxComponent, workers, nil)
+}
+
+// ExactWorkersObs is ExactWorkers with an optional observability sink.
+// When sink is non-nil it receives the phase wall time
+// (cluster.exact.seconds), the component count (cluster.exact.components
+// counter), the number of oversized components that fell back to
+// pivot+local-search (cluster.exact.fallbacks counter), and the largest
+// component size (cluster.exact.largest_component gauge). The sink is
+// observational only: the partition is byte-identical with or without
+// it, at every worker count.
+func ExactWorkersObs(n int, pf score.PairFunc, edges []Edge, maxComponent, workers int, sink obs.Sink) Result {
+	start := time.Time{}
+	if sink != nil {
+		start = time.Now()
+	}
 	if maxComponent <= 0 {
 		maxComponent = 18
 	}
@@ -100,16 +118,24 @@ func ExactWorkers(n int, pf score.PairFunc, edges []Edge, maxComponent, workers 
 			parts[ci] = fallbackComponent(items, compEdges[r], pf)
 		}
 	})
+	fallbacks := int64(0)
 	for ci, r := range roots {
 		if n := len(compItems[r]); n > res.LargestComponent {
 			res.LargestComponent = n
 		}
 		if approx[ci] {
 			res.Exact = false
+			fallbacks++
 		}
 		res.Clusters = append(res.Clusters, parts[ci]...)
 	}
 	sort.Slice(res.Clusters, func(i, j int) bool { return res.Clusters[i][0] < res.Clusters[j][0] })
+	if sink != nil {
+		obs.ObserveSince(sink, "cluster.exact", start)
+		obs.Count(sink, "cluster.exact.components", int64(len(roots)))
+		obs.Count(sink, "cluster.exact.fallbacks", fallbacks)
+		obs.Gauge(sink, "cluster.exact.largest_component", float64(res.LargestComponent))
+	}
 	return res
 }
 

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"topkdedup/internal/index"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
@@ -42,9 +44,23 @@ func Prune(d *records.Dataset, groups []Group, n predicate.P, m float64, passes 
 // identical for every worker count. n.Eval must be safe for concurrent
 // use when workers != 1.
 func PruneWorkers(d *records.Dataset, groups []Group, n predicate.P, m float64, passes, workers int) (alive []Group, evals int64) {
+	return PruneWorkersObs(d, groups, n, m, passes, workers, nil)
+}
+
+// PruneWorkersObs is PruneWorkers with an optional observability sink.
+// When sink is non-nil it receives the evaluation-free stage-0 kill
+// count (core.prune.stage0.pruned) and, for each exact refinement pass,
+// the pairs evaluated, groups pruned, and wall time
+// (core.prune.pass.{evals,pruned,seconds}); the bound M the passes
+// compare against is emitted as the core.prune.bound gauge. Emission is
+// per phase and per pass, never per pair, and the sink is observational
+// only: survivors, bounds, and the eval counter are byte-identical with
+// or without it, at every worker count.
+func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float64, passes, workers int, sink obs.Sink) (alive []Group, evals int64) {
 	if m <= 0 || len(groups) == 0 {
 		return groups, 0
 	}
+	obs.Gauge(sink, "core.prune.bound", m)
 	if passes < 1 {
 		passes = 2
 	}
@@ -158,6 +174,15 @@ func PruneWorkers(d *records.Dataset, groups []Group, n predicate.P, m float64, 
 	//
 	// Early-stopped bounds are stored as exactly M ("at least M"), which
 	// keeps both comparisons truthful.
+	if sink != nil {
+		dead := 0
+		for _, ok := range live {
+			if !ok {
+				dead++
+			}
+		}
+		obs.Observe(sink, "core.prune.stage0.pruned", float64(dead))
+	}
 	nWorkers := parallel.Resolve(workers)
 	type scratch struct {
 		stamp       *index.Stamp
@@ -170,6 +195,10 @@ func PruneWorkers(d *records.Dataset, groups []Group, n predicate.P, m float64, 
 	evalCount := make([]int64, ng)
 	die := make([]bool, ng)
 	for pass := 0; pass < passes; pass++ {
+		passStart := time.Time{}
+		if sink != nil {
+			passStart = time.Now()
+		}
 		next := make([]float64, ng)
 		copy(next, u)
 		for i := range evalCount {
@@ -239,12 +268,21 @@ func PruneWorkers(d *records.Dataset, groups []Group, n predicate.P, m float64, 
 		// Deterministic reduction: fold counters and liveness in index
 		// order on the calling goroutine.
 		changed := false
+		var passEvals int64
+		pruned := 0
 		for i := range groups {
-			evals += evalCount[i]
+			passEvals += evalCount[i]
 			if die[i] {
 				live[i] = false
+				pruned++
 				changed = true
 			}
+		}
+		evals += passEvals
+		if sink != nil {
+			obs.Observe(sink, "core.prune.pass.evals", float64(passEvals))
+			obs.Observe(sink, "core.prune.pass.pruned", float64(pruned))
+			obs.ObserveSince(sink, "core.prune.pass", passStart)
 		}
 		u = next
 		if !changed {

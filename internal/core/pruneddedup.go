@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 )
@@ -21,6 +22,11 @@ type Options struct {
 	// the predicates must be safe for concurrent Eval when Workers != 1
 	// (the built-in domains are — they share a strsim.NewSharedCache).
 	Workers int
+	// Sink, when non-nil, receives the per-phase metrics and spans of
+	// the run (see OBSERVABILITY.md for the name registry). Metrics are
+	// observational only: results are byte-identical with or without a
+	// sink, at every Workers count. nil (the default) is free.
+	Sink obs.Sink
 }
 
 // PrunedDedup runs Algorithm 2 of the paper over the dataset: for each
@@ -63,6 +69,7 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 	}
 	pct := func(n int) float64 { return 100 * float64(n) / float64(total) }
 
+	sink := opts.Sink
 	res := &Result{TotalRecords: total}
 	for li, level := range levels {
 		stats := LevelStats{Level: li + 1}
@@ -73,22 +80,34 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 		stats.CollapseTime = time.Since(start)
 		stats.NGroups = len(groups)
 		stats.NGroupsPct = pct(len(groups))
+		obs.ObserveDuration(sink, "core.collapse", stats.CollapseTime)
+		obs.Count(sink, "core.collapse.evals", stats.CollapseEvals)
+		obs.Observe(sink, "core.collapse.groups", float64(stats.NGroups))
 
 		start = time.Now()
 		var m float64
 		stats.MRank, m, stats.BoundEvals = EstimateLowerBoundWorkers(d, groups, level.Necessary, opts.K, opts.Workers)
 		stats.BoundTime = time.Since(start)
 		stats.LowerBound = m
+		obs.ObserveDuration(sink, "core.bound", stats.BoundTime)
+		obs.Count(sink, "core.bound.evals", stats.BoundEvals)
+		obs.Gauge(sink, "core.bound.m_rank", float64(stats.MRank))
+		obs.Gauge(sink, "core.bound.lower", m)
 
 		start = time.Now()
-		groups, stats.PruneEvals = PruneWorkers(d, groups, level.Necessary, m, passes, opts.Workers)
+		groups, stats.PruneEvals = PruneWorkersObs(d, groups, level.Necessary, m, passes, opts.Workers, sink)
 		stats.PruneTime = time.Since(start)
 		stats.Survivors = len(groups)
 		stats.SurvivorsPct = pct(len(groups))
+		obs.ObserveDuration(sink, "core.prune", stats.PruneTime)
+		obs.Count(sink, "core.prune.evals", stats.PruneEvals)
+		obs.Observe(sink, "core.prune.survivors", float64(stats.Survivors))
 
 		res.Stats = append(res.Stats, stats)
+		obs.Count(sink, "core.levels", 1)
 		if len(groups) == opts.K {
 			res.ExactlyK = true
+			obs.Count(sink, "core.exactly_k", 1)
 			break
 		}
 	}

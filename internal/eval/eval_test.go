@@ -109,6 +109,22 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+func TestTableRenderGolden(t *testing.T) {
+	tbl := NewTable("dataset", "recs", "F1")
+	tbl.AddRow("address", 268, 1.0)
+	tbl.AddRow("restaurant", 866, 0.77)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	want := "" +
+		"dataset     recs  F1\n" +
+		"----------  ----  ----\n" +
+		"address     268   1.00\n" +
+		"restaurant  866   0.77\n"
+	if got := buf.String(); got != want {
+		t.Errorf("rendered table differs from golden output:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
 func TestBCubedPerfect(t *testing.T) {
 	d := labelled()
 	m := BCubed(d, [][]int{{0, 1, 2}, {3, 4}})
@@ -153,6 +169,34 @@ func TestBCubedMissingRecordsSingletons(t *testing.T) {
 	want := (2.0/3 + 2.0/3 + 1.0/3 + 0.5 + 0.5) / 5
 	if !closeEnough(m.Recall, want) {
 		t.Errorf("recall = %v, want %v", m.Recall, want)
+	}
+}
+
+func TestBCubedAllSingletons(t *testing.T) {
+	d := labelled()
+	m := BCubed(d, [][]int{{0}, {1}, {2}, {3}, {4}, {5}})
+	// Every singleton is pure, so precision 1; each record recalls only
+	// itself: A records 1/3 each, B records 1/2 each -> (3/3 + 2/2)/5 = 0.4.
+	if m.Precision != 1 {
+		t.Errorf("precision = %v, want 1", m.Precision)
+	}
+	if !closeEnough(m.Recall, 0.4) {
+		t.Errorf("recall = %v, want 0.4", m.Recall)
+	}
+}
+
+func TestBCubedAbsentEverywhereEqualsSingletons(t *testing.T) {
+	// Records absent from every cluster must score exactly as if each
+	// were its own singleton cluster — here, with no clusters at all,
+	// the whole dataset.
+	d := labelled()
+	absent := BCubed(d, nil)
+	explicit := BCubed(d, [][]int{{0}, {1}, {2}, {3}, {4}, {5}})
+	if absent != explicit {
+		t.Errorf("no-cluster run %+v != explicit singletons %+v", absent, explicit)
+	}
+	if absent.Precision != 1 || !closeEnough(absent.Recall, 0.4) {
+		t.Errorf("singleton fallback scored %+v", absent)
 	}
 }
 

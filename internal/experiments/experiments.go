@@ -11,8 +11,24 @@ import (
 	"topkdedup/internal/classifier"
 	"topkdedup/internal/datagen"
 	"topkdedup/internal/domains"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/records"
 )
+
+// metricsSink is the package-wide observability sink (SetMetrics). A
+// plain var, not atomic: the experiment harness attaches a sink before
+// running an experiment on the same goroutine.
+var metricsSink obs.Sink
+
+// SetMetrics attaches an observability sink to every experiment in this
+// package: the pipeline phases emit their core.* metrics, exact
+// clustering its cluster.exact.*, classifier training its
+// classifier.*, and the experiments' own final scoring loops emit
+// bench.final.{seconds,evals} (see OBSERVABILITY.md). Pass nil to
+// detach. Observational only — experiment rows are identical with or
+// without a sink. Not safe to swap concurrently with a running
+// experiment.
+func SetMetrics(s obs.Sink) { metricsSink = s }
 
 // Scale selects dataset sizes. The paper ran 240,545 citation records,
 // 169,221 student records, and 245,260 address records; Full mirrors
@@ -81,7 +97,7 @@ func trainModel(d *records.Dataset, dom domains.Domain, seed int64) (*classifier
 		Seed:                seed,
 	})
 	feats := classifier.FeatureSet{Names: dom.Features.Names, Vec: dom.Features.Vec}
-	model, err := classifier.Train(d, feats, pairs, classifier.TrainOptions{Seed: seed})
+	model, err := classifier.Train(d, feats, pairs, classifier.TrainOptions{Seed: seed, Sink: metricsSink})
 	if err != nil {
 		return nil, 0, fmt.Errorf("training %s scorer: %w", dom.Name, err)
 	}

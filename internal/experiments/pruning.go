@@ -21,7 +21,7 @@ type PruneRow struct {
 func PruningSweep(dd *DomainData, ks []int, passes int) ([]PruneRow, error) {
 	rows := make([]PruneRow, 0, len(ks))
 	for _, k := range ks {
-		res, err := core.PrunedDedup(dd.Data, dd.Domain.Levels, core.Options{K: k, PrunePasses: passes})
+		res, err := core.PrunedDedup(dd.Data, dd.Domain.Levels, core.Options{K: k, PrunePasses: passes, Sink: metricsSink})
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +91,7 @@ func PrunePassAblation(dd *DomainData, ks []int) ([]PassRow, error) {
 	var rows []PassRow
 	for _, k := range ks {
 		for passes := 1; passes <= 3; passes++ {
-			res, err := core.PrunedDedup(dd.Data, dd.Domain.Levels, core.Options{K: k, PrunePasses: passes})
+			res, err := core.PrunedDedup(dd.Data, dd.Domain.Levels, core.Options{K: k, PrunePasses: passes, Sink: metricsSink})
 			if err != nil {
 				return nil, err
 			}

@@ -101,7 +101,7 @@ func Fig7(name string, target int) (*QualityRow, error) {
 	n := d.Len()
 	pf, edges := candidatePairs(dd)
 
-	exact := cluster.ExactWorkers(n, pf, edges, 18, 0)
+	exact := cluster.ExactWorkersObs(n, pf, edges, 18, 0, metricsSink)
 	order := embed.Greedy(n, pf, embedEdges(edges), embed.Options{})
 	embedded := segmentationClusters(n, pf, edges, order, 24)
 	tc := cluster.TransitiveClosure(n, pf, edges)
@@ -175,7 +175,7 @@ func EmbedAblation(name string, target int) ([]EmbedAblationRow, error) {
 	}
 	n := dd.Data.Len()
 	pf, edges := candidatePairs(dd)
-	exact := cluster.ExactWorkers(n, pf, edges, 18, 0)
+	exact := cluster.ExactWorkersObs(n, pf, edges, 18, 0, metricsSink)
 
 	orders := []struct {
 		name  string

@@ -26,7 +26,7 @@ type RankRow struct {
 func RankQueries(dd *DomainData, ks []int) ([]RankRow, error) {
 	var rows []RankRow
 	for _, k := range ks {
-		opts := core.Options{K: k}
+		opts := core.Options{K: k, Sink: metricsSink}
 		pd, err := core.PrunedDedup(dd.Data, dd.Domain.Levels, opts)
 		if err != nil {
 			return nil, err

@@ -59,7 +59,7 @@ func StreamVsBatch(target, batches, k int) ([]StreamRow, error) {
 		incQuery := time.Since(start)
 
 		start = time.Now()
-		if _, err := core.PrunedDedup(inc.Dataset(), dd.Domain.Levels, core.Options{K: k}); err != nil {
+		if _, err := core.PrunedDedup(inc.Dataset(), dd.Domain.Levels, core.Options{K: k, Sink: metricsSink}); err != nil {
 			return nil, err
 		}
 		batchTime := time.Since(start)

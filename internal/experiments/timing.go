@@ -9,6 +9,7 @@ import (
 	"topkdedup/internal/dsu"
 	"topkdedup/internal/eval"
 	"topkdedup/internal/index"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/records"
 )
 
@@ -265,10 +266,12 @@ func runCanopyCollapse(dd *DomainData, k int) int64 {
 // worker pool (1 = serial). Returns P evaluations and the survivor count.
 func runPruned(dd *DomainData, k, workers int) (int64, int, error) {
 	d := dd.Data
-	res, err := core.PrunedDedup(d, dd.Domain.Levels, core.Options{K: k, Workers: workers})
+	res, err := core.PrunedDedup(d, dd.Domain.Levels, core.Options{K: k, Workers: workers, Sink: metricsSink})
 	if err != nil {
 		return 0, 0, err
 	}
+	finalSpan := obs.StartSpan(metricsSink, "bench.final")
+	defer finalSpan.End()
 	groups := res.Groups
 	lastN := dd.Domain.Levels[len(dd.Domain.Levels)-1].Necessary
 	keys := make([][]string, len(groups))
@@ -297,6 +300,7 @@ func runPruned(dd *DomainData, k, workers int) (int64, int, error) {
 		weights[uf.Find(gi)] += g.Weight
 	}
 	_ = k
+	obs.Count(metricsSink, "bench.final.evals", evals)
 	return evals, len(groups), nil
 }
 

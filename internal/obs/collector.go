@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// histBuckets is the fixed bucket count of a Collector histogram. Bucket
+// i holds observations in (2^(i-1), 2^i] relative to histBase, so the
+// range histBase..histBase*2^63 is covered; with histBase = 1e-9 that is
+// one nanosecond to ~292 years for duration observations, and the same
+// buckets serve count-like observations (evals per pass, survivors)
+// without configuration.
+const histBuckets = 64
+
+// histBase anchors bucket 0. Observations at or below histBase land in
+// bucket 0; the upper edge of bucket i is histBase * 2^i.
+const histBase = 1e-9
+
+// hist is one log2-bucketed histogram.
+type hist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [histBuckets]int64
+}
+
+func (h *hist) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// bucketOf maps a value to its log2 bucket index, clamped to the table.
+func bucketOf(v float64) int {
+	if v <= histBase {
+		return 0
+	}
+	// Subtract logs rather than divide: v/histBase overflows for huge v.
+	i := int(math.Ceil(math.Log2(v) - math.Log2(histBase)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Collector is the in-memory Sink: it aggregates counters, gauges, and
+// log2-bucketed histograms under a mutex. It is safe for concurrent use
+// and cheap enough for per-phase emission, but it is an aggregation
+// point, not a streaming exporter — read it with Snapshot.
+type Collector struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+}
+
+// NewCollector creates an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*hist),
+	}
+}
+
+// Count implements Sink.
+func (c *Collector) Count(name string, delta int64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge implements Sink.
+func (c *Collector) Gauge(name string, value float64) {
+	c.mu.Lock()
+	c.gauges[name] = value
+	c.mu.Unlock()
+}
+
+// Observe implements Sink.
+func (c *Collector) Observe(name string, value float64) {
+	c.mu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		h = &hist{}
+		c.hists[name] = h
+	}
+	h.observe(value)
+	c.mu.Unlock()
+}
+
+// Reset clears all accumulated state.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.counters = make(map[string]int64)
+	c.gauges = make(map[string]float64)
+	c.hists = make(map[string]*hist)
+	c.mu.Unlock()
+}
+
+// CounterValue returns the named counter (0 if never incremented).
+func (c *Collector) CounterValue(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// GaugeValue returns the named gauge and whether it was ever set.
+func (c *Collector) GaugeValue(name string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.gauges[name]
+	return v, ok
+}
+
+// Bucket is one non-empty histogram bucket: Count observations with
+// value <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Dist summarises one observed distribution (histogram or span family).
+type Dist struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// Buckets lists the non-empty log2 buckets in increasing upper-edge
+	// order (upper edges are 1e-9 * 2^i).
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (d Dist) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// Snapshot is a point-in-time copy of a Collector's state, shaped for
+// JSON encoding (the topkbench -json per-phase breakdown embeds it).
+type Snapshot struct {
+	Counters     map[string]int64   `json:"counters,omitempty"`
+	Gauges       map[string]float64 `json:"gauges,omitempty"`
+	Observations map[string]Dist    `json:"observations,omitempty"`
+}
+
+// Empty reports whether nothing has been recorded.
+func (s *Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Observations) == 0
+}
+
+// Names returns the union of all recorded metric names, sorted — the
+// live registry, to diff against OBSERVABILITY.md.
+func (s *Snapshot) Names() []string {
+	seen := make(map[string]struct{})
+	for n := range s.Counters {
+		seen[n] = struct{}{}
+	}
+	for n := range s.Gauges {
+		seen[n] = struct{}{}
+	}
+	for n := range s.Observations {
+		seen[n] = struct{}{}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot copies the current state. The copy is independent of the
+// Collector and safe to encode while collection continues.
+func (c *Collector) Snapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Snapshot{}
+	if len(c.counters) > 0 {
+		s.Counters = make(map[string]int64, len(c.counters))
+		for k, v := range c.counters {
+			s.Counters[k] = v
+		}
+	}
+	if len(c.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(c.gauges))
+		for k, v := range c.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	if len(c.hists) > 0 {
+		s.Observations = make(map[string]Dist, len(c.hists))
+		for k, h := range c.hists {
+			d := Dist{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+			for i, n := range h.buckets {
+				if n > 0 {
+					d.Buckets = append(d.Buckets, Bucket{Le: histBase * math.Pow(2, float64(i)), Count: n})
+				}
+			}
+			s.Observations[k] = d
+		}
+	}
+	return s
+}

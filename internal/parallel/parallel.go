@@ -1,7 +1,8 @@
 // Package parallel provides the bounded worker-pool primitives the
 // PrunedDedup pipeline uses to spread independent work — predicate
 // evaluations, pair scoring, per-component clustering — across CPU
-// cores. It is stdlib-only (sync, sync/atomic, runtime).
+// cores. It is stdlib-only (sync, sync/atomic, runtime, plus the
+// repo's own stdlib-only internal/obs for optional pool metrics).
 //
 // The pipeline's contract is parallel evaluation, deterministic
 // reduction: callers fan independent computations out with For/ForWorker,
@@ -14,7 +15,37 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"topkdedup/internal/obs"
 )
+
+// poolSink is the optional process-wide observability sink for the pool
+// (set with SetSink). It is read with one atomic load per For/ForWorker
+// call, so the nil default costs nothing measurable on the hot path.
+var poolSink atomic.Pointer[obs.Sink]
+
+// SetSink attaches an observability sink to the worker pool. Every
+// subsequent For/ForWorker call emits parallel.for_calls and
+// parallel.tasks counters plus, when the pool actually fans out, one
+// parallel.worker.busy.seconds observation per participating worker.
+// Pass nil to detach. Safe for concurrent use; affects the whole
+// process (the pool is a free-function API with no instance state).
+func SetSink(s obs.Sink) {
+	if s == nil {
+		poolSink.Store(nil)
+		return
+	}
+	poolSink.Store(&s)
+}
+
+// sink returns the attached sink or nil.
+func sink() obs.Sink {
+	if p := poolSink.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Resolve normalises a Workers knob: values <= 0 mean runtime.NumCPU(),
 // anything else is taken as-is. 1 selects the serial in-line path (no
@@ -49,13 +80,25 @@ func ForWorker(workers, n int, body func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
+	s := sink()
+	if s != nil {
+		s.Count("parallel.for_calls", 1)
+		s.Count("parallel.tasks", int64(n))
+	}
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		start := time.Time{}
+		if s != nil {
+			start = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			body(0, i)
+		}
+		if s != nil {
+			s.Observe("parallel.worker.busy.seconds", time.Since(start).Seconds())
 		}
 		return
 	}
@@ -65,10 +108,14 @@ func ForWorker(workers, n int, body func(worker, i int)) {
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			start := time.Time{}
+			if s != nil {
+				start = time.Now()
+			}
 			for {
 				lo := int(cursor.Add(grain)) - grain
 				if lo >= n {
-					return
+					break
 				}
 				hi := lo + grain
 				if hi > n {
@@ -77,6 +124,12 @@ func ForWorker(workers, n int, body func(worker, i int)) {
 				for i := lo; i < hi; i++ {
 					body(worker, i)
 				}
+			}
+			if s != nil {
+				// Busy time is wall time inside the worker goroutine —
+				// queue wait is the gap between this and the enclosing
+				// phase span.
+				s.Observe("parallel.worker.busy.seconds", time.Since(start).Seconds())
 			}
 		}(w)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"topkdedup/internal/core"
 	"topkdedup/internal/dsu"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 )
@@ -37,6 +38,9 @@ type Incremental struct {
 	// SetWorkers). Insertion-time maintenance is always serial — it is
 	// one record against a handful of components.
 	workers int
+	// sink receives the stream.* metrics and the query-time core.*
+	// metrics (see SetMetrics).
+	sink obs.Sink
 }
 
 // New creates an empty accumulator with the given schema and predicate
@@ -62,6 +66,7 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 	rec := inc.data.Append(weight, truth, values...)
 	id := inc.uf.Add()
 	s := inc.levels[0].Sufficient
+	before := inc.evals
 	seen := make(map[int]struct{}, 4)
 	for _, key := range s.Keys(rec) {
 		for _, other := range inc.buckets[key] {
@@ -80,6 +85,10 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 		}
 		inc.buckets[key] = append(inc.buckets[key], int32(id))
 	}
+	if inc.sink != nil {
+		inc.sink.Count("stream.add.records", 1)
+		inc.sink.Count("stream.add.evals", inc.evals-before)
+	}
 	return id
 }
 
@@ -89,6 +98,14 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 // results are identical at every worker count; the predicates must be
 // safe for concurrent Eval when workers != 1 (the built-in domains are).
 func (inc *Incremental) SetWorkers(workers int) { inc.workers = workers }
+
+// SetMetrics attaches an observability sink: each Add emits the
+// stream.add.records and stream.add.evals counters, and each TopK emits
+// a stream.topk span plus the usual core.* per-phase metrics (see
+// OBSERVABILITY.md). Pass nil to detach. Observational only — the
+// accumulated state and query results are byte-identical with or
+// without a sink.
+func (inc *Incremental) SetMetrics(s obs.Sink) { inc.sink = s }
 
 // Len returns the number of accumulated records.
 func (inc *Incremental) Len() int { return inc.data.Len() }
@@ -141,5 +158,7 @@ func (inc *Incremental) TopK(k int) (*core.Result, error) {
 	if inc.data.Len() == 0 {
 		return &core.Result{}, nil
 	}
-	return core.PrunedDedupFrom(inc.data, inc.Groups(), inc.levels, core.Options{K: k, Workers: inc.workers})
+	sp := obs.StartSpan(inc.sink, "stream.topk")
+	defer sp.End()
+	return core.PrunedDedupFrom(inc.data, inc.Groups(), inc.levels, core.Options{K: k, Workers: inc.workers, Sink: inc.sink})
 }

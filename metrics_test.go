@@ -1,0 +1,155 @@
+package topk
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"topkdedup/internal/obs"
+)
+
+// TestEngineMetricsObservationalOnly is the acceptance guarantee of the
+// instrumentation layer: attaching a metrics sink (engine-level and
+// pool-level) changes no result at any worker count. Answers must be
+// byte-identical to a metrics-free serial run for Workers in
+// {1, 4, NumCPU}.
+func TestEngineMetricsObservationalOnly(t *testing.T) {
+	d := toyData(21, 80, 6)
+	ref, err := New(d, toyLevels(), oracleScorer(), Config{Workers: 1}).TopK(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		col := NewMetricsCollector()
+		SetPoolMetrics(col)
+		got, err := New(d, toyLevels(), oracleScorer(), Config{Workers: w, Metrics: col}).TopK(3, 3)
+		SetPoolMetrics(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Answers, ref.Answers) {
+			t.Errorf("workers=%d: answers with metrics differ from metrics-free serial run", w)
+		}
+		if got.Survivors != ref.Survivors || got.Exact != ref.Exact {
+			t.Errorf("workers=%d: survivors/exact differ with metrics enabled", w)
+		}
+	}
+}
+
+// TestEngineMetricsPhaseCoverage checks that one full query populates
+// the per-phase registry documented in OBSERVABILITY.md: counters and
+// spans for collapse, lower bound, prune (incl. per-pass), and the
+// engine envelope.
+func TestEngineMetricsPhaseCoverage(t *testing.T) {
+	// K=3 keeps the estimated lower bound positive on this toy data, so
+	// the prune phase actually runs its refinement passes.
+	d := toyData(21, 80, 6)
+	col := NewMetricsCollector()
+	SetPoolMetrics(col)
+	defer SetPoolMetrics(nil)
+	if _, err := New(d, toyLevels(), oracleScorer(), Config{Metrics: col}).TopK(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	for _, name := range []string{
+		"core.collapse.seconds",
+		"core.collapse.groups",
+		"core.bound.seconds",
+		"core.prune.seconds",
+		"core.prune.survivors",
+		"core.prune.pass.seconds",
+		"core.prune.pass.evals",
+		"core.prune.pass.pruned",
+		"core.prune.stage0.pruned",
+		"engine.topk.seconds",
+		"parallel.worker.busy.seconds",
+	} {
+		if d, ok := snap.Observations[name]; !ok || d.Count == 0 {
+			t.Errorf("observation %q missing from snapshot", name)
+		}
+	}
+	// Presence, not value: core.bound.evals is legitimately 0 when the
+	// bound comes free from the blocking buckets.
+	for _, name := range []string{
+		"core.collapse.evals",
+		"core.bound.evals",
+		"core.levels",
+		"parallel.for_calls",
+		"parallel.tasks",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q missing from snapshot", name)
+		}
+	}
+	for _, name := range []string{"core.bound.lower", "core.bound.m_rank", "core.prune.bound"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %q missing from snapshot", name)
+		}
+	}
+}
+
+// TestStreamMetrics covers the incremental accumulator's stream.* names
+// and that SetMetrics is observational only.
+func TestStreamMetrics(t *testing.T) {
+	d := toyData(7, 30, 5)
+	build := func(sink *obs.Collector) *Stream {
+		st, err := NewStream("toy", []string{"name"}, toyLevels())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sink != nil {
+			st.SetMetrics(sink)
+		}
+		for _, r := range d.Recs {
+			st.Add(r.Weight, r.Truth, r.Field("name"))
+		}
+		return st
+	}
+	col := NewMetricsCollector()
+	ref, err := build(nil).TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := build(col).TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Groups, ref.Groups) {
+		t.Error("stream results with metrics differ from metrics-free run")
+	}
+	snap := col.Snapshot()
+	if got := snap.Counters["stream.add.records"]; got != int64(d.Len()) {
+		t.Errorf("stream.add.records = %d, want %d", got, d.Len())
+	}
+	if d, ok := snap.Observations["stream.topk.seconds"]; !ok || d.Count != 1 {
+		t.Error("stream.topk.seconds span missing")
+	}
+}
+
+// BenchmarkNoopSinkOverhead guards the "nil sink is free" claim: the
+// full pipeline with Config.Metrics == nil must not be measurably slower
+// than before the instrumentation existed. Compare the nil and collector
+// variants with `go test -bench=NoopSinkOverhead`; ci.sh runs the nil
+// variant in short mode as a smoke check.
+func BenchmarkNoopSinkOverhead(b *testing.B) {
+	benchSetup(b)
+	variants := []struct {
+		name string
+		sink MetricsSink
+	}{
+		{"nil", nil},
+		{"collector", NewMetricsCollector()},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			eng := New(benchFig6.Data, benchFig6.Domain.Levels, benchFig6.Model, Config{Metrics: v.sink})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.TopK(10, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
