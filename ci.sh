@@ -40,11 +40,22 @@ go run ./cmd/doccheck \
     ./internal/records \
     ./internal/score \
     ./internal/segment \
+    ./internal/server \
     ./internal/stream \
     ./internal/strsim
 
 go build ./...
 go test -race ./...
+
+# Serving-layer smoke: topkd brings itself up on an ephemeral port, runs
+# a full client session (healthz, ingest, topk, rank, metrics), and
+# shuts down gracefully.
+go run ./cmd/topkd -smoke
+
+# Fuzz smoke: a few seconds per target over the committed seed corpora
+# (similarity-measure contracts; R-best segmentation DP invariants).
+go test -run '^$' -fuzz '^FuzzStrsim$' -fuzztime 5s ./internal/strsim
+go test -run '^$' -fuzz '^FuzzSegmentDP$' -fuzztime 5s ./internal/segment
 
 # Smoke-run the instrumentation overhead benchmark (one iteration per
 # variant; the full comparison is `go test -bench=NoopSinkOverhead`).

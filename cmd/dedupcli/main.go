@@ -15,6 +15,13 @@
 //	dedupcli -in data.tsv -field name -k 10 -r 3    (.csv inputs also accepted)
 //	dedupcli -in data.tsv -field name -rank -k 10
 //	dedupcli -in data.tsv -field name -threshold 50
+//
+// With -server, dedupcli acts as a client for a running topkd daemon
+// instead of computing locally: it ingests the loaded records over POST
+// /ingest, forces a snapshot, and runs the query over GET /topk or GET
+// /rank (the daemon's domain configuration applies; -overlap is ignored):
+//
+//	dedupcli -in data.tsv -field name -server http://localhost:8080 -k 10
 package main
 
 import (
@@ -23,11 +30,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"sort"
 	"strings"
 
 	topk "topkdedup"
-	"topkdedup/internal/strsim"
+	"topkdedup/internal/domains"
 )
 
 func main() {
@@ -40,10 +46,18 @@ func main() {
 	overlap := flag.Float64("overlap", 0.5, "necessary-predicate 3-gram overlap threshold")
 	phases := flag.Bool("phases", false, "print the per-phase metrics breakdown (JSON, see OBSERVABILITY.md) to stderr after the query")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+	serverURL := flag.String("server", "", "base URL of a running topkd daemon; ingest the records there and query over HTTP instead of computing locally")
 	flag.Parse()
 	if *in == "" || *field == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *serverURL != "" {
+		if err := runClient(*serverURL, *in, *field, *k, *r, *rank, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "dedupcli:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -142,45 +156,8 @@ func run(path, field string, k, r int, rank bool, threshold, overlap float64, ph
 }
 
 // genericDomain builds schema-agnostic predicates and a scorer around one
-// primary field.
+// primary field (shared with topkd via domains.Generic).
 func genericDomain(field string, overlap float64) ([]topk.Level, topk.PairScorer) {
-	cache := strsim.NewSharedCache(nil)
-	val := func(rec *topk.Record) string { return rec.Field(field) }
-
-	s := topk.Predicate{
-		Name: "S-exact",
-		Eval: func(a, b *topk.Record) bool {
-			return tokenKey(val(a)) != "" && tokenKey(val(a)) == tokenKey(val(b))
-		},
-		Keys: func(rec *topk.Record) []string {
-			return []string{"s:" + tokenKey(val(rec))}
-		},
-	}
-	n := topk.Predicate{
-		Name: "N-grams",
-		Eval: func(a, b *topk.Record) bool {
-			return cache.GramOverlapRatio(val(a), val(b)) > overlap
-		},
-		Keys: func(rec *topk.Record) []string {
-			grams := cache.TriGrams(val(rec))
-			keys := make([]string, 0, len(grams))
-			for g := range grams {
-				keys = append(keys, "n:"+g)
-			}
-			return keys
-		},
-	}
-	scorer := topk.PairScorerFunc(func(a, b *topk.Record) float64 {
-		// Untrained similarity scorer: mean of Jaccard-3gram and
-		// JaroWinkler, shifted so ~0.55 similarity is the decision line.
-		sim := 0.5*cache.JaccardGrams(val(a), val(b)) + 0.5*strsim.JaroWinkler(val(a), val(b))
-		return 6 * (sim - 0.55)
-	})
-	return []topk.Level{{Sufficient: s, Necessary: n}}, scorer
-}
-
-func tokenKey(s string) string {
-	toks := strsim.Tokenize(s)
-	sort.Strings(toks)
-	return strings.Join(toks, " ")
+	levels, scorer := domains.Generic(field, overlap)
+	return levels, topk.PairScorerFunc(scorer)
 }

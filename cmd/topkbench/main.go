@@ -8,7 +8,8 @@
 //	topkbench -exp fig7 -exp fig6     # selected experiments
 //
 // Experiments: table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank,
-// stream, all. Scales: small, default, full (record counts in DESIGN.md §5).
+// stream, serve, all. Scales: small, default, full (record counts in
+// DESIGN.md §5).
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"topkdedup/internal/experiments"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
+	"topkdedup/internal/servebench"
 )
 
 // benchReport is the machine-readable form of one topkbench run, written
@@ -48,7 +50,10 @@ type benchExperiment struct {
 	Name      string                  `json:"name"`
 	ElapsedMS float64                 `json:"elapsed_ms"`
 	Rows      []experiments.TimingRow `json:"timing_rows,omitempty"`
-	Phases    *obs.Snapshot           `json:"phases,omitempty"`
+	// ServeRows carries the serving benchmark's per-endpoint exact
+	// latency quantiles (serve experiment only).
+	ServeRows []servebench.Row `json:"serve_rows,omitempty"`
+	Phases    *obs.Snapshot    `json:"phases,omitempty"`
 }
 
 type expFlag []string
@@ -66,7 +71,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, all")
+	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, serve, all")
 	scaleName := flag.String("scale", "default", "dataset scale: small, default, full")
 	jsonPath := flag.String("json", "", "write a machine-readable benchReport of the run to this path")
 	workersFlag := flag.String("workers", "", "comma-separated worker-pool bounds for the fig6 sweep (default \"1,<NumCPU>\"; 0 = NumCPU)")
@@ -167,6 +172,21 @@ func main() {
 	run("embed", noRows(func() error { return runEmbed(scale) }))
 	run("rank", noRows(func() error { return runRank(scale) }))
 	run("stream", noRows(func() error { return runStream(scale) }))
+
+	if all || want["serve"] {
+		fmt.Printf("== serve (scale %s) ==\n", *scaleName)
+		start := time.Now()
+		serveRows, err := runServe(scale)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
+			os.Exit(1)
+		}
+		report.Experiments = append(report.Experiments, benchExperiment{
+			Name: "serve", ElapsedMS: float64(elapsed.Microseconds()) / 1000, ServeRows: serveRows,
+		})
+		fmt.Printf("-- serve done in %s --\n\n", elapsed.Round(time.Millisecond))
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -376,6 +396,25 @@ func runRank(scale experiments.Scale) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// runServe measures query latency under concurrent ingest: the trained
+// citation domain behind internal/server, 4 ingest clients streaming
+// half the dataset while 4 query clients record per-request latency.
+func runServe(scale experiments.Scale) ([]servebench.Row, error) {
+	dd, err := cachedSetup(fmt.Sprintf("citations-trained/%d", scale.Fig6), func() (*experiments.DomainData, error) {
+		return experiments.CitationSetup(scale.Fig6, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("E11 — serving latency under concurrent ingest, %d citation records\n", dd.Data.Len())
+	rows, err := servebench.Bench(dd, servebench.Options{})
+	if err != nil {
+		return nil, err
+	}
+	servebench.RenderTable(os.Stdout, rows)
+	return rows, nil
 }
 
 func runStream(scale experiments.Scale) error {

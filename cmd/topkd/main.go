@@ -1,0 +1,244 @@
+// Command topkd serves TopK count queries over HTTP while records keep
+// arriving. It wraps internal/server around the generic field-similarity
+// domain (the same predicates and scorer dedupcli uses), so a running
+// daemon answers the paper's TopK, R-best, and rank queries against a
+// live, growing dataset.
+//
+// Endpoints (see SERVING.md for the full API reference):
+//
+//	POST /ingest    JSON record batches
+//	POST /refresh   force a snapshot publication
+//	GET  /topk      TopK count query (?k=&r=)
+//	GET  /rank      rank query (?k= or ?t=)
+//	GET  /healthz   liveness + snapshot freshness
+//	GET  /metrics   latency quantiles + phase metrics
+//
+// Usage:
+//
+//	topkd -addr :8080 -schema name,addr -field name
+//	topkd -addr :8080 -field name -in seed.tsv      (warm-start from TSV)
+//	topkd -smoke                                    (self-test and exit)
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops accepting connections and
+// drains in-flight queries for up to 10 seconds.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/domains"
+	"topkdedup/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	schema := flag.String("schema", "name", "comma-separated record field schema")
+	field := flag.String("field", "", "primary entity-name field (default: first schema field)")
+	overlap := flag.Float64("overlap", 0.5, "necessary-predicate 3-gram overlap threshold")
+	refreshEvery := flag.Int("refresh-every", 0, "snapshot policy: 0 = every batch, N > 0 = every N records, negative = only on POST /refresh")
+	maxInFlight := flag.Int("max-inflight", 64, "bounded request queue size; excess requests get 429")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request budget before a 503 (negative disables)")
+	maxBatch := flag.Int("max-batch", 10000, "max records per ingest batch")
+	workers := flag.Int("workers", 0, "query worker goroutines (0 = GOMAXPROCS)")
+	in := flag.String("in", "", "optional seed TSV/CSV to load and publish before serving")
+	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a client session against it, shut down, exit")
+	flag.Parse()
+
+	if err := run(*addr, *schema, *field, *overlap, *refreshEvery, *maxInFlight, *requestTimeout, *maxBatch, *workers, *in, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "topkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight int,
+	requestTimeout time.Duration, maxBatch, workers int, in string, smoke bool) error {
+	fields := strings.Split(schema, ",")
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	if field == "" {
+		field = fields[0]
+	}
+	found := false
+	for _, f := range fields {
+		if f == field {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("field %q not in schema %v", field, fields)
+	}
+
+	levels, scorer := domains.Generic(field, overlap)
+	srv, err := server.New(server.Config{
+		Schema:         fields,
+		Levels:         levels,
+		Scorer:         topk.PairScorerFunc(scorer),
+		Engine:         topk.Config{Workers: workers},
+		RefreshEvery:   refreshEvery,
+		MaxInFlight:    maxInFlight,
+		RequestTimeout: requestTimeout,
+		MaxBatch:       maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	if in != "" {
+		var d *topk.Dataset
+		if strings.HasSuffix(in, ".csv") {
+			d, err = topk.LoadDatasetCSV("seed", in)
+		} else {
+			d, err = topk.LoadDataset("seed", in)
+		}
+		if err != nil {
+			return err
+		}
+		n, err := srv.Seed(d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "topkd: seeded %d records from %s\n", n, in)
+	}
+
+	if smoke {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "topkd: listening on %s\n", ln.Addr())
+
+	if smoke {
+		err := smokeSession("http://" + ln.Addr().String())
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := hs.Shutdown(sctx); err == nil {
+			err = serr
+		}
+		<-serveErr // always http.ErrServerClosed after Shutdown
+		if err == nil {
+			fmt.Println("topkd: smoke OK")
+		}
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "topkd: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-serveErr
+	return nil
+}
+
+// smokeSession drives one end-to-end client session: health check,
+// ingest, query, metrics. Any unexpected status or malformed body is an
+// error; ci.sh runs this as the serving-layer start/stop smoke test.
+func smokeSession(base string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var health server.HealthResponse
+	if err := getJSON(client, base+"/healthz", &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if !health.OK {
+		return fmt.Errorf("healthz: not ok")
+	}
+
+	batch := server.IngestRequest{Records: []server.IngestRecord{
+		{Values: []string{"acme corp"}},
+		{Values: []string{"acme corp."}},
+		{Values: []string{"acme corporation"}},
+		{Values: []string{"globex"}},
+		{Values: []string{"globex inc"}},
+		{Values: []string{"initech"}},
+	}}
+	data, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/ingest", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	var ing server.IngestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if ing.Accepted != len(batch.Records) {
+		return fmt.Errorf("ingest: accepted %d of %d", ing.Accepted, len(batch.Records))
+	}
+
+	var tk server.TopKResponse
+	if err := getJSON(client, base+"/topk?k=2&r=1", &tk); err != nil {
+		return fmt.Errorf("topk: %w", err)
+	}
+	if tk.Result == nil || len(tk.Result.Answers) == 0 {
+		return fmt.Errorf("topk: empty result")
+	}
+	if tk.Records != len(batch.Records) {
+		return fmt.Errorf("topk: snapshot has %d records, want %d", tk.Records, len(batch.Records))
+	}
+
+	var rk server.RankResponse
+	if err := getJSON(client, base+"/rank?k=2", &rk); err != nil {
+		return fmt.Errorf("rank: %w", err)
+	}
+	if rk.Result == nil {
+		return fmt.Errorf("rank: empty result")
+	}
+
+	var met server.MetricsResponse
+	if err := getJSON(client, base+"/metrics", &met); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if met.Latency["topk"].Count == 0 {
+		return fmt.Errorf("metrics: no topk latency samples recorded")
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}

@@ -150,6 +150,50 @@ func (d Dist) Mean() float64 {
 	return d.Sum / float64(d.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the distribution
+// from its log2 buckets, interpolating linearly inside the bucket that
+// holds the target rank. Because buckets double in width the estimate is
+// accurate to within one octave — good enough for the p50/p99 latency
+// summaries of the serving layer's /metrics endpoint, not for
+// fine-grained comparisons. The result is clamped to [Min, Max], so
+// q=0 returns Min and q=1 returns Max exactly. Returns 0 when empty.
+func (d Dist) Quantile(q float64) float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.Min
+	}
+	if q >= 1 {
+		return d.Max
+	}
+	// Rank of the target observation, 1-based.
+	rank := q * float64(d.Count)
+	var cum float64
+	for _, b := range d.Buckets {
+		next := cum + float64(b.Count)
+		if next >= rank {
+			// Interpolate within [lower, b.Le]; the lower edge of bucket
+			// with upper edge Le is Le/2 (bucket 0's lower edge is 0).
+			lower := b.Le / 2
+			if b.Le <= histBase {
+				lower = 0
+			}
+			frac := (rank - cum) / float64(b.Count)
+			v := lower + frac*(b.Le-lower)
+			if v < d.Min {
+				v = d.Min
+			}
+			if v > d.Max {
+				v = d.Max
+			}
+			return v
+		}
+		cum = next
+	}
+	return d.Max
+}
+
 // Snapshot is a point-in-time copy of a Collector's state, shaped for
 // JSON encoding (the topkbench -json per-phase breakdown embeds it).
 type Snapshot struct {

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantileEmptyAndEdges(t *testing.T) {
+	var d Dist
+	if d.Quantile(0.5) != 0 {
+		t.Fatal("empty Dist quantile should be 0")
+	}
+	c := NewCollector()
+	for _, v := range []float64{1, 2, 4, 8} {
+		c.Observe("x", v)
+	}
+	got := c.Snapshot().Observations["x"]
+	if got.Quantile(0) != 1 || got.Quantile(1) != 8 {
+		t.Fatalf("q=0 / q=1 should clamp to Min/Max, got %v %v", got.Quantile(0), got.Quantile(1))
+	}
+	if q := got.Quantile(0.99); q > got.Max || q < got.Min {
+		t.Fatalf("quantile %v outside [Min, Max]", q)
+	}
+}
+
+func TestQuantileWithinOneOctave(t *testing.T) {
+	// The log2 buckets bound the estimation error: every quantile
+	// estimate must land within a factor of 2 of the exact sample
+	// quantile (and within [Min, Max]).
+	r := rand.New(rand.NewSource(42))
+	c := NewCollector()
+	samples := make([]float64, 2000)
+	for i := range samples {
+		// Latency-shaped: log-uniform over ~1µs..1s.
+		samples[i] = 1e-6 * float64(uint64(1)<<uint(r.Intn(20))) * (1 + r.Float64())
+		c.Observe("lat", samples[i])
+	}
+	sort.Float64s(samples)
+	d := c.Snapshot().Observations["lat"]
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		est := d.Quantile(q)
+		if est < exact/2 || est > exact*2 {
+			t.Errorf("q=%g: estimate %g not within one octave of exact %g", q, est, exact)
+		}
+		if est < d.Min || est > d.Max {
+			t.Errorf("q=%g: estimate %g outside [Min=%g, Max=%g]", q, est, d.Min, d.Max)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.Observe("x", float64(i))
+	}
+	d := c.Snapshot().Observations["x"]
+	prev := d.Quantile(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		cur := d.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,266 @@
+// Package servebench measures the serving layer: client-observed query
+// latency under concurrent ingest through the internal/server handler
+// stack. It lives outside internal/experiments so that package stays
+// free of the root-package dependency the server carries (the root's
+// benchmarks import experiments; a transitive edge back into the root
+// would be an import cycle in tests).
+package servebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/eval"
+	"topkdedup/internal/experiments"
+	"topkdedup/internal/server"
+)
+
+// Row summarises one endpoint's client-observed latency under the
+// serving benchmark: exact quantiles over every request the bench
+// issued, unlike the /metrics histogram estimates.
+type Row struct {
+	Endpoint  string        `json:"endpoint"`
+	Requests  int           `json:"requests"`
+	Throttled int           `json:"throttled,omitempty"` // 429 responses
+	P50       time.Duration `json:"p50_ns"`
+	P99       time.Duration `json:"p99_ns"`
+	Max       time.Duration `json:"max_ns"`
+}
+
+// Options sizes the serving benchmark.
+type Options struct {
+	// Ingesters and Queriers are the concurrent client counts (defaults
+	// 4 and 4).
+	Ingesters, Queriers int
+	// BatchSize is the records per ingest batch (default 50).
+	BatchSize int
+	// K is the TopK parameter queries use (default 10).
+	K int
+	// RefreshEvery is the server's snapshot policy (0 = every batch).
+	RefreshEvery int
+}
+
+func (o *Options) defaults() {
+	if o.Ingesters <= 0 {
+		o.Ingesters = 4
+	}
+	if o.Queriers <= 0 {
+		o.Queriers = 4
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 50
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+}
+
+// Bench measures query latency under concurrent ingest: it stands
+// up the internal/server handler stack over the domain's predicates and
+// scorer, seeds it with half the dataset, then streams the other half
+// through Ingesters concurrent clients while Queriers clients issue
+// TopK and rank queries non-stop. Every request's client-side latency
+// is recorded; the rows report exact p50/p99/max per endpoint.
+func Bench(dd *experiments.DomainData, opts Options) ([]Row, error) {
+	opts.defaults()
+	d := dd.Data
+	if d.Len() < 2 {
+		return nil, fmt.Errorf("serve bench needs at least 2 records, got %d", d.Len())
+	}
+	var scorer topk.PairScorer
+	if dd.Model != nil {
+		scorer = dd.Model
+	}
+	srv, err := server.New(server.Config{
+		Name:         dd.Name,
+		Schema:       d.Schema,
+		Levels:       dd.Domain.Levels,
+		Scorer:       scorer,
+		RefreshEvery: opts.RefreshEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed the first half so queries have substance from the start, then
+	// stream the second half live.
+	half := d.Len() / 2
+	seed := topk.NewDataset(d.Name, d.Schema...)
+	for _, r := range d.Recs[:half] {
+		seed.Append(r.Weight, r.Truth, fieldValues(d.Schema, r)...)
+	}
+	if _, err := srv.Seed(seed); err != nil {
+		return nil, err
+	}
+	var batches [][]server.IngestRecord
+	for at := half; at < d.Len(); at += opts.BatchSize {
+		end := at + opts.BatchSize
+		if end > d.Len() {
+			end = d.Len()
+		}
+		batch := make([]server.IngestRecord, 0, end-at)
+		for _, r := range d.Recs[at:end] {
+			batch = append(batch, server.IngestRecord{
+				Weight: r.Weight, Truth: r.Truth, Values: fieldValues(d.Schema, r),
+			})
+		}
+		batches = append(batches, batch)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	type sample struct {
+		endpoint string
+		elapsed  time.Duration
+		status   int
+	}
+	samples := make([][]sample, opts.Ingesters+opts.Queriers)
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Bool
+		firstErr atomic.Pointer[error]
+	)
+	setErr := func(err error) {
+		firstErr.CompareAndSwap(nil, &err)
+	}
+
+	for g := 0; g < opts.Ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for bi := g; bi < len(batches); bi += opts.Ingesters {
+				data, err := json.Marshal(server.IngestRequest{Records: batches[bi]})
+				if err != nil {
+					setErr(err)
+					return
+				}
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(data))
+				if err != nil {
+					setErr(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				samples[g] = append(samples[g], sample{"ingest", time.Since(start), resp.StatusCode})
+				if resp.StatusCode == http.StatusTooManyRequests {
+					bi -= opts.Ingesters // retry the batch after backoff
+					time.Sleep(time.Millisecond)
+				} else if resp.StatusCode != http.StatusOK {
+					setErr(fmt.Errorf("ingest status %d", resp.StatusCode))
+					return
+				}
+			}
+		}(g)
+	}
+	queryPaths := []string{
+		fmt.Sprintf("/topk?k=%d", opts.K),
+		fmt.Sprintf("/rank?k=%d", opts.K),
+	}
+	for g := 0; g < opts.Queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			slot := opts.Ingesters + g
+			for q := 0; !done.Load() || q < 2; q++ {
+				path := queryPaths[q%len(queryPaths)]
+				start := time.Now()
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				name := "topk"
+				if q%len(queryPaths) == 1 {
+					name = "rank"
+				}
+				samples[slot] = append(samples[slot], sample{name, time.Since(start), resp.StatusCode})
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					setErr(fmt.Errorf("%s status %d", path, resp.StatusCode))
+					return
+				}
+			}
+		}(g)
+	}
+	// Ingesters finish on their own; queriers stop once ingest is done
+	// (plus a final couple of queries against the settled state).
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		// wait for the ingester subset only
+		for {
+			if srv.Records() >= d.Len() || firstErr.Load() != nil {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	<-ingestDone
+	done.Store(true)
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
+	}
+
+	byEndpoint := map[string][]time.Duration{}
+	throttled := map[string]int{}
+	for _, set := range samples {
+		for _, s := range set {
+			byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.elapsed)
+			if s.status == http.StatusTooManyRequests {
+				throttled[s.endpoint]++
+			}
+		}
+	}
+	var rows []Row
+	for _, name := range []string{"ingest", "topk", "rank"} {
+		lat := byEndpoint[name]
+		if len(lat) == 0 {
+			continue
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rows = append(rows, Row{
+			Endpoint:  name,
+			Requests:  len(lat),
+			Throttled: throttled[name],
+			P50:       lat[len(lat)/2],
+			P99:       lat[(len(lat)-1)*99/100],
+			Max:       lat[len(lat)-1],
+		})
+	}
+	return rows, nil
+}
+
+// fieldValues flattens a record's fields into schema order.
+func fieldValues(schema []string, r *topk.Record) []string {
+	values := make([]string, len(schema))
+	for i, f := range schema {
+		values[i] = r.Fields[f]
+	}
+	return values
+}
+
+// RenderTable prints the serving benchmark's latency summary.
+func RenderTable(w io.Writer, rows []Row) {
+	tbl := eval.NewTable("endpoint", "requests", "throttled", "p50", "p99", "max")
+	for _, r := range rows {
+		tbl.AddRow(r.Endpoint, r.Requests, r.Throttled,
+			r.P50.Round(10*time.Microsecond).String(),
+			r.P99.Round(10*time.Microsecond).String(),
+			r.Max.Round(10*time.Microsecond).String())
+	}
+	tbl.Render(w)
+}

@@ -1,0 +1,34 @@
+package servebench
+
+import (
+	"testing"
+
+	"topkdedup/internal/experiments"
+)
+
+// TestBenchSmoke runs the serving benchmark end to end on a small
+// untrained citation dataset (nil scorer: R capped at 1 server-side,
+// which the bench's k-only queries never exceed).
+func TestBenchSmoke(t *testing.T) {
+	dd, err := experiments.CitationSetup(300, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Bench(dd, Options{Ingesters: 2, Queriers: 2, BatchSize: 25, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Row{}
+	for _, r := range rows {
+		got[r.Endpoint] = r
+	}
+	for _, name := range []string{"ingest", "topk", "rank"} {
+		r, ok := got[name]
+		if !ok || r.Requests == 0 {
+			t.Fatalf("no samples for endpoint %q: %+v", name, rows)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 || r.Max < r.P99 {
+			t.Fatalf("%s quantiles not ordered: %+v", name, r)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	topk "topkdedup"
+)
+
+func TestSeedPublishesImmediately(t *testing.T) {
+	cfg := Config{Schema: []string{"name"}, Levels: toyLevels(), Scorer: toyScorer(),
+		RefreshEvery: -1} // manual refresh only — Seed must still publish
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := topk.NewDataset("seed", "name")
+	d.Append(2, "E1", "alpha")
+	d.Append(1, "E1", "alpha")
+	d.Append(1, "E2", "beta")
+	n, err := srv.Seed(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || srv.Records() != 3 {
+		t.Fatalf("seeded %d, server has %d records, want 3", n, srv.Records())
+	}
+	seq, visible, _ := srv.SnapshotInfo()
+	if seq == 0 || visible != 3 {
+		t.Fatalf("snapshot seq=%d visible=%d, want published epoch with 3 records", seq, visible)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := get(t, ts, "/topk?k=2")
+	var out TopKResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Records != 3 || len(out.Result.Answers) == 0 {
+		t.Fatalf("seeded records not queryable: %s", body)
+	}
+	if w := out.Result.Answers[0].Groups[0].Weight; w != 3 {
+		t.Fatalf("top group weight %g, want 3 (seed weights preserved)", w)
+	}
+}
+
+func TestSeedSchemaMismatch(t *testing.T) {
+	srv, err := New(Config{Schema: []string{"name"}, Levels: toyLevels()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := topk.NewDataset("seed", "name", "addr")
+	if _, err := srv.Seed(d); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

@@ -1,0 +1,570 @@
+// Package server is the concurrent query-serving layer over the
+// streaming accumulator: the online front door the paper's batch
+// pipeline lacks. It wraps one stream.Incremental behind an
+// epoch-snapshot design —
+//
+//   - Ingest (POST /ingest) mutates the write-side accumulator under a
+//     mutex, one JSON batch at a time.
+//   - Queries (GET /topk, GET /rank) run against immutable
+//     copy-on-write stream.Snapshot epochs, published at a configurable
+//     refresh policy (after every batch, after every N accepted
+//     records, or only on demand via POST /refresh). Queries therefore
+//     never block ingest, never race it, and never observe a
+//     half-applied batch: a snapshot is only ever taken at a batch
+//     boundary.
+//
+// The handler stack adds a bounded in-flight slot pool (excess requests
+// are rejected immediately with 429 and a Retry-After header), a
+// per-request timeout (503 via http.TimeoutHandler), and per-endpoint
+// latency histograms + snapshot-age gauges exported over GET /metrics
+// in the internal/obs JSON shape. /healthz and /metrics bypass the slot
+// pool so the server stays observable under overload. Graceful
+// shutdown is the standard http.Server.Shutdown contract: cmd/topkd
+// stops accepting connections and drains in-flight queries.
+//
+// See SERVING.md for the API reference and a worked curl session.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/obs"
+	"topkdedup/internal/stream"
+)
+
+// Config configures a Server. Schema and Levels are required; the zero
+// value of every other field selects a sensible default.
+type Config struct {
+	// Name labels the accumulated dataset (default "served").
+	Name string
+	// Schema is the record field schema; every ingested record must
+	// supply exactly one value per field, in order.
+	Schema []string
+	// Levels is the predicate schedule queries run with.
+	Levels []topk.Level
+	// Scorer is the final pairwise criterion P for R-best answers. May
+	// be nil: queries still run, but R is capped at 1 (see topk.New).
+	Scorer topk.PairScorer
+	// Engine carries the engine knobs (PrunePasses, Workers, ...).
+	// Engine.Metrics is ignored — the server routes query metrics to
+	// its own collector, exported over /metrics.
+	Engine topk.Config
+	// RefreshEvery controls snapshot publication: 0 publishes after
+	// every ingest batch, N > 0 publishes after at least N records
+	// accumulated since the last snapshot (checked at batch boundaries
+	// only), and a negative value disables automatic publication so
+	// only POST /refresh advances the epoch.
+	RefreshEvery int
+	// MaxInFlight bounds the ingest/query requests admitted at once —
+	// the request queue of the backpressure design. Requests beyond it
+	// receive 429 immediately. Default 64.
+	MaxInFlight int
+	// RequestTimeout is the per-request handler budget; requests
+	// exceeding it receive 503 while the server-side work is abandoned
+	// to finish in the background. 0 selects the 30s default; negative
+	// disables the timeout.
+	RequestTimeout time.Duration
+	// MaxBatch caps the records accepted in one ingest batch (default
+	// 10000); larger batches are rejected with 400.
+	MaxBatch int
+}
+
+func (c *Config) defaults() error {
+	if len(c.Schema) == 0 {
+		return fmt.Errorf("server: Schema is required")
+	}
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("server: Levels is required")
+	}
+	if c.Name == "" {
+		c.Name = "served"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 10000
+	}
+	return nil
+}
+
+// epoch is one published snapshot with its sequence number.
+type epoch struct {
+	snap *stream.Snapshot
+	seq  uint64
+}
+
+// Server serves TopK count queries over records that keep arriving. See
+// the package comment for the concurrency design. Create with New; the
+// zero value is not usable.
+type Server struct {
+	cfg     Config
+	metrics *obs.Collector
+	sem     chan struct{}
+
+	mu      sync.Mutex // write side: acc, pending, publication
+	acc     *stream.Incremental
+	pending int // records accumulated since the last snapshot
+
+	epoch atomic.Pointer[epoch]
+	seq   atomic.Uint64
+}
+
+// New creates a Server and publishes the initial (empty) snapshot as
+// epoch 0, so queries are answerable before the first ingest.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	acc, err := stream.New(cfg.Name, cfg.Schema, cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: obs.NewCollector(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		acc:     acc,
+	}
+	s.epoch.Store(&epoch{snap: acc.Snapshot(), seq: 0})
+	return s, nil
+}
+
+// Metrics exposes the server's in-memory collector: per-endpoint
+// latency histograms, ingest counters, and the per-query core.* phase
+// metrics (the same data GET /metrics serves).
+func (s *Server) Metrics() *obs.Collector { return s.metrics }
+
+// Records returns the write-side record count (including records not
+// yet visible to queries because no snapshot has been published since).
+func (s *Server) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc.Len()
+}
+
+// SnapshotInfo reports the published epoch: its sequence number, the
+// records visible to queries, and the snapshot's age.
+func (s *Server) SnapshotInfo() (seq uint64, records int, age time.Duration) {
+	ep := s.epoch.Load()
+	return ep.seq, ep.snap.Len(), time.Since(ep.snap.Taken())
+}
+
+// publishLocked freezes the accumulator into a new epoch. Callers hold
+// s.mu.
+func (s *Server) publishLocked() *epoch {
+	ep := &epoch{snap: s.acc.Snapshot(), seq: s.seq.Add(1)}
+	s.epoch.Store(ep)
+	s.pending = 0
+	s.metrics.Count("server.snapshot.published", 1)
+	return ep
+}
+
+// Seed bulk-loads a pre-built dataset into the accumulator (bypassing
+// HTTP) and publishes a snapshot so the records are immediately
+// queryable. The dataset's schema must match the server's. Used by
+// cmd/topkd to warm a server from a TSV file at startup.
+func (s *Server) Seed(d *topk.Dataset) (int, error) {
+	if len(d.Schema) != len(s.cfg.Schema) {
+		return 0, fmt.Errorf("server: seed schema %v does not match server schema %v", d.Schema, s.cfg.Schema)
+	}
+	for i, f := range d.Schema {
+		if f != s.cfg.Schema[i] {
+			return 0, fmt.Errorf("server: seed schema %v does not match server schema %v", d.Schema, s.cfg.Schema)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range d.Recs {
+		values := make([]string, len(d.Schema))
+		for i, f := range d.Schema {
+			values[i] = rec.Fields[f]
+		}
+		s.acc.Add(rec.Weight, rec.Truth, values...)
+	}
+	s.pending += len(d.Recs)
+	s.publishLocked()
+	s.metrics.Count("server.ingest.records", int64(len(d.Recs)))
+	return len(d.Recs), nil
+}
+
+// Handler returns the server's HTTP handler. It is safe to serve from
+// multiple http.Server instances concurrently.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/ingest", s.guard("ingest", http.MethodPost, s.handleIngest))
+	mux.Handle("/refresh", s.guard("refresh", http.MethodPost, s.handleRefresh))
+	mux.Handle("/topk", s.guard("topk", http.MethodGet, s.handleTopK))
+	mux.Handle("/rank", s.guard("rank", http.MethodGet, s.handleRank))
+	// Health and metrics bypass the slot pool and timeout: they must
+	// answer even when the query path is saturated.
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// guard wraps an endpoint handler with, outermost first: the request
+// timeout (503 on expiry), then the bounded slot pool (429 when full —
+// the slot is held until the handler truly finishes, even past a
+// timeout response, so MaxInFlight bounds real server-side work), then
+// method filtering and per-endpoint latency metrics.
+func (s *Server) guard(name, method string, h http.HandlerFunc) http.Handler {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed, use "+method)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.metrics.Count("server.http.throttled", 1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		defer func() { <-s.sem }()
+		start := time.Now()
+		h(w, r)
+		s.metrics.Count("server.http."+name+".requests", 1)
+		s.metrics.Observe("server.http."+name+".seconds", time.Since(start).Seconds())
+	})
+	if s.cfg.RequestTimeout <= 0 {
+		return inner
+	}
+	return http.TimeoutHandler(inner, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// IngestRecord is one record of an ingest batch, values aligned with
+// the server's schema.
+type IngestRecord struct {
+	// Weight is the record's aggregation weight; omitted or 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Truth is the optional ground-truth label (evaluation only).
+	Truth string `json:"truth,omitempty"`
+	// Values are the field values, in schema order.
+	Values []string `json:"values"`
+}
+
+// IngestRequest is the POST /ingest body: one batch of records,
+// applied atomically with respect to snapshots.
+type IngestRequest struct {
+	// Records is the batch (non-empty, at most Config.MaxBatch).
+	Records []IngestRecord `json:"records"`
+}
+
+// IngestResponse reports an accepted batch.
+type IngestResponse struct {
+	// Accepted is the number of records appended (the whole batch).
+	Accepted int `json:"accepted"`
+	// Records is the write-side total after the batch.
+	Records int `json:"records"`
+	// SnapshotSeq is the current published epoch after the batch.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Published reports whether this batch triggered a new snapshot.
+	Published bool `json:"published"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad ingest body: "+err.Error())
+		return
+	}
+	if len(req.Records) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Records) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds max %d", len(req.Records), s.cfg.MaxBatch))
+		return
+	}
+	// Validate the whole batch before touching the accumulator, so a
+	// bad record cannot leave a half-applied batch behind.
+	for i, rec := range req.Records {
+		if len(rec.Values) != len(s.cfg.Schema) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("record %d: %d values for schema of %d fields", i, len(rec.Values), len(s.cfg.Schema)))
+			return
+		}
+		if rec.Weight < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: negative weight", i))
+			return
+		}
+	}
+	s.mu.Lock()
+	for _, rec := range req.Records {
+		wgt := rec.Weight
+		if wgt == 0 {
+			wgt = 1
+		}
+		s.acc.Add(wgt, rec.Truth, rec.Values...)
+	}
+	s.pending += len(req.Records)
+	published := false
+	if s.cfg.RefreshEvery >= 0 && s.pending >= s.cfg.RefreshEvery {
+		s.publishLocked()
+		published = true
+	}
+	total := s.acc.Len()
+	seq := s.epoch.Load().seq
+	s.mu.Unlock()
+	s.metrics.Count("server.ingest.records", int64(len(req.Records)))
+	s.metrics.Count("server.ingest.batches", 1)
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Accepted: len(req.Records), Records: total, SnapshotSeq: seq, Published: published,
+	})
+}
+
+// RefreshResponse reports a forced snapshot publication.
+type RefreshResponse struct {
+	// SnapshotSeq is the new epoch's sequence number.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Records is the record count visible in the new snapshot.
+	Records int `json:"records"`
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ep := s.publishLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, RefreshResponse{SnapshotSeq: ep.seq, Records: ep.snap.Len()})
+}
+
+// TopKResponse is the GET /topk body: the engine result over the
+// published snapshot, plus the epoch it was answered from.
+type TopKResponse struct {
+	// K and R echo the query parameters.
+	K int `json:"k"`
+	// R is the number of alternative answers requested.
+	R int `json:"r"`
+	// SnapshotSeq identifies the epoch the answer was computed on.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Records is the record count of that epoch.
+	Records int `json:"records"`
+	// Result is the full engine result (answers, pruning stats). Its
+	// bytes are identical to marshalling topk.Engine.TopK run over the
+	// same records in one shot — the differential tests' contract.
+	Result *topk.Result `json:"result"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rr, err := intParam(r, "r", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if k < 1 {
+		writeError(w, http.StatusBadRequest, "k must be >= 1")
+		return
+	}
+	ep := s.epoch.Load()
+	res, err := s.queryEngine(ep).TopK(k, rr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{
+		K: k, R: rr, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res,
+	})
+}
+
+// RankResponse is the GET /rank body: a §7 rank-query result over the
+// published snapshot.
+type RankResponse struct {
+	// K echoes the k parameter (TopK rank query form).
+	K int `json:"k,omitempty"`
+	// T echoes the t parameter (thresholded rank query form).
+	T float64 `json:"t,omitempty"`
+	// SnapshotSeq identifies the epoch the answer was computed on.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Records is the record count of that epoch.
+	Records int `json:"records"`
+	// Result is the rank-query result (entries, settledness).
+	Result *topk.RankResult `json:"result"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	ep := s.epoch.Load()
+	if tRaw := r.URL.Query().Get("t"); tRaw != "" {
+		t, err := strconv.ParseFloat(tRaw, 64)
+		if err != nil || !(t > 0) || math.IsInf(t, 0) {
+			writeError(w, http.StatusBadRequest, "t must be a positive number")
+			return
+		}
+		res, err := s.queryEngine(ep).ThresholdedRank(t)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, RankResponse{T: t, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res})
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k < 1 {
+		writeError(w, http.StatusBadRequest, "k must be >= 1")
+		return
+	}
+	if ep.snap.Len() == 0 {
+		// rankquery runs the core pipeline, which needs records; answer
+		// the empty epoch directly.
+		writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Result: &topk.RankResult{}})
+		return
+	}
+	res, err := s.queryEngine(ep).TopKRank(k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res})
+}
+
+// queryEngine builds the per-query engine over an epoch's frozen
+// dataset. Engines are cheap stateless wrappers; every query gets a
+// fresh one so epochs can be garbage collected as they age out.
+func (s *Server) queryEngine(ep *epoch) *topk.Engine {
+	cfg := s.cfg.Engine
+	cfg.Metrics = s.metrics
+	return topk.New(ep.snap.Dataset(), s.cfg.Levels, s.cfg.Scorer, cfg)
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	// OK is always true when the handler answers at all.
+	OK bool `json:"ok"`
+	// Records is the write-side record count.
+	Records int `json:"records"`
+	// SnapshotSeq is the published epoch's sequence number.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotRecords is the record count visible to queries.
+	SnapshotRecords int `json:"snapshot_records"`
+	// SnapshotAgeSeconds is the published epoch's age.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ep := s.epoch.Load()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:                 true,
+		Records:            s.Records(),
+		SnapshotSeq:        ep.seq,
+		SnapshotRecords:    ep.snap.Len(),
+		SnapshotAgeSeconds: time.Since(ep.snap.Taken()).Seconds(),
+	})
+}
+
+// LatencySummary condenses one endpoint's latency histogram for the
+// /metrics body. Quantiles are log2-bucket estimates (within one
+// octave, see obs.Dist.Quantile).
+type LatencySummary struct {
+	// Count is the number of completed requests.
+	Count int64 `json:"count"`
+	// P50Seconds and P99Seconds estimate the latency quantiles.
+	P50Seconds float64 `json:"p50_seconds"`
+	// P99Seconds estimates the 99th-percentile latency.
+	P99Seconds float64 `json:"p99_seconds"`
+	// MaxSeconds is the slowest completed request.
+	MaxSeconds float64 `json:"max_seconds"`
+}
+
+// MetricsResponse is the GET /metrics body: serving-level gauges, the
+// per-endpoint latency summaries, and the full obs snapshot (every
+// server.*, core.*, engine.*, stream.* metric recorded since start).
+type MetricsResponse struct {
+	// Records is the write-side record count.
+	Records int `json:"records"`
+	// SnapshotSeq is the published epoch's sequence number.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotAgeSeconds is the published epoch's age.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// Latency summarises the server.http.<endpoint>.seconds histograms.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+	// Phases is the full metrics snapshot in the obs JSON shape.
+	Phases *obs.Snapshot `json:"phases"`
+}
+
+// latencyEndpoints are the endpoints /metrics summarises.
+var latencyEndpoints = []string{"ingest", "refresh", "topk", "rank"}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	ep := s.epoch.Load()
+	age := time.Since(ep.snap.Taken()).Seconds()
+	// Refresh the gauges so the embedded snapshot is current too.
+	s.metrics.Gauge("server.snapshot.seq", float64(ep.seq))
+	s.metrics.Gauge("server.snapshot.age_seconds", age)
+	s.metrics.Gauge("server.records", float64(s.Records()))
+	snap := s.metrics.Snapshot()
+	resp := MetricsResponse{
+		Records:            s.Records(),
+		SnapshotSeq:        ep.seq,
+		SnapshotAgeSeconds: age,
+		Phases:             snap,
+	}
+	for _, name := range latencyEndpoints {
+		d, ok := snap.Observations["server.http."+name+".seconds"]
+		if !ok {
+			continue
+		}
+		if resp.Latency == nil {
+			resp.Latency = make(map[string]LatencySummary, len(latencyEndpoints))
+		}
+		resp.Latency[name] = LatencySummary{
+			Count:      d.Count,
+			P50Seconds: d.Quantile(0.50),
+			P99Seconds: d.Quantile(0.99),
+			MaxSeconds: d.Max,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%s must be an integer, got %q", name, raw)
+	}
+	return v, nil
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSoak is the end-to-end race exercise the serving design
+// is accountable to: 4 ingest goroutines and 6 query goroutines hammer
+// one topkd handler stack through real HTTP while snapshots publish
+// continuously. Run under `go test -race` (ci.sh does), it proves
+//
+//   - zero data races between ingest, publication, and queries,
+//   - every response is well-formed JSON with a sane status, and
+//   - epochs only ever move forward from a query's point of view.
+func TestConcurrentSoak(t *testing.T) {
+	const (
+		ingesters        = 4
+		queriers         = 6
+		batchesPerWorker = 25
+		batchSize        = 8
+		queriesPerWorker = 40
+	)
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.RefreshEvery = 0 // publish after every batch
+	})
+	client := ts.Client()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, ingesters+queriers)
+	fail := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + g)))
+			for b := 0; b < batchesPerWorker; b++ {
+				recs := make([]IngestRecord, batchSize)
+				for i := range recs {
+					e := r.Intn(30)
+					recs[i] = IngestRecord{
+						Weight: 1 + 0.001*r.Float64(),
+						Truth:  fmt.Sprintf("E%02d", e),
+						Values: []string{fmt.Sprintf("%c%02d.v%d", 'a'+e%5, e, r.Intn(2))},
+					}
+				}
+				data, _ := json.Marshal(IngestRequest{Records: recs})
+				resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(data))
+				if err != nil {
+					fail("ingester %d: %v", g, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					fail("ingester %d: status %d: %s", g, resp.StatusCode, body)
+					return
+				}
+				if !json.Valid(body) {
+					fail("ingester %d: invalid JSON: %s", g, body)
+					return
+				}
+			}
+		}(g)
+	}
+
+	paths := []string{"/topk?k=3&r=2", "/topk?k=5", "/rank?k=3", "/rank?t=2.5", "/healthz", "/metrics"}
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(200 + g)))
+			var lastSeq uint64
+			for q := 0; q < queriesPerWorker; q++ {
+				path := paths[r.Intn(len(paths))]
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					fail("querier %d: %v", g, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					fail("querier %d: %s: status %d: %s", g, path, resp.StatusCode, body)
+					return
+				}
+				if !json.Valid(body) {
+					fail("querier %d: %s: invalid JSON: %s", g, path, body)
+					return
+				}
+				if resp.StatusCode == http.StatusOK && (path[:5] == "/topk") {
+					var out TopKResponse
+					if err := json.Unmarshal(body, &out); err != nil {
+						fail("querier %d: decode: %v", g, err)
+						return
+					}
+					if out.Result == nil {
+						fail("querier %d: nil result", g)
+						return
+					}
+					if out.SnapshotSeq < lastSeq {
+						fail("querier %d: epoch went backwards: %d -> %d", g, lastSeq, out.SnapshotSeq)
+						return
+					}
+					lastSeq = out.SnapshotSeq
+					for _, ans := range out.Result.Answers {
+						for gi := 1; gi < len(ans.Groups); gi++ {
+							if ans.Groups[gi-1].Weight < ans.Groups[gi].Weight {
+								fail("querier %d: answer groups out of order", g)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The write side must have absorbed every batch.
+	want := ingesters * batchesPerWorker * batchSize
+	if srv.Records() != want {
+		t.Fatalf("records after soak: %d, want %d", srv.Records(), want)
+	}
+	// And the final published state answers consistently.
+	ingestBatch(t, ts, names("final"))
+	_, body := get(t, ts, "/topk?k=3")
+	var out TopKResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Records != want+1 {
+		t.Fatalf("final snapshot has %d records, want %d", out.Records, want+1)
+	}
+}

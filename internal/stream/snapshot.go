@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"time"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/obs"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// Snapshot is an immutable point-in-time view of an Incremental
+// accumulator: the records present when it was taken plus the
+// incrementally maintained level-1 collapse, frozen. Snapshots are the
+// read side of the serving layer's epoch design (internal/server):
+// ingest keeps mutating the accumulator while any number of goroutines
+// query a published Snapshot concurrently.
+//
+// Immutability is copy-on-write, not deep copy. The snapshot's dataset
+// shares record storage with the accumulator — safe because records are
+// append-only and never mutated once appended — with the slice capacity
+// clamped so later appends can never land inside the snapshot's window.
+// The group list is materialised at snapshot time (the union-find's path
+// halving writes on every Find, so it cannot be read concurrently with
+// Add); Groups hands each caller a fresh top-level slice because the
+// query pipeline reorders and re-merges it in place. Member slices are
+// shared read-only — nothing in core ever writes to an input group's
+// Members.
+//
+// Taking a snapshot requires the same external synchronisation as every
+// other Incremental method; using a taken Snapshot requires none.
+type Snapshot struct {
+	data   *records.Dataset
+	groups []core.Group
+	levels []predicate.Level
+	evals  int64
+	taken  time.Time
+}
+
+// Snapshot freezes the accumulator's current state. Like every other
+// method of Incremental it must not run concurrently with Add; the
+// returned Snapshot is immutable and safe for unsynchronised concurrent
+// use from then on.
+func (inc *Incremental) Snapshot() *Snapshot {
+	n := inc.data.Len()
+	return &Snapshot{
+		data: &records.Dataset{
+			Name:   inc.data.Name,
+			Schema: inc.data.Schema,
+			// Full slice expression: capacity == length, so the write
+			// side's next append copies to a fresh array instead of
+			// writing past the snapshot's window.
+			Recs: inc.data.Recs[:n:n],
+		},
+		groups: inc.Groups(),
+		levels: inc.levels,
+		evals:  inc.evals,
+		taken:  time.Now(),
+	}
+}
+
+// Dataset returns the frozen dataset. Read-only by contract: callers
+// must not append to it or mutate its records.
+func (s *Snapshot) Dataset() *records.Dataset { return s.data }
+
+// Len returns the number of records in the snapshot.
+func (s *Snapshot) Len() int { return s.data.Len() }
+
+// Taken returns the wall-clock time the snapshot was frozen at.
+func (s *Snapshot) Taken() time.Time { return s.taken }
+
+// Evals returns the accumulator's maintenance evaluation counter as of
+// the snapshot.
+func (s *Snapshot) Evals() int64 { return s.evals }
+
+// Groups returns the frozen level-1 collapse as a fresh top-level slice
+// per call, so each caller may hand it to core.PrunedDedupFrom (which
+// sorts and merges the slice in place) without affecting other readers.
+// The Group values — including their Members slices — are shared and
+// must be treated as read-only.
+func (s *Snapshot) Groups() []core.Group {
+	return append([]core.Group(nil), s.groups...)
+}
+
+// TopK answers the TopK count query over the frozen state, like
+// Incremental.TopK but safe for any number of concurrent callers on the
+// same Snapshot. workers and sink follow the core.Options conventions
+// (workers <= 0 means all CPUs; a nil sink is free).
+func (s *Snapshot) TopK(k, workers int, sink obs.Sink) (*core.Result, error) {
+	if s.data.Len() == 0 {
+		return &core.Result{}, nil
+	}
+	sp := obs.StartSpan(sink, "stream.topk")
+	defer sp.End()
+	return core.PrunedDedupFrom(s.data, s.Groups(), s.levels, core.Options{K: k, Workers: workers, Sink: sink})
+}

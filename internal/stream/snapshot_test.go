@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"topkdedup/internal/core"
+)
+
+func TestSnapshotIsImmutableUnderGrowth(t *testing.T) {
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	feed(t, inc, 5, 15, 8)
+	snap := inc.Snapshot()
+	wantLen := snap.Len()
+	wantGroups := len(snap.Groups())
+	before, err := snap.TopK(3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep growing the accumulator; the snapshot must not move.
+	feed(t, inc, 6, 25, 10)
+	if snap.Len() != wantLen {
+		t.Fatalf("snapshot length moved: %d -> %d", wantLen, snap.Len())
+	}
+	if len(snap.Groups()) != wantGroups {
+		t.Fatalf("snapshot groups moved: %d -> %d", wantGroups, len(snap.Groups()))
+	}
+	after, err := snap.TopK(3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(before.Groups) != fmt.Sprint(after.Groups) {
+		t.Fatal("snapshot TopK changed after accumulator growth")
+	}
+}
+
+func TestSnapshotTopKMatchesIncrementalTopK(t *testing.T) {
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	feed(t, inc, 9, 20, 12)
+	snap := inc.Snapshot()
+	for _, k := range []int{1, 2, 5} {
+		want, err := inc.TopK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snap.TopK(k, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got.Groups) != fmt.Sprint(want.Groups) {
+			t.Fatalf("K=%d: snapshot TopK diverges from incremental TopK", k)
+		}
+	}
+}
+
+func TestSnapshotConcurrentQueries(t *testing.T) {
+	// Many goroutines querying one snapshot must neither race (the -race
+	// run of ci.sh enforces this) nor observe different answers.
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	feed(t, inc, 13, 30, 10)
+	snap := inc.Snapshot()
+	want, err := snap.TopK(3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, err := snap.TopK(3, 2, nil)
+				if err != nil {
+					errs[g] = err.Error()
+					return
+				}
+				if fmt.Sprint(got.Groups) != fmt.Sprint(want.Groups) {
+					errs[g] = "answer diverged across concurrent queries"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != "" {
+			t.Fatal(e)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	snap := inc.Snapshot()
+	res, err := snap.TopK(4, 1, nil)
+	if err != nil || len(res.Groups) != 0 {
+		t.Fatalf("empty snapshot TopK: %v %v", res, err)
+	}
+	if snap.Len() != 0 || snap.Evals() != 0 || snap.Taken().IsZero() {
+		t.Fatal("empty snapshot metadata wrong")
+	}
+}
+
+func TestSnapshotGroupsCopyIsIndependent(t *testing.T) {
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	feed(t, inc, 17, 10, 6)
+	snap := inc.Snapshot()
+	a, b := snap.Groups(), snap.Groups()
+	if len(a) == 0 {
+		t.Fatal("expected groups")
+	}
+	a[0] = core.Group{Rep: -1, Weight: -1}
+	if b[0].Rep == -1 {
+		t.Fatal("Groups() copies share the top-level slice")
+	}
+}

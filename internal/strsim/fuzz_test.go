@@ -1,0 +1,80 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzStrsim drives the pairwise similarity inventory with arbitrary
+// byte strings and checks the contracts every predicate and scorer in
+// the repo relies on: no panics, results in [0,1], symmetry, and
+// self-similarity 1 for non-empty inputs. ci.sh runs a short -fuzztime
+// smoke over the committed corpus on every build.
+func FuzzStrsim(f *testing.F) {
+	seeds := [][2]string{
+		{"", ""},
+		{"a", ""},
+		{"acme corp", "acme corp."},
+		{"J. Smith", "John Smith"},
+		{"\x00\xff", "\xff\x00"},
+		{"héllo wörld", "hello world"},
+		{"aaaa", "aaab"},
+		{"the of and", "of the and"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 256 || len(b) > 256 {
+			t.Skip("cap quadratic work")
+		}
+		cache := NewCache(nil)
+		unit := []struct {
+			name string
+			fn   func(x, y string) float64
+		}{
+			{"EditSimilarity", EditSimilarity},
+			{"Jaro", Jaro},
+			{"JaroWinkler", JaroWinkler},
+			{"JaccardGrams", cache.JaccardGrams},
+			{"JaccardTokens", cache.JaccardTokens},
+			{"GramOverlapRatio", cache.GramOverlapRatio},
+		}
+		for _, u := range unit {
+			v := u.fn(a, b)
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("%s(%q, %q) = %v, outside [0,1]", u.name, a, b, v)
+			}
+			if w := u.fn(b, a); w != v {
+				t.Fatalf("%s not symmetric: (%q,%q)=%v, (%q,%q)=%v", u.name, a, b, v, b, a, w)
+			}
+		}
+		if a != "" {
+			if v := EditSimilarity(a, a); v != 1 {
+				t.Fatalf("EditSimilarity(%q, %q) = %v, want 1", a, a, v)
+			}
+			if v := Jaro(a, a); v != 1 {
+				t.Fatalf("Jaro(%q, %q) = %v, want 1", a, a, v)
+			}
+		}
+		if d := Levenshtein(a, b); d != Levenshtein(b, a) || d < 0 {
+			t.Fatalf("Levenshtein(%q, %q) = %d, asymmetric or negative", a, b, d)
+		}
+		// The remaining scorers have no [0,1] contract; they must simply
+		// never panic or produce NaN on any input.
+		for _, v := range []float64{
+			NeedlemanWunsch(a, b),
+			MongeElkan(a, b, Jaro),
+			cache.MinIDF(a),
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("NaN from auxiliary scorer on (%q, %q)", a, b)
+			}
+		}
+		Tokenize(a)
+		Initials(a)
+		if cache.InitialsMatch(a, b) != cache.InitialsMatch(b, a) {
+			t.Fatalf("InitialsMatch not symmetric on (%q, %q)", a, b)
+		}
+	})
+}
