@@ -41,6 +41,7 @@ go run ./cmd/doccheck \
     ./internal/score \
     ./internal/segment \
     ./internal/server \
+    ./internal/shard \
     ./internal/stream \
     ./internal/strsim
 
@@ -49,13 +50,20 @@ go test -race ./...
 
 # Serving-layer smoke: topkd brings itself up on an ephemeral port, runs
 # a full client session (healthz, ingest, topk, rank, metrics), and
-# shuts down gracefully.
+# shuts down gracefully — once standalone, once through the in-process
+# sharded coordinator (SHARDING.md). The multi-node HTTP path is covered
+# by the race suite above (TestDifferentialShardPeersVsStandalone, and
+# TestConcurrentSoakShardedEngine for the coordinator + 4 in-process
+# shards under concurrent ingest).
 go run ./cmd/topkd -smoke
+go run ./cmd/topkd -smoke -shards 4
 
 # Fuzz smoke: a few seconds per target over the committed seed corpora
-# (similarity-measure contracts; R-best segmentation DP invariants).
+# (similarity-measure contracts; R-best segmentation DP invariants;
+# cross-shard bound-merge equivalence).
 go test -run '^$' -fuzz '^FuzzStrsim$' -fuzztime 5s ./internal/strsim
 go test -run '^$' -fuzz '^FuzzSegmentDP$' -fuzztime 5s ./internal/segment
+go test -run '^$' -fuzz '^FuzzBoundMerge$' -fuzztime 5s ./internal/shard
 
 # Smoke-run the instrumentation overhead benchmark (one iteration per
 # variant; the full comparison is `go test -bench=NoopSinkOverhead`).

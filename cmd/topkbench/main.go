@@ -8,8 +8,8 @@
 //	topkbench -exp fig7 -exp fig6     # selected experiments
 //
 // Experiments: table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank,
-// stream, serve, all. Scales: small, default, full (record counts in
-// DESIGN.md §5).
+// stream, serve, shard, all. Scales: small, default, full (record counts
+// in DESIGN.md §5).
 package main
 
 import (
@@ -53,7 +53,10 @@ type benchExperiment struct {
 	// ServeRows carries the serving benchmark's per-endpoint exact
 	// latency quantiles (serve experiment only).
 	ServeRows []servebench.Row `json:"serve_rows,omitempty"`
-	Phases    *obs.Snapshot    `json:"phases,omitempty"`
+	// ShardRows carries the sharded-coordinator sweep's per-cell timing
+	// and bound-exchange statistics (shard experiment only).
+	ShardRows []experiments.ShardRow `json:"shard_rows,omitempty"`
+	Phases    *obs.Snapshot          `json:"phases,omitempty"`
 }
 
 type expFlag []string
@@ -71,7 +74,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, serve, all")
+	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, serve, shard, all")
 	scaleName := flag.String("scale", "default", "dataset scale: small, default, full")
 	jsonPath := flag.String("json", "", "write a machine-readable benchReport of the run to this path")
 	workersFlag := flag.String("workers", "", "comma-separated worker-pool bounds for the fig6 sweep (default \"1,<NumCPU>\"; 0 = NumCPU)")
@@ -186,6 +189,30 @@ func main() {
 			Name: "serve", ElapsedMS: float64(elapsed.Microseconds()) / 1000, ServeRows: serveRows,
 		})
 		fmt.Printf("-- serve done in %s --\n\n", elapsed.Round(time.Millisecond))
+	}
+
+	if all || want["shard"] {
+		fmt.Printf("== shard (scale %s) ==\n", *scaleName)
+		col := obs.NewCollector()
+		experiments.SetMetrics(col)
+		parallel.SetSink(col)
+		start := time.Now()
+		shardRows, err := runShard(scale, workerSweep)
+		elapsed := time.Since(start)
+		experiments.SetMetrics(nil)
+		parallel.SetSink(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shard failed: %v\n", err)
+			os.Exit(1)
+		}
+		exp := benchExperiment{
+			Name: "shard", ElapsedMS: float64(elapsed.Microseconds()) / 1000, ShardRows: shardRows,
+		}
+		if snap := col.Snapshot(); !snap.Empty() {
+			exp.Phases = snap
+		}
+		report.Experiments = append(report.Experiments, exp)
+		fmt.Printf("-- shard done in %s --\n\n", elapsed.Round(time.Millisecond))
 	}
 
 	if *jsonPath != "" {
@@ -414,6 +441,31 @@ func runServe(scale experiments.Scale) ([]servebench.Row, error) {
 		return nil, err
 	}
 	servebench.RenderTable(os.Stdout, rows)
+	return rows, nil
+}
+
+// runShard sweeps the in-process sharded coordinator over the K × shard
+// count × worker bound grid on the citation dataset, verifying every
+// cell byte-identical to the single-machine pipeline. Shard count 1 runs
+// the whole protocol over a single shard, so the table's first rows read
+// as the pure coordination overhead.
+func runShard(scale experiments.Scale, workerSweep []int) ([]experiments.ShardRow, error) {
+	dd, err := cachedSetup(fmt.Sprintf("citations/%d", scale.Citations), func() (*experiments.DomainData, error) {
+		return experiments.CitationSetup(scale.Citations, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("E12 — sharded PrunedDedup sweep on %d citation records\n", dd.Data.Len())
+	ks := experiments.KsForScale(dd.Data.Len())
+	if len(ks) > 3 {
+		ks = ks[:3]
+	}
+	rows, err := experiments.ShardSweep(dd, ks, []int{1, 2, 4, 8}, workerSweep)
+	if err != nil {
+		return nil, err
+	}
+	experiments.RenderShardTable(os.Stdout, rows)
 	return rows, nil
 }
 

@@ -17,7 +17,21 @@
 //
 //	topkd -addr :8080 -schema name,addr -field name
 //	topkd -addr :8080 -field name -in seed.tsv      (warm-start from TSV)
+//	topkd -addr :8080 -shards 4                     (in-process sharded pruning)
 //	topkd -smoke                                    (self-test and exit)
+//
+// Multi-node sharding (see SHARDING.md for the worked example): start
+// shard executors with -role shard, then a coordinator naming them:
+//
+//	topkd -role shard -addr :7601 &
+//	topkd -role shard -addr :7602 &
+//	topkd -role coordinator -addr :8080 -peers http://localhost:7601,http://localhost:7602
+//
+// Every node must be configured with the same -schema, -field, and
+// -overlap (predicates are rebuilt from flags, not shipped). Ingest goes
+// to the coordinator; each query partitions the snapshot across the
+// peers and runs the bound-exchange protocol over their /shard/*
+// endpoints.
 //
 // Shutdown is graceful: SIGINT/SIGTERM stops accepting connections and
 // drains in-flight queries for up to 10 seconds.
@@ -55,16 +69,43 @@ func main() {
 	workers := flag.Int("workers", 0, "query worker goroutines (0 = GOMAXPROCS)")
 	in := flag.String("in", "", "optional seed TSV/CSV to load and publish before serving")
 	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a client session against it, shut down, exit")
+	role := flag.String("role", "standalone", "node role: standalone, coordinator (partitions queries across -peers), or shard (executes a coordinator's partition)")
+	peers := flag.String("peers", "", "comma-separated shard base URLs (coordinator role only)")
+	shards := flag.Int("shards", 0, "in-process shard count for query pruning (standalone/shard roles; <= 1 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *schema, *field, *overlap, *refreshEvery, *maxInFlight, *requestTimeout, *maxBatch, *workers, *in, *smoke); err != nil {
+	if err := run(*addr, *schema, *field, *overlap, *refreshEvery, *maxInFlight, *requestTimeout, *maxBatch, *workers, *in, *smoke, *role, *peers, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight int,
-	requestTimeout time.Duration, maxBatch, workers int, in string, smoke bool) error {
+	requestTimeout time.Duration, maxBatch, workers int, in string, smoke bool,
+	role, peers string, shards int) error {
+	var peerList []string
+	if peers != "" {
+		for _, p := range strings.Split(peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	switch role {
+	case "standalone", "shard":
+		if len(peerList) > 0 {
+			return fmt.Errorf("-peers only applies to -role coordinator")
+		}
+	case "coordinator":
+		if len(peerList) == 0 {
+			return fmt.Errorf("-role coordinator requires -peers")
+		}
+		if shards > 1 {
+			return fmt.Errorf("-shards does not apply to -role coordinator (the shard count is the peer count)")
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (use standalone, coordinator, or shard)", role)
+	}
 	fields := strings.Split(schema, ",")
 	for i := range fields {
 		fields[i] = strings.TrimSpace(fields[i])
@@ -87,11 +128,12 @@ func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight 
 		Schema:         fields,
 		Levels:         levels,
 		Scorer:         topk.PairScorerFunc(scorer),
-		Engine:         topk.Config{Workers: workers},
+		Engine:         topk.Config{Workers: workers, Shards: shards},
 		RefreshEvery:   refreshEvery,
 		MaxInFlight:    maxInFlight,
 		RequestTimeout: requestTimeout,
 		MaxBatch:       maxBatch,
+		ShardPeers:     peerList,
 	})
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 	"topkdedup/internal/rankquery"
 	"topkdedup/internal/score"
 	"topkdedup/internal/segment"
+	"topkdedup/internal/shard"
 )
 
 // Mode selects how answer scores combine over the groupings supporting an
@@ -36,6 +37,15 @@ type Config struct {
 	// PrunePasses is the number of exact upper-bound refinement passes in
 	// the prune step (default 2, the paper's choice).
 	PrunePasses int
+	// Shards, when > 1, runs the pruning phases through the in-process
+	// sharded coordinator (internal/shard): the dataset is partitioned
+	// into canopy-closed shards, each executes collapse/bound/prune on
+	// its slice, and the coordinator folds per-shard bounds into the
+	// global M with the bound-exchange protocol (see SHARDING.md).
+	// Results are byte-identical at every shard count; only eval
+	// counters and phase wall times in the reported stats may differ.
+	// <= 1 (the default) runs the single-machine pipeline.
+	Shards int
 	// MaxGroupWidth caps how many collapsed groups one answer group may
 	// span in the segmentation search (default 24). Larger is slower;
 	// the paper's equivalent is "not considering any cluster including
@@ -199,10 +209,29 @@ func (e *Engine) TopK(k, r int) (*Result, error) {
 	}
 	sp := obs.StartSpan(e.cfg.Metrics, "engine.topk")
 	defer sp.End()
-	pd, err := core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers, Sink: e.cfg.Metrics})
+	pd, err := e.pruned(k)
 	if err != nil {
 		return nil, err
 	}
+	return e.finishTopK(pd, k, r)
+}
+
+// pruned runs the pruning phases (Algorithm 2 up to the final scoring
+// phase), routed through the sharded coordinator when Config.Shards > 1.
+func (e *Engine) pruned(k int) (*core.Result, error) {
+	if e.cfg.Shards > 1 {
+		res, _, err := shard.Run(e.data, nil, e.levels, shard.Options{
+			K: k, Shards: e.cfg.Shards, PrunePasses: e.cfg.PrunePasses,
+			Workers: e.cfg.Workers, Sink: e.cfg.Metrics,
+		})
+		return res, err
+	}
+	return core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers, Sink: e.cfg.Metrics})
+}
+
+// finishTopK turns a pruning result into the query answer, running the
+// final R-best scoring phase when residual ambiguity remains.
+func (e *Engine) finishTopK(pd *core.Result, k, r int) (*Result, error) {
 	res := &Result{Pruning: pd.Stats, Survivors: len(pd.Groups)}
 	if pd.ExactlyK || e.scorer == nil || len(pd.Groups) <= k {
 		res.Exact = pd.ExactlyK || len(pd.Groups) <= k
@@ -215,6 +244,39 @@ func (e *Engine) TopK(k, r int) (*Result, error) {
 	}
 	res.Answers = answers
 	return res, nil
+}
+
+// PrunedResult is the output of the pruning phases — an alias of the
+// internal core result, exposed so externally coordinated pruning (a
+// distributed shard run, see internal/shard.RunHTTP) can be finished
+// into full answers with TopKFrom and TopKRankFrom.
+type PrunedResult = core.Result
+
+// TopKFrom finishes a TopK query from an externally produced pruning
+// result: it runs the final R-best scoring phase over pd's surviving
+// groups exactly as TopK would after its own pruning. pd must come from
+// the same dataset and levels (e.g. a shard.RunHTTP over this engine's
+// data); the HTTP serving layer's coordinator mode is the intended
+// caller.
+func (e *Engine) TopKFrom(pd *PrunedResult, k, r int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
+	}
+	if r < 1 {
+		r = 1
+	}
+	sp := obs.StartSpan(e.cfg.Metrics, "engine.topk")
+	defer sp.End()
+	return e.finishTopK(pd, k, r)
+}
+
+// TopKRankFrom finishes a §7.1 TopK rank query from an externally
+// produced pruning result, mirroring TopKFrom for TopKRank.
+func (e *Engine) TopKRankFrom(pd *PrunedResult, k int) (*RankResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
+	}
+	return rankquery.FromPruned(e.data, e.levels, pd, k), nil
 }
 
 // groupsToAnswer takes the top-k surviving groups as a single answer.
@@ -423,8 +485,19 @@ type RankResult = rankquery.RankResult
 // TopKRank answers the TopK rank query (paper §7.1): the ranked order of
 // the K largest groups, each identified by a canonical member, without
 // resolving exact sizes. The rank-specific resolved-group pruning applies
-// on top of the standard TopK pruning.
+// on top of the standard TopK pruning. Config.Shards routes the pruning
+// phases through the sharded coordinator just as for TopK.
 func (e *Engine) TopKRank(k int) (*RankResult, error) {
+	if e.cfg.Shards > 1 {
+		if k < 1 {
+			return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
+		}
+		pd, err := e.pruned(k)
+		if err != nil {
+			return nil, err
+		}
+		return rankquery.FromPruned(e.data, e.levels, pd, k), nil
+	}
 	return rankquery.TopKRank(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers, Sink: e.cfg.Metrics})
 }
 

@@ -38,98 +38,175 @@ func EstimateLowerBound(d *records.Dataset, groups []Group, n predicate.P, k int
 // necessary-predicate edge construction spread over a worker pool
 // (workers <= 0 means all CPUs, 1 is serial). n.Eval must be safe for
 // concurrent use when workers != 1.
+//
+// It is the single-machine composition of the two pieces the sharded
+// pipeline drives separately: a BoundScanner produces per-group
+// greedy-independence verdicts block by block, and a
+// graph.PrefixController consumes them in rank order and decides when K
+// entities are certified.
 func EstimateLowerBoundWorkers(d *records.Dataset, groups []Group, n predicate.P, k, workers int) (m int, lower float64, evals int64) {
 	if len(groups) == 0 || k < 1 {
 		return 0, 0, 0
 	}
-	// Early-abort floor: once the scan descends to the minimum group
-	// weight, any eventual M would equal that minimum — and no group can
-	// have an upper bound below its own weight, so pruning with such an M
-	// removes nothing. Bailing out there avoids the expensive long-tail
-	// scan exactly when it cannot pay off (the paper's sweeps show this
-	// regime as M collapsing toward 1 for very large K).
-	minWeight := groups[len(groups)-1].Weight
-	// Scan budget: the paper's m stays within ~1.2x of K on every dataset
-	// (m=1206 at K=1000); if K distinct groups cannot be certified within
-	// 4K prefix groups the eventual M would be deep in the tail where
-	// pruning cannot pay for the quadratically growing candidate
-	// evaluations of this scan.
-	maxPrefix := 4 * k
-	if maxPrefix < 2000 {
-		maxPrefix = 2000
-	}
-	pcpn := graph.NewPrefixCPN(k)
-	buckets := make(map[string][]int) // key -> prior group indices
-	seen := make(map[int]int)         // candidate dedup, stamped by group index
-	type pair struct{ gi, gj int32 }
-	var (
-		pairs     []pair // flattened candidate pairs of the current block
-		pairStart []int  // per block group: offset of its pairs (+ sentinel)
-		verdict   []bool
-		nbrs      []int
-	)
-	for gi0 := 0; gi0 < len(groups); {
-		// Enumerate one block's candidates — serial, and byte-identical to
-		// the single-loop sweep because nothing here reads a verdict.
-		pairs = pairs[:0]
-		pairStart = pairStart[:0]
-		blockEnd := gi0
-		stop := false
-		for gi := gi0; gi < gi0+boundBlock && gi < len(groups); gi++ {
-			if groups[gi].Weight <= minWeight || gi >= maxPrefix {
-				stop = true
-				break
-			}
-			pairStart = append(pairStart, len(pairs))
-			for _, key := range n.Keys(d.Recs[groups[gi].Rep]) {
-				for _, gj := range buckets[key] {
-					if seen[gj] == gi+1 {
-						continue
-					}
-					seen[gj] = gi + 1
-					pairs = append(pairs, pair{int32(gi), int32(gj)})
-				}
-				buckets[key] = append(buckets[key], gi)
-			}
-			blockEnd = gi + 1
+	limit := BoundScanLimit(groups, k)
+	sc := NewBoundScanner(d, groups, n, workers)
+	pc := graph.NewPrefixController(k)
+	for sc.Scanned() < limit {
+		count := limit - sc.Scanned()
+		if count > boundBlock {
+			count = boundBlock
 		}
-		pairStart = append(pairStart, len(pairs))
-
-		// Verify the block's pairs in parallel; each slot owned by one index.
-		if cap(verdict) < len(pairs) {
-			verdict = make([]bool, len(pairs))
-		}
-		verdict = verdict[:len(pairs)]
-		parallel.For(workers, len(pairs), func(t int) {
-			p := pairs[t]
-			verdict[t] = n.Eval(d.Recs[groups[p.gi].Rep], d.Recs[groups[p.gj].Rep])
-		})
-
+		flags, pairEvals := sc.Scan(count)
 		// Consume serially in group order; stop at the first rank where the
 		// CPN bound certifies K entities. Only consumed groups' pairs count
 		// as evaluations, so the counter matches the serial sweep exactly.
-		for bi := 0; bi < blockEnd-gi0; bi++ {
-			lo, hi := pairStart[bi], pairStart[bi+1]
-			evals += int64(hi - lo)
-			nbrs = nbrs[:0]
-			for t := lo; t < hi; t++ {
-				if verdict[t] {
-					nbrs = append(nbrs, int(pairs[t].gj))
-				}
-			}
-			if pcpn.Add(nbrs) {
-				m = pcpn.ReachedAt()
+		for bi, independent := range flags {
+			evals += pairEvals[bi]
+			if pc.Feed(independent, sc.CPNAt) {
+				m = pc.ReachedAt()
 				return m, groups[m-1].Weight, evals
 			}
 		}
-		if stop {
-			return 0, 0, evals
-		}
-		gi0 = blockEnd
 	}
-	if pcpn.Finish() {
-		m = pcpn.ReachedAt()
+	if limit < len(groups) {
+		// The scan hit the weight floor or the prefix budget before
+		// certifying K entities; any later M could not pay off.
+		return 0, 0, evals
+	}
+	if pc.Finish(sc.CPNAt) {
+		m = pc.ReachedAt()
 		return m, groups[m-1].Weight, evals
 	}
 	return 0, 0, evals
 }
+
+// BoundScanLimit returns how many prefix groups the §4.2 scan may
+// consume before aborting: the scan stops at the first group whose
+// weight has descended to the minimum group weight (an M at the floor
+// prunes nothing, since no group's upper bound is below its own weight)
+// and never goes past max(4K, 2000) groups (the paper's m stays within
+// ~1.2x of K on every dataset; past 4K the quadratically growing
+// candidate evaluations outweigh any pruning the eventual M could buy).
+// Because groups are sorted by decreasing weight, the result is a prefix
+// length. The sharded coordinator applies the same limit to the merged
+// global order, so shards never scan groups the single-machine sweep
+// would not have scanned.
+func BoundScanLimit(groups []Group, k int) int {
+	if len(groups) == 0 {
+		return 0
+	}
+	minWeight := groups[len(groups)-1].Weight
+	maxPrefix := 4 * k
+	if maxPrefix < 2000 {
+		maxPrefix = 2000
+	}
+	limit := 0
+	for limit < len(groups) && limit < maxPrefix && groups[limit].Weight > minWeight {
+		limit++
+	}
+	return limit
+}
+
+// BoundScanner is the data half of the §4.2 lower-bound scan: it walks a
+// weight-sorted group list in rank order, enumerates each group's
+// necessary-predicate candidates among earlier groups (blocked by the
+// predicate's keys, deduplicated, and verified on a worker pool), and
+// maintains the greedy independent set of the resulting prefix graph.
+// It makes no stopping decisions — callers feed the verdicts to a
+// graph.PrefixController (the sharded coordinator feeds one global
+// controller from several per-shard scanners; the canopy-closed
+// partition guarantees no candidate edge crosses scanners, so the merged
+// verdict stream equals the single-machine one).
+type BoundScanner struct {
+	d       *records.Dataset
+	groups  []Group
+	n       predicate.P
+	workers int
+	buckets map[string][]int // key -> prior group indices
+	seen    map[int]int      // candidate dedup, stamped by group index
+	lp      *graph.LocalPrefix
+	at      int
+	// scratch reused across Scan calls
+	pairs     []boundPair
+	pairStart []int
+	verdict   []bool
+	nbrs      []int
+}
+
+type boundPair struct{ gi, gj int32 }
+
+// NewBoundScanner returns a scanner over groups (which must be sorted by
+// decreasing weight, Rep ascending on ties) for necessary predicate n.
+// workers <= 0 means all CPUs, 1 is serial; n.Eval must be safe for
+// concurrent use when workers != 1.
+func NewBoundScanner(d *records.Dataset, groups []Group, n predicate.P, workers int) *BoundScanner {
+	return &BoundScanner{
+		d: d, groups: groups, n: n, workers: workers,
+		buckets: make(map[string][]int),
+		seen:    make(map[int]int),
+		lp:      graph.NewLocalPrefix(),
+	}
+}
+
+// Scanned returns how many groups have been consumed so far.
+func (sc *BoundScanner) Scanned() int { return sc.at }
+
+// Scan consumes the next count groups (clamped to the remaining list)
+// and returns, per consumed group in rank order, whether it joined the
+// greedy independent set and how many candidate pairs it evaluated.
+// Enumeration is serial (so the bucket/seen state is identical to a
+// plain loop); the block's pair verifications run on the worker pool.
+func (sc *BoundScanner) Scan(count int) (independent []bool, pairEvals []int64) {
+	end := sc.at + count
+	if end > len(sc.groups) {
+		end = len(sc.groups)
+	}
+	sc.pairs = sc.pairs[:0]
+	sc.pairStart = sc.pairStart[:0]
+	for gi := sc.at; gi < end; gi++ {
+		sc.pairStart = append(sc.pairStart, len(sc.pairs))
+		for _, key := range sc.n.Keys(sc.d.Recs[sc.groups[gi].Rep]) {
+			for _, gj := range sc.buckets[key] {
+				if sc.seen[gj] == gi+1 {
+					continue
+				}
+				sc.seen[gj] = gi + 1
+				sc.pairs = append(sc.pairs, boundPair{int32(gi), int32(gj)})
+			}
+			sc.buckets[key] = append(sc.buckets[key], gi)
+		}
+	}
+	sc.pairStart = append(sc.pairStart, len(sc.pairs))
+
+	// Verify the block's pairs in parallel; each slot owned by one index.
+	if cap(sc.verdict) < len(sc.pairs) {
+		sc.verdict = make([]bool, len(sc.pairs))
+	}
+	sc.verdict = sc.verdict[:len(sc.pairs)]
+	parallel.For(sc.workers, len(sc.pairs), func(t int) {
+		p := sc.pairs[t]
+		sc.verdict[t] = sc.n.Eval(sc.d.Recs[sc.groups[p.gi].Rep], sc.d.Recs[sc.groups[p.gj].Rep])
+	})
+
+	independent = make([]bool, end-sc.at)
+	pairEvals = make([]int64, end-sc.at)
+	for bi := 0; bi < end-sc.at; bi++ {
+		lo, hi := sc.pairStart[bi], sc.pairStart[bi+1]
+		pairEvals[bi] = int64(hi - lo)
+		sc.nbrs = sc.nbrs[:0]
+		for t := lo; t < hi; t++ {
+			if sc.verdict[t] {
+				sc.nbrs = append(sc.nbrs, int(sc.pairs[t].gj))
+			}
+		}
+		independent[bi] = sc.lp.Add(sc.nbrs)
+	}
+	sc.at = end
+	return independent, pairEvals
+}
+
+// CPNAt returns the Algorithm-1 CPN lower bound of the first prefix
+// scanned groups (see graph.LocalPrefix.CPNAt). The sharded coordinator
+// sums this across shards during a stalled-bound full check; the sums
+// are exact because shard prefix graphs are vertex-disjoint.
+func (sc *BoundScanner) CPNAt(prefix int) int { return sc.lp.CPNAt(prefix) }

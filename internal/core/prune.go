@@ -56,20 +56,79 @@ func PruneWorkers(d *records.Dataset, groups []Group, n predicate.P, m float64, 
 // per phase and per pass, never per pair, and the sink is observational
 // only: survivors, bounds, and the eval counter are byte-identical with
 // or without it, at every worker count.
+//
+// Internally this drives a Pruner: construction runs the evaluation-free
+// cascades, then one Pass per exact refinement round until a pass kills
+// nothing. The sharded coordinator drives the same Pruner pass-by-pass
+// across shards so the stop decision ("no group died anywhere") is taken
+// globally, which is what keeps sharded survivors byte-identical to this
+// single-machine loop.
 func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float64, passes, workers int, sink obs.Sink) (alive []Group, evals int64) {
 	if m <= 0 || len(groups) == 0 {
 		return groups, 0
 	}
-	obs.Gauge(sink, "core.prune.bound", m)
 	if passes < 1 {
 		passes = 2
 	}
-	ng := len(groups)
-	keys := make([][]string, ng)
-	for i := range groups {
-		keys[i] = n.Keys(d.Recs[groups[i].Rep])
+	p := NewPruner(d, groups, n, m, workers, sink)
+	for pass := 0; pass < passes; pass++ {
+		pruned, passEvals := p.Pass()
+		evals += passEvals
+		if pruned == 0 {
+			break
+		}
 	}
-	ix := index.Build(ng, func(i int) []string { return keys[i] })
+	return p.Alive(), evals
+}
+
+// Pruner is the stateful form of the §4.3 prune step. NewPruner runs the
+// evaluation-free stage-0 cascades; each Pass then performs one exact
+// Jacobi refinement round, and Alive returns the surviving groups in
+// their input order. PruneWorkersObs composes these into the
+// single-machine loop (pass until nothing dies, capped at the configured
+// pass count); the sharded coordinator instead interleaves Pass calls
+// across shards, because a pass with no local kills does not mean the
+// global fixpoint is reached — a later global pass can tighten a
+// neighbour's bound on another shard and come back to kill here. A
+// Pruner is not safe for concurrent use.
+type Pruner struct {
+	d       *records.Dataset
+	groups  []Group
+	n       predicate.P
+	m       float64
+	workers int
+	sink    obs.Sink
+
+	keys      [][]string
+	ix        *index.Index
+	u         []float64
+	live      []bool
+	scratches []pruneScratch
+	evalCount []int64
+	die       []bool
+}
+
+type pruneScratch struct {
+	stamp       *index.Stamp
+	cand, gated []int32
+}
+
+// NewPruner builds the prune state for bound m (must be > 0; callers
+// handle m <= 0 and empty group lists as "nothing prunable") and runs
+// the evaluation-free stages: the iterated bucket-total
+// over-approximation (stage 0) and the deduplicated candidate-weight
+// cascade (stage 0.5). When sink is non-nil it receives the
+// core.prune.bound gauge and the combined stage-0 kill count
+// (core.prune.stage0.pruned), exactly as PruneWorkersObs documents.
+func NewPruner(d *records.Dataset, groups []Group, n predicate.P, m float64, workers int, sink obs.Sink) *Pruner {
+	obs.Gauge(sink, "core.prune.bound", m)
+	ng := len(groups)
+	p := &Pruner{d: d, groups: groups, n: n, m: m, workers: workers, sink: sink}
+	p.keys = make([][]string, ng)
+	for i := range groups {
+		p.keys[i] = n.Keys(d.Recs[groups[i].Rep])
+	}
+	p.ix = index.Build(ng, func(i int) []string { return p.keys[i] })
 
 	// Pass 0: bucket-total over-approximation, iterated to a fixpoint-ish
 	// state. Each round recomputes bucket totals over the still-alive
@@ -79,34 +138,34 @@ func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float6
 	// 3-grams, whose bucket totals dwarf any real neighbourhood.) Cheap
 	// map arithmetic — always serial, so it contributes the same state at
 	// every worker count.
-	u := make([]float64, ng)
-	live := make([]bool, ng)
-	for i := range live {
-		live[i] = true
+	p.u = make([]float64, ng)
+	p.live = make([]bool, ng)
+	for i := range p.live {
+		p.live[i] = true
 	}
 	for round := 0; round < prunePass0Rounds; round++ {
-		totals := make(map[string]float64, ix.BucketCount())
+		totals := make(map[string]float64, p.ix.BucketCount())
 		for i := range groups {
-			if !live[i] {
+			if !p.live[i] {
 				continue
 			}
-			for _, k := range keys[i] {
+			for _, k := range p.keys[i] {
 				totals[k] += groups[i].Weight
 			}
 		}
 		changed := false
 		for i := range groups {
-			if !live[i] {
+			if !p.live[i] {
 				continue
 			}
 			w := groups[i].Weight
 			ub := w
-			for _, k := range keys[i] {
+			for _, k := range p.keys[i] {
 				ub += totals[k] - w
 			}
-			u[i] = ub
+			p.u[i] = ub
 			if ub < m {
-				live[i] = false
+				p.live[i] = false
 				changed = true
 			}
 		}
@@ -126,18 +185,18 @@ func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float6
 	for round := 0; round < 4; round++ {
 		changed := false
 		for i := range groups {
-			if !live[i] {
+			if !p.live[i] {
 				continue
 			}
 			w := groups[i].Weight
 			if w >= m {
 				continue
 			}
-			cand = ix.Candidates(i, keys[i], stamp, cand[:0])
+			cand = p.ix.Candidates(i, p.keys[i], stamp, cand[:0])
 			total := w
 			for _, j32 := range cand {
 				j := int(j32)
-				if !live[j] || (groups[j].Weight < m && u[j] < m) {
+				if !p.live[j] || (groups[j].Weight < m && p.u[j] < m) {
 					continue
 				}
 				total += groups[j].Weight
@@ -145,11 +204,11 @@ func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float6
 					break
 				}
 			}
-			if total < u[i] {
-				u[i] = total
+			if total < p.u[i] {
+				p.u[i] = total
 			}
 			if total < m {
-				live[i] = false
+				p.live[i] = false
 				changed = true
 			}
 		}
@@ -158,25 +217,9 @@ func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float6
 		}
 	}
 
-	// Exact passes with the previous pass's bounds (Jacobi updates over
-	// both bounds and liveness — the pass reads `u` and `live` as frozen
-	// snapshots and publishes into `next`/`die`, so groups are
-	// independent and the pass parallelises). Two observations keep the
-	// necessary-predicate join far below a full canopy enumeration:
-	//
-	//   - every bound is only ever compared against M (survive: ub >= M;
-	//     gate a neighbour: u_j >= M), so the neighbour sum of a group can
-	//     stop the moment it crosses M — when M is small, almost every
-	//     group certifies survival after a couple of confirmed
-	//     neighbours;
-	//   - when M is large, the iterated bucket bound above has already
-	//     killed the tail, so only a small live set enumerates at all.
-	//
-	// Early-stopped bounds are stored as exactly M ("at least M"), which
-	// keeps both comparisons truthful.
 	if sink != nil {
 		dead := 0
-		for _, ok := range live {
+		for _, ok := range p.live {
 			if !ok {
 				dead++
 			}
@@ -184,119 +227,145 @@ func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float6
 		obs.Observe(sink, "core.prune.stage0.pruned", float64(dead))
 	}
 	nWorkers := parallel.Resolve(workers)
-	type scratch struct {
-		stamp       *index.Stamp
-		cand, gated []int32
+	p.scratches = make([]pruneScratch, nWorkers)
+	for w := range p.scratches {
+		p.scratches[w].stamp = index.NewStamp(ng)
 	}
-	scratches := make([]scratch, nWorkers)
-	for w := range scratches {
-		scratches[w].stamp = index.NewStamp(ng)
+	p.evalCount = make([]int64, ng)
+	p.die = make([]bool, ng)
+	return p
+}
+
+// AliveCount returns how many groups are currently unpruned.
+func (p *Pruner) AliveCount() int {
+	n := 0
+	for _, ok := range p.live {
+		if ok {
+			n++
+		}
 	}
-	evalCount := make([]int64, ng)
-	die := make([]bool, ng)
-	for pass := 0; pass < passes; pass++ {
-		passStart := time.Time{}
-		if sink != nil {
-			passStart = time.Now()
+	return n
+}
+
+// Alive returns the surviving groups in their input order.
+func (p *Pruner) Alive() []Group {
+	alive := make([]Group, 0, len(p.groups))
+	for i, ok := range p.live {
+		if ok {
+			alive = append(alive, p.groups[i])
 		}
-		next := make([]float64, ng)
-		copy(next, u)
-		for i := range evalCount {
-			evalCount[i] = 0
-			die[i] = false
+	}
+	return alive
+}
+
+// Pass runs one exact refinement pass with the previous pass's bounds
+// (a Jacobi update over both bounds and liveness — the pass reads the
+// stored bounds and liveness as frozen snapshots and publishes new ones,
+// so the per-group computations are independent and the pass
+// parallelises). It returns how many groups the pass killed and how many
+// candidate pairs it evaluated; when the Pruner was built with a sink,
+// the pass also emits core.prune.pass.{evals,pruned,seconds}.
+//
+// Two observations keep the necessary-predicate join far below a full
+// canopy enumeration:
+//
+//   - every bound is only ever compared against M (survive: ub >= M;
+//     gate a neighbour: u_j >= M), so the neighbour sum of a group can
+//     stop the moment it crosses M — when M is small, almost every
+//     group certifies survival after a couple of confirmed neighbours;
+//   - when M is large, the evaluation-free cascades have already killed
+//     the tail, so only a small live set enumerates at all.
+//
+// Early-stopped bounds are stored as exactly M ("at least M"), which
+// keeps both comparisons truthful.
+func (p *Pruner) Pass() (pruned int, evals int64) {
+	groups, m := p.groups, p.m
+	passStart := time.Time{}
+	if p.sink != nil {
+		passStart = time.Now()
+	}
+	next := make([]float64, len(groups))
+	copy(next, p.u)
+	for i := range p.evalCount {
+		p.evalCount[i] = 0
+		p.die[i] = false
+	}
+	parallel.ForWorker(p.workers, len(groups), func(wk, i int) {
+		if !p.live[i] {
+			return
 		}
-		parallel.ForWorker(workers, ng, func(wk, i int) {
-			if !live[i] {
-				return
+		w := groups[i].Weight
+		if w >= m {
+			return // survives on its own weight; gates stay valid
+		}
+		sc := &p.scratches[wk]
+		// Gate candidates and total their weight without evaluating:
+		// the deduplicated candidate total is itself an upper bound,
+		// so a group whose total cannot reach M dies evaluation-free.
+		sc.cand = p.ix.Candidates(i, p.keys[i], sc.stamp, sc.cand[:0])
+		sc.gated = sc.gated[:0]
+		remaining := 0.0
+		for _, j32 := range sc.cand {
+			j := int(j32)
+			if !p.live[j] || (groups[j].Weight < m && p.u[j] < m) {
+				continue
 			}
-			w := groups[i].Weight
-			if w >= m {
-				return // survives on its own weight; gates stay valid
+			sc.gated = append(sc.gated, j32)
+			remaining += groups[j].Weight
+		}
+		ub := w
+		if w+remaining >= m {
+			// Heaviest candidates first: confirmations cross M soonest
+			// and failed evaluations shrink `remaining` fastest. The
+			// sort only pays off near the survive/die boundary; far
+			// above it a handful of evaluations settles the group
+			// anyway, and sorting thousands of candidates per group
+			// would dominate the pass.
+			gated := sc.gated
+			if w+remaining < 4*m || len(gated) < 64 {
+				sort.Slice(gated, func(a, b int) bool {
+					return groups[gated[a]].Weight > groups[gated[b]].Weight
+				})
 			}
-			sc := &scratches[wk]
-			// Gate candidates and total their weight without evaluating:
-			// the deduplicated candidate total is itself an upper bound,
-			// so a group whose total cannot reach M dies evaluation-free.
-			sc.cand = ix.Candidates(i, keys[i], sc.stamp, sc.cand[:0])
-			sc.gated = sc.gated[:0]
-			remaining := 0.0
-			for _, j32 := range sc.cand {
+			repI := p.d.Recs[groups[i].Rep]
+			for _, j32 := range gated {
 				j := int(j32)
-				if !live[j] || (groups[j].Weight < m && u[j] < m) {
-					continue
-				}
-				sc.gated = append(sc.gated, j32)
-				remaining += groups[j].Weight
-			}
-			ub := w
-			if w+remaining >= m {
-				// Heaviest candidates first: confirmations cross M soonest
-				// and failed evaluations shrink `remaining` fastest. The
-				// sort only pays off near the survive/die boundary; far
-				// above it a handful of evaluations settles the group
-				// anyway, and sorting thousands of candidates per group
-				// would dominate the pass.
-				gated := sc.gated
-				if w+remaining < 4*m || len(gated) < 64 {
-					sort.Slice(gated, func(a, b int) bool {
-						return groups[gated[a]].Weight > groups[gated[b]].Weight
-					})
-				}
-				repI := d.Recs[groups[i].Rep]
-				for _, j32 := range gated {
-					j := int(j32)
-					evalCount[i]++
-					if n.Eval(repI, d.Recs[groups[j].Rep]) {
-						ub += groups[j].Weight
-						if ub >= m {
-							ub = m // "at least M": survival certain
-							break
-						}
-					} else {
-						remaining -= groups[j].Weight
-						if ub+remaining < m {
-							break // cannot reach M any more
-						}
+				p.evalCount[i]++
+				if p.n.Eval(repI, p.d.Recs[groups[j].Rep]) {
+					ub += groups[j].Weight
+					if ub >= m {
+						ub = m // "at least M": survival certain
+						break
+					}
+				} else {
+					remaining -= groups[j].Weight
+					if ub+remaining < m {
+						break // cannot reach M any more
 					}
 				}
 			}
-			next[i] = ub
-			if ub < m {
-				die[i] = true
-			}
-		})
-		// Deterministic reduction: fold counters and liveness in index
-		// order on the calling goroutine.
-		changed := false
-		var passEvals int64
-		pruned := 0
-		for i := range groups {
-			passEvals += evalCount[i]
-			if die[i] {
-				live[i] = false
-				pruned++
-				changed = true
-			}
 		}
-		evals += passEvals
-		if sink != nil {
-			obs.Observe(sink, "core.prune.pass.evals", float64(passEvals))
-			obs.Observe(sink, "core.prune.pass.pruned", float64(pruned))
-			obs.ObserveSince(sink, "core.prune.pass", passStart)
+		next[i] = ub
+		if ub < m {
+			p.die[i] = true
 		}
-		u = next
-		if !changed {
-			break
+	})
+	// Deterministic reduction: fold counters and liveness in index
+	// order on the calling goroutine.
+	for i := range groups {
+		evals += p.evalCount[i]
+		if p.die[i] {
+			p.live[i] = false
+			pruned++
 		}
 	}
-
-	alive = make([]Group, 0, ng)
-	for i, ok := range live {
-		if ok {
-			alive = append(alive, groups[i])
-		}
+	if p.sink != nil {
+		obs.Observe(p.sink, "core.prune.pass.evals", float64(evals))
+		obs.Observe(p.sink, "core.prune.pass.pruned", float64(pruned))
+		obs.ObserveSince(p.sink, "core.prune.pass", passStart)
 	}
-	return alive, evals
+	p.u = next
+	return pruned, evals
 }
 
 // prunePass0Rounds caps the evaluation-free bucket-total refinement

@@ -51,6 +51,15 @@ func TopKRank(d *records.Dataset, levels []predicate.Level, opts core.Options) (
 	if err != nil {
 		return nil, err
 	}
+	return FromPruned(d, levels, res, opts.K), nil
+}
+
+// FromPruned finishes the §7.1 TopK rank query from an externally
+// produced pruning result — the path a sharded or remote coordinator
+// takes after internal/shard has already run the pruning phases. res
+// must come from the same dataset and levels; the groups carry global
+// record IDs.
+func FromPruned(d *records.Dataset, levels []predicate.Level, res *core.Result, k int) *RankResult {
 	lastN := levels[len(levels)-1].Necessary
 	var m float64
 	if len(res.Stats) > 0 {
@@ -59,14 +68,14 @@ func TopKRank(d *records.Dataset, levels []predicate.Level, opts core.Options) (
 	rr := resolveEntries(d, res.Groups, lastN, m)
 	rr.PrunedStats = res.Stats
 	// Settled when the top K entries are resolved and distinct in rank.
-	rr.Settled = len(rr.Entries) >= opts.K
-	for i := 0; i < opts.K && i < len(rr.Entries); i++ {
+	rr.Settled = len(rr.Entries) >= k
+	for i := 0; i < k && i < len(rr.Entries); i++ {
 		if !rr.Entries[i].Resolved {
 			rr.Settled = false
 			break
 		}
 	}
-	return rr, nil
+	return rr
 }
 
 // ThresholdedRank answers §7.2: a ranked list of all groups of weight
@@ -125,6 +134,12 @@ func resolveEntries(d *records.Dataset, groups []core.Group, n predicate.P, m fl
 	if ng == 0 {
 		return rr
 	}
+	// Canonicalise the order first: the upper bounds below are floating
+	// sums over neighbour weights, so the summation order must not depend
+	// on how the caller ordered the survivors (a sharded coordinator and
+	// the single-machine pruner deliver them differently).
+	groups = append([]core.Group(nil), groups...)
+	sortByWeight(groups)
 	keys := make([][]string, ng)
 	for i := range groups {
 		keys[i] = n.Keys(d.Recs[groups[i].Rep])
@@ -149,6 +164,11 @@ func resolveEntries(d *records.Dataset, groups []core.Group, n predicate.P, m fl
 	}
 	u := make([]float64, ng)
 	for i := range groups {
+		// Neighbour discovery order follows the predicate's key order,
+		// which need not be deterministic (e.g. map-backed gram keys);
+		// sort so the floating sum below always accumulates in the
+		// canonical group order.
+		sort.Ints(adj[i])
 		u[i] = groups[i].Weight
 		for _, j := range adj[i] {
 			u[i] += groups[j].Weight

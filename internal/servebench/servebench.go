@@ -236,9 +236,13 @@ func Bench(dd *experiments.DomainData, opts Options) ([]Row, error) {
 			Endpoint:  name,
 			Requests:  len(lat),
 			Throttled: throttled[name],
-			P50:       lat[len(lat)/2],
-			P99:       lat[(len(lat)-1)*99/100],
-			Max:       lat[len(lat)-1],
+			// Nearest-rank on the same (len-1)-scaled index for both
+			// quantiles, so P50 <= P99 holds at any sample count (the
+			// old len/2 midpoint overtook the floor-rounded P99 rank
+			// when only a couple of samples came back).
+			P50: lat[(len(lat)-1)/2],
+			P99: lat[(len(lat)-1)*99/100],
+			Max: lat[len(lat)-1],
 		})
 	}
 	return rows, nil

@@ -75,6 +75,18 @@ type Config struct {
 	// MaxBatch caps the records accepted in one ingest batch (default
 	// 10000); larger batches are rejected with 400.
 	MaxBatch int
+	// ShardPeers, when non-empty, puts the server in coordinator mode:
+	// /topk and /rank TopK queries partition each epoch's snapshot into
+	// one canopy-closed shard per peer and drive the bound-exchange
+	// protocol over the peers' /shard/* endpoints (each peer is a topkd
+	// run with -role shard against the same schema and domain). Results
+	// are byte-identical to standalone serving except for eval counters
+	// and phase times in the pruning stats. Thresholded /rank?t=
+	// queries always run locally. See SHARDING.md.
+	ShardPeers []string
+	// ShardClient is the HTTP client for coordinator→shard calls (nil
+	// selects a client with the server's RequestTimeout per call).
+	ShardClient *http.Client
 }
 
 func (c *Config) defaults() error {
@@ -119,6 +131,12 @@ type Server struct {
 
 	epoch atomic.Pointer[epoch]
 	seq   atomic.Uint64
+
+	// Shard-node state: coordinator sessions loaded over /shard/load.
+	shardMu       sync.Mutex
+	shardSessions map[string]*shardSession
+	// Coordinator state: the client used for /shard/* calls to peers.
+	shardClient *http.Client
 }
 
 // New creates a Server and publishes the initial (empty) snapshot as
@@ -132,10 +150,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		metrics: obs.NewCollector(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		acc:     acc,
+		cfg:           cfg,
+		metrics:       obs.NewCollector(),
+		sem:           make(chan struct{}, cfg.MaxInFlight),
+		acc:           acc,
+		shardSessions: make(map[string]*shardSession),
+		shardClient:   cfg.ShardClient,
+	}
+	if s.shardClient == nil {
+		timeout := cfg.RequestTimeout
+		if timeout < 0 {
+			timeout = 0
+		}
+		s.shardClient = &http.Client{Timeout: timeout}
 	}
 	s.epoch.Store(&epoch{snap: acc.Snapshot(), seq: 0})
 	return s, nil
@@ -207,6 +234,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/refresh", s.guard("refresh", http.MethodPost, s.handleRefresh))
 	mux.Handle("/topk", s.guard("topk", http.MethodGet, s.handleTopK))
 	mux.Handle("/rank", s.guard("rank", http.MethodGet, s.handleRank))
+	// Shard-executor endpoints: a coordinator peer loads a partition
+	// session and drives the bound-exchange protocol through them.
+	mux.Handle("/shard/load", s.guard("shard.load", http.MethodPost, s.handleShardLoad))
+	mux.Handle("/shard/collapse", s.guard("shard.collapse", http.MethodPost, s.handleShardCollapse))
+	mux.Handle("/shard/bounds", s.guard("shard.bounds", http.MethodPost, s.handleShardBounds))
+	mux.Handle("/shard/prune", s.guard("shard.prune", http.MethodPost, s.handleShardPrune))
+	mux.Handle("/shard/groups", s.guard("shard.groups", http.MethodPost, s.handleShardGroups))
+	mux.Handle("/shard/close", s.guard("shard.close", http.MethodPost, s.handleShardClose))
 	// Health and metrics bypass the slot pool and timeout: they must
 	// answer even when the query path is saturated.
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -377,7 +412,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ep := s.epoch.Load()
-	res, err := s.queryEngine(ep).TopK(k, rr)
+	var res *topk.Result
+	if len(s.cfg.ShardPeers) > 0 {
+		pd, perr := s.shardedPruned(ep, k)
+		if perr != nil {
+			writeError(w, http.StatusBadGateway, "shard peers: "+perr.Error())
+			return
+		}
+		res, err = s.queryEngine(ep).TopKFrom(pd, k, rr)
+	} else {
+		res, err = s.queryEngine(ep).TopK(k, rr)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -429,9 +474,20 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Result: &topk.RankResult{}})
 		return
 	}
-	res, err := s.queryEngine(ep).TopKRank(k)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+	var res *topk.RankResult
+	var err2 error
+	if len(s.cfg.ShardPeers) > 0 {
+		pd, perr := s.shardedPruned(ep, k)
+		if perr != nil {
+			writeError(w, http.StatusBadGateway, "shard peers: "+perr.Error())
+			return
+		}
+		res, err2 = s.queryEngine(ep).TopKRankFrom(pd, k)
+	} else {
+		res, err2 = s.queryEngine(ep).TopKRank(k)
+	}
+	if err2 != nil {
+		writeError(w, http.StatusInternalServerError, err2.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res})

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/shard"
+)
+
+// maxShardSessions caps how many coordinator sessions one node holds at
+// once; loading past the cap evicts the least recently used session
+// (coordinators that lose theirs get a clean "unknown session" error
+// and can re-load).
+const maxShardSessions = 8
+
+// shardSession is one coordinator's loaded partition. The coordinator
+// serialises calls within a session; the per-session mutex makes a
+// misbehaving client fail safe rather than race the worker.
+type shardSession struct {
+	mu       sync.Mutex
+	worker   *shard.Worker
+	lastUsed time.Time
+}
+
+// shardedPruned runs one query's pruning phases over the configured
+// shard peers: partition the epoch's snapshot, ship the parts, drive
+// the bound-exchange protocol, gather the survivors. The result feeds
+// Engine.TopKFrom / TopKRankFrom.
+func (s *Server) shardedPruned(ep *epoch, k int) (*topk.PrunedResult, error) {
+	pd, _, err := shard.RunHTTP(ep.snap.Dataset(), nil, s.cfg.Levels, s.cfg.ShardPeers, s.shardClient, shard.Options{
+		K: k, PrunePasses: s.cfg.Engine.PrunePasses, Workers: s.cfg.Engine.Workers, Sink: s.metrics,
+	})
+	return pd, err
+}
+
+// getShardSession looks a session up and refreshes its LRU stamp.
+func (s *Server) getShardSession(id string) (*shardSession, error) {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	ss, ok := s.shardSessions[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown shard session %q (evicted or never loaded)", id)
+	}
+	ss.lastUsed = time.Now()
+	return ss, nil
+}
+
+// handleShardLoad accepts a coordinator's partition (shard.LoadRequest),
+// builds the session's worker against this node's own levels, and
+// registers it, evicting the least recently used session past the cap.
+func (s *Server) handleShardLoad(w http.ResponseWriter, r *http.Request) {
+	var req shard.LoadRequest
+	body := http.MaxBytesReader(w, r.Body, 256<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad load body: "+err.Error())
+		return
+	}
+	if req.Session == "" {
+		writeError(w, http.StatusBadRequest, "session is required")
+		return
+	}
+	worker, err := shard.NewWorkerFromLoad(&req, s.cfg.Schema, s.cfg.Levels, s.metrics)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.shardMu.Lock()
+	if _, ok := s.shardSessions[req.Session]; !ok && len(s.shardSessions) >= maxShardSessions {
+		oldest, oldestAt := "", time.Time{}
+		for id, ss := range s.shardSessions {
+			if oldest == "" || ss.lastUsed.Before(oldestAt) {
+				oldest, oldestAt = id, ss.lastUsed
+			}
+		}
+		delete(s.shardSessions, oldest)
+		s.metrics.Count("server.shard.sessions.evicted", 1)
+	}
+	s.shardSessions[req.Session] = &shardSession{worker: worker, lastUsed: time.Now()}
+	active := len(s.shardSessions)
+	s.shardMu.Unlock()
+	s.metrics.Count("server.shard.sessions.opened", 1)
+	s.metrics.Gauge("server.shard.sessions.active", float64(active))
+	writeJSON(w, http.StatusOK, shard.LoadResponse{Records: len(req.Records), Groups: len(req.Groups)})
+}
+
+func (s *Server) handleShardCollapse(w http.ResponseWriter, r *http.Request) {
+	var req shard.CollapseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad collapse body: "+err.Error())
+		return
+	}
+	if req.Level < 0 || req.Level >= len(s.cfg.Levels) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("level %d out of range for %d configured levels", req.Level, len(s.cfg.Levels)))
+		return
+	}
+	ss, err := s.getShardSession(req.Session)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	ss.mu.Lock()
+	metas, evals := ss.worker.Collapse(req.Level)
+	ss.mu.Unlock()
+	writeJSON(w, http.StatusOK, shard.CollapseResponse{Groups: metas, Evals: evals})
+}
+
+func (s *Server) handleShardBounds(w http.ResponseWriter, r *http.Request) {
+	var req shard.BoundsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad bounds body: "+err.Error())
+		return
+	}
+	ss, err := s.getShardSession(req.Session)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	switch req.Op {
+	case shard.BoundsScan:
+		flags, evals := ss.worker.BoundScan(req.Count)
+		writeJSON(w, http.StatusOK, shard.BoundsResponse{Independent: flags, Evals: evals})
+	case shard.BoundsCPN:
+		writeJSON(w, http.StatusOK, shard.BoundsResponse{CPN: ss.worker.BoundCPN(req.Prefix)})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown bounds op %q", req.Op))
+	}
+}
+
+func (s *Server) handleShardPrune(w http.ResponseWriter, r *http.Request) {
+	var req shard.PruneRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad prune body: "+err.Error())
+		return
+	}
+	ss, err := s.getShardSession(req.Session)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	switch req.Op {
+	case shard.PruneStart:
+		writeJSON(w, http.StatusOK, shard.PruneResponse{Alive: ss.worker.PruneStart(req.M)})
+	case shard.PrunePass:
+		pruned, evals := ss.worker.PrunePass()
+		writeJSON(w, http.StatusOK, shard.PruneResponse{Alive: ss.worker.AliveCount(), Pruned: pruned, Evals: evals})
+	case shard.PruneFinish:
+		groups := ss.worker.PruneFinish()
+		writeJSON(w, http.StatusOK, shard.PruneResponse{Groups: groups, Alive: ss.worker.AliveCount()})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown prune op %q", req.Op))
+	}
+}
+
+func (s *Server) handleShardGroups(w http.ResponseWriter, r *http.Request) {
+	var req shard.GroupsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad groups body: "+err.Error())
+		return
+	}
+	ss, err := s.getShardSession(req.Session)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	ss.mu.Lock()
+	groups := ss.worker.Groups()
+	ss.mu.Unlock()
+	writeJSON(w, http.StatusOK, shard.GroupsResponse{Groups: groups})
+}
+
+func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
+	var req shard.CloseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad close body: "+err.Error())
+		return
+	}
+	s.shardMu.Lock()
+	_, existed := s.shardSessions[req.Session]
+	delete(s.shardSessions, req.Session)
+	active := len(s.shardSessions)
+	s.shardMu.Unlock()
+	s.metrics.Gauge("server.shard.sessions.active", float64(active))
+	writeJSON(w, http.StatusOK, shard.CloseResponse{Closed: existed})
+}

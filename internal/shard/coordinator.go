@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/graph"
+	"topkdedup/internal/obs"
+)
+
+// exchangeBlock is how many global ranks one bound-exchange round
+// covers: the coordinator slices the next block of the merged rank order
+// into per-shard counts, fans the scans out, and replays the returned
+// verdicts in global order. The final (m, M) is independent of the block
+// size — the controller consumes one verdict at a time — so this only
+// trades round-trips against wasted post-exit scanning; it matches the
+// single-machine pipeline's block size.
+const exchangeBlock = 256
+
+// LevelExchange reports one level's coordination work.
+type LevelExchange struct {
+	// Level is the 1-based predicate level.
+	Level int `json:"level"`
+	// BoundRounds is how many scan blocks the bound exchange fanned out.
+	BoundRounds int `json:"bound_rounds"`
+	// FullChecks is how many CPN fold rounds (Σ per-shard Algorithm-1
+	// bounds) the stalled cheap bound forced.
+	FullChecks int `json:"full_checks"`
+	// MRank and M are the level's certified rank and lower bound.
+	MRank int `json:"m_rank"`
+	// M is the level's global lower bound (0 disables pruning).
+	M float64 `json:"m"`
+	// PruneRounds is how many coordinated Jacobi rounds ran.
+	PruneRounds int `json:"prune_rounds"`
+	// PrunedPerRound is the global kill count of each round; the last
+	// entry is 0 exactly when the protocol terminated by fixpoint rather
+	// than by the pass cap.
+	PrunedPerRound []int `json:"pruned_per_round,omitempty"`
+	// Survivors is the global group count after pruning.
+	Survivors int `json:"survivors"`
+}
+
+// RunStats reports a sharded run's coordination work, alongside the
+// core.Result stats (which carry the per-level group counts and bounds
+// and are byte-identical to a single-shard run except for eval counters
+// and wall times, whose aggregation is transport-dependent).
+type RunStats struct {
+	// Shards is the shard count the run used.
+	Shards int `json:"shards"`
+	// Components is the canopy-closure component count (0 when the
+	// partition was built elsewhere, e.g. by a remote coordinator).
+	Components int `json:"components"`
+	// Levels has one entry per executed predicate level.
+	Levels []LevelExchange `json:"levels"`
+	// TransportCalls counts coordinator→shard calls.
+	TransportCalls int64 `json:"transport_calls"`
+}
+
+// Exchange drives the coordinator's level loop over an already-loaded
+// Transport: per level it fans out the collapse, merges shard metadata
+// into the global rank order, runs the bound-exchange protocol to the
+// exact global (m, M), broadcasts M, and coordinates prune rounds until
+// no shard's alive set shrinks. The produced result is byte-identical to
+// core.PrunedDedupFrom on the unpartitioned input (groups, order,
+// per-level NGroups/MRank/LowerBound/Survivors, ExactlyK); eval counters
+// and wall times are aggregated per shard and may differ.
+func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Result, *RunStats, error) {
+	k := opts.K
+	passes := opts.PrunePasses
+	if passes <= 0 {
+		passes = 2
+	}
+	sink := opts.Sink
+	rs := &RunStats{Shards: t.Shards()}
+	res := &core.Result{TotalRecords: totalRecords}
+	if totalRecords == 0 {
+		return res, rs, nil
+	}
+	pct := func(n int) float64 { return 100 * float64(n) / float64(totalRecords) }
+
+	var merged []core.Group // rank-ordered metadata: Rep + Weight only
+	var shardOf []int32
+	for li := 0; li < nlevels; li++ {
+		stats := core.LevelStats{Level: li + 1}
+		lx := LevelExchange{Level: li + 1}
+
+		start := time.Now()
+		collapses, err := fanOut(t.Shards(), rs, func(s int) (*CollapseResponse, error) {
+			return t.Collapse(s, li)
+		})
+		if err != nil {
+			return nil, rs, err
+		}
+		var metas [][]GroupMeta
+		for _, c := range collapses {
+			metas = append(metas, c.Groups)
+			stats.CollapseEvals += c.Evals
+		}
+		merged, shardOf = mergeMetas(metas)
+		stats.CollapseTime = time.Since(start)
+		stats.NGroups = len(merged)
+		stats.NGroupsPct = pct(len(merged))
+		obs.ObserveDuration(sink, "shard.collapse", stats.CollapseTime)
+
+		start = time.Now()
+		stats.MRank, stats.LowerBound, stats.BoundEvals, err = exchangeBounds(t, merged, shardOf, k, rs, &lx)
+		if err != nil {
+			return nil, rs, err
+		}
+		stats.BoundTime = time.Since(start)
+		lx.MRank, lx.M = stats.MRank, stats.LowerBound
+		obs.ObserveDuration(sink, "shard.bound", stats.BoundTime)
+		obs.Observe(sink, "shard.bound.rounds", float64(lx.BoundRounds))
+		obs.Observe(sink, "shard.bound.fullchecks", float64(lx.FullChecks))
+		obs.Gauge(sink, "shard.bound.m", stats.LowerBound)
+
+		start = time.Now()
+		if stats.LowerBound > 0 {
+			if _, err := fanOut(t.Shards(), rs, func(s int) (*PruneResponse, error) {
+				return t.Prune(s, &PruneRequest{Op: PruneStart, M: stats.LowerBound})
+			}); err != nil {
+				return nil, rs, err
+			}
+			// Coordinated Jacobi rounds: one pass everywhere per round;
+			// stop only when a whole round kills nothing anywhere. A
+			// shard cannot stop on its own — a pass with no local kills
+			// still tightens bounds other shards' next passes read... on
+			// the same shard: later global rounds can come back and kill
+			// here, so the stop rule must be global to match the
+			// single-machine loop.
+			for pass := 0; pass < passes; pass++ {
+				rounds, err := fanOut(t.Shards(), rs, func(s int) (*PruneResponse, error) {
+					return t.Prune(s, &PruneRequest{Op: PrunePass})
+				})
+				if err != nil {
+					return nil, rs, err
+				}
+				pruned := 0
+				for _, r := range rounds {
+					pruned += r.Pruned
+					stats.PruneEvals += r.Evals
+				}
+				lx.PruneRounds++
+				lx.PrunedPerRound = append(lx.PrunedPerRound, pruned)
+				obs.Observe(sink, "shard.prune.round.pruned", float64(pruned))
+				if pruned == 0 {
+					break
+				}
+			}
+		}
+		finishes, err := fanOut(t.Shards(), rs, func(s int) (*PruneResponse, error) {
+			return t.Prune(s, &PruneRequest{Op: PruneFinish})
+		})
+		if err != nil {
+			return nil, rs, err
+		}
+		metas = metas[:0]
+		for _, f := range finishes {
+			metas = append(metas, f.Groups)
+		}
+		merged, shardOf = mergeMetas(metas)
+		stats.PruneTime = time.Since(start)
+		stats.Survivors = len(merged)
+		stats.SurvivorsPct = pct(len(merged))
+		lx.Survivors = len(merged)
+		obs.ObserveDuration(sink, "shard.prune", stats.PruneTime)
+		obs.Observe(sink, "shard.prune.rounds", float64(lx.PruneRounds))
+		obs.Observe(sink, "shard.survivors", float64(lx.Survivors))
+
+		res.Stats = append(res.Stats, stats)
+		rs.Levels = append(rs.Levels, lx)
+		obs.Count(sink, "shard.levels", 1)
+		if len(merged) == k {
+			res.ExactlyK = true
+			break
+		}
+	}
+
+	// Gather the survivors' full member lists and sort into the global
+	// rank order (identical to sorting the unpartitioned survivor list:
+	// the (weight, rep) comparator sees the exact same values).
+	gathers, err := fanOut(t.Shards(), rs, func(s int) (*GroupsResponse, error) {
+		return t.Groups(s)
+	})
+	if err != nil {
+		return nil, rs, err
+	}
+	var groups []core.Group
+	for _, g := range gathers {
+		for _, wg := range g.Groups {
+			groups = append(groups, core.Group{Rep: wg.Rep, Members: wg.Members, Weight: wg.Weight})
+		}
+	}
+	core.SortGroupsByWeight(groups)
+	res.Groups = groups
+	obs.Count(sink, "shard.transport.calls", rs.TransportCalls)
+	return res, rs, nil
+}
+
+// exchangeBounds runs the §4.2 scan as a coordinator-driven protocol:
+// block by block, shards scan their slice of the next exchangeBlock
+// global ranks and return greedy-independence verdicts, which the
+// coordinator replays in global rank order through one
+// graph.PrefixController. When the cheap bound stalls, the controller's
+// full check folds per-shard Algorithm-1 bounds — their sum equals the
+// global prefix bound because canopy components never straddle shards,
+// so the Min-fill elimination of the global prefix graph decomposes into
+// the per-shard eliminations. The controller therefore traverses the
+// exact decision sequence of the single-machine scan and certifies the
+// same rank m and bound M.
+func exchangeBounds(t Transport, merged []core.Group, shardOf []int32, k int, rs *RunStats, lx *LevelExchange) (mRank int, lower float64, evals int64, err error) {
+	if len(merged) == 0 || k < 1 {
+		return 0, 0, 0, nil
+	}
+	limit := core.BoundScanLimit(merged, k)
+	pc := graph.NewPrefixController(k)
+	S := t.Shards()
+	counts := make([]int, S)
+	var cpnErr error
+	fullCPN := func(prefix int) int {
+		lx.FullChecks++
+		for i := range counts {
+			counts[i] = 0
+		}
+		for r := 0; r < prefix; r++ {
+			counts[shardOf[r]]++
+		}
+		for _, c := range counts {
+			if c == 0 {
+				rs.TransportCalls--
+			}
+		}
+		resps, ferr := fanOut(S, rs, func(s int) (*BoundsResponse, error) {
+			if counts[s] == 0 {
+				return &BoundsResponse{}, nil
+			}
+			return t.Bounds(s, &BoundsRequest{Op: BoundsCPN, Prefix: counts[s]})
+		})
+		if ferr != nil {
+			cpnErr = ferr
+			return 0
+		}
+		total := 0
+		for _, r := range resps {
+			total += r.CPN
+		}
+		return total
+	}
+
+	scanned := 0
+	idx := make([]int, S)
+	for scanned < limit {
+		blockEnd := scanned + exchangeBlock
+		if blockEnd > limit {
+			blockEnd = limit
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for r := scanned; r < blockEnd; r++ {
+			counts[shardOf[r]]++
+		}
+		for _, c := range counts {
+			if c == 0 {
+				rs.TransportCalls--
+			}
+		}
+		resps, ferr := fanOut(S, rs, func(s int) (*BoundsResponse, error) {
+			if counts[s] == 0 {
+				return &BoundsResponse{}, nil
+			}
+			return t.Bounds(s, &BoundsRequest{Op: BoundsScan, Count: counts[s]})
+		})
+		if ferr != nil {
+			return 0, 0, evals, ferr
+		}
+		lx.BoundRounds++
+		for s, r := range resps {
+			evals += r.Evals
+			idx[s] = 0
+		}
+		for r := scanned; r < blockEnd; r++ {
+			s := shardOf[r]
+			independent := resps[s].Independent[idx[s]]
+			idx[s]++
+			reached := pc.Feed(independent, fullCPN)
+			if cpnErr != nil {
+				return 0, 0, evals, cpnErr
+			}
+			if reached {
+				mRank = pc.ReachedAt()
+				return mRank, merged[mRank-1].Weight, evals, nil
+			}
+		}
+		scanned = blockEnd
+	}
+	if limit == len(merged) && pc.Finish(fullCPN) {
+		if cpnErr != nil {
+			return 0, 0, evals, cpnErr
+		}
+		mRank = pc.ReachedAt()
+		return mRank, merged[mRank-1].Weight, evals, nil
+	}
+	if cpnErr != nil {
+		return 0, 0, evals, cpnErr
+	}
+	return 0, 0, evals, nil
+}
+
+// mergeMetas folds per-shard rank-ordered metadata into the global rank
+// order (weight descending, global representative ascending — the exact
+// core.SortGroupsByWeight comparator, with representatives unique across
+// shards, so the order is total and deterministic). It returns the
+// merged metadata as member-less groups plus each rank's owning shard.
+func mergeMetas(metas [][]GroupMeta) ([]core.Group, []int32) {
+	total := 0
+	for _, m := range metas {
+		total += len(m)
+	}
+	merged := make([]core.Group, 0, total)
+	shardOf := make([]int32, 0, total)
+	// k-way merge over the already-sorted shard lists.
+	at := make([]int, len(metas))
+	for len(merged) < total {
+		best := -1
+		for s, m := range metas {
+			if at[s] >= len(m) {
+				continue
+			}
+			if best < 0 {
+				best = s
+				continue
+			}
+			a, b := m[at[s]], metas[best][at[best]]
+			if a.Weight > b.Weight || (a.Weight == b.Weight && a.Rep < b.Rep) {
+				best = s
+			}
+		}
+		gm := metas[best][at[best]]
+		at[best]++
+		merged = append(merged, core.Group{Rep: gm.Rep, Weight: gm.Weight})
+		shardOf = append(shardOf, int32(best))
+	}
+	return merged, shardOf
+}
+
+// fanOut invokes f once per shard concurrently and collects the results
+// in shard order, failing on the first error. rs.TransportCalls is
+// advanced by the shard count; callers that skip idle shards inside f
+// correct the total themselves before calling.
+func fanOut[T any](shards int, rs *RunStats, f func(s int) (T, error)) ([]T, error) {
+	rs.TransportCalls += int64(shards)
+	out := make([]T, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			out[s], errs[s] = f(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/obs"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// LoadResponse acknowledges a /shard/load call.
+type LoadResponse struct {
+	// Records echoes how many records the shard node accepted.
+	Records int `json:"records"`
+	// Groups echoes how many initial groups the shard node accepted.
+	Groups int `json:"groups"`
+}
+
+// CollapseRequest is the /shard/collapse body.
+type CollapseRequest struct {
+	// Session identifies the loaded partition.
+	Session string `json:"session"`
+	// Level is the 0-based predicate level to collapse.
+	Level int `json:"level"`
+}
+
+// GroupsRequest is the /shard/groups body.
+type GroupsRequest struct {
+	// Session identifies the loaded partition.
+	Session string `json:"session"`
+}
+
+// CloseRequest is the /shard/close body.
+type CloseRequest struct {
+	// Session identifies the partition to release.
+	Session string `json:"session"`
+}
+
+// CloseResponse acknowledges a /shard/close call.
+type CloseResponse struct {
+	// Closed reports whether the session existed (false is harmless: the
+	// node may already have evicted it).
+	Closed bool `json:"closed"`
+}
+
+// HTTP is the remote Transport: every shard is a topkd process run with
+// -role shard, driven through the /shard/* endpoints of internal/server.
+// Construct with NewHTTP, ship the partition with LoadParts, then hand
+// it to Exchange; or use RunHTTP, which strings the three together.
+//
+// Predicates do not serialise, so the shard nodes rebuild their levels
+// from their own configuration — coordinator and shards must run the
+// same domain and schema (the load call cross-checks the schema).
+type HTTP struct {
+	peers   []string
+	client  *http.Client
+	session string
+	sink    obs.Sink
+}
+
+// NewHTTP returns an HTTP transport over the given peer base URLs (one
+// per shard, e.g. "http://host:7600"). client may be nil for
+// http.DefaultClient; sink, when non-nil, receives the
+// shard.transport.bytes counter (request plus response bodies).
+func NewHTTP(peers []string, client *http.Client, sink obs.Sink) (*HTTP, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("shard: at least one peer required")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("shard: session id: %w", err)
+	}
+	return &HTTP{peers: peers, client: client, session: hex.EncodeToString(b[:]), sink: sink}, nil
+}
+
+// Session returns the transport's query session ID, quoted in every
+// /shard/* call so one node can serve several coordinators at once.
+func (h *HTTP) Session() string { return h.session }
+
+// Shards returns the peer count.
+func (h *HTTP) Shards() int { return len(h.peers) }
+
+// post sends one JSON request to a shard's endpoint and decodes the JSON
+// answer, counting both bodies into shard.transport.bytes. Non-2xx
+// answers are surfaced as errors with the node's error message.
+func (h *HTTP) post(shard int, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("shard: encode %s: %w", path, err)
+	}
+	r, err := h.client.Post(h.peers[shard]+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("shard %d: %s: %w", shard, path, err)
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return fmt.Errorf("shard %d: %s: read: %w", shard, path, err)
+	}
+	obs.Count(h.sink, "shard.transport.bytes", int64(len(body)+len(data)))
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("shard %d: %s: %s", shard, path, e.Error)
+		}
+		return fmt.Errorf("shard %d: %s: HTTP %d", shard, path, r.StatusCode)
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("shard %d: %s: decode: %w", shard, path, err)
+	}
+	return nil
+}
+
+// LoadParts ships one partition shard to each peer: the records it owns
+// (ascending global ID, remapped to local indices) and the initial
+// groups, opening the transport's session on every node. The partition
+// must have exactly one part per peer.
+func (h *HTTP) LoadParts(d *records.Dataset, parts *Partition, opts Options) error {
+	if len(parts.Parts) != len(h.peers) {
+		return fmt.Errorf("shard: %d partition parts for %d peers", len(parts.Parts), len(h.peers))
+	}
+	reqs := make([]*LoadRequest, len(h.peers))
+	for s, part := range parts.Parts {
+		localOf := make(map[int]int, len(part.RecordIDs))
+		recs := make([]WireRecord, len(part.RecordIDs))
+		for i, id := range part.RecordIDs {
+			rec := d.Recs[id]
+			values := make([]string, len(d.Schema))
+			for fi, f := range d.Schema {
+				values[fi] = rec.Fields[f]
+			}
+			recs[i] = WireRecord{GlobalID: id, Weight: rec.Weight, Truth: rec.Truth, Values: values}
+			localOf[id] = i
+		}
+		lgs := make([]LocalGroup, len(part.Groups))
+		for i, g := range part.Groups {
+			members := make([]int, len(g.Members))
+			for j, m := range g.Members {
+				members[j] = localOf[m]
+			}
+			lgs[i] = LocalGroup{Rep: localOf[g.Rep], Members: members, Weight: g.Weight}
+		}
+		reqs[s] = &LoadRequest{
+			Session: h.session, Schema: d.Schema, Records: recs, Groups: lgs,
+			K: opts.K, PrunePasses: opts.PrunePasses, Workers: opts.Workers,
+		}
+	}
+	errs := make([]error, len(h.peers))
+	var wg sync.WaitGroup
+	for s := range h.peers {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = h.post(s, "/shard/load", reqs[s], &LoadResponse{})
+		}(s)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Collapse implements Transport over /shard/collapse.
+func (h *HTTP) Collapse(shard, level int) (*CollapseResponse, error) {
+	resp := &CollapseResponse{}
+	if err := h.post(shard, "/shard/collapse", &CollapseRequest{Session: h.session, Level: level}, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Bounds implements Transport over /shard/bounds.
+func (h *HTTP) Bounds(shard int, req *BoundsRequest) (*BoundsResponse, error) {
+	r := *req
+	r.Session = h.session
+	resp := &BoundsResponse{}
+	if err := h.post(shard, "/shard/bounds", &r, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Prune implements Transport over /shard/prune.
+func (h *HTTP) Prune(shard int, req *PruneRequest) (*PruneResponse, error) {
+	r := *req
+	r.Session = h.session
+	resp := &PruneResponse{}
+	if err := h.post(shard, "/shard/prune", &r, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Groups implements Transport over /shard/groups.
+func (h *HTTP) Groups(shard int) (*GroupsResponse, error) {
+	resp := &GroupsResponse{}
+	if err := h.post(shard, "/shard/groups", &GroupsRequest{Session: h.session}, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close releases the session on every peer (best effort: the first
+// error is returned but all peers are attempted).
+func (h *HTTP) Close() error {
+	var first error
+	for s := range h.peers {
+		if err := h.post(s, "/shard/close", &CloseRequest{Session: h.session}, &CloseResponse{}); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RunHTTP executes the full sharded pipeline against remote shard
+// nodes: it partitions the initial grouping into one canopy-closed part
+// per peer, ships the parts with LoadParts, and drives Exchange over a
+// fresh HTTP transport. groups may be nil to start from singletons.
+// Options.Shards is ignored — the shard count is the peer count. The
+// result carries the same byte-identity guarantee as Run.
+func RunHTTP(d *records.Dataset, groups []core.Group, levels []predicate.Level, peers []string, client *http.Client, opts Options) (*core.Result, *RunStats, error) {
+	if opts.K < 1 {
+		return nil, nil, fmt.Errorf("shard: K must be >= 1, got %d", opts.K)
+	}
+	if len(levels) == 0 {
+		return nil, nil, fmt.Errorf("shard: at least one predicate level required")
+	}
+	if d.Len() == 0 {
+		return &core.Result{}, &RunStats{Shards: len(peers)}, nil
+	}
+	if groups == nil {
+		groups = core.SingletonGroups(d)
+	}
+	parts := Split(d, groups, levels, len(peers))
+	obs.Gauge(opts.Sink, "shard.partition.components", float64(parts.Components))
+	h, err := NewHTTP(peers, client, opts.Sink)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer h.Close()
+	if err := h.LoadParts(d, parts, opts); err != nil {
+		return nil, nil, err
+	}
+	res, rs, err := Exchange(h, len(levels), d.Len(), opts)
+	if rs != nil {
+		rs.Components = parts.Components
+	}
+	return res, rs, err
+}

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/dsu"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// ShardPart is one shard's slice of the initial grouping.
+type ShardPart struct {
+	// GroupIndex lists the indices (into the Split input slice) of the
+	// initial groups assigned to this shard, ascending. Order matters:
+	// it makes the shard's local record-ID space map monotonically into
+	// the global one, which preserves every tie-break downstream.
+	GroupIndex []int
+	// Groups are the corresponding initial groups (global record IDs).
+	Groups []core.Group
+	// RecordIDs are the global IDs of every member record of the shard's
+	// groups, ascending — the shard's slice of the dataset when a remote
+	// transport has to ship it.
+	RecordIDs []int
+}
+
+// Partition is a canopy-closed assignment of initial groups to shards.
+type Partition struct {
+	// Parts has one entry per shard; shards left empty by the hash
+	// assignment are present with zero groups.
+	Parts []ShardPart
+	// Components is the number of canopy-closure components (the
+	// finest-grained parallelism the blocking keys admit; when it is
+	// less than the shard count, some shards stay empty).
+	Components int
+}
+
+// Split partitions the initial groups into s canopy-closed shards.
+//
+// The partitioning invariant every later phase relies on: no two groups
+// that could ever share an index bucket — at any level, for the
+// sufficient or the necessary predicate — land on different shards. It
+// is established by a closure pass: groups whose representatives share
+// any blocking key of any level's predicates are unioned, and whole
+// union components are assigned to shards by a hash of the component's
+// canonical representative. The closure computed on the *initial*
+// representatives covers every later level because collapse only ever
+// promotes the representative of a merged group to one of its member
+// groups' representatives (the heaviest's), so the representative set
+// never leaves the initial one and every key a later level will block
+// on was already included here. Keys are namespaced per (level, role)
+// so predicates with overlapping key vocabularies do not merge
+// components spuriously.
+//
+// The assignment is deterministic in the dataset and shard count —
+// FNV-1a of the canonical representative's global record ID — so
+// coordinator and tests can re-derive it at will.
+func Split(d *records.Dataset, groups []core.Group, levels []predicate.Level, s int) *Partition {
+	if s < 1 {
+		s = 1
+	}
+	uf := dsu.New(len(groups))
+	owner := make(map[string]int32) // namespaced key -> first group that used it
+	var keyBuf []byte
+	for gi := range groups {
+		rec := d.Recs[groups[gi].Rep]
+		for li, level := range levels {
+			for _, rp := range [2]struct {
+				role byte
+				p    predicate.P
+			}{{'s', level.Sufficient}, {'n', level.Necessary}} {
+				role, p := rp.role, rp.p
+				for _, k := range p.Keys(rec) {
+					keyBuf = append(keyBuf[:0], byte('0'+li), role)
+					keyBuf = append(keyBuf, k...)
+					key := string(keyBuf)
+					if j, ok := owner[key]; ok {
+						uf.Union(gi, int(j))
+					} else {
+						owner[key] = int32(gi)
+					}
+				}
+			}
+		}
+	}
+
+	parts := make([]ShardPart, s)
+	comps := uf.GroupSlices()
+	h := fnv.New64a()
+	var idBuf [8]byte
+	for _, comp := range comps {
+		// Canonical component ID: the representative record of the
+		// component's smallest group index (GroupSlices orders members
+		// ascending, components by smallest member).
+		h.Reset()
+		binary.BigEndian.PutUint64(idBuf[:], uint64(groups[comp[0]].Rep))
+		h.Write(idBuf[:])
+		sh := int(h.Sum64() % uint64(s))
+		parts[sh].GroupIndex = append(parts[sh].GroupIndex, comp...)
+	}
+	for i := range parts {
+		p := &parts[i]
+		sort.Ints(p.GroupIndex)
+		p.Groups = make([]core.Group, len(p.GroupIndex))
+		for j, gi := range p.GroupIndex {
+			p.Groups[j] = groups[gi]
+			p.RecordIDs = append(p.RecordIDs, groups[gi].Members...)
+		}
+		sort.Ints(p.RecordIDs)
+	}
+	return &Partition{Parts: parts, Components: len(comps)}
+}

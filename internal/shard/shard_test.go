@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// Toy domain (same shape as the core tests): sufficient = exact
+// rendering match, necessary = shared first letter. Both carry complete
+// blocking keys, so the canopy closure is sound.
+func toyS() predicate.P {
+	return predicate.P{
+		Name: "S",
+		Eval: func(a, b *records.Record) bool {
+			return a.Field("name") != "" && a.Field("name") == b.Field("name")
+		},
+		Keys: func(r *records.Record) []string { return []string{"s:" + r.Field("name")} },
+	}
+}
+
+func toyN() predicate.P {
+	return predicate.P{
+		Name: "N",
+		Eval: func(a, b *records.Record) bool {
+			na, nb := a.Field("name"), b.Field("name")
+			return len(na) > 0 && len(nb) > 0 && na[0] == nb[0]
+		},
+		Keys: func(r *records.Record) []string {
+			n := r.Field("name")
+			if n == "" {
+				return nil
+			}
+			return []string{"n:" + n[:1]}
+		},
+	}
+}
+
+func toyLevels() []predicate.Level {
+	return []predicate.Level{{Sufficient: toyS(), Necessary: toyN()}}
+}
+
+func genDataset(seed int64, numEntities, maxMentions int) *records.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := records.New("toy", "name")
+	for e := 0; e < numEntities; e++ {
+		base := fmt.Sprintf("%c%03d", 'a'+r.Intn(20), e)
+		nRend := 1 + r.Intn(3)
+		renderings := make([]string, nRend)
+		for v := range renderings {
+			renderings[v] = fmt.Sprintf("%s.v%d", base, v)
+		}
+		mentions := 1 + r.Intn(maxMentions)
+		for k := 0; k < mentions; k++ {
+			w := 1 + r.Float64()*0.001
+			d.Append(w, fmt.Sprintf("E%03d", e), renderings[r.Intn(nRend)])
+		}
+	}
+	return d
+}
+
+func sameGroups(t *testing.T, ctx string, got, want []core.Group) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Rep != want[i].Rep || got[i].Weight != want[i].Weight {
+			t.Fatalf("%s: group %d = {rep %d, w %v}, want {rep %d, w %v}",
+				ctx, i, got[i].Rep, got[i].Weight, want[i].Rep, want[i].Weight)
+		}
+		if len(got[i].Members) != len(want[i].Members) {
+			t.Fatalf("%s: group %d has %d members, want %d", ctx, i, len(got[i].Members), len(want[i].Members))
+		}
+		for j := range got[i].Members {
+			if got[i].Members[j] != want[i].Members[j] {
+				t.Fatalf("%s: group %d member %d = %d, want %d", ctx, i, j, got[i].Members[j], want[i].Members[j])
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSingleMachine is the package's headline property:
+// at every shard count the sharded pipeline reproduces core.PrunedDedup
+// byte for byte — groups, order, member lists, per-level bounds, and
+// the ExactlyK exit.
+func TestShardedMatchesSingleMachine(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		for _, k := range []int{1, 3, 10, 25} {
+			d := genDataset(seed, 60, 8)
+			want, err := core.PrunedDedup(d, toyLevels(), core.Options{K: k, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []int{1, 2, 4, 8} {
+				got, rstats, err := Run(d, nil, toyLevels(), Options{K: k, Shards: s, Workers: 1})
+				if err != nil {
+					t.Fatalf("seed %d k %d shards %d: %v", seed, k, s, err)
+				}
+				ctx := fmt.Sprintf("seed %d k %d shards %d", seed, k, s)
+				sameGroups(t, ctx, got.Groups, want.Groups)
+				if got.ExactlyK != want.ExactlyK {
+					t.Fatalf("%s: ExactlyK %v, want %v", ctx, got.ExactlyK, want.ExactlyK)
+				}
+				if len(got.Stats) != len(want.Stats) {
+					t.Fatalf("%s: %d levels, want %d", ctx, len(got.Stats), len(want.Stats))
+				}
+				for li := range got.Stats {
+					g, w := got.Stats[li], want.Stats[li]
+					if g.NGroups != w.NGroups || g.MRank != w.MRank ||
+						g.LowerBound != w.LowerBound || g.Survivors != w.Survivors {
+						t.Fatalf("%s level %d: {n %d m %d M %v surv %d}, want {n %d m %d M %v surv %d}",
+							ctx, li+1, g.NGroups, g.MRank, g.LowerBound, g.Survivors,
+							w.NGroups, w.MRank, w.LowerBound, w.Survivors)
+					}
+				}
+				if rstats.Shards != s {
+					t.Fatalf("%s: RunStats.Shards = %d", ctx, rstats.Shards)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitKeepsCanopiesIntact checks the partitioning invariant
+// directly: no blocking key of any level's predicate is shared by
+// groups on different shards.
+func TestSplitKeepsCanopiesIntact(t *testing.T) {
+	d := genDataset(7, 80, 6)
+	groups := core.SingletonGroups(d)
+	levels := toyLevels()
+	for _, s := range []int{2, 4, 8} {
+		parts := Split(d, groups, levels, s)
+		if len(parts.Parts) != s {
+			t.Fatalf("shards %d: got %d parts", s, len(parts.Parts))
+		}
+		keyShard := make(map[string]int)
+		seen := 0
+		for sh, part := range parts.Parts {
+			seen += len(part.Groups)
+			for _, g := range part.Groups {
+				rec := d.Recs[g.Rep]
+				for li, level := range levels {
+					for _, p := range []predicate.P{level.Sufficient, level.Necessary} {
+						for _, k := range p.Keys(rec) {
+							key := fmt.Sprintf("%d/%s/%s", li, p.Name, k)
+							if prev, ok := keyShard[key]; ok && prev != sh {
+								t.Fatalf("shards %d: key %q on shards %d and %d", s, key, prev, sh)
+							}
+							keyShard[key] = sh
+						}
+					}
+				}
+			}
+		}
+		if seen != len(groups) {
+			t.Fatalf("shards %d: %d groups assigned, want %d", s, seen, len(groups))
+		}
+		if parts.Components < 1 {
+			t.Fatalf("shards %d: %d components", s, parts.Components)
+		}
+	}
+}
+
+// TestRunDegenerateInputs mirrors core.PrunedDedup's edge behaviour.
+func TestRunDegenerateInputs(t *testing.T) {
+	empty := records.New("empty", "name")
+	if _, _, err := Run(empty, nil, toyLevels(), Options{K: 0, Shards: 2}); err == nil {
+		t.Fatal("K=0: want error")
+	}
+	res, _, err := Run(empty, nil, toyLevels(), Options{K: 3, Shards: 4})
+	if err != nil || len(res.Groups) != 0 || len(res.Stats) != 0 {
+		t.Fatalf("empty dataset: res %+v err %v", res, err)
+	}
+	if _, _, err := Run(genDataset(1, 5, 2), nil, nil, Options{K: 2, Shards: 2}); err == nil {
+		t.Fatal("no levels: want error")
+	}
+	// More shards than components: the extra shards run empty end to end.
+	d := genDataset(2, 3, 2)
+	want, err := core.PrunedDedup(d, toyLevels(), core.Options{K: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Run(d, nil, toyLevels(), Options{K: 2, Shards: 16, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGroups(t, "shards=16 on tiny dataset", got.Groups, want.Groups)
+}

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"fmt"
+
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// Transport carries the coordinator's calls to the S shard executors.
+// The coordinator serialises calls per shard but fans out across shards
+// concurrently, so implementations must tolerate concurrent calls with
+// distinct shard indices (calls for one shard never overlap). The two
+// implementations are NewInProcess (direct Worker calls in one address
+// space) and NewHTTP (the /shard/* endpoints of internal/server).
+type Transport interface {
+	// Shards returns the shard count S; shard indices are 0..S-1.
+	Shards() int
+	// Collapse runs the given 0-based level's sufficient-predicate
+	// collapse on one shard and returns the shard's re-sorted group
+	// metadata.
+	Collapse(shard, level int) (*CollapseResponse, error)
+	// Bounds runs one bound-exchange sub-operation (a scan block or a
+	// prefix-CPN probe) on one shard.
+	Bounds(shard int, req *BoundsRequest) (*BoundsResponse, error)
+	// Prune runs one prune sub-operation (start, one Jacobi pass, or
+	// finish) on one shard.
+	Prune(shard int, req *PruneRequest) (*PruneResponse, error)
+	// Groups fetches one shard's surviving groups with full member lists
+	// in global record IDs.
+	Groups(shard int) (*GroupsResponse, error)
+	// Close releases per-query shard state (remote sessions); the
+	// transport is unusable afterwards.
+	Close() error
+}
+
+// GroupMeta is the per-group metadata shards exchange with the
+// coordinator: just enough to place the group in the global rank order
+// (weight descending, representative ascending) without shipping member
+// lists. Rep is always a global record ID, so coordinator-side ties
+// break exactly as they would in a single-machine sort.
+type GroupMeta struct {
+	// Weight is the group's aggregate weight.
+	Weight float64 `json:"w"`
+	// Rep is the global record ID of the group representative.
+	Rep int `json:"rep"`
+}
+
+// CollapseResponse is one shard's answer to a Collapse call.
+type CollapseResponse struct {
+	// Groups is the shard's collapsed grouping in local rank order.
+	Groups []GroupMeta `json:"groups"`
+	// Evals counts the sufficient-predicate pairs the collapse verified.
+	Evals int64 `json:"evals"`
+}
+
+// Bounds operations.
+const (
+	// BoundsScan consumes the shard's next Count groups in local rank
+	// order and returns their greedy-independence verdicts.
+	BoundsScan = "scan"
+	// BoundsCPN returns the Algorithm-1 CPN lower bound of the shard's
+	// first Prefix scanned groups.
+	BoundsCPN = "cpn"
+)
+
+// BoundsRequest selects one bound-exchange sub-operation.
+type BoundsRequest struct {
+	// Session identifies the coordinator's query on remote transports
+	// (ignored in-process).
+	Session string `json:"session,omitempty"`
+	// Op is BoundsScan or BoundsCPN.
+	Op string `json:"op"`
+	// Count is the number of groups to scan (BoundsScan).
+	Count int `json:"count,omitempty"`
+	// Prefix is the local prefix length to bound (BoundsCPN).
+	Prefix int `json:"prefix,omitempty"`
+}
+
+// BoundsResponse is one shard's answer to a Bounds call.
+type BoundsResponse struct {
+	// Independent holds one greedy-independence verdict per scanned
+	// group, in local rank order (BoundsScan).
+	Independent []bool `json:"independent,omitempty"`
+	// Evals counts the necessary-predicate pairs the scan evaluated.
+	Evals int64 `json:"evals,omitempty"`
+	// CPN is the prefix bound (BoundsCPN).
+	CPN int `json:"cpn,omitempty"`
+}
+
+// Prune operations.
+const (
+	// PruneStart builds the shard's prune state for the broadcast global
+	// bound M (the evaluation-free cascades run here).
+	PruneStart = "start"
+	// PrunePass runs one exact Jacobi refinement pass.
+	PrunePass = "pass"
+	// PruneFinish retires the prune state and returns the surviving
+	// groups' metadata in local rank order.
+	PruneFinish = "finish"
+)
+
+// PruneRequest selects one prune sub-operation.
+type PruneRequest struct {
+	// Session identifies the coordinator's query on remote transports
+	// (ignored in-process).
+	Session string `json:"session,omitempty"`
+	// Op is PruneStart, PrunePass, or PruneFinish.
+	Op string `json:"op"`
+	// M is the broadcast global lower bound (PruneStart).
+	M float64 `json:"m,omitempty"`
+}
+
+// PruneResponse is one shard's answer to a Prune call.
+type PruneResponse struct {
+	// Alive is the shard's current unpruned group count.
+	Alive int `json:"alive"`
+	// Pruned is how many groups the pass killed (PrunePass).
+	Pruned int `json:"pruned,omitempty"`
+	// Evals counts the necessary-predicate pairs the pass evaluated.
+	Evals int64 `json:"evals,omitempty"`
+	// Groups is the surviving metadata (PruneFinish).
+	Groups []GroupMeta `json:"groups,omitempty"`
+}
+
+// WireGroup is a full group in global record IDs, as returned by the
+// final Groups fetch.
+type WireGroup struct {
+	// Rep is the global record ID of the representative.
+	Rep int `json:"rep"`
+	// Members are the global record IDs of all members (Rep included).
+	Members []int `json:"members"`
+	// Weight is the group's aggregate weight.
+	Weight float64 `json:"w"`
+}
+
+// GroupsResponse is one shard's answer to the final Groups fetch.
+type GroupsResponse struct {
+	// Groups lists the shard's surviving groups in local rank order.
+	Groups []WireGroup `json:"groups"`
+}
+
+// InProcess is the single-binary Transport: every shard is a Worker in
+// the calling process, sharing the global dataset (no copying and no
+// serialisation — workers index the same record structs and group
+// member IDs stay global throughout).
+type InProcess struct {
+	ws []*Worker
+}
+
+// NewInProcess builds one in-process Worker per partition shard over the
+// shared dataset.
+func NewInProcess(d *records.Dataset, parts *Partition, levels []predicate.Level, opts Options) *InProcess {
+	ws := make([]*Worker, len(parts.Parts))
+	for i, part := range parts.Parts {
+		ws[i] = NewWorker(d, nil, part.Groups, levels, opts)
+	}
+	return &InProcess{ws: ws}
+}
+
+// Shards returns the shard count.
+func (t *InProcess) Shards() int { return len(t.ws) }
+
+// Collapse implements Transport by direct Worker call.
+func (t *InProcess) Collapse(shard, level int) (*CollapseResponse, error) {
+	metas, evals := t.ws[shard].Collapse(level)
+	return &CollapseResponse{Groups: metas, Evals: evals}, nil
+}
+
+// Bounds implements Transport by direct Worker call.
+func (t *InProcess) Bounds(shard int, req *BoundsRequest) (*BoundsResponse, error) {
+	w := t.ws[shard]
+	switch req.Op {
+	case BoundsScan:
+		flags, evals := w.BoundScan(req.Count)
+		return &BoundsResponse{Independent: flags, Evals: evals}, nil
+	case BoundsCPN:
+		return &BoundsResponse{CPN: w.BoundCPN(req.Prefix)}, nil
+	}
+	return nil, fmt.Errorf("shard: unknown bounds op %q", req.Op)
+}
+
+// Prune implements Transport by direct Worker call.
+func (t *InProcess) Prune(shard int, req *PruneRequest) (*PruneResponse, error) {
+	w := t.ws[shard]
+	switch req.Op {
+	case PruneStart:
+		return &PruneResponse{Alive: w.PruneStart(req.M)}, nil
+	case PrunePass:
+		pruned, evals := w.PrunePass()
+		return &PruneResponse{Alive: w.AliveCount(), Pruned: pruned, Evals: evals}, nil
+	case PruneFinish:
+		return &PruneResponse{Groups: w.PruneFinish(), Alive: w.AliveCount()}, nil
+	}
+	return nil, fmt.Errorf("shard: unknown prune op %q", req.Op)
+}
+
+// Groups implements Transport by direct Worker call.
+func (t *InProcess) Groups(shard int) (*GroupsResponse, error) {
+	return &GroupsResponse{Groups: t.ws[shard].Groups()}, nil
+}
+
+// Close implements Transport; in-process workers need no teardown.
+func (t *InProcess) Close() error { return nil }

@@ -7,6 +7,7 @@ import (
 	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
+	"topkdedup/internal/shard"
 )
 
 // Snapshot is an immutable point-in-time view of an Incremental
@@ -34,6 +35,7 @@ type Snapshot struct {
 	groups []core.Group
 	levels []predicate.Level
 	evals  int64
+	shards int
 	taken  time.Time
 }
 
@@ -55,6 +57,7 @@ func (inc *Incremental) Snapshot() *Snapshot {
 		groups: inc.Groups(),
 		levels: inc.levels,
 		evals:  inc.evals,
+		shards: inc.shards,
 		taken:  time.Now(),
 	}
 }
@@ -85,12 +88,21 @@ func (s *Snapshot) Groups() []core.Group {
 // TopK answers the TopK count query over the frozen state, like
 // Incremental.TopK but safe for any number of concurrent callers on the
 // same Snapshot. workers and sink follow the core.Options conventions
-// (workers <= 0 means all CPUs; a nil sink is free).
+// (workers <= 0 means all CPUs; a nil sink is free). A SetShards value
+// in force when the snapshot was taken routes the pruning phases
+// through the sharded coordinator, with the same byte-identity
+// guarantee.
 func (s *Snapshot) TopK(k, workers int, sink obs.Sink) (*core.Result, error) {
 	if s.data.Len() == 0 {
 		return &core.Result{}, nil
 	}
 	sp := obs.StartSpan(sink, "stream.topk")
 	defer sp.End()
+	if s.shards > 1 {
+		res, _, err := shard.Run(s.data, s.Groups(), s.levels, shard.Options{
+			K: k, Shards: s.shards, Workers: workers, Sink: sink,
+		})
+		return res, err
+	}
 	return core.PrunedDedupFrom(s.data, s.Groups(), s.levels, core.Options{K: k, Workers: workers, Sink: sink})
 }

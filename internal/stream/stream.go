@@ -21,6 +21,7 @@ import (
 	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
+	"topkdedup/internal/shard"
 )
 
 // Incremental is a growing dataset with an incrementally maintained
@@ -38,6 +39,9 @@ type Incremental struct {
 	// SetWorkers). Insertion-time maintenance is always serial — it is
 	// one record against a handful of components.
 	workers int
+	// shards routes query-time pruning through the sharded coordinator
+	// when > 1 (see SetShards).
+	shards int
 	// sink receives the stream.* metrics and the query-time core.*
 	// metrics (see SetMetrics).
 	sink obs.Sink
@@ -98,6 +102,15 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 // results are identical at every worker count; the predicates must be
 // safe for concurrent Eval when workers != 1 (the built-in domains are).
 func (inc *Incremental) SetWorkers(workers int) { inc.workers = workers }
+
+// SetShards routes the query-time pruning phases through the in-process
+// sharded coordinator (internal/shard) when shards > 1: the maintained
+// level-1 collapse is partitioned into canopy-closed shards and the
+// bound-exchange protocol reproduces the single-machine result byte for
+// byte (only eval counters and phase times in the stats may differ).
+// <= 1 — the default — runs the single-machine pipeline. Snapshots
+// taken after the call inherit the setting.
+func (inc *Incremental) SetShards(shards int) { inc.shards = shards }
 
 // SetMetrics attaches an observability sink: each Add emits the
 // stream.add.records and stream.add.evals counters, and each TopK emits
@@ -160,5 +173,11 @@ func (inc *Incremental) TopK(k int) (*core.Result, error) {
 	}
 	sp := obs.StartSpan(inc.sink, "stream.topk")
 	defer sp.End()
+	if inc.shards > 1 {
+		res, _, err := shard.Run(inc.data, inc.Groups(), inc.levels, shard.Options{
+			K: k, Shards: inc.shards, Workers: inc.workers, Sink: inc.sink,
+		})
+		return res, err
+	}
 	return core.PrunedDedupFrom(inc.data, inc.Groups(), inc.levels, core.Options{K: k, Workers: inc.workers, Sink: inc.sink})
 }
