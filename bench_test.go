@@ -231,6 +231,36 @@ func BenchmarkEngineTopKWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTopKTracing compares the full query with tracing off
+// (the nil-tracer fast path: one context Value lookup per phase, zero
+// allocations — TestTracerUntracedNoAllocs pins the exact count) and
+// on (a Config.Tracer recording every phase span). Run with
+// -benchmem: the "off" variant's allocs/op must equal the baseline
+// BenchmarkEngineTopK's.
+func BenchmarkEngineTopKTracing(b *testing.B) {
+	benchSetup(b)
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"off", Config{}},
+		{"on", Config{Tracer: NewTracer(1)}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			eng := New(benchFig6.Data, benchFig6.Domain.Levels, benchFig6.Model, v.cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.TopK(10, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCollapse isolates the sufficient-predicate collapse step.
 func BenchmarkCollapse(b *testing.B) {
 	benchSetup(b)

@@ -45,6 +45,19 @@ go run ./cmd/doccheck \
     ./internal/stream \
     ./internal/strsim
 
+# Metric and trace span names in code must match the OBSERVABILITY.md
+# registry in both directions (see cmd/obscheck).
+go run ./cmd/obscheck -doc OBSERVABILITY.md \
+    . \
+    ./internal/classifier \
+    ./internal/cluster \
+    ./internal/core \
+    ./internal/experiments \
+    ./internal/parallel \
+    ./internal/server \
+    ./internal/shard \
+    ./internal/stream
+
 go build ./...
 go test -race ./...
 
@@ -65,6 +78,8 @@ go test -run '^$' -fuzz '^FuzzStrsim$' -fuzztime 5s ./internal/strsim
 go test -run '^$' -fuzz '^FuzzSegmentDP$' -fuzztime 5s ./internal/segment
 go test -run '^$' -fuzz '^FuzzBoundMerge$' -fuzztime 5s ./internal/shard
 
-# Smoke-run the instrumentation overhead benchmark (one iteration per
-# variant; the full comparison is `go test -bench=NoopSinkOverhead`).
-go test -run '^$' -bench BenchmarkNoopSinkOverhead -benchtime 1x -short .
+# Smoke-run the instrumentation overhead benchmarks (one iteration per
+# variant; the full comparisons are `go test -bench=NoopSinkOverhead`
+# and `go test -benchmem -bench=EngineTopKTracing`, the latter recorded
+# in BENCH_2026-08-05_tracing.txt).
+go test -run '^$' -bench 'BenchmarkNoopSinkOverhead|BenchmarkEngineTopKTracing' -benchtime 1x -short .

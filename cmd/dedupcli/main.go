@@ -15,6 +15,8 @@
 //	dedupcli -in data.tsv -field name -k 10 -r 3    (.csv inputs also accepted)
 //	dedupcli -in data.tsv -field name -rank -k 10
 //	dedupcli -in data.tsv -field name -threshold 50
+//	dedupcli -in data.tsv -field name -k 10 -explain
+//	dedupcli -in data.tsv -field name -k 10 -trace-out trace.json
 //
 // With -server, dedupcli acts as a client for a running topkd daemon
 // instead of computing locally: it ingests the loaded records over POST
@@ -45,6 +47,8 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "run a thresholded rank query with this weight threshold")
 	overlap := flag.Float64("overlap", 0.5, "necessary-predicate 3-gram overlap threshold")
 	phases := flag.Bool("phases", false, "print the per-phase metrics breakdown (JSON, see OBSERVABILITY.md) to stderr after the query")
+	explain := flag.Bool("explain", false, "print the per-query EXPLAIN report (predicate evals/hits, pruning rounds, bound evolution) to stderr after a count query")
+	traceOut := flag.String("trace-out", "", "write the query's span tree as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	serverURL := flag.String("server", "", "base URL of a running topkd daemon; ingest the records there and query over HTTP instead of computing locally")
 	flag.Parse()
@@ -67,13 +71,13 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
-	if err := run(*in, *field, *k, *r, *rank, *threshold, *overlap, *phases); err != nil {
+	if err := run(*in, *field, *k, *r, *rank, *threshold, *overlap, *phases, *explain, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, field string, k, r int, rank bool, threshold, overlap float64, phases bool) error {
+func run(path, field string, k, r int, rank bool, threshold, overlap float64, phases, explain bool, traceOut string) error {
 	var (
 		d   *topk.Dataset
 		err error
@@ -104,6 +108,22 @@ func run(path, field string, k, r int, rank bool, threshold, overlap float64, ph
 		topk.SetPoolMetrics(col)
 		defer topk.SetPoolMetrics(nil)
 		defer func() { _ = col.WriteJSON(os.Stderr) }()
+	}
+	var tracer *topk.Tracer
+	if explain || traceOut != "" {
+		tracer = topk.NewTracer(1)
+		cfg.Tracer = tracer
+		cfg.Explain = explain
+		defer func() {
+			if traceOut == "" {
+				return
+			}
+			if err := exportChromeTrace(tracer, traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "dedupcli: trace-out:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", traceOut)
+			}
+		}()
 	}
 	eng := topk.New(d, levels, scorer, cfg)
 
@@ -151,8 +171,29 @@ func run(path, field string, k, r int, rank bool, threshold, overlap float64, ph
 			fmt.Printf("(pruned %d records to %d candidate groups, M=%.2f)\n",
 				d.Len(), last.Survivors, last.LowerBound)
 		}
+		if explain {
+			res.Explain.WriteText(os.Stderr)
+		}
 	}
 	return nil
+}
+
+// exportChromeTrace writes the tracer's most recent trace in the Chrome
+// trace_event shape.
+func exportChromeTrace(tracer *topk.Tracer, path string) error {
+	traces := tracer.Traces()
+	if len(traces) == 0 {
+		return fmt.Errorf("no trace recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := topk.WriteChromeTrace(f, tracer.Spans(traces[0].ID)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // genericDomain builds schema-agnostic predicates and a scorer around one

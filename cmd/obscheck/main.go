@@ -1,0 +1,274 @@
+// Command obscheck keeps the observability registry honest: the metric
+// and trace span names the code emits must match the names documented
+// in OBSERVABILITY.md, in both directions. ci.sh runs it over every
+// emitting package, so a new emission without a registry row — or a
+// registry row whose emission was renamed or deleted — fails the build.
+//
+// Usage:
+//
+//	obscheck -doc OBSERVABILITY.md <package-dir> [<package-dir>...]
+//
+// Each argument is one package directory (not recursive; test files are
+// skipped). Do not point it at internal/obs itself: the layer's generic
+// helpers pass names through variables, which read as pure wildcards.
+//
+// Code side. obscheck scans call expressions by callee name:
+//
+//   - Count / Gauge / Observe emit the metric name as written;
+//   - StartSpan / ObserveSince / ObserveDuration emit "<name>.seconds"
+//     (the obs duration convention);
+//   - StartChild / StartTrace / Event, and the repo's thin wrappers
+//     traceCtx / shardSpan / workerSpan / startQuerySpan, emit trace
+//     span (or span event) names.
+//
+// The first string-shaped argument that looks like a dotted lower-case
+// name is taken; concatenation with a non-literal part becomes a `*`
+// segment (so `"server.http."+name+".requests"` reads as
+// `server.http.*.requests`).
+//
+// Doc side. Every backticked dotted lower-case token in the doc is an
+// allowed name (`<placeholder>` segments read as `*`); tokens in the
+// first cell of a markdown table row form the registry proper. Checks:
+//
+//  1. every emitted name must match an allowed name, and
+//  2. every registry row must match at least one emitted name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// nameRE is the shape of a registry name: dotted lower-case segments,
+// possibly with `*` wildcards from concatenation or placeholders.
+var nameRE = regexp.MustCompile(`^[a-z*][a-z0-9_*]*(\.[a-z0-9_*]+)+$`)
+
+// metricEmitters map a callee name to the suffix appended to the name
+// argument ("" for metrics and span names, ".seconds" for durations).
+var metricEmitters = map[string]string{
+	"Count":           "",
+	"Gauge":           "",
+	"Observe":         "",
+	"StartSpan":       ".seconds",
+	"ObserveSince":    ".seconds",
+	"ObserveDuration": ".seconds",
+	"StartChild":      "",
+	"StartTrace":      "",
+	"Event":           "",
+	"traceCtx":        "",
+	"shardSpan":       "",
+	"workerSpan":      "",
+	"startQuerySpan":  "",
+}
+
+func main() {
+	doc := flag.String("doc", "OBSERVABILITY.md", "registry document to check against")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-doc OBSERVABILITY.md] <package-dir> [<package-dir>...]")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*doc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(2)
+	}
+	allowed, registry := parseDoc(string(data))
+
+	emitted := map[string][]string{} // name -> positions
+	for _, dir := range flag.Args() {
+		if err := scanDir(dir, emitted); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+	}
+
+	bad := 0
+	var names []string
+	for n := range emitted {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !matchesAny(n, allowed) {
+			fmt.Printf("%s: emitted name %q is not in %s\n", emitted[n][0], n, *doc)
+			bad++
+		}
+	}
+	var rows []string
+	for r := range registry {
+		rows = append(rows, r)
+	}
+	sort.Strings(rows)
+	for _, r := range rows {
+		found := false
+		for n := range emitted {
+			if matchNames(n, r) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%s: registry row %q has no emitting call in the scanned packages\n", *doc, r)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "obscheck: %d registry mismatch(es)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// matchesAny reports whether name matches any pattern in the set.
+func matchesAny(name string, set map[string]bool) bool {
+	if set[name] {
+		return true
+	}
+	for p := range set {
+		if matchNames(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchNames compares two dotted names segment-wise; a `*` segment on
+// either side matches anything.
+func matchNames(a, b string) bool {
+	as, bs := strings.Split(a, "."), strings.Split(b, ".")
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] && as[i] != "*" && bs[i] != "*" {
+			return false
+		}
+	}
+	return true
+}
+
+// backtickRE captures backticked tokens; placeholderRE rewrites
+// `<placeholder>` segments to `*` before shape-checking.
+var (
+	backtickRE    = regexp.MustCompile("`([^`]+)`")
+	placeholderRE = regexp.MustCompile(`<[^<>]+>`)
+)
+
+// parseDoc extracts the allowed name set (every backticked dotted token
+// in the doc) and the registry set (first-cell tokens of table rows).
+func parseDoc(doc string) (allowed, registry map[string]bool) {
+	allowed, registry = map[string]bool{}, map[string]bool{}
+	for _, line := range strings.Split(doc, "\n") {
+		first := true
+		inTable := strings.HasPrefix(strings.TrimSpace(line), "|")
+		for _, m := range backtickRE.FindAllStringSubmatch(line, -1) {
+			tok := placeholderRE.ReplaceAllString(m[1], "*")
+			if nameRE.MatchString(tok) {
+				allowed[tok] = true
+				if inTable && first {
+					registry[tok] = true
+				}
+			}
+			first = false
+		}
+	}
+	return allowed, registry
+}
+
+// scanDir parses one package directory's non-test files and collects
+// every emitted name with its first position.
+func scanDir(dir string, emitted map[string][]string) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				suffix, ok := metricEmitters[calleeName(call.Fun)]
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					s, isStr := evalString(arg)
+					if !isStr {
+						continue
+					}
+					name := s + suffix
+					if !nameRE.MatchString(name) {
+						continue
+					}
+					p := fset.Position(call.Pos())
+					emitted[name] = append(emitted[name], fmt.Sprintf("%s:%d", p.Filename, p.Line))
+					break
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// calleeName unwraps a call's function expression to its base name
+// (`obs.Count` -> "Count", `s.metrics.Observe` -> "Observe").
+func calleeName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// evalString folds an expression to a name string: literals keep their
+// value, non-literal parts of a concatenation become one `*` segment.
+// Returns false when no literal part is present at all.
+func evalString(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(x.Value)
+		if err != nil {
+			return "", false
+		}
+		return s, true
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD {
+			return "", false
+		}
+		l, lok := evalString(x.X)
+		r, rok := evalString(x.Y)
+		if !lok && !rok {
+			return "", false
+		}
+		if !lok {
+			l = "*"
+		}
+		if !rok {
+			r = "*"
+		}
+		return l + r, true
+	case *ast.ParenExpr:
+		return evalString(x.X)
+	}
+	return "", false
+}

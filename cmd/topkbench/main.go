@@ -428,6 +428,9 @@ func runRank(scale experiments.Scale) error {
 // runServe measures query latency under concurrent ingest: the trained
 // citation domain behind internal/server, 4 ingest clients streaming
 // half the dataset while 4 query clients record per-request latency.
+// The bench runs twice — tracing disabled, then the default trace ring
+// — so the table reads as a direct tracing-overhead comparison per
+// endpoint (see OBSERVABILITY.md "Distributed query tracing").
 func runServe(scale experiments.Scale) ([]servebench.Row, error) {
 	dd, err := cachedSetup(fmt.Sprintf("citations-trained/%d", scale.Fig6), func() (*experiments.DomainData, error) {
 		return experiments.CitationSetup(scale.Fig6, true)
@@ -436,9 +439,19 @@ func runServe(scale experiments.Scale) ([]servebench.Row, error) {
 		return nil, err
 	}
 	fmt.Printf("E11 — serving latency under concurrent ingest, %d citation records\n", dd.Data.Len())
-	rows, err := servebench.Bench(dd, servebench.Options{})
-	if err != nil {
-		return nil, err
+	var rows []servebench.Row
+	for _, v := range []struct {
+		label string
+		limit int
+	}{
+		{"tracing=off", -1},
+		{"tracing=on", 0},
+	} {
+		got, err := servebench.Bench(dd, servebench.Options{TraceLimit: v.limit, Variant: v.label})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, got...)
 	}
 	servebench.RenderTable(os.Stdout, rows)
 	return rows, nil

@@ -44,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -72,17 +73,36 @@ func main() {
 	role := flag.String("role", "standalone", "node role: standalone, coordinator (partitions queries across -peers), or shard (executes a coordinator's partition)")
 	peers := flag.String("peers", "", "comma-separated shard base URLs (coordinator role only)")
 	shards := flag.Int("shards", 0, "in-process shard count for query pruning (standalone/shard roles; <= 1 disables)")
+	logLevel := flag.String("log", "", "structured JSON request logging to stderr: debug, info, warn, or error (empty disables)")
+	traceLimit := flag.Int("trace-limit", 0, "query traces retained for GET /debug/traces (0 = default ring, negative disables tracing)")
 	flag.Parse()
 
-	if err := run(*addr, *schema, *field, *overlap, *refreshEvery, *maxInFlight, *requestTimeout, *maxBatch, *workers, *in, *smoke, *role, *peers, *shards); err != nil {
+	if err := run(*addr, *schema, *field, *overlap, *refreshEvery, *maxInFlight, *requestTimeout, *maxBatch, *workers, *in, *smoke, *role, *peers, *shards, *logLevel, *traceLimit); err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
 		os.Exit(1)
 	}
 }
 
+// newLogger builds the slog request logger the -log flag selects; an
+// empty level means no logging (the server treats a nil logger as off).
+func newLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log level %q (use debug, info, warn, or error)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
 func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight int,
 	requestTimeout time.Duration, maxBatch, workers int, in string, smoke bool,
-	role, peers string, shards int) error {
+	role, peers string, shards int, logLevel string, traceLimit int) error {
+	logger, err := newLogger(logLevel)
+	if err != nil {
+		return err
+	}
 	var peerList []string
 	if peers != "" {
 		for _, p := range strings.Split(peers, ",") {
@@ -134,6 +154,8 @@ func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight 
 		RequestTimeout: requestTimeout,
 		MaxBatch:       maxBatch,
 		ShardPeers:     peerList,
+		TraceLimit:     traceLimit,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
@@ -260,6 +282,36 @@ func smokeSession(base string) error {
 	}
 	if rk.Result == nil {
 		return fmt.Errorf("rank: empty result")
+	}
+
+	// EXPLAIN + tracing round trip: the explain query must return the
+	// report, name its trace, and that trace must be fetchable in both
+	// the JSON and the Chrome trace_event shapes.
+	var ex server.TopKResponse
+	if err := getJSON(client, base+"/topk?k=2&r=1&explain=1", &ex); err != nil {
+		return fmt.Errorf("topk explain: %w", err)
+	}
+	if ex.Result == nil || ex.Result.Explain == nil {
+		return fmt.Errorf("topk explain: no explain report in result")
+	}
+	if ex.TraceID == "" {
+		return fmt.Errorf("topk explain: no trace_id in response")
+	}
+	var tr server.TraceResponse
+	if err := getJSON(client, base+"/debug/traces?trace="+ex.TraceID, &tr); err != nil {
+		return fmt.Errorf("debug/traces: %w", err)
+	}
+	if len(tr.Spans) == 0 {
+		return fmt.Errorf("debug/traces: no spans recorded for trace %s", ex.TraceID)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := getJSON(client, base+"/debug/traces?trace="+ex.TraceID+"&format=chrome", &chrome); err != nil {
+		return fmt.Errorf("debug/traces chrome: %w", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		return fmt.Errorf("debug/traces chrome: empty trace_event array")
 	}
 
 	var met server.MetricsResponse

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"sort"
 
 	"topkdedup/internal/core"
@@ -51,7 +52,7 @@ func (e *Engine) Dedup() (*DedupResult, error) {
 
 	n := len(groups)
 	lastN := e.levels[len(e.levels)-1].Necessary
-	pairScore, edges := e.scoredCandidates(groups, lastN)
+	pairScore, edges, _ := e.scoredCandidates(context.Background(), groups, lastN)
 	pf := func(i, j int) float64 {
 		if i > j {
 			i, j = j, i

@@ -1,9 +1,11 @@
 package topk
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -81,6 +83,55 @@ type Config struct {
 	// observational only: results are byte-identical with or without a
 	// sink, at every Workers count. The default nil sink costs nothing.
 	Metrics MetricsSink
+	// Tracer, when non-nil, records a causal span tree for every query
+	// this engine answers (see OBSERVABILITY.md "Trace model"): each
+	// TopK/TopKRank call becomes one trace whose spans cover the
+	// per-level collapse/bound/prune phases, prune passes, and the final
+	// scoring steps. Like Metrics it is observational only and byte-
+	// identical results are guaranteed at every Workers and Shards
+	// count; the default nil tracer costs one pointer check per query
+	// and zero allocations (guarded by the tracing benchmarks in
+	// bench_test.go). When a query arrives with an already-traced
+	// context (TopKCtx under a server span), that trace wins and Tracer
+	// is not consulted.
+	Tracer *Tracer
+	// Explain, when true, attaches a per-query EXPLAIN report
+	// (Result.Explain) derived from the query's trace: predicate
+	// evaluation/hit counts per level, groups collapsed and pruned per
+	// Jacobi round, the M lower bound's evolution, and final-phase
+	// similarity evaluation counts. If no Tracer is configured an
+	// ephemeral single-trace recorder is used, so Explain works
+	// standalone.
+	Explain bool
+}
+
+// Tracer is the span-tree recorder of the tracing layer — an alias of
+// the internal obs.Recorder. Create one with NewTracer, assign it to
+// Config.Tracer, and read traces back with Traces/Spans or export them
+// with obs.WriteChromeTrace.
+type Tracer = obs.Recorder
+
+// NewTracer returns a tracer retaining the most recent limit traces
+// (<= 0 selects the default ring size).
+func NewTracer(limit int) *Tracer { return obs.NewRecorder(limit) }
+
+// ExplainReport is the per-query EXPLAIN report — an alias of the
+// internal obs.Explain (see OBSERVABILITY.md "EXPLAIN report schema").
+type ExplainReport = obs.Explain
+
+// SpanRecord is one finished trace span as returned by Tracer.Spans —
+// an alias of the internal obs.SpanRecord.
+type SpanRecord = obs.SpanRecord
+
+// TraceSummary describes one trace retained by a Tracer — an alias of
+// the internal obs.TraceSummary.
+type TraceSummary = obs.TraceSummary
+
+// WriteChromeTrace writes one trace's spans (as returned by
+// Tracer.Spans) as a Chrome trace_event JSON document that
+// chrome://tracing and Perfetto load directly.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	return obs.WriteChromeTrace(w, spans)
 }
 
 // MetricsSink is the observability sink interface of the pipeline — an
@@ -196,49 +247,105 @@ type Result struct {
 	// Exact reports that pruning alone determined the answer (exactly K
 	// groups survived), so Answers has one entry and no scoring ran.
 	Exact bool
+	// Explain is the per-query EXPLAIN report, present only when
+	// Config.Explain is set (or the query ran under a traced context
+	// with Config.Explain set). Wall-clock fields vary run to run;
+	// strip them with Explain.StripTimings before comparing results.
+	Explain *ExplainReport `json:"explain,omitempty"`
 }
 
 // TopK answers the TopK count query: the K groups with the largest
 // aggregate weight, as the R highest-scoring alternatives.
 func (e *Engine) TopK(k, r int) (*Result, error) {
+	return e.TopKCtx(context.Background(), k, r)
+}
+
+// TopKCtx is TopK under a context. When ctx carries an active trace
+// span (a serving handler's), the query's spans join that trace;
+// otherwise Config.Tracer (or, for Config.Explain, an ephemeral
+// recorder) starts a fresh "engine.topk" trace. An untraced context
+// with no tracer configured runs exactly like TopK.
+func (e *Engine) TopKCtx(ctx context.Context, k, r int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
 	}
 	if r < 1 {
 		r = 1
 	}
+	ctx, root := e.startQuerySpan(ctx, "engine.topk")
+	if root != nil {
+		root.Attr("k", float64(k))
+		root.Attr("r", float64(r))
+		root.Attr("shards", float64(e.cfg.Shards))
+		root.Attr("workers", float64(e.cfg.Workers))
+	}
 	sp := obs.StartSpan(e.cfg.Metrics, "engine.topk")
-	defer sp.End()
-	pd, err := e.pruned(k)
+	pd, err := e.prunedCtx(ctx, k)
+	if err != nil {
+		sp.End()
+		root.End()
+		return nil, err
+	}
+	res, err := e.finishTopKCtx(ctx, pd, k, r)
+	sp.End()
+	root.End()
 	if err != nil {
 		return nil, err
 	}
-	return e.finishTopK(pd, k, r)
+	e.attachExplain(res, root)
+	return res, nil
 }
 
-// pruned runs the pruning phases (Algorithm 2 up to the final scoring
+// startQuerySpan opens the query's span: a child when ctx is already
+// traced, else a fresh root trace on Config.Tracer (or an ephemeral
+// recorder when only Config.Explain asks for one). Returns (ctx, nil)
+// when tracing is off entirely — the zero-cost path.
+func (e *Engine) startQuerySpan(ctx context.Context, name string) (context.Context, *obs.TraceSpan) {
+	if obs.SpanFromContext(ctx) != nil {
+		return obs.StartChild(ctx, name)
+	}
+	rec := e.cfg.Tracer
+	if rec == nil && e.cfg.Explain {
+		rec = obs.NewRecorder(1)
+	}
+	if rec == nil {
+		return ctx, nil
+	}
+	return rec.StartTrace(ctx, name)
+}
+
+// attachExplain derives Result.Explain from the finished query trace
+// when Config.Explain asks for it.
+func (e *Engine) attachExplain(res *Result, root *obs.TraceSpan) {
+	if !e.cfg.Explain || root == nil {
+		return
+	}
+	res.Explain = obs.BuildExplain(root.Recorder().Spans(root.TraceID()))
+}
+
+// prunedCtx runs the pruning phases (Algorithm 2 up to the final scoring
 // phase), routed through the sharded coordinator when Config.Shards > 1.
-func (e *Engine) pruned(k int) (*core.Result, error) {
+func (e *Engine) prunedCtx(ctx context.Context, k int) (*core.Result, error) {
 	if e.cfg.Shards > 1 {
-		res, _, err := shard.Run(e.data, nil, e.levels, shard.Options{
+		res, _, err := shard.RunCtx(ctx, e.data, nil, e.levels, shard.Options{
 			K: k, Shards: e.cfg.Shards, PrunePasses: e.cfg.PrunePasses,
 			Workers: e.cfg.Workers, Sink: e.cfg.Metrics,
 		})
 		return res, err
 	}
-	return core.PrunedDedup(e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers, Sink: e.cfg.Metrics})
+	return core.PrunedDedupCtx(ctx, e.data, e.levels, core.Options{K: k, PrunePasses: e.cfg.PrunePasses, Workers: e.cfg.Workers, Sink: e.cfg.Metrics})
 }
 
-// finishTopK turns a pruning result into the query answer, running the
-// final R-best scoring phase when residual ambiguity remains.
-func (e *Engine) finishTopK(pd *core.Result, k, r int) (*Result, error) {
+// finishTopKCtx turns a pruning result into the query answer, running
+// the final R-best scoring phase when residual ambiguity remains.
+func (e *Engine) finishTopKCtx(ctx context.Context, pd *core.Result, k, r int) (*Result, error) {
 	res := &Result{Pruning: pd.Stats, Survivors: len(pd.Groups)}
 	if pd.ExactlyK || e.scorer == nil || len(pd.Groups) <= k {
 		res.Exact = pd.ExactlyK || len(pd.Groups) <= k
 		res.Answers = []Answer{e.groupsToAnswer(pd.Groups, k)}
 		return res, nil
 	}
-	answers, err := e.finalPhase(pd.Groups, k, r)
+	answers, err := e.finalPhase(ctx, pd.Groups, k, r)
 	if err != nil {
 		return nil, err
 	}
@@ -259,15 +366,30 @@ type PrunedResult = core.Result
 // data); the HTTP serving layer's coordinator mode is the intended
 // caller.
 func (e *Engine) TopKFrom(pd *PrunedResult, k, r int) (*Result, error) {
+	return e.TopKFromCtx(context.Background(), pd, k, r)
+}
+
+// TopKFromCtx is TopKFrom under a context, with the same tracing
+// behaviour as TopKCtx (the final-phase spans join the context's trace
+// — or a fresh one from Config.Tracer — alongside the externally run
+// pruning's).
+func (e *Engine) TopKFromCtx(ctx context.Context, pd *PrunedResult, k, r int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
 	}
 	if r < 1 {
 		r = 1
 	}
+	ctx, root := e.startQuerySpan(ctx, "engine.topk")
 	sp := obs.StartSpan(e.cfg.Metrics, "engine.topk")
-	defer sp.End()
-	return e.finishTopK(pd, k, r)
+	res, err := e.finishTopKCtx(ctx, pd, k, r)
+	sp.End()
+	root.End()
+	if err != nil {
+		return nil, err
+	}
+	e.attachExplain(res, root)
+	return res, nil
 }
 
 // TopKRankFrom finishes a §7.1 TopK rank query from an externally
@@ -294,13 +416,19 @@ func (e *Engine) groupsToAnswer(groups []Group, k int) Answer {
 // finalPhase resolves residual ambiguity among the surviving groups:
 // score candidate group pairs with P, embed, and run the R-best
 // segmentation search (paper §5).
-func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
+func (e *Engine) finalPhase(ctx context.Context, groups []Group, k, r int) ([]Answer, error) {
 	n := len(groups)
 	lastN := e.levels[len(e.levels)-1].Necessary
 
 	// Candidate group pairs: those passing the last necessary predicate.
 	scoreSpan := obs.StartSpan(e.cfg.Metrics, "engine.final.score")
-	pairScore, edges := e.scoredCandidates(groups, lastN)
+	_, spScore := obs.StartChild(ctx, "engine.final.score")
+	pairScore, edges, candidatePairs := e.scoredCandidates(ctx, groups, lastN)
+	if spScore != nil {
+		spScore.Attr("candidate_pairs", float64(candidatePairs))
+		spScore.Attr("scored_pairs", float64(len(edges)))
+		spScore.End()
+	}
 	scoreSpan.End()
 	pf := func(i, j int) float64 {
 		if i > j {
@@ -313,7 +441,9 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 	}
 
 	embedSpan := obs.StartSpan(e.cfg.Metrics, "engine.final.embed")
+	_, spEmbed := obs.StartChild(ctx, "engine.final.embed")
 	order := embed.Greedy(n, pf, edges, embed.Options{Alpha: e.cfg.EmbedAlpha})
+	spEmbed.End()
 	embedSpan.End()
 	posPF := func(pi, pj int) float64 { return pf(order[pi], order[pj]) }
 	width := e.cfg.MaxGroupWidth
@@ -336,6 +466,8 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 	rPrime := 6*r + 10
 	segSpan := obs.StartSpan(e.cfg.Metrics, "engine.final.segment")
 	defer segSpan.End()
+	_, spSeg := obs.StartChild(ctx, "engine.final.segment")
+	defer spSeg.End()
 	rankings := segment.BestR(sc, rPrime)
 	if len(rankings) == 0 {
 		return []Answer{e.groupsToAnswer(groups, k)}, nil
@@ -374,8 +506,9 @@ func (e *Engine) finalPhase(groups []Group, k, r int) ([]Answer, error) {
 // pairs are buffered serially from the blocking index, evaluated and
 // scored in parallel (one result slot per pair), and folded back into the
 // map in enumeration order, so the output is identical at every
-// Config.Workers value.
-func (e *Engine) scoredCandidates(groups []Group, lastN Predicate) (map[[2]int]float64, []embed.Edge) {
+// Config.Workers value. It also returns the candidate-pair count (the
+// final phase's similarity-evaluation budget) for the EXPLAIN report.
+func (e *Engine) scoredCandidates(ctx context.Context, groups []Group, lastN Predicate) (map[[2]int]float64, []embed.Edge, int) {
 	n := len(groups)
 	keys := make([][]string, n)
 	for i := range groups {
@@ -393,7 +526,7 @@ func (e *Engine) scoredCandidates(groups []Group, lastN Predicate) (map[[2]int]f
 		ok bool
 	}
 	slots := make([]slot, len(cands))
-	parallel.For(e.cfg.Workers, len(cands), func(t int) {
+	parallel.ForCtx(ctx, e.cfg.Workers, len(cands), func(t int) {
 		c := cands[t]
 		ri, rj := e.data.Recs[groups[c.i].Rep], e.data.Recs[groups[c.j].Rep]
 		if !lastN.Eval(ri, rj) {
@@ -416,7 +549,7 @@ func (e *Engine) scoredCandidates(groups []Group, lastN Predicate) (map[[2]int]f
 	}
 	obs.Count(e.cfg.Metrics, "engine.final.candidate_pairs", int64(len(cands)))
 	obs.Count(e.cfg.Metrics, "engine.final.scored_pairs", int64(len(edges)))
-	return pairScore, edges
+	return pairScore, edges, len(cands)
 }
 
 func logAddExp(a, b float64) float64 {
@@ -488,11 +621,27 @@ type RankResult = rankquery.RankResult
 // on top of the standard TopK pruning. Config.Shards routes the pruning
 // phases through the sharded coordinator just as for TopK.
 func (e *Engine) TopKRank(k int) (*RankResult, error) {
+	return e.TopKRankCtx(context.Background(), k)
+}
+
+// TopKRankCtx is TopKRank under a context, with the same tracing
+// behaviour as TopKCtx: the query runs under an "engine.rank" root span
+// (or joins the context's trace). The sharded path's pruning rounds
+// record the full per-level span tree; the single-machine rank pipeline
+// records the root span only.
+func (e *Engine) TopKRankCtx(ctx context.Context, k int) (*RankResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
+	}
+	ctx, root := e.startQuerySpan(ctx, "engine.rank")
+	if root != nil {
+		root.Attr("k", float64(k))
+		root.Attr("shards", float64(e.cfg.Shards))
+		root.Attr("workers", float64(e.cfg.Workers))
+		defer root.End()
+	}
 	if e.cfg.Shards > 1 {
-		if k < 1 {
-			return nil, fmt.Errorf("topk: K must be >= 1, got %d", k)
-		}
-		pd, err := e.pruned(k)
+		pd, err := e.prunedCtx(ctx, k)
 		if err != nil {
 			return nil, err
 		}

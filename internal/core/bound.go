@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+
 	"topkdedup/internal/graph"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
@@ -45,39 +48,81 @@ func EstimateLowerBound(d *records.Dataset, groups []Group, n predicate.P, k int
 // graph.PrefixController consumes them in rank order and decides when K
 // entities are certified.
 func EstimateLowerBoundWorkers(d *records.Dataset, groups []Group, n predicate.P, k, workers int) (m int, lower float64, evals int64) {
+	m, lower, evals, _ = EstimateLowerBoundCtx(context.Background(), d, groups, n, k, workers)
+	return m, lower, evals
+}
+
+// EstimateLowerBoundCtx is EstimateLowerBoundWorkers under a context:
+// it additionally returns the necessary-predicate hit count (pairs that
+// evaluated true among consumed groups) and, when ctx carries a trace
+// span, wraps the scan in a "core.bound" child span whose "bound.block"
+// events record the M bound's evolution per scan block — the trail the
+// EXPLAIN report renders. An untraced context costs one nil check.
+func EstimateLowerBoundCtx(ctx context.Context, d *records.Dataset, groups []Group, n predicate.P, k, workers int) (m int, lower float64, evals, hits int64) {
 	if len(groups) == 0 || k < 1 {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
+	_, sp := obs.StartChild(ctx, "core.bound")
+	defer func() {
+		if sp != nil {
+			sp.Attr("evals", float64(evals))
+			sp.Attr("hits", float64(hits))
+			sp.Attr("m_rank", float64(m))
+			sp.Attr("m", lower)
+			sp.End()
+		}
+	}()
 	limit := BoundScanLimit(groups, k)
 	sc := NewBoundScanner(d, groups, n, workers)
 	pc := graph.NewPrefixController(k)
+	independentSoFar := 0
+	consumed := 0
 	for sc.Scanned() < limit {
 		count := limit - sc.Scanned()
 		if count > boundBlock {
 			count = boundBlock
 		}
-		flags, pairEvals := sc.Scan(count)
+		flags, pairEvals, pairHits := sc.ScanHits(count)
 		// Consume serially in group order; stop at the first rank where the
 		// CPN bound certifies K entities. Only consumed groups' pairs count
 		// as evaluations, so the counter matches the serial sweep exactly.
 		for bi, independent := range flags {
 			evals += pairEvals[bi]
+			hits += pairHits[bi]
+			consumed++
+			if independent {
+				independentSoFar++
+			}
 			if pc.Feed(independent, sc.CPNAt) {
 				m = pc.ReachedAt()
-				return m, groups[m-1].Weight, evals
+				lower = groups[m-1].Weight
+				if sp != nil {
+					sp.Event("bound.block", obs.Num("scanned", float64(consumed)),
+						obs.Num("independent", float64(independentSoFar)), obs.Num("m", lower))
+				}
+				return m, lower, evals, hits
 			}
+		}
+		if sp != nil {
+			sp.Event("bound.block", obs.Num("scanned", float64(consumed)),
+				obs.Num("independent", float64(independentSoFar)), obs.Num("m", 0))
 		}
 	}
 	if limit < len(groups) {
 		// The scan hit the weight floor or the prefix budget before
 		// certifying K entities; any later M could not pay off.
-		return 0, 0, evals
+		return 0, 0, evals, hits
 	}
 	if pc.Finish(sc.CPNAt) {
 		m = pc.ReachedAt()
-		return m, groups[m-1].Weight, evals
+		lower = groups[m-1].Weight
+		if sp != nil {
+			sp.Event("bound.block", obs.Num("scanned", float64(consumed)),
+				obs.Num("independent", float64(independentSoFar)), obs.Num("m", lower))
+		}
+		return m, lower, evals, hits
 	}
-	return 0, 0, evals
+	return 0, 0, evals, hits
 }
 
 // BoundScanLimit returns how many prefix groups the §4.2 scan may
@@ -157,6 +202,15 @@ func (sc *BoundScanner) Scanned() int { return sc.at }
 // Enumeration is serial (so the bucket/seen state is identical to a
 // plain loop); the block's pair verifications run on the worker pool.
 func (sc *BoundScanner) Scan(count int) (independent []bool, pairEvals []int64) {
+	independent, pairEvals, _ = sc.ScanHits(count)
+	return independent, pairEvals
+}
+
+// ScanHits is Scan returning additionally, per consumed group, how many
+// of its candidate pairs evaluated true (necessary-predicate hits —
+// the edges of the prefix graph). Deterministic at every worker count,
+// like the eval counts.
+func (sc *BoundScanner) ScanHits(count int) (independent []bool, pairEvals, pairHits []int64) {
 	end := sc.at + count
 	if end > len(sc.groups) {
 		end = len(sc.groups)
@@ -190,6 +244,7 @@ func (sc *BoundScanner) Scan(count int) (independent []bool, pairEvals []int64) 
 
 	independent = make([]bool, end-sc.at)
 	pairEvals = make([]int64, end-sc.at)
+	pairHits = make([]int64, end-sc.at)
 	for bi := 0; bi < end-sc.at; bi++ {
 		lo, hi := sc.pairStart[bi], sc.pairStart[bi+1]
 		pairEvals[bi] = int64(hi - lo)
@@ -199,10 +254,11 @@ func (sc *BoundScanner) Scan(count int) (independent []bool, pairEvals []int64) 
 				sc.nbrs = append(sc.nbrs, int(sc.pairs[t].gj))
 			}
 		}
+		pairHits[bi] = int64(len(sc.nbrs))
 		independent[bi] = sc.lp.Add(sc.nbrs)
 	}
 	sc.at = end
-	return independent, pairEvals
+	return independent, pairEvals, pairHits
 }
 
 // CPNAt returns the Algorithm-1 CPN lower bound of the first prefix

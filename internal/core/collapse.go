@@ -40,6 +40,15 @@ func Collapse(d *records.Dataset, groups []Group, s predicate.P) ([]Group, int64
 // membership, and the eval counter — is identical for every worker
 // count.
 func CollapseWorkers(d *records.Dataset, groups []Group, s predicate.P, workers int) ([]Group, int64) {
+	merged, evals, _ := CollapseWorkersHits(d, groups, s, workers)
+	return merged, evals
+}
+
+// CollapseWorkersHits is CollapseWorkers returning additionally the
+// sufficient-predicate hit count — how many evaluations returned true
+// (and so contributed a union). Hits, like evals, are deterministic at
+// every worker count; the EXPLAIN layer reports them per level.
+func CollapseWorkersHits(d *records.Dataset, groups []Group, s predicate.P, workers int) ([]Group, int64, int64) {
 	n := len(groups)
 	keys := make([][]string, n)
 	for i := range groups {
@@ -47,7 +56,7 @@ func CollapseWorkers(d *records.Dataset, groups []Group, s predicate.P, workers 
 	}
 	ix := index.Build(n, func(i int) []string { return keys[i] })
 	uf := dsu.New(n)
-	var evals int64
+	var evals, hits int64
 
 	type pair struct{ a, b int32 }
 	buf := make([]pair, 0, collapseChunk)
@@ -74,6 +83,7 @@ func CollapseWorkers(d *records.Dataset, groups []Group, s predicate.P, workers 
 		// worker count.
 		for k, t := range todo {
 			if verdict[k] {
+				hits++
 				p := buf[t]
 				uf.Union(int(p.a), int(p.b))
 			}
@@ -90,7 +100,7 @@ func CollapseWorkers(d *records.Dataset, groups []Group, s predicate.P, workers 
 	flush()
 
 	if uf.Components() == n {
-		return groups, evals // nothing merged
+		return groups, evals, hits // nothing merged
 	}
 	merged := make([]Group, 0, uf.Components())
 	for _, members := range uf.GroupSlices() {
@@ -112,5 +122,5 @@ func CollapseWorkers(d *records.Dataset, groups []Group, s predicate.P, workers 
 		g.Rep = groups[best].Rep
 		merged = append(merged, g)
 	}
-	return merged, evals
+	return merged, evals, hits
 }

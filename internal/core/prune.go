@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -64,21 +65,43 @@ func PruneWorkers(d *records.Dataset, groups []Group, n predicate.P, m float64, 
 // globally, which is what keeps sharded survivors byte-identical to this
 // single-machine loop.
 func PruneWorkersObs(d *records.Dataset, groups []Group, n predicate.P, m float64, passes, workers int, sink obs.Sink) (alive []Group, evals int64) {
+	alive, evals, _ = PruneCtx(context.Background(), d, groups, n, m, passes, workers, sink)
+	return alive, evals
+}
+
+// PruneCtx is PruneWorkersObs under a context: it additionally returns
+// the necessary-predicate hit count (confirmed neighbours across all
+// passes) and, when ctx carries a trace span, wraps the phase in a
+// "core.prune" child span (with one "core.prune.pass" span per Jacobi
+// round) annotated with the counts the EXPLAIN report renders. An
+// untraced context costs one nil check.
+func PruneCtx(ctx context.Context, d *records.Dataset, groups []Group, n predicate.P, m float64, passes, workers int, sink obs.Sink) (alive []Group, evals, hits int64) {
 	if m <= 0 || len(groups) == 0 {
-		return groups, 0
+		return groups, 0, 0
 	}
 	if passes < 1 {
 		passes = 2
 	}
+	ctx, sp := obs.StartChild(ctx, "core.prune")
 	p := NewPruner(d, groups, n, m, workers, sink)
 	for pass := 0; pass < passes; pass++ {
-		pruned, passEvals := p.Pass()
+		pruned, passEvals, passHits := p.PassCtx(ctx)
 		evals += passEvals
+		hits += passHits
 		if pruned == 0 {
 			break
 		}
 	}
-	return p.Alive(), evals
+	alive = p.Alive()
+	if sp != nil {
+		sp.Attr("m", m)
+		sp.Attr("evals", float64(evals))
+		sp.Attr("hits", float64(hits))
+		sp.Attr("stage0_pruned", float64(p.Stage0Pruned()))
+		sp.Attr("survivors", float64(len(alive)))
+		sp.End()
+	}
+	return alive, evals, hits
 }
 
 // Pruner is the stateful form of the §4.3 prune step. NewPruner runs the
@@ -99,13 +122,16 @@ type Pruner struct {
 	workers int
 	sink    obs.Sink
 
-	keys      [][]string
-	ix        *index.Index
-	u         []float64
-	live      []bool
-	scratches []pruneScratch
-	evalCount []int64
-	die       []bool
+	keys         [][]string
+	ix           *index.Index
+	u            []float64
+	live         []bool
+	scratches    []pruneScratch
+	evalCount    []int64
+	hitCount     []int64
+	die          []bool
+	stage0Pruned int
+	passNum      int
 }
 
 type pruneScratch struct {
@@ -217,24 +243,26 @@ func NewPruner(d *records.Dataset, groups []Group, n predicate.P, m float64, wor
 		}
 	}
 
-	if sink != nil {
-		dead := 0
-		for _, ok := range p.live {
-			if !ok {
-				dead++
-			}
+	for _, ok := range p.live {
+		if !ok {
+			p.stage0Pruned++
 		}
-		obs.Observe(sink, "core.prune.stage0.pruned", float64(dead))
 	}
+	obs.Observe(sink, "core.prune.stage0.pruned", float64(p.stage0Pruned))
 	nWorkers := parallel.Resolve(workers)
 	p.scratches = make([]pruneScratch, nWorkers)
 	for w := range p.scratches {
 		p.scratches[w].stamp = index.NewStamp(ng)
 	}
 	p.evalCount = make([]int64, ng)
+	p.hitCount = make([]int64, ng)
 	p.die = make([]bool, ng)
 	return p
 }
+
+// Stage0Pruned returns how many groups the evaluation-free stage-0
+// cascades killed during construction.
+func (p *Pruner) Stage0Pruned() int { return p.stage0Pruned }
 
 // AliveCount returns how many groups are currently unpruned.
 func (p *Pruner) AliveCount() int {
@@ -279,6 +307,18 @@ func (p *Pruner) Alive() []Group {
 // Early-stopped bounds are stored as exactly M ("at least M"), which
 // keeps both comparisons truthful.
 func (p *Pruner) Pass() (pruned int, evals int64) {
+	pruned, evals, _ = p.PassCtx(context.Background())
+	return pruned, evals
+}
+
+// PassCtx is Pass under a context: it additionally returns the pass's
+// confirmed-neighbour hit count and, when ctx carries a trace span,
+// wraps the pass in a "core.prune.pass" child span annotated with the
+// round number and its eval/hit/pruned counts. An untraced context
+// costs one nil check.
+func (p *Pruner) PassCtx(ctx context.Context) (pruned int, evals, hits int64) {
+	p.passNum++
+	ctx, sp := obs.StartChild(ctx, "core.prune.pass")
 	groups, m := p.groups, p.m
 	passStart := time.Time{}
 	if p.sink != nil {
@@ -288,9 +328,10 @@ func (p *Pruner) Pass() (pruned int, evals int64) {
 	copy(next, p.u)
 	for i := range p.evalCount {
 		p.evalCount[i] = 0
+		p.hitCount[i] = 0
 		p.die[i] = false
 	}
-	parallel.ForWorker(p.workers, len(groups), func(wk, i int) {
+	parallel.ForWorkerCtx(ctx, p.workers, len(groups), func(wk, i int) {
 		if !p.live[i] {
 			return
 		}
@@ -332,6 +373,7 @@ func (p *Pruner) Pass() (pruned int, evals int64) {
 				j := int(j32)
 				p.evalCount[i]++
 				if p.n.Eval(repI, p.d.Recs[groups[j].Rep]) {
+					p.hitCount[i]++
 					ub += groups[j].Weight
 					if ub >= m {
 						ub = m // "at least M": survival certain
@@ -354,6 +396,7 @@ func (p *Pruner) Pass() (pruned int, evals int64) {
 	// order on the calling goroutine.
 	for i := range groups {
 		evals += p.evalCount[i]
+		hits += p.hitCount[i]
 		if p.die[i] {
 			p.live[i] = false
 			pruned++
@@ -364,8 +407,15 @@ func (p *Pruner) Pass() (pruned int, evals int64) {
 		obs.Observe(p.sink, "core.prune.pass.pruned", float64(pruned))
 		obs.ObserveSince(p.sink, "core.prune.pass", passStart)
 	}
+	if sp != nil {
+		sp.Attr("round", float64(p.passNum))
+		sp.Attr("evals", float64(evals))
+		sp.Attr("hits", float64(hits))
+		sp.Attr("pruned", float64(pruned))
+		sp.End()
+	}
 	p.u = next
-	return pruned, evals
+	return pruned, evals, hits
 }
 
 // prunePass0Rounds caps the evaluation-free bucket-total refinement

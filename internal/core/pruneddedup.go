@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,13 +38,21 @@ type Options struct {
 // the input — are what the final expensive deduplication (criterion P +
 // R-best search, §5) operates on.
 func PrunedDedup(d *records.Dataset, levels []predicate.Level, opts Options) (*Result, error) {
+	return PrunedDedupCtx(context.Background(), d, levels, opts)
+}
+
+// PrunedDedupCtx is PrunedDedup under a context. When ctx carries a
+// trace span (see internal/obs), every level and phase records child
+// spans annotated with the counts the EXPLAIN report is built from; an
+// untraced context adds one nil check per phase and nothing else.
+func PrunedDedupCtx(ctx context.Context, d *records.Dataset, levels []predicate.Level, opts Options) (*Result, error) {
 	if d.Len() == 0 {
 		if opts.K < 1 {
 			return nil, fmt.Errorf("core: K must be >= 1, got %d", opts.K)
 		}
 		return &Result{}, nil
 	}
-	return PrunedDedupFrom(d, singletonGroups(d), levels, opts)
+	return PrunedDedupFromCtx(ctx, d, singletonGroups(d), levels, opts)
 }
 
 // PrunedDedupFrom runs Algorithm 2 starting from an existing grouping
@@ -53,6 +62,12 @@ func PrunedDedup(d *records.Dataset, levels []predicate.Level, opts Options) (*R
 // its groups here at query time, so only the K-dependent phases are paid
 // per query.
 func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Level, opts Options) (*Result, error) {
+	return PrunedDedupFromCtx(context.Background(), d, groups, levels, opts)
+}
+
+// PrunedDedupFromCtx is PrunedDedupFrom under a context, with the same
+// optional tracing as PrunedDedupCtx.
+func PrunedDedupFromCtx(ctx context.Context, d *records.Dataset, groups []Group, levels []predicate.Level, opts Options) (*Result, error) {
 	if opts.K < 1 {
 		return nil, fmt.Errorf("core: K must be >= 1, got %d", opts.K)
 	}
@@ -73,10 +88,22 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 	res := &Result{TotalRecords: total}
 	for li, level := range levels {
 		stats := LevelStats{Level: li + 1}
+		ctxL, spL := obs.StartChild(ctx, "core.level")
+		spL.Attr("level", float64(li+1))
 
 		start := time.Now()
-		groups, stats.CollapseEvals = CollapseWorkers(d, groups, level.Sufficient, opts.Workers)
+		before := len(groups)
+		_, spC := obs.StartChild(ctxL, "core.collapse")
+		var collapseHits int64
+		groups, stats.CollapseEvals, collapseHits = CollapseWorkersHits(d, groups, level.Sufficient, opts.Workers)
 		sortGroupsByWeight(groups)
+		if spC != nil {
+			spC.Attr("evals", float64(stats.CollapseEvals))
+			spC.Attr("hits", float64(collapseHits))
+			spC.Attr("groups_before", float64(before))
+			spC.Attr("groups_after", float64(len(groups)))
+			spC.End()
+		}
 		stats.CollapseTime = time.Since(start)
 		stats.NGroups = len(groups)
 		stats.NGroupsPct = pct(len(groups))
@@ -86,7 +113,7 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 
 		start = time.Now()
 		var m float64
-		stats.MRank, m, stats.BoundEvals = EstimateLowerBoundWorkers(d, groups, level.Necessary, opts.K, opts.Workers)
+		stats.MRank, m, stats.BoundEvals, _ = EstimateLowerBoundCtx(ctxL, d, groups, level.Necessary, opts.K, opts.Workers)
 		stats.BoundTime = time.Since(start)
 		stats.LowerBound = m
 		obs.ObserveDuration(sink, "core.bound", stats.BoundTime)
@@ -95,7 +122,7 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 		obs.Gauge(sink, "core.bound.lower", m)
 
 		start = time.Now()
-		groups, stats.PruneEvals = PruneWorkersObs(d, groups, level.Necessary, m, passes, opts.Workers, sink)
+		groups, stats.PruneEvals, _ = PruneCtx(ctxL, d, groups, level.Necessary, m, passes, opts.Workers, sink)
 		stats.PruneTime = time.Since(start)
 		stats.Survivors = len(groups)
 		stats.SurvivorsPct = pct(len(groups))
@@ -105,6 +132,7 @@ func PrunedDedupFrom(d *records.Dataset, groups []Group, levels []predicate.Leve
 
 		res.Stats = append(res.Stats, stats)
 		obs.Count(sink, "core.levels", 1)
+		spL.End()
 		if len(groups) == opts.K {
 			res.ExactlyK = true
 			obs.Count(sink, "core.exactly_k", 1)

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: renders one trace's spans in the JSON
+// format chrome://tracing and Perfetto load directly. Each pipeline
+// node (0 = coordinator / single process, s+1 = shard s) becomes one
+// "process" row; spans become complete ("X") events with microsecond
+// timestamps, so a stitched multi-shard query reads as parallel
+// per-shard timelines under the coordinator's.
+
+// chromeEvent is one entry of the trace_event JSON array. Complete
+// events carry Ts/Dur; metadata events ("M") carry Args only.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level trace_event JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// nodeLabel names a node's process row in the trace viewer.
+func nodeLabel(node int) string {
+	if node == 0 {
+		return "coordinator"
+	}
+	return fmt.Sprintf("shard %d", node-1)
+}
+
+// WriteChromeTrace writes spans (one trace, as returned by
+// Recorder.Spans) as a Chrome trace_event JSON document. Timestamps are
+// absolute unix microseconds; attributes and events are carried in each
+// slice's args so they show in the viewer's detail pane.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	file := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	nodes := map[int]bool{}
+	for _, s := range spans {
+		if !nodes[s.Node] {
+			nodes[s.Node] = true
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: s.Node,
+				Args: map[string]any{"name": nodeLabel(s.Node)},
+			})
+		}
+		args := map[string]any{
+			"span":   s.ID.String(),
+			"parent": s.Parent.String(),
+		}
+		for _, a := range s.Attrs {
+			if a.Str != "" {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Num
+			}
+		}
+		for i, ev := range s.Events {
+			evArgs := map[string]any{"at_us": float64(ev.At) / 1e3}
+			for _, a := range ev.Attrs {
+				if a.Str != "" {
+					evArgs[a.Key] = a.Str
+				} else {
+					evArgs[a.Key] = a.Num
+				}
+			}
+			args[fmt.Sprintf("event.%d.%s", i, ev.Name)] = evArgs
+		}
+		dur := float64(s.Dur) / 1e3
+		if dur <= 0 {
+			// The viewer drops zero-width complete events; keep them
+			// visible at the format's resolution.
+			dur = 0.001
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: s.Name, Ph: "X", Pid: s.Node, Tid: 0,
+			Ts: float64(s.Start) / 1e3, Dur: dur, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

@@ -156,12 +156,18 @@ func (d Dist) Mean() float64 {
 // accurate to within one octave — good enough for the p50/p99 latency
 // summaries of the serving layer's /metrics endpoint, not for
 // fine-grained comparisons. The result is clamped to [Min, Max], so
-// q=0 returns Min and q=1 returns Max exactly. Returns 0 when empty.
+// q=0 returns Min and q=1 returns Max exactly. Returns 0 when empty; a
+// NaN q is treated as 0 (clamped to Min) rather than poisoning the
+// walk, and a single-sample distribution returns that sample at every
+// q.
 func (d Dist) Quantile(q float64) float64 {
 	if d.Count == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if d.Count == 1 || d.Min == d.Max {
+		return d.Min
+	}
+	if !(q > 0) { // also catches NaN
 		return d.Min
 	}
 	if q >= 1 {

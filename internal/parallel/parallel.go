@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,26 @@ const grain = 32
 // runs inline on the calling goroutine.
 func For(workers, n int, body func(i int)) {
 	ForWorker(workers, n, func(_, i int) { body(i) })
+}
+
+// ForCtx is For under a context: when ctx carries an active trace span
+// (see internal/obs), the loop is wrapped in one "parallel.for" child
+// span annotated with the task count and resolved worker bound. An
+// untraced context adds a single nil check — no allocation, no clock
+// read — so the hot path stays identical to For.
+func ForCtx(ctx context.Context, workers, n int, body func(i int)) {
+	ForWorkerCtx(ctx, workers, n, func(_, i int) { body(i) })
+}
+
+// ForWorkerCtx is ForWorker under a context, with the same optional
+// "parallel.for" loop span as ForCtx.
+func ForWorkerCtx(ctx context.Context, workers, n int, body func(worker, i int)) {
+	if _, sp := obs.StartChild(ctx, "parallel.for"); sp != nil {
+		sp.Attr("n", float64(n))
+		sp.Attr("workers", float64(Resolve(workers)))
+		defer sp.End()
+	}
+	ForWorker(workers, n, body)
 }
 
 // ForWorker is For with the worker's identity passed to the body, so

@@ -29,6 +29,7 @@ import (
 // issued, unlike the /metrics histogram estimates.
 type Row struct {
 	Endpoint  string        `json:"endpoint"`
+	Variant   string        `json:"variant,omitempty"` // e.g. "tracing=off"
 	Requests  int           `json:"requests"`
 	Throttled int           `json:"throttled,omitempty"` // 429 responses
 	P50       time.Duration `json:"p50_ns"`
@@ -47,6 +48,13 @@ type Options struct {
 	K int
 	// RefreshEvery is the server's snapshot policy (0 = every batch).
 	RefreshEvery int
+	// TraceLimit is passed through to server.Config.TraceLimit: 0 keeps
+	// the server's default trace ring, negative disables tracing. The
+	// serve experiment runs the bench at both settings to measure the
+	// tracing layer's serving-path overhead.
+	TraceLimit int
+	// Variant labels the produced rows (e.g. "tracing=off").
+	Variant string
 }
 
 func (o *Options) defaults() {
@@ -86,6 +94,7 @@ func Bench(dd *experiments.DomainData, opts Options) ([]Row, error) {
 		Levels:       dd.Domain.Levels,
 		Scorer:       scorer,
 		RefreshEvery: opts.RefreshEvery,
+		TraceLimit:   opts.TraceLimit,
 	})
 	if err != nil {
 		return nil, err
@@ -234,6 +243,7 @@ func Bench(dd *experiments.DomainData, opts Options) ([]Row, error) {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		rows = append(rows, Row{
 			Endpoint:  name,
+			Variant:   opts.Variant,
 			Requests:  len(lat),
 			Throttled: throttled[name],
 			// Nearest-rank on the same (len-1)-scaled index for both
@@ -259,9 +269,13 @@ func fieldValues(schema []string, r *topk.Record) []string {
 
 // RenderTable prints the serving benchmark's latency summary.
 func RenderTable(w io.Writer, rows []Row) {
-	tbl := eval.NewTable("endpoint", "requests", "throttled", "p50", "p99", "max")
+	tbl := eval.NewTable("endpoint", "variant", "requests", "throttled", "p50", "p99", "max")
 	for _, r := range rows {
-		tbl.AddRow(r.Endpoint, r.Requests, r.Throttled,
+		variant := r.Variant
+		if variant == "" {
+			variant = "-"
+		}
+		tbl.AddRow(r.Endpoint, variant, r.Requests, r.Throttled,
 			r.P50.Round(10*time.Microsecond).String(),
 			r.P99.Round(10*time.Microsecond).String(),
 			r.Max.Round(10*time.Microsecond).String())

@@ -26,8 +26,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -87,6 +89,15 @@ type Config struct {
 	// ShardClient is the HTTP client for coordinator→shard calls (nil
 	// selects a client with the server's RequestTimeout per call).
 	ShardClient *http.Client
+	// TraceLimit sizes the ring of recent query traces kept for
+	// GET /debug/traces: 0 keeps the default (obs.DefaultTraceLimit),
+	// a negative value disables tracing entirely (queries then run the
+	// engine's zero-cost untraced path and /debug/traces answers 404).
+	TraceLimit int
+	// Logger, when non-nil, receives structured request logs (one line
+	// per query with the trace and span IDs attached, plus debug lines
+	// per guarded endpoint). nil disables logging.
+	Logger *slog.Logger
 }
 
 func (c *Config) defaults() error {
@@ -123,6 +134,8 @@ type epoch struct {
 type Server struct {
 	cfg     Config
 	metrics *obs.Collector
+	tracer  *obs.Recorder // nil when Config.TraceLimit < 0
+	logger  *slog.Logger
 	sem     chan struct{}
 
 	mu      sync.Mutex // write side: acc, pending, publication
@@ -152,10 +165,14 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		metrics:       obs.NewCollector(),
+		logger:        cfg.Logger,
 		sem:           make(chan struct{}, cfg.MaxInFlight),
 		acc:           acc,
 		shardSessions: make(map[string]*shardSession),
 		shardClient:   cfg.ShardClient,
+	}
+	if cfg.TraceLimit >= 0 {
+		s.tracer = obs.NewRecorder(cfg.TraceLimit)
 	}
 	if s.shardClient == nil {
 		timeout := cfg.RequestTimeout
@@ -172,6 +189,42 @@ func New(cfg Config) (*Server, error) {
 // latency histograms, ingest counters, and the per-query core.* phase
 // metrics (the same data GET /metrics serves).
 func (s *Server) Metrics() *obs.Collector { return s.metrics }
+
+// Tracer exposes the server's trace recorder (nil when tracing is
+// disabled via Config.TraceLimit < 0) — the same data GET /debug/traces
+// serves.
+func (s *Server) Tracer() *obs.Recorder { return s.tracer }
+
+// traceCtx opens the root span of one query request: adopting the
+// caller's trace when a valid Traceparent header is present (the
+// coordinator→peer case), else starting a fresh trace. Returns
+// (r.Context(), nil) when tracing is disabled — the zero-cost path.
+func (s *Server) traceCtx(r *http.Request, name string) (context.Context, *obs.TraceSpan) {
+	if s.tracer == nil {
+		return r.Context(), nil
+	}
+	if tid, sid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		return obs.StartChild(s.tracer.Adopt(r.Context(), tid, sid), name)
+	}
+	return s.tracer.StartTrace(r.Context(), name)
+}
+
+// shardSpan opens the handler-side span of one /shard/* operation. It
+// records ONLY under an adopted caller trace (a missing, stripped, or
+// garbled Traceparent header leaves the operation untraced rather than
+// starting a throwaway local trace — graceful degradation: the
+// coordinator's stitched trace is merely partial, the query result is
+// untouched).
+func (s *Server) shardSpan(r *http.Request, name string) (context.Context, *obs.TraceSpan) {
+	if s.tracer == nil {
+		return r.Context(), nil
+	}
+	tid, sid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if !ok {
+		return r.Context(), nil
+	}
+	return obs.StartChild(s.tracer.Adopt(r.Context(), tid, sid), name)
+}
 
 // Records returns the write-side record count (including records not
 // yet visible to queries because no snapshot has been published since).
@@ -242,10 +295,12 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/shard/prune", s.guard("shard.prune", http.MethodPost, s.handleShardPrune))
 	mux.Handle("/shard/groups", s.guard("shard.groups", http.MethodPost, s.handleShardGroups))
 	mux.Handle("/shard/close", s.guard("shard.close", http.MethodPost, s.handleShardClose))
-	// Health and metrics bypass the slot pool and timeout: they must
-	// answer even when the query path is saturated.
+	// Health, metrics, and traces bypass the slot pool and timeout: they
+	// must answer even when the query path is saturated (and the shard
+	// coordinator stitches traces right after heavy queries).
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	return mux
 }
 
@@ -274,6 +329,9 @@ func (s *Server) guard(name, method string, h http.HandlerFunc) http.Handler {
 		h(w, r)
 		s.metrics.Count("server.http."+name+".requests", 1)
 		s.metrics.Observe("server.http."+name+".seconds", time.Since(start).Seconds())
+		if s.logger != nil {
+			s.logger.Debug("request", "endpoint", name, "seconds", time.Since(start).Seconds())
+		}
 	})
 	if s.cfg.RequestTimeout <= 0 {
 		return inner
@@ -394,6 +452,9 @@ type TopKResponse struct {
 	// bytes are identical to marshalling topk.Engine.TopK run over the
 	// same records in one shot — the differential tests' contract.
 	Result *topk.Result `json:"result"`
+	// TraceID names the query's trace (fetch the span tree from
+	// /debug/traces?trace=<id>); empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -411,25 +472,43 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be >= 1")
 		return
 	}
+	explain := r.URL.Query().Get("explain") == "1"
+	ctx, root := s.traceCtx(r, "server.topk")
+	if root != nil {
+		root.Attr("k", float64(k))
+		root.Attr("r", float64(rr))
+	}
+	start := time.Now()
 	ep := s.epoch.Load()
 	var res *topk.Result
 	if len(s.cfg.ShardPeers) > 0 {
-		pd, perr := s.shardedPruned(ep, k)
+		pd, perr := s.shardedPruned(ctx, ep, k)
 		if perr != nil {
+			root.End()
 			writeError(w, http.StatusBadGateway, "shard peers: "+perr.Error())
 			return
 		}
-		res, err = s.queryEngine(ep).TopKFrom(pd, k, rr)
+		res, err = s.queryEngine(ep, explain).TopKFromCtx(ctx, pd, k, rr)
 	} else {
-		res, err = s.queryEngine(ep).TopK(k, rr)
+		res, err = s.queryEngine(ep, explain).TopKCtx(ctx, k, rr)
 	}
+	root.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, TopKResponse{
+	resp := TopKResponse{
 		K: k, R: rr, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res,
-	})
+	}
+	if root != nil {
+		resp.TraceID = root.TraceID().String()
+	}
+	if s.logger != nil {
+		s.logger.Info("topk query", "k", k, "r", rr,
+			"snapshot_seq", ep.seq, "seconds", time.Since(start).Seconds(),
+			"trace", resp.TraceID, "span", root.SpanID().String())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // RankResponse is the GET /rank body: a §7 rank-query result over the
@@ -455,7 +534,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "t must be a positive number")
 			return
 		}
-		res, err := s.queryEngine(ep).ThresholdedRank(t)
+		res, err := s.queryEngine(ep, false).ThresholdedRank(t)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -474,21 +553,33 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Result: &topk.RankResult{}})
 		return
 	}
+	ctx, root := s.traceCtx(r, "server.rank")
+	if root != nil {
+		root.Attr("k", float64(k))
+	}
+	start := time.Now()
 	var res *topk.RankResult
 	var err2 error
 	if len(s.cfg.ShardPeers) > 0 {
-		pd, perr := s.shardedPruned(ep, k)
+		pd, perr := s.shardedPruned(ctx, ep, k)
 		if perr != nil {
+			root.End()
 			writeError(w, http.StatusBadGateway, "shard peers: "+perr.Error())
 			return
 		}
-		res, err2 = s.queryEngine(ep).TopKRankFrom(pd, k)
+		res, err2 = s.queryEngine(ep, false).TopKRankFrom(pd, k)
 	} else {
-		res, err2 = s.queryEngine(ep).TopKRank(k)
+		res, err2 = s.queryEngine(ep, false).TopKRankCtx(ctx, k)
 	}
+	root.End()
 	if err2 != nil {
 		writeError(w, http.StatusInternalServerError, err2.Error())
 		return
+	}
+	if s.logger != nil && root != nil {
+		s.logger.Info("rank query", "k", k, "snapshot_seq", ep.seq,
+			"seconds", time.Since(start).Seconds(),
+			"trace", root.TraceID().String(), "span", root.SpanID().String())
 	}
 	writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res})
 }
@@ -496,9 +587,13 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 // queryEngine builds the per-query engine over an epoch's frozen
 // dataset. Engines are cheap stateless wrappers; every query gets a
 // fresh one so epochs can be garbage collected as they age out.
-func (s *Server) queryEngine(ep *epoch) *topk.Engine {
+// explain turns on the engine's per-query EXPLAIN report (the
+// ?explain=1 form); the query's spans land in the server's tracer via
+// the traced request context, not via Config.Tracer.
+func (s *Server) queryEngine(ep *epoch, explain bool) *topk.Engine {
 	cfg := s.cfg.Engine
 	cfg.Metrics = s.metrics
+	cfg.Explain = explain
 	return topk.New(ep.snap.Dataset(), s.cfg.Levels, s.cfg.Scorer, cfg)
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -29,9 +30,11 @@ type shardSession struct {
 // shardedPruned runs one query's pruning phases over the configured
 // shard peers: partition the epoch's snapshot, ship the parts, drive
 // the bound-exchange protocol, gather the survivors. The result feeds
-// Engine.TopKFrom / TopKRankFrom.
-func (s *Server) shardedPruned(ep *epoch, k int) (*topk.PrunedResult, error) {
-	pd, _, err := shard.RunHTTP(ep.snap.Dataset(), nil, s.cfg.Levels, s.cfg.ShardPeers, s.shardClient, shard.Options{
+// Engine.TopKFrom / TopKRankFrom. When ctx carries a trace span the
+// whole exchange — including each peer's handler spans, stitched back
+// after the run — lands in that trace.
+func (s *Server) shardedPruned(ctx context.Context, ep *epoch, k int) (*topk.PrunedResult, error) {
+	pd, _, err := shard.RunHTTPCtx(ctx, ep.snap.Dataset(), nil, s.cfg.Levels, s.cfg.ShardPeers, s.shardClient, shard.Options{
 		K: k, PrunePasses: s.cfg.Engine.PrunePasses, Workers: s.cfg.Engine.Workers, Sink: s.metrics,
 	})
 	return pd, err
@@ -53,18 +56,22 @@ func (s *Server) getShardSession(id string) (*shardSession, error) {
 // builds the session's worker against this node's own levels, and
 // registers it, evicting the least recently used session past the cap.
 func (s *Server) handleShardLoad(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.shardSpan(r, "shard.worker.load")
 	var req shard.LoadRequest
 	body := http.MaxBytesReader(w, r.Body, 256<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		sp.End()
 		writeError(w, http.StatusBadRequest, "bad load body: "+err.Error())
 		return
 	}
 	if req.Session == "" {
+		sp.End()
 		writeError(w, http.StatusBadRequest, "session is required")
 		return
 	}
 	worker, err := shard.NewWorkerFromLoad(&req, s.cfg.Schema, s.cfg.Levels, s.metrics)
 	if err != nil {
+		sp.End()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -84,48 +91,59 @@ func (s *Server) handleShardLoad(w http.ResponseWriter, r *http.Request) {
 	s.shardMu.Unlock()
 	s.metrics.Count("server.shard.sessions.opened", 1)
 	s.metrics.Gauge("server.shard.sessions.active", float64(active))
+	sp.Attr("records", float64(len(req.Records)))
+	sp.End()
 	writeJSON(w, http.StatusOK, shard.LoadResponse{Records: len(req.Records), Groups: len(req.Groups)})
 }
 
 func (s *Server) handleShardCollapse(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.shardSpan(r, "shard.worker.collapse")
 	var req shard.CollapseRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		sp.End()
 		writeError(w, http.StatusBadRequest, "bad collapse body: "+err.Error())
 		return
 	}
 	if req.Level < 0 || req.Level >= len(s.cfg.Levels) {
+		sp.End()
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("level %d out of range for %d configured levels", req.Level, len(s.cfg.Levels)))
 		return
 	}
 	ss, err := s.getShardSession(req.Session)
 	if err != nil {
+		sp.End()
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	ss.mu.Lock()
-	metas, evals := ss.worker.Collapse(req.Level)
+	metas, before, evals, hits := ss.worker.Collapse(req.Level)
 	ss.mu.Unlock()
-	writeJSON(w, http.StatusOK, shard.CollapseResponse{Groups: metas, Evals: evals})
+	sp.End()
+	writeJSON(w, http.StatusOK, shard.CollapseResponse{Groups: metas, Evals: evals, Hits: hits, Before: before})
 }
 
 func (s *Server) handleShardBounds(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.shardSpan(r, "shard.worker.bounds")
 	var req shard.BoundsRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		sp.End()
 		writeError(w, http.StatusBadRequest, "bad bounds body: "+err.Error())
 		return
 	}
 	ss, err := s.getShardSession(req.Session)
 	if err != nil {
+		sp.End()
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	defer sp.End()
 	switch req.Op {
 	case shard.BoundsScan:
-		flags, evals := ss.worker.BoundScan(req.Count)
-		writeJSON(w, http.StatusOK, shard.BoundsResponse{Independent: flags, Evals: evals})
+		flags, evals, hits := ss.worker.BoundScan(req.Count)
+		writeJSON(w, http.StatusOK, shard.BoundsResponse{Independent: flags, Evals: evals, Hits: hits})
 	case shard.BoundsCPN:
 		writeJSON(w, http.StatusOK, shard.BoundsResponse{CPN: ss.worker.BoundCPN(req.Prefix)})
 	default:
@@ -134,24 +152,28 @@ func (s *Server) handleShardBounds(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleShardPrune(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := s.shardSpan(r, "shard.worker.prune")
 	var req shard.PruneRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		sp.End()
 		writeError(w, http.StatusBadRequest, "bad prune body: "+err.Error())
 		return
 	}
 	ss, err := s.getShardSession(req.Session)
 	if err != nil {
+		sp.End()
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	defer sp.End()
 	switch req.Op {
 	case shard.PruneStart:
 		writeJSON(w, http.StatusOK, shard.PruneResponse{Alive: ss.worker.PruneStart(req.M)})
 	case shard.PrunePass:
-		pruned, evals := ss.worker.PrunePass()
-		writeJSON(w, http.StatusOK, shard.PruneResponse{Alive: ss.worker.AliveCount(), Pruned: pruned, Evals: evals})
+		pruned, evals, hits := ss.worker.PrunePass(ctx)
+		writeJSON(w, http.StatusOK, shard.PruneResponse{Alive: ss.worker.AliveCount(), Pruned: pruned, Evals: evals, Hits: hits})
 	case shard.PruneFinish:
 		groups := ss.worker.PruneFinish()
 		writeJSON(w, http.StatusOK, shard.PruneResponse{Groups: groups, Alive: ss.worker.AliveCount()})
@@ -161,25 +183,31 @@ func (s *Server) handleShardPrune(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleShardGroups(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.shardSpan(r, "shard.worker.groups")
 	var req shard.GroupsRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		sp.End()
 		writeError(w, http.StatusBadRequest, "bad groups body: "+err.Error())
 		return
 	}
 	ss, err := s.getShardSession(req.Session)
 	if err != nil {
+		sp.End()
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	ss.mu.Lock()
 	groups := ss.worker.Groups()
 	ss.mu.Unlock()
+	sp.End()
 	writeJSON(w, http.StatusOK, shard.GroupsResponse{Groups: groups})
 }
 
 func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
+	_, sp := s.shardSpan(r, "shard.worker.close")
 	var req shard.CloseRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		sp.End()
 		writeError(w, http.StatusBadRequest, "bad close body: "+err.Error())
 		return
 	}
@@ -189,5 +217,6 @@ func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
 	active := len(s.shardSessions)
 	s.shardMu.Unlock()
 	s.metrics.Gauge("server.shard.sessions.active", float64(active))
+	sp.End()
 	writeJSON(w, http.StatusOK, shard.CloseResponse{Closed: existed})
 }

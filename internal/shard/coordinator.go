@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -65,7 +66,13 @@ type RunStats struct {
 // core.PrunedDedupFrom on the unpartitioned input (groups, order,
 // per-level NGroups/MRank/LowerBound/Survivors, ExactlyK); eval counters
 // and wall times are aggregated per shard and may differ.
-func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Result, *RunStats, error) {
+//
+// When ctx carries a trace span, the coordinator records a
+// shard.exchange span with one shard.level child per level, whose
+// shard.collapse/shard.bound/shard.prune children carry the exact attr
+// keys of their core.* single-machine counterparts — so obs.BuildExplain
+// reads both pipeline shapes identically. Tracing is observational only.
+func Exchange(ctx context.Context, t Transport, nlevels, totalRecords int, opts Options) (*core.Result, *RunStats, error) {
 	k := opts.K
 	passes := opts.PrunePasses
 	if passes <= 0 {
@@ -79,32 +86,52 @@ func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Resul
 	}
 	pct := func(n int) float64 { return 100 * float64(n) / float64(totalRecords) }
 
+	ctx, spX := obs.StartChild(ctx, "shard.exchange")
+	if spX != nil {
+		spX.Attr("shards", float64(t.Shards()))
+		defer spX.End()
+	}
+
 	var merged []core.Group // rank-ordered metadata: Rep + Weight only
 	var shardOf []int32
 	for li := 0; li < nlevels; li++ {
 		stats := core.LevelStats{Level: li + 1}
 		lx := LevelExchange{Level: li + 1}
+		ctxL, spL := obs.StartChild(ctx, "shard.level")
+		spL.Attr("level", float64(li+1))
 
 		start := time.Now()
+		ctxC, spC := obs.StartChild(ctxL, "shard.collapse")
 		collapses, err := fanOut(t.Shards(), rs, func(s int) (*CollapseResponse, error) {
-			return t.Collapse(s, li)
+			return t.Collapse(ctxC, s, li)
 		})
 		if err != nil {
 			return nil, rs, err
 		}
 		var metas [][]GroupMeta
+		var collapseHits int64
+		groupsBefore := 0
 		for _, c := range collapses {
 			metas = append(metas, c.Groups)
 			stats.CollapseEvals += c.Evals
+			collapseHits += c.Hits
+			groupsBefore += c.Before
 		}
 		merged, shardOf = mergeMetas(metas)
+		if spC != nil {
+			spC.Attr("evals", float64(stats.CollapseEvals))
+			spC.Attr("hits", float64(collapseHits))
+			spC.Attr("groups_before", float64(groupsBefore))
+			spC.Attr("groups_after", float64(len(merged)))
+			spC.End()
+		}
 		stats.CollapseTime = time.Since(start)
 		stats.NGroups = len(merged)
 		stats.NGroupsPct = pct(len(merged))
 		obs.ObserveDuration(sink, "shard.collapse", stats.CollapseTime)
 
 		start = time.Now()
-		stats.MRank, stats.LowerBound, stats.BoundEvals, err = exchangeBounds(t, merged, shardOf, k, rs, &lx)
+		stats.MRank, stats.LowerBound, stats.BoundEvals, err = exchangeBounds(ctxL, t, merged, shardOf, k, rs, &lx)
 		if err != nil {
 			return nil, rs, err
 		}
@@ -116,12 +143,24 @@ func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Resul
 		obs.Gauge(sink, "shard.bound.m", stats.LowerBound)
 
 		start = time.Now()
+		ctxP, spP := obs.StartChild(ctxL, "shard.prune")
+		preCount := len(merged)
+		stage0 := 0
+		var pruneHits int64
 		if stats.LowerBound > 0 {
-			if _, err := fanOut(t.Shards(), rs, func(s int) (*PruneResponse, error) {
-				return t.Prune(s, &PruneRequest{Op: PruneStart, M: stats.LowerBound})
-			}); err != nil {
+			starts, err := fanOut(t.Shards(), rs, func(s int) (*PruneResponse, error) {
+				return t.Prune(ctxP, s, &PruneRequest{Op: PruneStart, M: stats.LowerBound})
+			})
+			if err != nil {
 				return nil, rs, err
 			}
+			alive := 0
+			for _, r := range starts {
+				alive += r.Alive
+			}
+			// Stage-0 kills are evaluation-free cascades inside PruneStart;
+			// the coordinator sees them as merged-before minus Σ alive.
+			stage0 = preCount - alive
 			// Coordinated Jacobi rounds: one pass everywhere per round;
 			// stop only when a whole round kills nothing anywhere. A
 			// shard cannot stop on its own — a pass with no local kills
@@ -130,27 +169,39 @@ func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Resul
 			// here, so the stop rule must be global to match the
 			// single-machine loop.
 			for pass := 0; pass < passes; pass++ {
+				ctxR, spR := obs.StartChild(ctxP, "shard.prune.round")
 				rounds, err := fanOut(t.Shards(), rs, func(s int) (*PruneResponse, error) {
-					return t.Prune(s, &PruneRequest{Op: PrunePass})
+					return t.Prune(ctxR, s, &PruneRequest{Op: PrunePass})
 				})
 				if err != nil {
 					return nil, rs, err
 				}
 				pruned := 0
+				var roundEvals, roundHits int64
 				for _, r := range rounds {
 					pruned += r.Pruned
-					stats.PruneEvals += r.Evals
+					roundEvals += r.Evals
+					roundHits += r.Hits
 				}
+				stats.PruneEvals += roundEvals
+				pruneHits += roundHits
 				lx.PruneRounds++
 				lx.PrunedPerRound = append(lx.PrunedPerRound, pruned)
 				obs.Observe(sink, "shard.prune.round.pruned", float64(pruned))
+				if spR != nil {
+					spR.Attr("round", float64(pass+1))
+					spR.Attr("evals", float64(roundEvals))
+					spR.Attr("hits", float64(roundHits))
+					spR.Attr("pruned", float64(pruned))
+					spR.End()
+				}
 				if pruned == 0 {
 					break
 				}
 			}
 		}
 		finishes, err := fanOut(t.Shards(), rs, func(s int) (*PruneResponse, error) {
-			return t.Prune(s, &PruneRequest{Op: PruneFinish})
+			return t.Prune(ctxP, s, &PruneRequest{Op: PruneFinish})
 		})
 		if err != nil {
 			return nil, rs, err
@@ -160,6 +211,14 @@ func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Resul
 			metas = append(metas, f.Groups)
 		}
 		merged, shardOf = mergeMetas(metas)
+		if spP != nil {
+			spP.Attr("m", stats.LowerBound)
+			spP.Attr("evals", float64(stats.PruneEvals))
+			spP.Attr("hits", float64(pruneHits))
+			spP.Attr("stage0_pruned", float64(stage0))
+			spP.Attr("survivors", float64(len(merged)))
+			spP.End()
+		}
 		stats.PruneTime = time.Since(start)
 		stats.Survivors = len(merged)
 		stats.SurvivorsPct = pct(len(merged))
@@ -171,6 +230,7 @@ func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Resul
 		res.Stats = append(res.Stats, stats)
 		rs.Levels = append(rs.Levels, lx)
 		obs.Count(sink, "shard.levels", 1)
+		spL.End()
 		if len(merged) == k {
 			res.ExactlyK = true
 			break
@@ -181,7 +241,7 @@ func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Resul
 	// rank order (identical to sorting the unpartitioned survivor list:
 	// the (weight, rep) comparator sees the exact same values).
 	gathers, err := fanOut(t.Shards(), rs, func(s int) (*GroupsResponse, error) {
-		return t.Groups(s)
+		return t.Groups(ctx, s)
 	})
 	if err != nil {
 		return nil, rs, err
@@ -209,9 +269,28 @@ func Exchange(t Transport, nlevels, totalRecords int, opts Options) (*core.Resul
 // the per-shard eliminations. The controller therefore traverses the
 // exact decision sequence of the single-machine scan and certifies the
 // same rank m and bound M.
-func exchangeBounds(t Transport, merged []core.Group, shardOf []int32, k int, rs *RunStats, lx *LevelExchange) (mRank int, lower float64, evals int64, err error) {
+func exchangeBounds(ctx context.Context, t Transport, merged []core.Group, shardOf []int32, k int, rs *RunStats, lx *LevelExchange) (mRank int, lower float64, evals int64, err error) {
 	if len(merged) == 0 || k < 1 {
 		return 0, 0, 0, nil
+	}
+	var hits int64
+	independentSoFar := 0
+	consumed := 0
+	ctx, sp := obs.StartChild(ctx, "shard.bound")
+	defer func() {
+		if sp != nil {
+			sp.Attr("evals", float64(evals))
+			sp.Attr("hits", float64(hits))
+			sp.Attr("m_rank", float64(mRank))
+			sp.Attr("m", lower)
+			sp.End()
+		}
+	}()
+	blockEvent := func(m float64) {
+		if sp != nil {
+			sp.Event("bound.block", obs.Num("scanned", float64(consumed)),
+				obs.Num("independent", float64(independentSoFar)), obs.Num("m", m))
+		}
 	}
 	limit := core.BoundScanLimit(merged, k)
 	pc := graph.NewPrefixController(k)
@@ -235,7 +314,7 @@ func exchangeBounds(t Transport, merged []core.Group, shardOf []int32, k int, rs
 			if counts[s] == 0 {
 				return &BoundsResponse{}, nil
 			}
-			return t.Bounds(s, &BoundsRequest{Op: BoundsCPN, Prefix: counts[s]})
+			return t.Bounds(ctx, s, &BoundsRequest{Op: BoundsCPN, Prefix: counts[s]})
 		})
 		if ferr != nil {
 			cpnErr = ferr
@@ -270,7 +349,7 @@ func exchangeBounds(t Transport, merged []core.Group, shardOf []int32, k int, rs
 			if counts[s] == 0 {
 				return &BoundsResponse{}, nil
 			}
-			return t.Bounds(s, &BoundsRequest{Op: BoundsScan, Count: counts[s]})
+			return t.Bounds(ctx, s, &BoundsRequest{Op: BoundsScan, Count: counts[s]})
 		})
 		if ferr != nil {
 			return 0, 0, evals, ferr
@@ -278,21 +357,29 @@ func exchangeBounds(t Transport, merged []core.Group, shardOf []int32, k int, rs
 		lx.BoundRounds++
 		for s, r := range resps {
 			evals += r.Evals
+			hits += r.Hits
 			idx[s] = 0
 		}
 		for r := scanned; r < blockEnd; r++ {
 			s := shardOf[r]
 			independent := resps[s].Independent[idx[s]]
 			idx[s]++
+			consumed++
+			if independent {
+				independentSoFar++
+			}
 			reached := pc.Feed(independent, fullCPN)
 			if cpnErr != nil {
 				return 0, 0, evals, cpnErr
 			}
 			if reached {
 				mRank = pc.ReachedAt()
-				return mRank, merged[mRank-1].Weight, evals, nil
+				lower = merged[mRank-1].Weight
+				blockEvent(lower)
+				return mRank, lower, evals, nil
 			}
 		}
+		blockEvent(0)
 		scanned = blockEnd
 	}
 	if limit == len(merged) && pc.Finish(fullCPN) {
@@ -300,7 +387,9 @@ func exchangeBounds(t Transport, merged []core.Group, shardOf []int32, k int, rs
 			return 0, 0, evals, cpnErr
 		}
 		mRank = pc.ReachedAt()
-		return mRank, merged[mRank-1].Weight, evals, nil
+		lower = merged[mRank-1].Weight
+		blockEvent(lower)
+		return mRank, lower, evals, nil
 	}
 	if cpnErr != nil {
 		return 0, 0, evals, cpnErr

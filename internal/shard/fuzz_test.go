@@ -170,7 +170,7 @@ func FuzzBoundMerge(f *testing.F) {
 			metas := make([][]GroupMeta, len(part.Parts))
 			for i, p := range part.Parts {
 				workers[i] = NewWorker(d, nil, p.Groups, levels, Options{K: k, Workers: 1})
-				metas[i], _ = workers[i].Collapse(0)
+				metas[i], _, _, _ = workers[i].Collapse(0)
 			}
 			merged, shardOf := mergeMetas(metas)
 			if len(merged) != len(entities) {

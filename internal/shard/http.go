@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -93,13 +94,23 @@ func (h *HTTP) Shards() int { return len(h.peers) }
 
 // post sends one JSON request to a shard's endpoint and decodes the JSON
 // answer, counting both bodies into shard.transport.bytes. Non-2xx
-// answers are surfaced as errors with the node's error message.
-func (h *HTTP) post(shard int, path string, req, resp any) error {
+// answers are surfaced as errors with the node's error message. When ctx
+// carries a trace span, its traceparent rides along as a header so the
+// shard node's handler spans join the coordinator's trace.
+func (h *HTTP) post(ctx context.Context, shard int, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("shard: encode %s: %w", path, err)
 	}
-	r, err := h.client.Post(h.peers[shard]+path, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.peers[shard]+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("shard %d: %s: %w", shard, path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if tp := obs.Traceparent(ctx); tp != "" {
+		hreq.Header.Set(obs.TraceparentHeader, tp)
+	}
+	r, err := h.client.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("shard %d: %s: %w", shard, path, err)
 	}
@@ -128,7 +139,7 @@ func (h *HTTP) post(shard int, path string, req, resp any) error {
 // (ascending global ID, remapped to local indices) and the initial
 // groups, opening the transport's session on every node. The partition
 // must have exactly one part per peer.
-func (h *HTTP) LoadParts(d *records.Dataset, parts *Partition, opts Options) error {
+func (h *HTTP) LoadParts(ctx context.Context, d *records.Dataset, parts *Partition, opts Options) error {
 	if len(parts.Parts) != len(h.peers) {
 		return fmt.Errorf("shard: %d partition parts for %d peers", len(parts.Parts), len(h.peers))
 	}
@@ -164,7 +175,7 @@ func (h *HTTP) LoadParts(d *records.Dataset, parts *Partition, opts Options) err
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			errs[s] = h.post(s, "/shard/load", reqs[s], &LoadResponse{})
+			errs[s] = h.post(ctx, s, "/shard/load", reqs[s], &LoadResponse{})
 		}(s)
 	}
 	wg.Wait()
@@ -177,40 +188,40 @@ func (h *HTTP) LoadParts(d *records.Dataset, parts *Partition, opts Options) err
 }
 
 // Collapse implements Transport over /shard/collapse.
-func (h *HTTP) Collapse(shard, level int) (*CollapseResponse, error) {
+func (h *HTTP) Collapse(ctx context.Context, shard, level int) (*CollapseResponse, error) {
 	resp := &CollapseResponse{}
-	if err := h.post(shard, "/shard/collapse", &CollapseRequest{Session: h.session, Level: level}, resp); err != nil {
+	if err := h.post(ctx, shard, "/shard/collapse", &CollapseRequest{Session: h.session, Level: level}, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
 // Bounds implements Transport over /shard/bounds.
-func (h *HTTP) Bounds(shard int, req *BoundsRequest) (*BoundsResponse, error) {
+func (h *HTTP) Bounds(ctx context.Context, shard int, req *BoundsRequest) (*BoundsResponse, error) {
 	r := *req
 	r.Session = h.session
 	resp := &BoundsResponse{}
-	if err := h.post(shard, "/shard/bounds", &r, resp); err != nil {
+	if err := h.post(ctx, shard, "/shard/bounds", &r, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
 // Prune implements Transport over /shard/prune.
-func (h *HTTP) Prune(shard int, req *PruneRequest) (*PruneResponse, error) {
+func (h *HTTP) Prune(ctx context.Context, shard int, req *PruneRequest) (*PruneResponse, error) {
 	r := *req
 	r.Session = h.session
 	resp := &PruneResponse{}
-	if err := h.post(shard, "/shard/prune", &r, resp); err != nil {
+	if err := h.post(ctx, shard, "/shard/prune", &r, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
 // Groups implements Transport over /shard/groups.
-func (h *HTTP) Groups(shard int) (*GroupsResponse, error) {
+func (h *HTTP) Groups(ctx context.Context, shard int) (*GroupsResponse, error) {
 	resp := &GroupsResponse{}
-	if err := h.post(shard, "/shard/groups", &GroupsRequest{Session: h.session}, resp); err != nil {
+	if err := h.post(ctx, shard, "/shard/groups", &GroupsRequest{Session: h.session}, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -221,11 +232,47 @@ func (h *HTTP) Groups(shard int) (*GroupsResponse, error) {
 func (h *HTTP) Close() error {
 	var first error
 	for s := range h.peers {
-		if err := h.post(s, "/shard/close", &CloseRequest{Session: h.session}, &CloseResponse{}); err != nil && first == nil {
+		if err := h.post(context.Background(), s, "/shard/close", &CloseRequest{Session: h.session}, &CloseResponse{}); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// GatherTraces stitches a distributed trace together: when ctx carries
+// a trace span, it fetches each peer's recorded spans for the trace
+// from GET /debug/traces?trace=<id> and imports them into the span's
+// Recorder under node = peer index + 1. Fetch and decode errors are
+// tolerated per peer — the trace simply stays partial for that node;
+// the query result is never affected.
+func (h *HTTP) GatherTraces(ctx context.Context) {
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil || sp.Recorder() == nil {
+		return
+	}
+	tid := sp.TraceID()
+	for s, peer := range h.peers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/debug/traces?trace="+tid.String(), nil)
+		if err != nil {
+			continue
+		}
+		r, err := h.client.Do(req)
+		if err != nil {
+			continue
+		}
+		data, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil || r.StatusCode != http.StatusOK {
+			continue
+		}
+		var tr struct {
+			Spans []obs.SpanRecord `json:"spans"`
+		}
+		if json.Unmarshal(data, &tr) != nil {
+			continue
+		}
+		sp.Recorder().Import(tr.Spans, s+1)
+	}
 }
 
 // RunHTTP executes the full sharded pipeline against remote shard
@@ -235,6 +282,17 @@ func (h *HTTP) Close() error {
 // Options.Shards is ignored — the shard count is the peer count. The
 // result carries the same byte-identity guarantee as Run.
 func RunHTTP(d *records.Dataset, groups []core.Group, levels []predicate.Level, peers []string, client *http.Client, opts Options) (*core.Result, *RunStats, error) {
+	return RunHTTPCtx(context.Background(), d, groups, levels, peers, client, opts)
+}
+
+// RunHTTPCtx is RunHTTP under a context. When ctx carries a trace span,
+// every /shard/* call ships its traceparent, and after the exchange the
+// coordinator fetches each peer's recorded spans and stitches them into
+// one trace (GatherTraces) — so a multi-node query yields a single
+// causal span tree. Peers that strip or garble the header, or fail the
+// trace fetch, simply leave their part of the trace missing; the query
+// result is unchanged.
+func RunHTTPCtx(ctx context.Context, d *records.Dataset, groups []core.Group, levels []predicate.Level, peers []string, client *http.Client, opts Options) (*core.Result, *RunStats, error) {
 	if opts.K < 1 {
 		return nil, nil, fmt.Errorf("shard: K must be >= 1, got %d", opts.K)
 	}
@@ -254,10 +312,11 @@ func RunHTTP(d *records.Dataset, groups []core.Group, levels []predicate.Level, 
 		return nil, nil, err
 	}
 	defer h.Close()
-	if err := h.LoadParts(d, parts, opts); err != nil {
+	if err := h.LoadParts(ctx, d, parts, opts); err != nil {
 		return nil, nil, err
 	}
-	res, rs, err := Exchange(h, len(levels), d.Len(), opts)
+	res, rs, err := Exchange(ctx, h, len(levels), d.Len(), opts)
+	h.GatherTraces(ctx)
 	if rs != nil {
 		rs.Components = parts.Components
 	}

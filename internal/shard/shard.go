@@ -39,6 +39,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"topkdedup/internal/core"
@@ -73,6 +74,14 @@ type Options struct {
 // result is byte-identical to core.PrunedDedupFrom on the same inputs at
 // every shard count; RunStats reports the coordination work.
 func Run(d *records.Dataset, groups []core.Group, levels []predicate.Level, opts Options) (*core.Result, *RunStats, error) {
+	return RunCtx(context.Background(), d, groups, levels, opts)
+}
+
+// RunCtx is Run under a context. When ctx carries a trace span (see
+// internal/obs), the coordinator's exchange and the in-process workers'
+// operations record child spans into the trace; an untraced context
+// costs one nil check per coordinator step and nothing else.
+func RunCtx(ctx context.Context, d *records.Dataset, groups []core.Group, levels []predicate.Level, opts Options) (*core.Result, *RunStats, error) {
 	if opts.K < 1 {
 		return nil, nil, fmt.Errorf("shard: K must be >= 1, got %d", opts.K)
 	}
@@ -93,7 +102,7 @@ func Run(d *records.Dataset, groups []core.Group, levels []predicate.Level, opts
 	obs.Gauge(opts.Sink, "shard.partition.components", float64(parts.Components))
 	t := NewInProcess(d, parts, levels, opts)
 	defer t.Close()
-	res, rs, err := Exchange(t, len(levels), d.Len(), opts)
+	res, rs, err := Exchange(ctx, t, len(levels), d.Len(), opts)
 	if rs != nil {
 		rs.Components = parts.Components
 	}

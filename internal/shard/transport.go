@@ -1,8 +1,10 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
+	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 )
@@ -13,22 +15,28 @@ import (
 // distinct shard indices (calls for one shard never overlap). The two
 // implementations are NewInProcess (direct Worker calls in one address
 // space) and NewHTTP (the /shard/* endpoints of internal/server).
+//
+// Every call takes the coordinator's context: when it carries a trace
+// span (see internal/obs), the in-process transport wraps each worker
+// operation in a shard.worker.* span, and the HTTP transport forwards
+// the span as a Traceparent header so remote nodes record their side of
+// the work into the same trace (stitched back by RunHTTPCtx).
 type Transport interface {
 	// Shards returns the shard count S; shard indices are 0..S-1.
 	Shards() int
 	// Collapse runs the given 0-based level's sufficient-predicate
 	// collapse on one shard and returns the shard's re-sorted group
 	// metadata.
-	Collapse(shard, level int) (*CollapseResponse, error)
+	Collapse(ctx context.Context, shard, level int) (*CollapseResponse, error)
 	// Bounds runs one bound-exchange sub-operation (a scan block or a
 	// prefix-CPN probe) on one shard.
-	Bounds(shard int, req *BoundsRequest) (*BoundsResponse, error)
+	Bounds(ctx context.Context, shard int, req *BoundsRequest) (*BoundsResponse, error)
 	// Prune runs one prune sub-operation (start, one Jacobi pass, or
 	// finish) on one shard.
-	Prune(shard int, req *PruneRequest) (*PruneResponse, error)
+	Prune(ctx context.Context, shard int, req *PruneRequest) (*PruneResponse, error)
 	// Groups fetches one shard's surviving groups with full member lists
 	// in global record IDs.
-	Groups(shard int) (*GroupsResponse, error)
+	Groups(ctx context.Context, shard int) (*GroupsResponse, error)
 	// Close releases per-query shard state (remote sessions); the
 	// transport is unusable afterwards.
 	Close() error
@@ -52,6 +60,10 @@ type CollapseResponse struct {
 	Groups []GroupMeta `json:"groups"`
 	// Evals counts the sufficient-predicate pairs the collapse verified.
 	Evals int64 `json:"evals"`
+	// Hits counts the pairs that evaluated true and merged.
+	Hits int64 `json:"hits,omitempty"`
+	// Before is the shard's group count entering the collapse.
+	Before int `json:"before,omitempty"`
 }
 
 // Bounds operations.
@@ -84,6 +96,8 @@ type BoundsResponse struct {
 	Independent []bool `json:"independent,omitempty"`
 	// Evals counts the necessary-predicate pairs the scan evaluated.
 	Evals int64 `json:"evals,omitempty"`
+	// Hits counts the pairs that evaluated true (prefix-graph edges).
+	Hits int64 `json:"hits,omitempty"`
 	// CPN is the prefix bound (BoundsCPN).
 	CPN int `json:"cpn,omitempty"`
 }
@@ -119,6 +133,8 @@ type PruneResponse struct {
 	Pruned int `json:"pruned,omitempty"`
 	// Evals counts the necessary-predicate pairs the pass evaluated.
 	Evals int64 `json:"evals,omitempty"`
+	// Hits counts the pairs that evaluated true (confirmed neighbours).
+	Hits int64 `json:"hits,omitempty"`
 	// Groups is the surviving metadata (PruneFinish).
 	Groups []GroupMeta `json:"groups,omitempty"`
 }
@@ -161,19 +177,35 @@ func NewInProcess(d *records.Dataset, parts *Partition, levels []predicate.Level
 // Shards returns the shard count.
 func (t *InProcess) Shards() int { return len(t.ws) }
 
+// workerSpan opens one shard.worker.* span tagged with the shard index
+// (the per-shard wall-time unit of the EXPLAIN report). The remote
+// transport's equivalent spans are recorded handler-side and tagged by
+// node at stitch time instead.
+func workerSpan(ctx context.Context, name string, shard int) (context.Context, *obs.TraceSpan) {
+	ctx, sp := obs.StartChild(ctx, name)
+	if sp != nil {
+		sp.Attr("shard", float64(shard))
+	}
+	return ctx, sp
+}
+
 // Collapse implements Transport by direct Worker call.
-func (t *InProcess) Collapse(shard, level int) (*CollapseResponse, error) {
-	metas, evals := t.ws[shard].Collapse(level)
-	return &CollapseResponse{Groups: metas, Evals: evals}, nil
+func (t *InProcess) Collapse(ctx context.Context, shard, level int) (*CollapseResponse, error) {
+	_, sp := workerSpan(ctx, "shard.worker.collapse", shard)
+	metas, before, evals, hits := t.ws[shard].Collapse(level)
+	sp.End()
+	return &CollapseResponse{Groups: metas, Evals: evals, Hits: hits, Before: before}, nil
 }
 
 // Bounds implements Transport by direct Worker call.
-func (t *InProcess) Bounds(shard int, req *BoundsRequest) (*BoundsResponse, error) {
+func (t *InProcess) Bounds(ctx context.Context, shard int, req *BoundsRequest) (*BoundsResponse, error) {
 	w := t.ws[shard]
 	switch req.Op {
 	case BoundsScan:
-		flags, evals := w.BoundScan(req.Count)
-		return &BoundsResponse{Independent: flags, Evals: evals}, nil
+		_, sp := workerSpan(ctx, "shard.worker.bounds", shard)
+		flags, evals, hits := w.BoundScan(req.Count)
+		sp.End()
+		return &BoundsResponse{Independent: flags, Evals: evals, Hits: hits}, nil
 	case BoundsCPN:
 		return &BoundsResponse{CPN: w.BoundCPN(req.Prefix)}, nil
 	}
@@ -181,14 +213,19 @@ func (t *InProcess) Bounds(shard int, req *BoundsRequest) (*BoundsResponse, erro
 }
 
 // Prune implements Transport by direct Worker call.
-func (t *InProcess) Prune(shard int, req *PruneRequest) (*PruneResponse, error) {
+func (t *InProcess) Prune(ctx context.Context, shard int, req *PruneRequest) (*PruneResponse, error) {
 	w := t.ws[shard]
 	switch req.Op {
 	case PruneStart:
-		return &PruneResponse{Alive: w.PruneStart(req.M)}, nil
+		_, sp := workerSpan(ctx, "shard.worker.prune", shard)
+		alive := w.PruneStart(req.M)
+		sp.End()
+		return &PruneResponse{Alive: alive}, nil
 	case PrunePass:
-		pruned, evals := w.PrunePass()
-		return &PruneResponse{Alive: w.AliveCount(), Pruned: pruned, Evals: evals}, nil
+		ctxW, sp := workerSpan(ctx, "shard.worker.prune", shard)
+		pruned, evals, hits := w.PrunePass(ctxW)
+		sp.End()
+		return &PruneResponse{Alive: w.AliveCount(), Pruned: pruned, Evals: evals, Hits: hits}, nil
 	case PruneFinish:
 		return &PruneResponse{Groups: w.PruneFinish(), Alive: w.AliveCount()}, nil
 	}
@@ -196,8 +233,11 @@ func (t *InProcess) Prune(shard int, req *PruneRequest) (*PruneResponse, error) 
 }
 
 // Groups implements Transport by direct Worker call.
-func (t *InProcess) Groups(shard int) (*GroupsResponse, error) {
-	return &GroupsResponse{Groups: t.ws[shard].Groups()}, nil
+func (t *InProcess) Groups(ctx context.Context, shard int) (*GroupsResponse, error) {
+	_, sp := workerSpan(ctx, "shard.worker.groups", shard)
+	g := t.ws[shard].Groups()
+	sp.End()
+	return &GroupsResponse{Groups: g}, nil
 }
 
 // Close implements Transport; in-process workers need no teardown.

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"topkdedup/internal/core"
@@ -159,32 +160,33 @@ func (w *Worker) meta() []GroupMeta {
 
 // Collapse runs the 0-based level's sufficient-predicate collapse over
 // the worker's current grouping, re-sorts into local rank order, resets
-// any bound/prune state, and returns the new metadata plus the pairs
-// verified.
-func (w *Worker) Collapse(level int) ([]GroupMeta, int64) {
+// any bound/prune state, and returns the new metadata plus the group
+// count entering the collapse and the pairs verified/merged.
+func (w *Worker) Collapse(level int) (metas []GroupMeta, before int, evals, hits int64) {
 	w.level = level
-	var evals int64
-	w.groups, evals = core.CollapseWorkers(w.data, w.groups, w.levels[level].Sufficient, w.workers)
+	before = len(w.groups)
+	w.groups, evals, hits = core.CollapseWorkersHits(w.data, w.groups, w.levels[level].Sufficient, w.workers)
 	core.SortGroupsByWeight(w.groups)
 	w.scanner = nil
 	w.pruner = nil
-	return w.meta(), evals
+	return w.meta(), before, evals, hits
 }
 
 // BoundScan consumes the worker's next count groups in local rank order
 // and returns their greedy-independence verdicts plus the
-// necessary-predicate pairs evaluated. The scanner is created lazily on
-// the first call after a Collapse.
-func (w *Worker) BoundScan(count int) ([]bool, int64) {
+// necessary-predicate pairs evaluated and hit. The scanner is created
+// lazily on the first call after a Collapse.
+func (w *Worker) BoundScan(count int) ([]bool, int64, int64) {
 	if w.scanner == nil {
 		w.scanner = core.NewBoundScanner(w.data, w.groups, w.levels[w.level].Necessary, w.workers)
 	}
-	flags, pairEvals := w.scanner.Scan(count)
-	var evals int64
-	for _, e := range pairEvals {
-		evals += e
+	flags, pairEvals, pairHits := w.scanner.ScanHits(count)
+	var evals, hits int64
+	for i := range pairEvals {
+		evals += pairEvals[i]
+		hits += pairHits[i]
 	}
-	return flags, evals
+	return flags, evals, hits
 }
 
 // BoundCPN returns the Algorithm-1 CPN lower bound of the worker's first
@@ -209,12 +211,13 @@ func (w *Worker) PruneStart(m float64) int {
 }
 
 // PrunePass runs one exact Jacobi refinement pass, returning the groups
-// killed and the pairs evaluated (zeros when pruning is disabled).
-func (w *Worker) PrunePass() (pruned int, evals int64) {
+// killed and the pairs evaluated/hit (zeros when pruning is disabled).
+// A traced ctx records the pass's core.prune.pass span into the trace.
+func (w *Worker) PrunePass(ctx context.Context) (pruned int, evals, hits int64) {
 	if w.pruner == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return w.pruner.Pass()
+	return w.pruner.PassCtx(ctx)
 }
 
 // AliveCount returns the worker's current unpruned group count.

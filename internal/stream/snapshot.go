@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"time"
 
 	"topkdedup/internal/core"
@@ -93,16 +94,24 @@ func (s *Snapshot) Groups() []core.Group {
 // through the sharded coordinator, with the same byte-identity
 // guarantee.
 func (s *Snapshot) TopK(k, workers int, sink obs.Sink) (*core.Result, error) {
+	return s.TopKCtx(context.Background(), k, workers, sink)
+}
+
+// TopKCtx is TopK under a context: with a traced ctx a stream.topk
+// child span wraps the query and the pruning phases record beneath it.
+func (s *Snapshot) TopKCtx(ctx context.Context, k, workers int, sink obs.Sink) (*core.Result, error) {
 	if s.data.Len() == 0 {
 		return &core.Result{}, nil
 	}
 	sp := obs.StartSpan(sink, "stream.topk")
 	defer sp.End()
+	ctx, tsp := obs.StartChild(ctx, "stream.topk")
+	defer tsp.End()
 	if s.shards > 1 {
-		res, _, err := shard.Run(s.data, s.Groups(), s.levels, shard.Options{
+		res, _, err := shard.RunCtx(ctx, s.data, s.Groups(), s.levels, shard.Options{
 			K: k, Shards: s.shards, Workers: workers, Sink: sink,
 		})
 		return res, err
 	}
-	return core.PrunedDedupFrom(s.data, s.Groups(), s.levels, core.Options{K: k, Workers: workers, Sink: sink})
+	return core.PrunedDedupFromCtx(ctx, s.data, s.Groups(), s.levels, core.Options{K: k, Workers: workers, Sink: sink})
 }

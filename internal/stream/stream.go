@@ -13,6 +13,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -168,16 +169,26 @@ func (inc *Incremental) Groups() []core.Group {
 // incremental collapse feeds core.PrunedDedupFrom, so only the
 // K-dependent phases run now.
 func (inc *Incremental) TopK(k int) (*core.Result, error) {
+	return inc.TopKCtx(context.Background(), k)
+}
+
+// TopKCtx is TopK under a context. When ctx carries a trace span (see
+// internal/obs), a stream.topk child span wraps the query and the
+// K-dependent phases record their own spans beneath it; an untraced
+// context adds no work.
+func (inc *Incremental) TopKCtx(ctx context.Context, k int) (*core.Result, error) {
 	if inc.data.Len() == 0 {
 		return &core.Result{}, nil
 	}
 	sp := obs.StartSpan(inc.sink, "stream.topk")
 	defer sp.End()
+	ctx, tsp := obs.StartChild(ctx, "stream.topk")
+	defer tsp.End()
 	if inc.shards > 1 {
-		res, _, err := shard.Run(inc.data, inc.Groups(), inc.levels, shard.Options{
+		res, _, err := shard.RunCtx(ctx, inc.data, inc.Groups(), inc.levels, shard.Options{
 			K: k, Shards: inc.shards, Workers: inc.workers, Sink: inc.sink,
 		})
 		return res, err
 	}
-	return core.PrunedDedupFrom(inc.data, inc.Groups(), inc.levels, core.Options{K: k, Workers: inc.workers, Sink: inc.sink})
+	return core.PrunedDedupFromCtx(ctx, inc.data, inc.Groups(), inc.levels, core.Options{K: k, Workers: inc.workers, Sink: inc.sink})
 }
