@@ -33,6 +33,7 @@ go run ./cmd/doccheck \
     ./internal/experiments \
     ./internal/graph \
     ./internal/index \
+    ./internal/intern \
     ./internal/obs \
     ./internal/parallel \
     ./internal/predicate \
@@ -83,3 +84,13 @@ go test -run '^$' -fuzz '^FuzzBoundMerge$' -fuzztime 5s ./internal/shard
 # and `go test -benchmem -bench=EngineTopKTracing`, the latter recorded
 # in BENCH_2026-08-05_tracing.txt).
 go test -run '^$' -bench 'BenchmarkNoopSinkOverhead|BenchmarkEngineTopKTracing' -benchtime 1x -short .
+
+# Alloc-regression smoke: the zero-alloc pins (stage-0 prune rescan,
+# pooled tokeniser, stop-word fast path) run as ordinary tests via
+# testing.AllocsPerRun; re-run them by name so a steady-state allocation
+# sneaking into the hot path fails CI even when unrelated packages are
+# skipped, and smoke the hot-path benchmarks one iteration each.
+go test -run 'TestStage0PruneNoAllocs' ./internal/core
+go test -run 'TestTokenScratchNoAllocs|TestStopWordsContainsNoAllocLowercase' ./internal/strsim
+go test -run '^$' -bench 'BenchmarkStage0Prune' -benchtime 1x ./internal/core
+go test -run '^$' -bench 'BenchmarkTokenSet|BenchmarkIndexBuild' -benchtime 1x ./internal/strsim ./internal/index

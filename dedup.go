@@ -52,7 +52,9 @@ func (e *Engine) Dedup() (*DedupResult, error) {
 
 	n := len(groups)
 	lastN := e.levels[len(e.levels)-1].Necessary
-	pairScore, edges, _ := e.scoredCandidates(context.Background(), groups, lastN)
+	fs, _ := e.scoredCandidates(context.Background(), groups, lastN)
+	defer fs.release()
+	pairScore, edges := fs.pairScore, fs.edges
 	pf := func(i, j int) float64 {
 		if i > j {
 			i, j = j, i
@@ -69,6 +71,7 @@ func (e *Engine) Dedup() (*DedupResult, error) {
 		width = n
 	}
 	sc := score.NewSegmentScorer(n, width, posPF, nil)
+	defer sc.Release()
 	segs, best := segment.Best(sc)
 	var base float64
 	for p := 0; p < n; p++ {

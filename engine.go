@@ -9,10 +9,12 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"topkdedup/internal/core"
 	"topkdedup/internal/embed"
 	"topkdedup/internal/index"
+	"topkdedup/internal/intern"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/rankquery"
@@ -423,7 +425,9 @@ func (e *Engine) finalPhase(ctx context.Context, groups []Group, k, r int) ([]An
 	// Candidate group pairs: those passing the last necessary predicate.
 	scoreSpan := obs.StartSpan(e.cfg.Metrics, "engine.final.score")
 	_, spScore := obs.StartChild(ctx, "engine.final.score")
-	pairScore, edges, candidatePairs := e.scoredCandidates(ctx, groups, lastN)
+	fs, candidatePairs := e.scoredCandidates(ctx, groups, lastN)
+	defer fs.release()
+	pairScore, edges := fs.pairScore, fs.edges
 	if spScore != nil {
 		spScore.Attr("candidate_pairs", float64(candidatePairs))
 		spScore.Attr("scored_pairs", float64(len(edges)))
@@ -451,6 +455,7 @@ func (e *Engine) finalPhase(ctx context.Context, groups []Group, k, r int) ([]An
 		width = n
 	}
 	sc := score.NewSegmentScorer(n, width, posPF, nil)
+	defer sc.Release()
 	mode := segment.Marginal
 	if e.cfg.Mode == ModeViterbi {
 		mode = segment.Viterbi
@@ -500,32 +505,78 @@ func (e *Engine) finalPhase(ctx context.Context, groups []Group, k, r int) ([]An
 	return out, nil
 }
 
+// finalScratch holds the final phase's per-query buffers — the key-id
+// inversion, candidate pair list, score slots, embedding edges, and the
+// pair-score map — pooled across queries so a serving process answering
+// a stream of TopK queries stops re-growing them. A scratch is owned by
+// one query at a time: scoredCandidates acquires it, finalPhase releases
+// it (after the embedding and segmentation no longer read the map).
+type finalScratch struct {
+	keyIDs    [][]uint32
+	cands     []scoredPair
+	slots     []pairSlot
+	edges     []embed.Edge
+	pairScore map[[2]int]float64
+}
+
+type scoredPair struct{ i, j int32 }
+
+type pairSlot struct {
+	s  float64
+	ok bool
+}
+
+var finalScratchPool = sync.Pool{New: func() any {
+	return &finalScratch{pairScore: make(map[[2]int]float64)}
+}}
+
+// release clears the scratch's per-query contents (keeping capacity) and
+// returns it to the pool.
+func (fs *finalScratch) release() {
+	clear(fs.pairScore)
+	fs.cands = fs.cands[:0]
+	fs.slots = fs.slots[:0]
+	fs.edges = fs.edges[:0]
+	finalScratchPool.Put(fs)
+}
+
 // scoredCandidates enumerates the candidate group pairs — those sharing a
 // blocking key and passing the last necessary predicate — and scores each
-// with P, returning the pair-score map plus the embedding edges. The
-// pairs are buffered serially from the blocking index, evaluated and
-// scored in parallel (one result slot per pair), and folded back into the
-// map in enumeration order, so the output is identical at every
-// Config.Workers value. It also returns the candidate-pair count (the
-// final phase's similarity-evaluation budget) for the EXPLAIN report.
-func (e *Engine) scoredCandidates(ctx context.Context, groups []Group, lastN Predicate) (map[[2]int]float64, []embed.Edge, int) {
+// with P, returning a pooled scratch holding the pair-score map and the
+// embedding edges (the caller releases it when done). Blocking keys are
+// interned to dense ids so the pair walk runs over the id-keyed index in
+// a fixed order (item-major, keys in Keys() order) — where the
+// string-keyed index enumerated in map-iteration order, varying run to
+// run. The pairs are buffered serially, evaluated and scored in parallel
+// (one result slot per pair), and folded back into the map in
+// enumeration order, so the output is identical at every Config.Workers
+// value. It also returns the candidate-pair count (the final phase's
+// similarity-evaluation budget) for the EXPLAIN report.
+func (e *Engine) scoredCandidates(ctx context.Context, groups []Group, lastN Predicate) (*finalScratch, int) {
 	n := len(groups)
-	keys := make([][]string, n)
-	for i := range groups {
-		keys[i] = lastN.Keys(e.data.Recs[groups[i].Rep])
+	fs := finalScratchPool.Get().(*finalScratch)
+	tab := intern.New()
+	if cap(fs.keyIDs) < n {
+		fs.keyIDs = make([][]uint32, n)
 	}
-	ix := index.Build(n, func(i int) []string { return keys[i] })
-	type cand struct{ i, j int32 }
-	var cands []cand
+	fs.keyIDs = fs.keyIDs[:n]
+	for i := range groups {
+		fs.keyIDs[i] = lastN.KeyIDs(tab, e.data.Recs[groups[i].Rep], fs.keyIDs[i][:0])
+	}
+	ix := index.BuildID(n, tab.Len(), fs.keyIDs)
 	ix.ForEachPair(func(i, j int) bool {
-		cands = append(cands, cand{int32(i), int32(j)})
+		fs.cands = append(fs.cands, scoredPair{int32(i), int32(j)})
 		return true
 	})
-	type slot struct {
-		s  float64
-		ok bool
+	cands := fs.cands
+	if cap(fs.slots) < len(cands) {
+		fs.slots = make([]pairSlot, len(cands))
 	}
-	slots := make([]slot, len(cands))
+	fs.slots = fs.slots[:len(cands)]
+	slots := fs.slots
+	for t := range slots {
+		slots[t] = pairSlot{}
+	}
 	parallel.ForCtx(ctx, e.cfg.Workers, len(cands), func(t int) {
 		c := cands[t]
 		ri, rj := e.data.Recs[groups[c.i].Rep], e.data.Recs[groups[c.j].Rep]
@@ -536,20 +587,18 @@ func (e *Engine) scoredCandidates(ctx context.Context, groups []Group, lastN Pre
 		if !e.cfg.ScaleByMembersOff {
 			s *= float64(len(groups[c.i].Members) * len(groups[c.j].Members))
 		}
-		slots[t] = slot{s: s, ok: true}
+		slots[t] = pairSlot{s: s, ok: true}
 	})
-	pairScore := make(map[[2]int]float64)
-	var edges []embed.Edge
 	for t, c := range cands {
 		if !slots[t].ok {
 			continue
 		}
-		pairScore[[2]int{int(c.i), int(c.j)}] = slots[t].s
-		edges = append(edges, embed.Edge{A: int(c.i), B: int(c.j)})
+		fs.pairScore[[2]int{int(c.i), int(c.j)}] = slots[t].s
+		fs.edges = append(fs.edges, embed.Edge{A: int(c.i), B: int(c.j)})
 	}
 	obs.Count(e.cfg.Metrics, "engine.final.candidate_pairs", int64(len(cands)))
-	obs.Count(e.cfg.Metrics, "engine.final.scored_pairs", int64(len(edges)))
-	return pairScore, edges, len(cands)
+	obs.Count(e.cfg.Metrics, "engine.final.scored_pairs", int64(len(fs.edges)))
+	return fs, len(cands)
 }
 
 func logAddExp(a, b float64) float64 {

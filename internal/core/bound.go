@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"topkdedup/internal/graph"
+	"topkdedup/internal/intern"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
@@ -167,11 +168,17 @@ type BoundScanner struct {
 	groups  []Group
 	n       predicate.P
 	workers int
-	buckets map[string][]int // key -> prior group indices
-	seen    map[int]int      // candidate dedup, stamped by group index
+	// Keys are interned incrementally as the scan discovers them; buckets
+	// is indexed by key id (grown to the table size each block), and seen
+	// is a stamp slice indexed by group rank — candidate dedup without a
+	// map probe per (key, prior-group) visit.
+	tab     *intern.Table
+	buckets [][]int32 // key id -> prior group indices
+	seen    []int32   // candidate dedup, stamped by consuming rank + 1
 	lp      *graph.LocalPrefix
 	at      int
 	// scratch reused across Scan calls
+	keyIDs    []uint32
 	pairs     []boundPair
 	pairStart []int
 	verdict   []bool
@@ -187,9 +194,9 @@ type boundPair struct{ gi, gj int32 }
 func NewBoundScanner(d *records.Dataset, groups []Group, n predicate.P, workers int) *BoundScanner {
 	return &BoundScanner{
 		d: d, groups: groups, n: n, workers: workers,
-		buckets: make(map[string][]int),
-		seen:    make(map[int]int),
-		lp:      graph.NewLocalPrefix(),
+		tab:  intern.New(),
+		seen: make([]int32, len(groups)),
+		lp:   graph.NewLocalPrefix(),
 	}
 }
 
@@ -219,15 +226,20 @@ func (sc *BoundScanner) ScanHits(count int) (independent []bool, pairEvals, pair
 	sc.pairStart = sc.pairStart[:0]
 	for gi := sc.at; gi < end; gi++ {
 		sc.pairStart = append(sc.pairStart, len(sc.pairs))
-		for _, key := range sc.n.Keys(sc.d.Recs[sc.groups[gi].Rep]) {
+		sc.keyIDs = sc.n.KeyIDs(sc.tab, sc.d.Recs[sc.groups[gi].Rep], sc.keyIDs[:0])
+		// Grow the bucket slice to cover any ids this group minted.
+		for len(sc.buckets) < sc.tab.Len() {
+			sc.buckets = append(sc.buckets, nil)
+		}
+		for _, key := range sc.keyIDs {
 			for _, gj := range sc.buckets[key] {
-				if sc.seen[gj] == gi+1 {
+				if sc.seen[gj] == int32(gi+1) {
 					continue
 				}
-				sc.seen[gj] = gi + 1
-				sc.pairs = append(sc.pairs, boundPair{int32(gi), int32(gj)})
+				sc.seen[gj] = int32(gi + 1)
+				sc.pairs = append(sc.pairs, boundPair{int32(gi), gj})
 			}
-			sc.buckets[key] = append(sc.buckets[key], gi)
+			sc.buckets[key] = append(sc.buckets[key], int32(gi))
 		}
 	}
 	sc.pairStart = append(sc.pairStart, len(sc.pairs))

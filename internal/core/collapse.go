@@ -3,6 +3,7 @@ package core
 import (
 	"topkdedup/internal/dsu"
 	"topkdedup/internal/index"
+	"topkdedup/internal/intern"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
@@ -50,11 +51,17 @@ func CollapseWorkers(d *records.Dataset, groups []Group, s predicate.P, workers 
 // every worker count; the EXPLAIN layer reports them per level.
 func CollapseWorkersHits(d *records.Dataset, groups []Group, s predicate.P, workers int) ([]Group, int64, int64) {
 	n := len(groups)
-	keys := make([][]string, n)
+	// Intern the blocking keys to dense ids and index on those: bucket
+	// lookup becomes an array index, and the pair walk below enumerates in
+	// a fixed order (item-major, keys in Keys() order) instead of the
+	// string index's map-iteration order, so chunk boundaries — and with
+	// them the eval counter — are identical run to run.
+	tab := intern.New()
+	keyIDs := make([][]uint32, n)
 	for i := range groups {
-		keys[i] = s.Keys(d.Recs[groups[i].Rep])
+		keyIDs[i] = s.KeyIDs(tab, d.Recs[groups[i].Rep], nil)
 	}
-	ix := index.Build(n, func(i int) []string { return keys[i] })
+	ix := index.BuildID(n, tab.Len(), keyIDs)
 	uf := dsu.New(n)
 	var evals, hits int64
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"topkdedup/internal/index"
+	"topkdedup/internal/intern"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/parallel"
 	"topkdedup/internal/predicate"
@@ -122,10 +123,21 @@ type Pruner struct {
 	workers int
 	sink    obs.Sink
 
-	keys         [][]string
-	ix           *index.Index
+	// keyIDs holds each group's blocking keys as dense interned ids
+	// (first-seen order over the group list, so ids are identical run to
+	// run); ix is the id-keyed index over them. Everything below is a
+	// buffer retained across rounds and passes: totals (one slot per key
+	// id) backs the stage-0 bucket sums, s0stamp/s0cand the stage-0.5
+	// candidate walks, next the Jacobi bound snapshot — so the stage-0
+	// cascades and each pass's setup allocate nothing in steady state.
+	keyIDs       [][]uint32
+	ix           *index.IDIndex
 	u            []float64
+	next         []float64
 	live         []bool
+	totals       []float64
+	s0stamp      *index.Stamp
+	s0cand       []int32
 	scratches    []pruneScratch
 	evalCount    []int64
 	hitCount     []int64
@@ -150,33 +162,64 @@ func NewPruner(d *records.Dataset, groups []Group, n predicate.P, m float64, wor
 	obs.Gauge(sink, "core.prune.bound", m)
 	ng := len(groups)
 	p := &Pruner{d: d, groups: groups, n: n, m: m, workers: workers, sink: sink}
-	p.keys = make([][]string, ng)
+	// Intern the blocking keys once: every later bucket access is a slice
+	// index on a dense uint32 id instead of a string hash + map probe.
+	tab := intern.New()
+	p.keyIDs = make([][]uint32, ng)
 	for i := range groups {
-		p.keys[i] = n.Keys(d.Recs[groups[i].Rep])
+		p.keyIDs[i] = n.KeyIDs(tab, d.Recs[groups[i].Rep], nil)
 	}
-	p.ix = index.Build(ng, func(i int) []string { return p.keys[i] })
+	p.ix = index.BuildID(ng, tab.Len(), p.keyIDs)
+	p.u = make([]float64, ng)
+	p.next = make([]float64, ng)
+	p.live = make([]bool, ng)
+	p.totals = make([]float64, tab.Len())
+	p.s0stamp = index.NewStamp(ng)
+	p.RescanStage0()
+	obs.Observe(sink, "core.prune.stage0.pruned", float64(p.stage0Pruned))
+	nWorkers := parallel.Resolve(workers)
+	p.scratches = make([]pruneScratch, nWorkers)
+	for w := range p.scratches {
+		p.scratches[w].stamp = index.NewStamp(ng)
+	}
+	p.evalCount = make([]int64, ng)
+	p.hitCount = make([]int64, ng)
+	p.die = make([]bool, ng)
+	return p
+}
 
-	// Pass 0: bucket-total over-approximation, iterated to a fixpoint-ish
+// RescanStage0 resets liveness and bounds and re-runs the evaluation-free
+// stage-0 cascades from scratch: the iterated bucket-total
+// over-approximation (stage 0) followed by the deduplicated
+// candidate-weight cascade (stage 0.5). NewPruner calls it once during
+// construction; it is exported so the scan cost can be measured in
+// isolation (BenchmarkStage0Prune) and re-run after external bound
+// changes. The scan reuses every buffer the Pruner retains and allocates
+// nothing in steady state — TestStage0PruneNoAllocs pins it at 0
+// allocs/op. Always serial, so it contributes the same state at every
+// worker count.
+func (p *Pruner) RescanStage0() {
+	groups, m := p.groups, p.m
+	for i := range p.live {
+		p.live[i] = true
+	}
+
+	// Stage 0: bucket-total over-approximation, iterated to a fixpoint-ish
 	// state. Each round recomputes bucket totals over the still-alive
 	// groups only, so pruning one round's tail tightens the next round's
 	// bounds without a single predicate evaluation. (A single round is
 	// far too loose for high-frequency blocking keys such as common
-	// 3-grams, whose bucket totals dwarf any real neighbourhood.) Cheap
-	// map arithmetic — always serial, so it contributes the same state at
-	// every worker count.
-	p.u = make([]float64, ng)
-	p.live = make([]bool, ng)
-	for i := range p.live {
-		p.live[i] = true
-	}
+	// 3-grams, whose bucket totals dwarf any real neighbourhood.) The
+	// totals live in a dense reused slice indexed by key id — no map, no
+	// per-round allocation.
 	for round := 0; round < prunePass0Rounds; round++ {
-		totals := make(map[string]float64, p.ix.BucketCount())
+		clear(p.totals)
 		for i := range groups {
 			if !p.live[i] {
 				continue
 			}
-			for _, k := range p.keys[i] {
-				totals[k] += groups[i].Weight
+			for _, k := range p.keyIDs[i] {
+				p.totals[k] += groups[i].Weight
 			}
 		}
 		changed := false
@@ -186,8 +229,8 @@ func NewPruner(d *records.Dataset, groups []Group, n predicate.P, m float64, wor
 			}
 			w := groups[i].Weight
 			ub := w
-			for _, k := range p.keys[i] {
-				ub += totals[k] - w
+			for _, k := range p.keyIDs[i] {
+				ub += p.totals[k] - w
 			}
 			p.u[i] = ub
 			if ub < m {
@@ -204,10 +247,7 @@ func NewPruner(d *records.Dataset, groups []Group, n predicate.P, m float64, wor
 	// exact neighbourhood weight an evaluation pass could at most confirm
 	// — to a fixpoint, still without a single predicate evaluation. It is
 	// much tighter than the bucket totals (no multi-counting across
-	// shared keys) and each kill cascades into the next round. Also
-	// serial: it is evaluation-free index walking.
-	stamp := index.NewStamp(ng)
-	var cand []int32
+	// shared keys) and each kill cascades into the next round.
 	for round := 0; round < 4; round++ {
 		changed := false
 		for i := range groups {
@@ -218,9 +258,9 @@ func NewPruner(d *records.Dataset, groups []Group, n predicate.P, m float64, wor
 			if w >= m {
 				continue
 			}
-			cand = p.ix.Candidates(i, p.keys[i], stamp, cand[:0])
+			p.s0cand = p.ix.Candidates(i, p.keyIDs[i], p.s0stamp, p.s0cand[:0])
 			total := w
-			for _, j32 := range cand {
+			for _, j32 := range p.s0cand {
 				j := int(j32)
 				if !p.live[j] || (groups[j].Weight < m && p.u[j] < m) {
 					continue
@@ -243,21 +283,12 @@ func NewPruner(d *records.Dataset, groups []Group, n predicate.P, m float64, wor
 		}
 	}
 
+	p.stage0Pruned = 0
 	for _, ok := range p.live {
 		if !ok {
 			p.stage0Pruned++
 		}
 	}
-	obs.Observe(sink, "core.prune.stage0.pruned", float64(p.stage0Pruned))
-	nWorkers := parallel.Resolve(workers)
-	p.scratches = make([]pruneScratch, nWorkers)
-	for w := range p.scratches {
-		p.scratches[w].stamp = index.NewStamp(ng)
-	}
-	p.evalCount = make([]int64, ng)
-	p.hitCount = make([]int64, ng)
-	p.die = make([]bool, ng)
-	return p
 }
 
 // Stage0Pruned returns how many groups the evaluation-free stage-0
@@ -324,7 +355,7 @@ func (p *Pruner) PassCtx(ctx context.Context) (pruned int, evals, hits int64) {
 	if p.sink != nil {
 		passStart = time.Now()
 	}
-	next := make([]float64, len(groups))
+	next := p.next // retained snapshot buffer; swapped with u at pass end
 	copy(next, p.u)
 	for i := range p.evalCount {
 		p.evalCount[i] = 0
@@ -343,7 +374,7 @@ func (p *Pruner) PassCtx(ctx context.Context) (pruned int, evals, hits int64) {
 		// Gate candidates and total their weight without evaluating:
 		// the deduplicated candidate total is itself an upper bound,
 		// so a group whose total cannot reach M dies evaluation-free.
-		sc.cand = p.ix.Candidates(i, p.keys[i], sc.stamp, sc.cand[:0])
+		sc.cand = p.ix.Candidates(i, p.keyIDs[i], sc.stamp, sc.cand[:0])
 		sc.gated = sc.gated[:0]
 		remaining := 0.0
 		for _, j32 := range sc.cand {
@@ -414,7 +445,7 @@ func (p *Pruner) PassCtx(ctx context.Context) (pruned int, evals, hits int64) {
 		sp.Attr("pruned", float64(pruned))
 		sp.End()
 	}
-	p.u = next
+	p.u, p.next = next, p.u
 	return pruned, evals, hits
 }
 

@@ -90,7 +90,10 @@ func Addresses(c *strsim.Corpus, opts AddressOptions) Domain {
 			return strsim.IntersectionSize(sa, sb) >= opts.CommonWords
 		},
 		Keys: func(r *records.Record) []string {
-			return wordPairKeys("a.n1|", opts.StopWords.Filter(name(r)+" "+addr(r)))
+			ts := strsim.GetTokenScratch()
+			defer ts.Release()
+			toks := opts.StopWords.FilterTokens(ts.Tokens(name(r) + " " + addr(r)))
+			return wordPairKeys("a.n1|", toks)
 		},
 	}
 

@@ -119,7 +119,9 @@ func Citations(c *strsim.Corpus, opts CitationOptions) Domain {
 			if last == "" {
 				return nil
 			}
-			toks := strsim.Tokenize(coauth(r))
+			ts := strsim.GetTokenScratch()
+			defer ts.Release()
+			toks := ts.Tokens(coauth(r))
 			prefix := keyf("c.s2", cache.SortedInitials(name), last) + "\x1f"
 			return wordPairKeys(prefix, toks)
 		},

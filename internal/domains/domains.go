@@ -92,18 +92,22 @@ func idfOfDF(c *strsim.Corpus, df int) float64 {
 // sortedTokensKey returns the record's tokens of a field, sorted and
 // joined — an exact-match blocking key insensitive to order and case.
 func sortedTokensKey(value string) string {
-	toks := strsim.Tokenize(value)
+	ts := strsim.GetTokenScratch()
+	defer ts.Release()
+	toks := ts.Tokens(value)
 	sort.Strings(toks)
 	return strings.Join(toks, " ")
 }
 
 // gramKeys returns one blocking key per 3-gram of the value, with the
 // given prefix to keep domains' key spaces disjoint. The cache memoises
-// the gram sets across calls.
+// the sorted gram list across calls, so the keys come out in the same
+// order on every call — ranging the gram map instead would feed the
+// downstream interned indexes in a different order each run.
 func gramKeys(cache *strsim.Cache, prefix, value string) []string {
-	grams := cache.TriGrams(value)
+	grams := cache.SortedGrams(value)
 	keys := make([]string, 0, len(grams))
-	for g := range grams {
+	for _, g := range grams {
 		keys = append(keys, prefix+g)
 	}
 	return keys
@@ -112,17 +116,17 @@ func gramKeys(cache *strsim.Cache, prefix, value string) []string {
 // wordPairKeys returns one key per unordered pair of distinct non-stop
 // tokens of the value. For predicates requiring at least two common words,
 // pair keys are complete and give far smaller buckets than single-word
-// keys.
+// keys. The token slice is sorted and deduplicated in place (callers pass
+// freshly tokenised or scratch-owned slices).
 func wordPairKeys(prefix string, tokens []string) []string {
-	uniq := make([]string, 0, len(tokens))
-	seen := make(map[string]struct{}, len(tokens))
+	sort.Strings(tokens)
+	uniq := tokens[:0]
 	for _, t := range tokens {
-		if _, ok := seen[t]; !ok {
-			seen[t] = struct{}{}
-			uniq = append(uniq, t)
+		if n := len(uniq); n > 0 && uniq[n-1] == t {
+			continue
 		}
+		uniq = append(uniq, t)
 	}
-	sort.Strings(uniq)
 	var keys []string
 	for i := 0; i < len(uniq); i++ {
 		for j := i + 1; j < len(uniq); j++ {
@@ -136,7 +140,9 @@ func wordPairKeys(prefix string, tokens []string) []string {
 // tokens (length > 1) joined with spaces — the "content" of a name with
 // abbreviations and word order factored out.
 func contentTokensKey(value string) string {
-	toks := strsim.Tokenize(value)
+	ts := strsim.GetTokenScratch()
+	defer ts.Release()
+	toks := ts.Tokens(value)
 	content := toks[:0]
 	for _, t := range toks {
 		if len(t) > 1 {
@@ -150,7 +156,9 @@ func contentTokensKey(value string) string {
 // hasInitialToken reports whether any token of the value is a single
 // letter (an abbreviated name part).
 func hasInitialToken(value string) bool {
-	for _, t := range strsim.Tokenize(value) {
+	ts := strsim.GetTokenScratch()
+	defer ts.Release()
+	for _, t := range ts.Tokens(value) {
 		if len(t) == 1 {
 			return true
 		}
@@ -159,7 +167,9 @@ func hasInitialToken(value string) bool {
 }
 
 func lastToken(value string) string {
-	toks := strsim.Tokenize(value)
+	ts := strsim.GetTokenScratch()
+	defer ts.Release()
+	toks := ts.Tokens(value)
 	if len(toks) == 0 {
 		return ""
 	}

@@ -77,15 +77,17 @@ func Students(opts StudentOptions) Domain {
 			return cache.InitialsMatch(name(a), name(b))
 		},
 		Keys: func(r *records.Record) []string {
-			toks := strsim.Tokenize(name(r))
-			seen := make(map[byte]struct{}, len(toks))
+			ts := strsim.GetTokenScratch()
+			defer ts.Release()
+			toks := ts.Tokens(name(r))
+			var seen [256]bool
 			keys := make([]string, 0, len(toks))
 			for _, t := range toks {
 				ini := t[0]
-				if _, ok := seen[ini]; ok {
+				if seen[ini] {
 					continue
 				}
-				seen[ini] = struct{}{}
+				seen[ini] = true
 				keys = append(keys, keyf("st.n1", string(ini), class(r), school(r)))
 			}
 			return keys

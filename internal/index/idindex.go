@@ -1,0 +1,164 @@
+package index
+
+// IDIndex is the id-keyed twin of Index: an inverted index from interned
+// blocking-key ids (dense uint32 ids from an intern.Table) to the items
+// carrying them. Buckets live in one flat slice indexed by key id, so
+// bucket lookup is an array index instead of a string hash + map probe,
+// and the key inversion (item -> its key ids) is the build input itself,
+// cached once — ForEachPair and PairCount never re-derive it.
+type IDIndex struct {
+	n       int
+	buckets [][]int32
+	keysOf  [][]uint32
+}
+
+// BuildID indexes items [0, n) by their interned key ids. keyIDs[i]
+// lists item i's key ids, all < idSpace (typically intern.Table.Len()
+// after interning every key). The slice is retained as the index's
+// cached key inversion; callers must not mutate it afterwards.
+func BuildID(n, idSpace int, keyIDs [][]uint32) *IDIndex {
+	ix := &IDIndex{n: n, buckets: make([][]int32, idSpace), keysOf: keyIDs}
+	for i := 0; i < n; i++ {
+		for _, id := range keyIDs[i] {
+			ix.buckets[id] = append(ix.buckets[id], int32(i))
+		}
+	}
+	return ix
+}
+
+// Len returns the number of indexed items.
+func (ix *IDIndex) Len() int { return ix.n }
+
+// BucketCount returns the number of non-empty buckets (distinct keys
+// carried by at least one item).
+func (ix *IDIndex) BucketCount() int {
+	count := 0
+	for _, b := range ix.buckets {
+		if len(b) > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Bucket returns the items carrying the key id (shared slice; do not
+// mutate). Ids >= the build's idSpace yield an empty bucket.
+func (ix *IDIndex) Bucket(id uint32) []int32 {
+	if int(id) >= len(ix.buckets) {
+		return nil
+	}
+	return ix.buckets[id]
+}
+
+// KeyIDs returns item i's key ids as cached at build time (shared slice;
+// do not mutate).
+func (ix *IDIndex) KeyIDs(i int) []uint32 { return ix.keysOf[i] }
+
+// MaxBucket returns the size of the largest bucket.
+func (ix *IDIndex) MaxBucket() int {
+	best := 0
+	for _, b := range ix.buckets {
+		if len(b) > best {
+			best = len(b)
+		}
+	}
+	return best
+}
+
+// ForEachBucket calls fn for every non-empty bucket in increasing id
+// order (deterministic, unlike the map-keyed Index).
+func (ix *IDIndex) ForEachBucket(fn func(id uint32, items []int32)) {
+	for id, b := range ix.buckets {
+		if len(b) > 0 {
+			fn(uint32(id), b)
+		}
+	}
+}
+
+// BucketWeightTotals fills dst (grown as needed, one slot per key id)
+// with the total item weight of every bucket and returns it. Passing a
+// previous call's slice back in reuses its storage — the prune cascade
+// recomputes totals every round, so the buffer makes the round
+// allocation-free. See Index.BucketWeightTotals for the bound this
+// feeds.
+func (ix *IDIndex) BucketWeightTotals(weight func(i int) float64, dst []float64) []float64 {
+	if cap(dst) < len(ix.buckets) {
+		dst = make([]float64, len(ix.buckets))
+	}
+	dst = dst[:len(ix.buckets)]
+	for id, b := range ix.buckets {
+		var t float64
+		for _, i := range b {
+			t += weight(int(i))
+		}
+		dst[id] = t
+	}
+	return dst
+}
+
+// Candidates appends to dst the distinct items sharing at least one of
+// the given key ids, excluding self, and returns the extended slice. The
+// stamp is reset internally. Identical semantics to Index.Candidates;
+// the enumeration order is the given key order, then bucket insertion
+// order.
+func (ix *IDIndex) Candidates(self int, keys []uint32, stamp *Stamp, dst []int32) []int32 {
+	stamp.Reset()
+	if self >= 0 {
+		stamp.Visit(self)
+	}
+	for _, k := range keys {
+		for _, j := range ix.buckets[k] {
+			if !stamp.Visit(int(j)) {
+				dst = append(dst, j)
+			}
+		}
+	}
+	return dst
+}
+
+// ForEachPair enumerates every distinct unordered pair of items sharing
+// at least one key, as (i, j) with i < j, each pair exactly once; fn
+// returning false stops the walk. Unlike the string-keyed Index, the
+// key inversion is the cached build input, so the walk allocates only
+// its stamp, and the enumeration order is deterministic (items
+// ascending, each item's keys in their build order).
+func (ix *IDIndex) ForEachPair(fn func(i, j int) bool) {
+	stamp := NewStamp(ix.n)
+	for i := 0; i < ix.n; i++ {
+		stamp.Reset()
+		stamp.Visit(i)
+		for _, k := range ix.keysOf[i] {
+			for _, j := range ix.buckets[k] {
+				if int(j) <= i {
+					continue
+				}
+				if stamp.Visit(int(j)) {
+					continue
+				}
+				if !fn(i, int(j)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// PairCount returns the number of distinct candidate pairs, counted
+// directly from per-item dedup'd bucket walks — no callback dispatch,
+// no inversion rebuild.
+func (ix *IDIndex) PairCount() int {
+	stamp := NewStamp(ix.n)
+	count := 0
+	for i := 0; i < ix.n; i++ {
+		stamp.Reset()
+		stamp.Visit(i)
+		for _, k := range ix.keysOf[i] {
+			for _, j := range ix.buckets[k] {
+				if int(j) > i && !stamp.Visit(int(j)) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -9,6 +9,12 @@ package index
 type Index struct {
 	n       int
 	buckets map[string][]int32
+	// inv is the lazily cached key inversion (item -> its keys), built on
+	// the first ForEachPair/PairCount and reused by every later walk.
+	// Lazy single-goroutine caching: the pair walks are serial by
+	// contract (Candidates, the only method used from worker pools, never
+	// touches it).
+	inv [][]string
 }
 
 // Build indexes items [0, n) using their keys.
@@ -112,19 +118,32 @@ func (ix *Index) Candidates(self int, keys []string, stamp *Stamp, dst []int32) 
 	return dst
 }
 
+// inversion returns the cached item -> keys inversion, building it on
+// first use. Key order within an item follows bucket-map iteration, so
+// it varies run to run — but it is computed once per Index, so every
+// walk over the same Index sees one consistent order.
+func (ix *Index) inversion() [][]string {
+	if ix.inv == nil {
+		ix.inv = make([][]string, ix.n)
+		for k, b := range ix.buckets {
+			for _, i := range b {
+				ix.inv[i] = append(ix.inv[i], k)
+			}
+		}
+	}
+	return ix.inv
+}
+
 // ForEachPair enumerates every distinct unordered pair of items sharing at
 // least one key, as (i, j) with i < j, each pair exactly once. fn
 // returning false stops the walk. Cost is Σ_buckets |b|² stamp operations
 // but each expensive downstream evaluation runs once per distinct pair.
+// The key inversion is computed once and cached on the index, so repeated
+// walks (or a PairCount before a walk) pay it once.
 func (ix *Index) ForEachPair(fn func(i, j int) bool) {
 	// Per-item pair dedup: for item i, walk its buckets and visit each
-	// partner once. To know an item's keys we invert once.
-	keysOf := make([][]string, ix.n)
-	for k, b := range ix.buckets {
-		for _, i := range b {
-			keysOf[i] = append(keysOf[i], k)
-		}
-	}
+	// partner once.
+	keysOf := ix.inversion()
 	stamp := NewStamp(ix.n)
 	for i := 0; i < ix.n; i++ {
 		stamp.Reset()
@@ -146,9 +165,23 @@ func (ix *Index) ForEachPair(fn func(i, j int) bool) {
 }
 
 // PairCount returns the number of distinct candidate pairs (the size of
-// the canopy join ForEachPair would enumerate).
+// the canopy join ForEachPair would enumerate), counted directly from
+// per-item dedup'd bucket walks over the cached inversion — no callback
+// dispatch per pair.
 func (ix *Index) PairCount() int {
+	keysOf := ix.inversion()
+	stamp := NewStamp(ix.n)
 	count := 0
-	ix.ForEachPair(func(_, _ int) bool { count++; return true })
+	for i := 0; i < ix.n; i++ {
+		stamp.Reset()
+		stamp.Visit(i)
+		for _, k := range keysOf[i] {
+			for _, j := range ix.buckets[k] {
+				if int(j) > i && !stamp.Visit(int(j)) {
+					count++
+				}
+			}
+		}
+	}
 	return count
 }

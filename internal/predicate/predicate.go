@@ -16,6 +16,7 @@ package predicate
 import (
 	"fmt"
 
+	"topkdedup/internal/intern"
 	"topkdedup/internal/records"
 )
 
@@ -28,6 +29,17 @@ type P struct {
 	// Keys returns the blocking keys of a record. Completeness contract:
 	// Eval(a,b) == true implies Keys(a) ∩ Keys(b) ≠ ∅.
 	Keys func(r *records.Record) []string
+}
+
+// KeyIDs returns the record's blocking keys interned into tab as dense
+// uint32 ids, appended to dst (pass a reused slice to avoid per-record
+// allocation). Id order matches Keys order, so candidate enumeration
+// over an id-keyed index visits buckets in the same order as over the
+// string-keyed one. The completeness contract carries over verbatim:
+// Eval(a,b) == true implies KeyIDs(a) ∩ KeyIDs(b) ≠ ∅ for ids from one
+// table.
+func (p P) KeyIDs(tab *intern.Table, r *records.Record, dst []uint32) []uint32 {
+	return tab.InternAll(dst, p.Keys(r))
 }
 
 // Level pairs one sufficient with one necessary predicate; PrunedDedup

@@ -5,7 +5,11 @@
 // scorer used by the segmentation DP over a linear embedding.
 package score
 
-import "topkdedup/internal/parallel"
+import (
+	"sync"
+
+	"topkdedup/internal/parallel"
+)
 
 // PairFunc returns the signed duplicate score of items i and j of a
 // working set: positive means duplicate, negative non-duplicate, the
@@ -15,8 +19,9 @@ type PairFunc func(i, j int) float64
 // Matrix is a dense symmetric pair-score cache with triangular storage.
 // The diagonal is implicitly 0.
 type Matrix struct {
-	n int
-	v []float64
+	n    int
+	v    []float64
+	back *matrixBacking
 }
 
 // NewMatrix evaluates f on every unordered pair of [0, n) and caches the
@@ -33,13 +38,37 @@ func NewMatrix(n int, f PairFunc) *Matrix {
 // every worker count. f must be symmetric and, when workers != 1, safe
 // for concurrent use.
 func NewMatrixWorkers(n int, f PairFunc, workers int) *Matrix {
-	m := &Matrix{n: n, v: make([]float64, n*(n-1)/2)}
+	sz := n * (n - 1) / 2
+	v := matrixPool.Get().(*matrixBacking)
+	if cap(v.f) < sz {
+		v.f = make([]float64, sz)
+	}
+	m := &Matrix{n: n, v: v.f[:sz], back: v}
+	// No clearing: the fill below writes every cell.
 	parallel.For(workers, n, func(i int) {
 		for j := i + 1; j < n; j++ {
 			m.v[m.idx(i, j)] = f(i, j)
 		}
 	})
 	return m
+}
+
+// matrixBacking is the pooled storage behind a Matrix.
+type matrixBacking struct{ f []float64 }
+
+var matrixPool = sync.Pool{New: func() any { return &matrixBacking{} }}
+
+// Release returns the matrix's pooled backing storage; the matrix must
+// not be used afterwards. Optional — an unreleased matrix is ordinary
+// garbage — and a second Release is a no-op.
+func (m *Matrix) Release() {
+	b := m.back
+	if b == nil {
+		return
+	}
+	m.back = nil
+	m.v = nil
+	matrixPool.Put(b)
 }
 
 func (m *Matrix) idx(i, j int) int {

@@ -1,5 +1,7 @@
 package score
 
+import "sync"
+
 // SegmentScorer precomputes Group_Score values for contiguous segments of
 // a linear ordering, the S(i, j) of the paper's segmentation DP (§5.3.2).
 // Only segments of width at most maxWidth are representable — the paper's
@@ -25,12 +27,31 @@ type SegmentScorer struct {
 	neg [][]float64
 	// negAllPrefix[i] = Σ_{a < i} negAll(a), negAll(a) = Σ_b min(P(a,b),0).
 	negAllPrefix []float64
+	// back is the pooled flat array every table row above is carved from;
+	// Release returns it (see segmentBacking).
+	back *segmentBacking
 }
+
+// segmentBacking is the pooled flat float64 storage behind a
+// SegmentScorer's band tables. One contiguous array serves all rows —
+// fewer allocations than per-row slices and the whole thing is reusable
+// across queries via Release.
+type segmentBacking struct {
+	f   []float64
+	pos [][]float64
+	neg [][]float64
+}
+
+var segmentBackingPool = sync.Pool{New: func() any { return &segmentBacking{} }}
 
 // NewSegmentScorer builds the banded tables over n ordered items. f is the
 // pair score in ordering positions. negAll gives each position's total
 // negative score against all items (inside or outside the band); pass nil
 // to derive it from the band only (treating out-of-band pairs as zero).
+//
+// The tables live in pooled backing storage: call Release when the scorer
+// is no longer needed to recycle it (optional — an unreleased scorer is
+// ordinary garbage).
 func NewSegmentScorer(n, maxWidth int, f PairFunc, negAll []float64) *SegmentScorer {
 	if maxWidth < 1 {
 		maxWidth = 1
@@ -38,22 +59,55 @@ func NewSegmentScorer(n, maxWidth int, f PairFunc, negAll []float64) *SegmentSco
 	if maxWidth > n {
 		maxWidth = n
 	}
+	back := segmentBackingPool.Get().(*segmentBacking)
+	// Row widths: pos/neg row i covers segments [i, i+d] for d < width_i
+	// with width_i = min(maxWidth, n-i); the band row a caches pairs
+	// (a, a+d+1), one entry narrower.
+	total := n + 1 // negAllPrefix
+	for i := 0; i < n; i++ {
+		wi := maxWidth
+		if i+wi > n {
+			wi = n - i
+		}
+		total += 3*wi - 1 // pos_i + neg_i + band_i
+	}
+	if cap(back.f) < total {
+		back.f = make([]float64, total)
+	}
+	back.f = back.f[:total]
+	clear(back.f) // the recurrences assume zero-initialised tables
+	if cap(back.pos) < n {
+		back.pos = make([][]float64, n)
+		back.neg = make([][]float64, n)
+	}
+	back.pos = back.pos[:n]
+	back.neg = back.neg[:n]
+	cur := 0
+	carve := func(sz int) []float64 {
+		row := back.f[cur : cur+sz : cur+sz]
+		cur += sz
+		return row
+	}
 	s := &SegmentScorer{
 		n:            n,
 		w:            maxWidth,
-		pos:          make([][]float64, n),
-		neg:          make([][]float64, n),
-		negAllPrefix: make([]float64, n+1),
+		pos:          back.pos,
+		neg:          back.neg,
+		negAllPrefix: carve(n + 1),
+		back:         back,
 	}
 	// Band pair cache to avoid re-evaluating f: band[a][b-a-1] for
-	// b-a < maxWidth.
+	// b-a < maxWidth. The band is only needed during construction, so its
+	// rows are carved but not retained on the scorer.
 	band := make([][]float64, n)
 	for a := 0; a < n; a++ {
-		width := maxWidth - 1
-		if a+width >= n {
-			width = n - 1 - a
+		width := maxWidth
+		if a+width > n {
+			width = n - a
 		}
-		band[a] = make([]float64, width)
+		s.pos[a] = carve(width)
+		s.neg[a] = carve(width)
+		band[a] = carve(width - 1)
 		for d := range band[a] {
 			band[a][d] = f(a, a+d+1)
 		}
@@ -88,27 +142,24 @@ func NewSegmentScorer(n, maxWidth int, f PairFunc, negAll []float64) *SegmentSco
 			} else {
 				colNeg += p
 			}
-			if s.pos[i] == nil {
-				width := maxWidth
-				if i+width > n {
-					width = n - i
-				}
-				s.pos[i] = make([]float64, width)
-				s.neg[i] = make([]float64, width)
-			}
 			s.pos[i][j-i] = s.pos[i][j-i-1] + colPos
 			s.neg[i][j-i] = s.neg[i][j-i-1] + colNeg
 		}
-		if s.pos[j] == nil {
-			width := maxWidth
-			if j+width > n {
-				width = n - j
-			}
-			s.pos[j] = make([]float64, width)
-			s.neg[j] = make([]float64, width)
-		}
 	}
 	return s
+}
+
+// Release returns the scorer's pooled backing storage; the scorer (and
+// every value previously read from it) must not be used afterwards.
+// Calling Release more than once is a no-op.
+func (s *SegmentScorer) Release() {
+	b := s.back
+	if b == nil {
+		return
+	}
+	s.back = nil
+	s.pos, s.neg, s.negAllPrefix = nil, nil, nil
+	segmentBackingPool.Put(b)
 }
 
 // N returns the number of ordered items.

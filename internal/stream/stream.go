@@ -19,6 +19,7 @@ import (
 
 	"topkdedup/internal/core"
 	"topkdedup/internal/dsu"
+	"topkdedup/internal/intern"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
@@ -31,9 +32,17 @@ type Incremental struct {
 	data   *records.Dataset
 	levels []predicate.Level
 	uf     *dsu.DSU
-	// buckets maps level-1 sufficient keys to the record IDs carrying
-	// them, in arrival order.
-	buckets map[string][]int32
+	// tab interns the level-1 sufficient keys as they arrive; buckets is
+	// indexed by key id and lists the record IDs carrying the key, in
+	// arrival order — bucket lookup per insertion key is an array index,
+	// not a string-map probe.
+	tab     *intern.Table
+	buckets [][]int32
+	// seenRoot stamps component roots already evaluated against the
+	// incoming record (stamp = the record's id + 1), replacing a per-Add
+	// map allocation; keyIDs is the per-Add interned-key scratch.
+	seenRoot []int32
+	keyIDs   []uint32
 	// evals counts sufficient-predicate evaluations (diagnostics).
 	evals int64
 	// workers bounds the worker pool of the query-time phases (see
@@ -56,10 +65,10 @@ func New(name string, schema []string, levels []predicate.Level) (*Incremental, 
 		return nil, fmt.Errorf("stream: at least one predicate level required")
 	}
 	return &Incremental{
-		data:    records.New(name, schema...),
-		levels:  levels,
-		uf:      dsu.NewGrowable(),
-		buckets: make(map[string][]int32),
+		data:   records.New(name, schema...),
+		levels: levels,
+		uf:     dsu.NewGrowable(),
+		tab:    intern.New(),
 	}, nil
 }
 
@@ -72,17 +81,22 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 	id := inc.uf.Add()
 	s := inc.levels[0].Sufficient
 	before := inc.evals
-	seen := make(map[int]struct{}, 4)
-	for _, key := range s.Keys(rec) {
+	inc.keyIDs = s.KeyIDs(inc.tab, rec, inc.keyIDs[:0])
+	for len(inc.buckets) < inc.tab.Len() {
+		inc.buckets = append(inc.buckets, nil)
+	}
+	inc.seenRoot = append(inc.seenRoot, 0) // slot for the new record's root
+	stamp := int32(id + 1)
+	for _, key := range inc.keyIDs {
 		for _, other := range inc.buckets[key] {
 			root := inc.uf.Find(int(other))
 			if root == inc.uf.Find(id) {
 				continue
 			}
-			if _, done := seen[root]; done {
+			if inc.seenRoot[root] == stamp {
 				continue
 			}
-			seen[root] = struct{}{}
+			inc.seenRoot[root] = stamp
 			inc.evals++
 			if s.Eval(rec, inc.data.Recs[other]) {
 				inc.uf.Union(id, int(other))

@@ -29,13 +29,15 @@ type Cache struct {
 	shards []cacheShard
 	mask   uint32
 	corpus *Corpus
-	// Interned gram representation: every distinct gram gets an integer
-	// id; per-string gram sets are cached as sorted id slices, so hot
-	// overlap predicates intersect by merge instead of map probing. The
-	// id table is global (ids must agree across shards) with its own
-	// lock in shared mode.
+	// Interned gram/token representation: every distinct gram (and,
+	// separately, token) gets an integer id; per-string gram and token
+	// sets are cached as sorted id slices, so hot overlap predicates
+	// intersect by merge instead of map probing. The id tables are
+	// global (ids must agree across shards) with their own lock in
+	// shared mode.
 	internMu sync.Mutex
 	gramID   map[string]int32
+	tokID    map[string]int32
 }
 
 // cacheShard holds the per-string memo maps for one slice of the key
@@ -48,6 +50,8 @@ type cacheShard struct {
 	letters  map[string]uint32
 	minIDF   map[string]float64
 	gramIDs  map[string][]int32
+	tokIDs   map[string][]int32
+	sorted   map[string][]string
 }
 
 func (sh *cacheShard) init() {
@@ -57,6 +61,8 @@ func (sh *cacheShard) init() {
 	sh.letters = make(map[string]uint32)
 	sh.minIDF = make(map[string]float64)
 	sh.gramIDs = make(map[string][]int32)
+	sh.tokIDs = make(map[string][]int32)
+	sh.sorted = make(map[string][]string)
 }
 
 // sharedCacheShards is the shard count of NewSharedCache (power of two).
@@ -69,7 +75,7 @@ const sharedCacheShards = 16
 // for concurrent use; give each goroutine its own, or build a
 // NewSharedCache.
 func NewCache(corpus *Corpus) *Cache {
-	c := &Cache{corpus: corpus, shards: make([]cacheShard, 1), gramID: make(map[string]int32)}
+	c := &Cache{corpus: corpus, shards: make([]cacheShard, 1), gramID: make(map[string]int32), tokID: make(map[string]int32)}
 	c.shards[0].init()
 	return c
 }
@@ -84,6 +90,7 @@ func NewSharedCache(corpus *Corpus) *Cache {
 		mask:   sharedCacheShards - 1,
 		corpus: corpus,
 		gramID: make(map[string]int32),
+		tokID:  make(map[string]int32),
 	}
 	for i := range c.shards {
 		c.shards[i].init()
@@ -229,45 +236,80 @@ func (c *Cache) GramIDs(s string) []int32 {
 		})
 }
 
+// TokenIDs returns the string's distinct-token set as a sorted slice of
+// interned token ids (memoised), mirroring GramIDs for word tokens. Id
+// values depend on interning order and are only meaningful within one
+// Cache; intersection sizes are order-independent.
+func (c *Cache) TokenIDs(s string) []int32 {
+	return lookup(c, s,
+		func(sh *cacheShard) map[string][]int32 { return sh.tokIDs },
+		func() []int32 {
+			toks := c.TokenSet(s)
+			ids := make([]int32, 0, len(toks))
+			if c.shared {
+				c.internMu.Lock()
+			}
+			for t := range toks {
+				id, ok := c.tokID[t]
+				if !ok {
+					id = int32(len(c.tokID))
+					c.tokID[t] = id
+				}
+				ids = append(ids, id)
+			}
+			if c.shared {
+				c.internMu.Unlock()
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		})
+}
+
+// SortedGrams returns the string's 3-gram set as a lexicographically
+// sorted slice (memoised). Blocking-key builders range it instead of the
+// gram map, so their key order — and everything downstream that depends
+// on it, like interned id assignment — is deterministic run to run.
+func (c *Cache) SortedGrams(s string) []string {
+	return lookup(c, s,
+		func(sh *cacheShard) map[string][]string { return sh.sorted },
+		func() []string {
+			grams := c.TriGrams(s)
+			out := make([]string, 0, len(grams))
+			for g := range grams {
+				out = append(out, g)
+			}
+			sort.Strings(out)
+			return out
+		})
+}
+
 // GramOverlapRatio is GramOverlapRatio over memoised 3-gram sets, using
 // the interned sorted-id representation (merge intersection — the hot
-// path of the necessary-predicate joins).
+// path of the necessary-predicate joins). Note the 0-for-two-empties
+// convention of the string form, not Overlap's 1.
 func (c *Cache) GramOverlapRatio(a, b string) float64 {
 	ga, gb := c.GramIDs(a), c.GramIDs(b)
 	if len(ga) == 0 || len(gb) == 0 {
 		return 0
 	}
-	common, i, j := 0, 0, 0
-	for i < len(ga) && j < len(gb) {
-		switch {
-		case ga[i] == gb[j]:
-			common++
-			i++
-			j++
-		case ga[i] < gb[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	small := len(ga)
-	if len(gb) < small {
-		small = len(gb)
-	}
-	return float64(common) / float64(small)
+	return OverlapSortedIDs(ga, gb)
 }
 
-// JaccardGrams is Jaccard similarity over memoised 3-gram sets.
+// JaccardGrams is Jaccard similarity over memoised 3-gram sets, via the
+// sorted-id merge (counts are integers, so the value is bit-identical
+// to the map-based Jaccard).
 func (c *Cache) JaccardGrams(a, b string) float64 {
-	return Jaccard(c.TriGrams(a), c.TriGrams(b))
+	return JaccardSortedIDs(c.GramIDs(a), c.GramIDs(b))
 }
 
-// JaccardTokens is Jaccard similarity over memoised token sets.
+// JaccardTokens is Jaccard similarity over memoised token sets, via the
+// sorted-id merge.
 func (c *Cache) JaccardTokens(a, b string) float64 {
-	return Jaccard(c.TokenSet(a), c.TokenSet(b))
+	return JaccardSortedIDs(c.TokenIDs(a), c.TokenIDs(b))
 }
 
-// CommonTokenCount counts shared tokens via the memoised sets.
+// CommonTokenCount counts shared tokens via the memoised sorted id
+// slices.
 func (c *Cache) CommonTokenCount(a, b string) int {
-	return IntersectionSize(c.TokenSet(a), c.TokenSet(b))
+	return IntersectSortedIDs(c.TokenIDs(a), c.TokenIDs(b))
 }

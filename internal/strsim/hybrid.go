@@ -97,17 +97,20 @@ func (c *Corpus) SoftTFIDF(a, b string, inner func(x, y string) float64, theta f
 	if theta <= 0 {
 		theta = 0.9
 	}
-	ta, tb := termCounts(a), termCounts(b)
+	// Sorted term vectors (not maps): every sum and best-match tie-break
+	// below runs in sorted token order, deterministic run to run.
+	ta := appendSortedTerms(nil, Tokenize(a))
+	tb := appendSortedTerms(nil, Tokenize(b))
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}
 	if len(ta) == 0 || len(tb) == 0 {
 		return 0
 	}
-	norm := func(tc map[string]int) float64 {
+	norm := func(tc []termWeight) float64 {
 		var n float64
-		for t, f := range tc {
-			v := float64(f) * c.IDF(t)
+		for _, t := range tc {
+			v := float64(t.tf) * c.IDF(t.term)
 			n += v * v
 		}
 		return n
@@ -117,17 +120,17 @@ func (c *Corpus) SoftTFIDF(a, b string, inner func(x, y string) float64, theta f
 		return 0
 	}
 	var dot float64
-	for x, fa := range ta {
-		bestSim, bestTok := 0.0, ""
-		for y := range tb {
-			if s := inner(x, y); s >= theta && s > bestSim {
-				bestSim, bestTok = s, y
+	for _, x := range ta {
+		bestSim, bestTok, bestTF := 0.0, "", 0
+		for _, y := range tb {
+			if s := inner(x.term, y.term); s >= theta && s > bestSim {
+				bestSim, bestTok, bestTF = s, y.term, y.tf
 			}
 		}
 		if bestTok == "" {
 			continue
 		}
-		dot += float64(fa) * c.IDF(x) * float64(tb[bestTok]) * c.IDF(bestTok) * bestSim
+		dot += float64(x.tf) * c.IDF(x.term) * float64(bestTF) * c.IDF(bestTok) * bestSim
 	}
 	sim := dot / math.Sqrt(na*nb)
 	if sim > 1 {

@@ -1,0 +1,66 @@
+package strsim
+
+// Sorted-id set measures: the hot predicate paths intern tokens and
+// q-grams to dense int32 ids (see Cache.GramIDs / Cache.TokenIDs) and
+// intersect by linear merge over sorted id slices instead of probing
+// string-keyed maps. Counts are exact integers, so each measure returns
+// bit-identical values to its map-based counterpart in setsim.go.
+
+// IntersectSortedIDs returns |a ∩ b| for two ascending, duplicate-free
+// id slices.
+func IntersectSortedIDs(a, b []int32) int {
+	common, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return common
+}
+
+// JaccardSortedIDs is Jaccard over sorted id slices: |A ∩ B| / |A ∪ B|,
+// with two empty sets defined as similarity 1 (matching Jaccard).
+func JaccardSortedIDs(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := IntersectSortedIDs(a, b)
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// DiceSortedIDs is the Sørensen–Dice coefficient over sorted id slices.
+func DiceSortedIDs(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(IntersectSortedIDs(a, b)) / float64(len(a)+len(b))
+}
+
+// OverlapSortedIDs is the overlap coefficient |A ∩ B| / min(|A|, |B|)
+// over sorted id slices, with two empty sets giving 1 (matching Overlap).
+func OverlapSortedIDs(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small := len(a)
+	if len(b) < small {
+		small = len(b)
+	}
+	return float64(IntersectSortedIDs(a, b)) / float64(small)
+}

@@ -2,7 +2,9 @@ package strsim
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"strings"
 )
 
 // Corpus accumulates document-frequency statistics over a record corpus so
@@ -119,8 +121,18 @@ func (c *Corpus) MaxIDF() float64 { return c.idfValue(0) }
 // TFIDFCosine returns the cosine similarity of the TF-IDF vectors of a and
 // b. Term frequency is raw count within the string; weights use the
 // corpus's smoothed IDF. Result is in [0,1]; two token-less strings give 1.
+//
+// The vectors are sorted term slices built in pooled scratch (no
+// per-call maps), and every floating sum accumulates in sorted term
+// order — deterministic run to run, where the previous map-iteration
+// implementation let the summation order (and hence the low bits of the
+// result) vary.
 func (c *Corpus) TFIDFCosine(a, b string) float64 {
-	ta, tb := termCounts(a), termCounts(b)
+	ts := GetTokenScratch()
+	defer ts.Release()
+	ts.termsA = appendSortedTerms(ts.termsA[:0], ts.Tokens(a))
+	ts.termsB = appendSortedTerms(ts.termsB[:0], ts.Tokens(b))
+	ta, tb := ts.termsA, ts.termsB
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}
@@ -128,18 +140,27 @@ func (c *Corpus) TFIDFCosine(a, b string) float64 {
 		return 0
 	}
 	var dot, na, nb float64
-	for t, fa := range ta {
-		w := c.IDF(t)
-		va := float64(fa) * w
+	for _, t := range ta {
+		va := float64(t.tf) * c.IDF(t.term)
 		na += va * va
-		if fb, ok := tb[t]; ok {
-			dot += va * float64(fb) * w
-		}
 	}
-	for t, fb := range tb {
-		w := c.IDF(t)
-		vb := float64(fb) * w
+	for _, t := range tb {
+		vb := float64(t.tf) * c.IDF(t.term)
 		nb += vb * vb
+	}
+	i, j := 0, 0
+	for i < len(ta) && j < len(tb) {
+		switch cmp := strings.Compare(ta[i].term, tb[j].term); {
+		case cmp == 0:
+			w := c.IDF(ta[i].term)
+			dot += float64(ta[i].tf) * w * float64(tb[j].tf) * w
+			i++
+			j++
+		case cmp < 0:
+			i++
+		default:
+			j++
+		}
 	}
 	if na == 0 || nb == 0 {
 		return 0
@@ -151,12 +172,25 @@ func (c *Corpus) TFIDFCosine(a, b string) float64 {
 	return sim
 }
 
-func termCounts(s string) map[string]int {
-	counts := make(map[string]int)
-	for _, t := range Tokenize(s) {
-		counts[t]++
+// appendSortedTerms turns a token list into a term vector: sorted by
+// token, one entry per distinct token with its occurrence count,
+// appended to dst (whose storage is reused). The tokens' string headers
+// are copied, so the result stays valid after the token buffer is
+// reused.
+func appendSortedTerms(dst []termWeight, toks []string) []termWeight {
+	for _, t := range toks {
+		dst = append(dst, termWeight{term: t, tf: 1})
 	}
-	return counts
+	slices.SortFunc(dst, func(a, b termWeight) int { return strings.Compare(a.term, b.term) })
+	out := dst[:0]
+	for _, t := range dst {
+		if n := len(out); n > 0 && out[n-1].term == t.term {
+			out[n-1].tf++
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
 }
 
 // TopIDFTokens returns up to n tokens of value ordered by decreasing IDF

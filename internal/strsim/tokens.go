@@ -16,13 +16,72 @@ import (
 
 // Tokenize splits s into lower-cased word tokens. A token is a maximal run
 // of letters or digits; everything else is a separator. The result is
-// allocated fresh on every call.
+// allocated fresh on every call; the pooled TokenScratch path reuses
+// buffers instead (see AppendTokens).
 func Tokenize(s string) []string {
-	var tokens []string
+	return appendTokens(nil, s, nil)
+}
+
+// AppendTokens is Tokenize appending into dst, so callers holding a
+// reusable slice avoid the per-call slice allocation. ASCII tokens that
+// are already lower-case are sliced straight out of s without copying.
+func AppendTokens(dst []string, s string) []string {
+	return appendTokens(dst, s, nil)
+}
+
+// appendTokens is the one tokeniser both the allocating and the pooled
+// paths share: identical token boundaries and lower-casing by
+// construction. lowered, when non-nil, memoises mixed-case ASCII token
+// lower-casing (raw token -> lowered form) so steady-state calls on
+// repeating vocabulary allocate nothing.
+func appendTokens(dst []string, s string, lowered map[string]string) []string {
+	// ASCII fast path: byte-wise scan, tokens sliced from s. Any byte >=
+	// 0x80 falls back to the rune scan below so multi-byte letters keep
+	// the exact unicode.IsLetter/ToLower semantics.
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		for i := 0; i < len(s); {
+			if !isASCIIAlnum(s[i]) {
+				i++
+				continue
+			}
+			start := i
+			hasUpper := false
+			for i < len(s) && isASCIIAlnum(s[i]) {
+				if s[i] >= 'A' && s[i] <= 'Z' {
+					hasUpper = true
+				}
+				i++
+			}
+			tok := s[start:i]
+			if hasUpper {
+				if lowered != nil {
+					low, ok := lowered[tok]
+					if !ok {
+						low = strings.ToLower(tok)
+						// Clone the key: tok aliases s, and the memo must
+						// not pin callers' strings in the pool.
+						lowered[strings.Clone(tok)] = low
+					}
+					tok = low
+				} else {
+					tok = strings.ToLower(tok)
+				}
+			}
+			dst = append(dst, tok)
+		}
+		return dst
+	}
 	var b strings.Builder
 	flush := func() {
 		if b.Len() > 0 {
-			tokens = append(tokens, b.String())
+			dst = append(dst, b.String())
 			b.Reset()
 		}
 	}
@@ -34,7 +93,11 @@ func Tokenize(s string) []string {
 		}
 	}
 	flush()
-	return tokens
+	return dst
+}
+
+func isASCIIAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 }
 
 // TokenSet returns the set of distinct tokens of s.
@@ -110,15 +173,32 @@ func NewStopWords(words ...string) StopWords {
 	return sw
 }
 
-// Contains reports membership of the lower-cased word.
+// Contains reports membership of the lower-cased word. Tokens reaching
+// it from the tokeniser are already lower-cased, so the fast path is a
+// direct probe; only words that actually differ from their lower-cased
+// form pay the ToLower allocation.
 func (sw StopWords) Contains(word string) bool {
-	_, ok := sw[strings.ToLower(word)]
+	if _, ok := sw[word]; ok {
+		return true
+	}
+	lower := strings.ToLower(word)
+	if lower == word {
+		return false
+	}
+	_, ok := sw[lower]
 	return ok
 }
 
 // Filter returns the tokens of s that are not stop words.
 func (sw StopWords) Filter(s string) []string {
-	toks := Tokenize(s)
+	return sw.FilterTokens(Tokenize(s))
+}
+
+// FilterTokens removes stop words from an already-tokenised slice in
+// place and returns the shortened slice. Tokens must be lower-cased (as
+// the tokeniser emits them). The allocation-free companion of Filter for
+// callers holding pooled scratch tokens.
+func (sw StopWords) FilterTokens(toks []string) []string {
 	out := toks[:0]
 	for _, t := range toks {
 		if _, ok := sw[t]; !ok {
