@@ -19,7 +19,9 @@ fi
 
 go vet ./...
 
-# Every exported identifier must carry a doc comment (see cmd/doccheck).
+# Every exported identifier must carry a doc comment, and the design
+# references must not name repo paths that no longer exist (see
+# cmd/doccheck; .md arguments select the reference-check mode).
 go run ./cmd/doccheck \
     . \
     ./internal/classifier \
@@ -32,6 +34,7 @@ go run ./cmd/doccheck \
     ./internal/eval \
     ./internal/experiments \
     ./internal/graph \
+    ./internal/inc \
     ./internal/index \
     ./internal/intern \
     ./internal/obs \
@@ -44,7 +47,14 @@ go run ./cmd/doccheck \
     ./internal/server \
     ./internal/shard \
     ./internal/stream \
-    ./internal/strsim
+    ./internal/strsim \
+    DESIGN.md \
+    EXPERIMENTS.md \
+    INCREMENTAL.md \
+    OBSERVABILITY.md \
+    README.md \
+    SERVING.md \
+    SHARDING.md
 
 # Metric and trace span names in code must match the OBSERVABILITY.md
 # registry in both directions (see cmd/obscheck).
@@ -54,6 +64,7 @@ go run ./cmd/obscheck -doc OBSERVABILITY.md \
     ./internal/cluster \
     ./internal/core \
     ./internal/experiments \
+    ./internal/inc \
     ./internal/parallel \
     ./internal/server \
     ./internal/shard \
@@ -92,5 +103,6 @@ go test -run '^$' -bench 'BenchmarkNoopSinkOverhead|BenchmarkEngineTopKTracing' 
 # skipped, and smoke the hot-path benchmarks one iteration each.
 go test -run 'TestStage0PruneNoAllocs' ./internal/core
 go test -run 'TestTokenScratchNoAllocs|TestStopWordsContainsNoAllocLowercase' ./internal/strsim
+go test -run 'TestAnswerCacheHitNoAllocs' ./internal/server
 go test -run '^$' -bench 'BenchmarkStage0Prune' -benchtime 1x ./internal/core
 go test -run '^$' -bench 'BenchmarkTokenSet|BenchmarkIndexBuild' -benchtime 1x ./internal/strsim ./internal/index

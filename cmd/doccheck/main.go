@@ -1,22 +1,29 @@
-// Command doccheck enforces the repository's godoc discipline: every
-// exported top-level identifier in the packages it is pointed at must
-// carry a doc comment. ci.sh runs it over the API-bearing packages
-// (internal/core, internal/parallel, internal/strsim, the root topk
-// package, internal/obs) so exported surface cannot silently grow
-// undocumented.
+// Command doccheck enforces the repository's documentation discipline.
+// It has two modes, selected per argument:
+//
+//   - A package directory: every exported top-level identifier must
+//     carry a doc comment. ci.sh runs this over the API-bearing
+//     packages so exported surface cannot silently grow undocumented.
+//   - A markdown file (argument ending in .md): every repo-path
+//     reference the document makes — inline-code tokens under
+//     internal/, cmd/, or examples/, and relative link targets — must
+//     exist on disk, so design references (INCREMENTAL.md,
+//     OBSERVABILITY.md, ...) cannot drift to naming files or packages
+//     that were renamed away.
 //
 // Usage:
 //
-//	doccheck ./internal/core ./internal/parallel .
+//	doccheck ./internal/core ./internal/parallel . INCREMENTAL.md
 //
-// Each argument is a package directory (not recursive). Exported
+// Package arguments are directories (not recursive). Exported
 // functions, methods on exported types, type declarations, and
 // const/var specs are checked; a doc comment on the enclosing
 // const/var/type block covers all its specs. Exit status 1 lists every
-// undocumented identifier with its position.
+// undocumented identifier / dangling doc reference with its position.
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -28,14 +35,18 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [<package-dir>...]")
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir|doc.md> [...]")
 		os.Exit(2)
 	}
 	bad := 0
-	for _, dir := range os.Args[1:] {
-		missing, err := checkDir(dir)
+	for _, arg := range os.Args[1:] {
+		check := checkDir
+		if strings.HasSuffix(arg, ".md") {
+			check = checkDoc
+		}
+		missing, err := check(arg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", arg, err)
 			os.Exit(2)
 		}
 		for _, m := range missing {
@@ -44,7 +55,7 @@ func main() {
 		}
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) without doc comments\n", bad)
+		fmt.Fprintf(os.Stderr, "doccheck: %d documentation failure(s)\n", bad)
 		os.Exit(1)
 	}
 }
@@ -118,6 +129,127 @@ func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
 				}
 			}
 		}
+	}
+}
+
+// checkDoc scans one markdown file for repo-path references that do not
+// resolve on disk, relative to the file's directory. Two reference
+// forms are checked: inline-code tokens (`internal/...`, `cmd/...`,
+// `examples/...`) and relative markdown link targets. Fenced code
+// blocks are skipped — shell transcripts legitimately mention
+// ephemeral files.
+func checkDoc(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	root := filepath.Dir(path)
+	var missing []string
+	exists := func(rel string) bool {
+		if _, err := os.Stat(filepath.Join(root, rel)); err == nil {
+			return true
+		}
+		// A package-qualified symbol (`internal/intern.Table`) resolves
+		// through its package directory.
+		if i := strings.LastIndexByte(rel, '.'); i > 0 {
+			if _, err := os.Stat(filepath.Join(root, rel[:i])); err == nil {
+				return true
+			}
+		}
+		return false
+	}
+	inFence := false
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, tok := range inlineCode(line) {
+			if !pathLike(tok) {
+				continue
+			}
+			if !exists(tok) {
+				missing = append(missing, fmt.Sprintf("%s:%d: reference `%s` does not exist", path, n, tok))
+			}
+		}
+		for _, target := range linkTargets(line) {
+			if !exists(target) {
+				missing = append(missing, fmt.Sprintf("%s:%d: link target %q does not exist", path, n, target))
+			}
+		}
+	}
+	return missing, sc.Err()
+}
+
+// inlineCode returns the contents of every single-backtick span on the
+// line.
+func inlineCode(line string) []string {
+	var toks []string
+	for {
+		i := strings.IndexByte(line, '`')
+		if i < 0 {
+			return toks
+		}
+		j := strings.IndexByte(line[i+1:], '`')
+		if j < 0 {
+			return toks
+		}
+		toks = append(toks, line[i+1:i+1+j])
+		line = line[i+j+2:]
+	}
+}
+
+// pathLike reports whether an inline-code token is a checkable repo
+// path: rooted at internal/, cmd/, or examples/, with a plain-filename
+// character set (no flags, placeholders, URLs, or endpoint paths).
+func pathLike(tok string) bool {
+	tok = strings.TrimSuffix(tok, "/")
+	if !strings.HasPrefix(tok, "internal/") && !strings.HasPrefix(tok, "cmd/") &&
+		!strings.HasPrefix(tok, "examples/") {
+		return false
+	}
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-' || c == '/':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// linkTargets returns the relative-file targets of the line's markdown
+// links: `](target)` occurrences that are not absolute URLs or
+// in-page anchors, with any #fragment stripped.
+func linkTargets(line string) []string {
+	var targets []string
+	for {
+		i := strings.Index(line, "](")
+		if i < 0 {
+			return targets
+		}
+		rest := line[i+2:]
+		j := strings.IndexByte(rest, ')')
+		if j < 0 {
+			return targets
+		}
+		target := rest[:j]
+		line = rest[j+1:]
+		if frag := strings.IndexByte(target, '#'); frag >= 0 {
+			target = target[:frag]
+		}
+		if target == "" || strings.Contains(target, "://") || strings.ContainsAny(target, " <>") {
+			continue
+		}
+		targets = append(targets, target)
 	}
 }
 

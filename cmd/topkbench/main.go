@@ -8,8 +8,8 @@
 //	topkbench -exp fig7 -exp fig6     # selected experiments
 //
 // Experiments: table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank,
-// stream, serve, shard, all. Scales: small, default, full (record counts
-// in DESIGN.md §5).
+// stream, serve, shard, inc, all. Scales: small, default, full (record
+// counts in DESIGN.md §5).
 package main
 
 import (
@@ -56,7 +56,11 @@ type benchExperiment struct {
 	// ShardRows carries the sharded-coordinator sweep's per-cell timing
 	// and bound-exchange statistics (shard experiment only).
 	ShardRows []experiments.ShardRow `json:"shard_rows,omitempty"`
-	Phases    *obs.Snapshot          `json:"phases,omitempty"`
+	// IncRows carries the incremental-serving grid: delta apply, cache
+	// miss, cache hit, and from-scratch latencies per ingest-batch size ×
+	// touched-component fraction cell (inc experiment only).
+	IncRows []servebench.IncRow `json:"inc_rows,omitempty"`
+	Phases  *obs.Snapshot       `json:"phases,omitempty"`
 }
 
 type expFlag []string
@@ -74,7 +78,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, serve, shard, all")
+	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, serve, shard, inc, all")
 	scaleName := flag.String("scale", "default", "dataset scale: small, default, full")
 	jsonPath := flag.String("json", "", "write a machine-readable benchReport of the run to this path")
 	workersFlag := flag.String("workers", "", "comma-separated worker-pool bounds for the fig6 sweep (default \"1,<NumCPU>\"; 0 = NumCPU)")
@@ -189,6 +193,21 @@ func main() {
 			Name: "serve", ElapsedMS: float64(elapsed.Microseconds()) / 1000, ServeRows: serveRows,
 		})
 		fmt.Printf("-- serve done in %s --\n\n", elapsed.Round(time.Millisecond))
+	}
+
+	if all || want["inc"] {
+		fmt.Printf("== inc (scale %s) ==\n", *scaleName)
+		start := time.Now()
+		incRows, err := runInc(scale)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inc failed: %v\n", err)
+			os.Exit(1)
+		}
+		report.Experiments = append(report.Experiments, benchExperiment{
+			Name: "inc", ElapsedMS: float64(elapsed.Microseconds()) / 1000, IncRows: incRows,
+		})
+		fmt.Printf("-- inc done in %s --\n\n", elapsed.Round(time.Millisecond))
 	}
 
 	if all || want["shard"] {
@@ -454,6 +473,25 @@ func runServe(scale experiments.Scale) ([]servebench.Row, error) {
 		rows = append(rows, got...)
 	}
 	servebench.RenderTable(os.Stdout, rows)
+	return rows, nil
+}
+
+// runInc sweeps the incremental serving path over the ingest-batch size
+// × touched-component fraction grid: each cell reports the delta-apply
+// (/refresh) latency, the first-query-of-epoch miss, the memoised hit,
+// and the from-scratch batch run the incremental machinery amortises
+// (see INCREMENTAL.md and EXPERIMENTS.md E13).
+func runInc(scale experiments.Scale) ([]servebench.IncRow, error) {
+	// The clustered synthetic domain (one cluster = one canopy
+	// component); entity count scales with the Fig6 record target so
+	// the three scales sweep component counts too.
+	entities := scale.Fig6 / 3
+	fmt.Printf("E13 — incremental serving grid, %d seeded clusters\n", entities)
+	rows, err := servebench.BenchInc(servebench.IncOptions{Entities: entities})
+	if err != nil {
+		return nil, err
+	}
+	servebench.RenderIncTable(os.Stdout, rows)
 	return rows, nil
 }
 

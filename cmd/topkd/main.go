@@ -284,6 +284,20 @@ func smokeSession(base string) error {
 		return fmt.Errorf("rank: empty result")
 	}
 
+	// Answer-cache round trip (INCREMENTAL.md): a repeated query on the
+	// unchanged epoch must be served from the per-epoch cache, and the
+	// X-Cache header must say so.
+	if xc, err := getCacheHeader(client, base+"/topk?k=3&r=1"); err != nil {
+		return fmt.Errorf("topk cache miss probe: %w", err)
+	} else if xc != "miss" {
+		return fmt.Errorf("topk cache probe: first query X-Cache=%q, want \"miss\"", xc)
+	}
+	if xc, err := getCacheHeader(client, base+"/topk?k=3&r=1"); err != nil {
+		return fmt.Errorf("topk cache hit probe: %w", err)
+	} else if xc != "hit" {
+		return fmt.Errorf("topk cache probe: repeat query X-Cache=%q, want \"hit\"", xc)
+	}
+
 	// EXPLAIN + tracing round trip: the explain query must return the
 	// report, name its trace, and that trace must be fetchable in both
 	// the JSON and the Chrome trace_event shapes.
@@ -335,4 +349,19 @@ func getJSON(client *http.Client, url string, out any) error {
 		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}
 	return json.Unmarshal(body, out)
+}
+
+// getCacheHeader issues one GET and returns the X-Cache answer-cache
+// verdict of the response.
+func getCacheHeader(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return resp.Header.Get("X-Cache"), nil
 }

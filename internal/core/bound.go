@@ -22,6 +22,11 @@ import (
 // the exit point; those are discarded and never counted).
 const boundBlock = 256
 
+// BoundBlock is the scan-block granularity of EstimateLowerBoundCtx,
+// exported so replaying estimators (internal/inc) can reproduce the
+// exact "bound.block" trace-event cadence of the from-scratch scan.
+const BoundBlock = boundBlock
+
 // EstimateLowerBound implements §4.2: given groups in decreasing weight
 // order and a necessary predicate n, find the smallest rank m such that
 // the first m groups are guaranteed to contain K distinct entities — via

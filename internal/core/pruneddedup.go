@@ -28,6 +28,26 @@ type Options struct {
 	// observational only: results are byte-identical with or without a
 	// sink, at every Workers count. nil (the default) is free.
 	Sink obs.Sink
+	// Bound, when non-nil, replaces the built-in EstimateLowerBoundCtx
+	// call for the lower-bound phase of every level. The incremental
+	// serving layer injects a verdict-replaying estimator here
+	// (internal/inc) so unchanged canopy components skip re-evaluating
+	// the necessary predicate; the estimator must reproduce
+	// EstimateLowerBoundCtx byte for byte — results, counters, and trace
+	// events (see INCREMENTAL.md). nil runs the from-scratch scan.
+	Bound BoundEstimator
+}
+
+// BoundEstimator is the pluggable lower-bound phase of Algorithm 2 (see
+// Options.Bound). level is 1-based; implementations that only accelerate
+// some levels delegate the rest to EstimateLowerBoundCtx. The contract
+// is byte identity with EstimateLowerBoundCtx on the same inputs: the
+// same (m, lower, evals, hits), the same "core.bound" span attributes,
+// and the same "bound.block" event cadence.
+type BoundEstimator interface {
+	// EstimateLowerBound mirrors EstimateLowerBoundCtx with the level
+	// index and the metrics sink added.
+	EstimateLowerBound(ctx context.Context, d *records.Dataset, groups []Group, n predicate.P, level, k, workers int, sink obs.Sink) (m int, lower float64, evals, hits int64)
 }
 
 // PrunedDedup runs Algorithm 2 of the paper over the dataset: for each
@@ -113,7 +133,11 @@ func PrunedDedupFromCtx(ctx context.Context, d *records.Dataset, groups []Group,
 
 		start = time.Now()
 		var m float64
-		stats.MRank, m, stats.BoundEvals, _ = EstimateLowerBoundCtx(ctxL, d, groups, level.Necessary, opts.K, opts.Workers)
+		if opts.Bound != nil {
+			stats.MRank, m, stats.BoundEvals, _ = opts.Bound.EstimateLowerBound(ctxL, d, groups, level.Necessary, li+1, opts.K, opts.Workers, sink)
+		} else {
+			stats.MRank, m, stats.BoundEvals, _ = EstimateLowerBoundCtx(ctxL, d, groups, level.Necessary, opts.K, opts.Workers)
+		}
 		stats.BoundTime = time.Since(start)
 		stats.LowerBound = m
 		obs.ObserveDuration(sink, "core.bound", stats.BoundTime)

@@ -1,0 +1,289 @@
+package inc
+
+import (
+	"context"
+	"sync"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/graph"
+	"topkdedup/internal/obs"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// compScan is one canopy component's retained §4.2 scan: the component's
+// full weight-sorted group list at the time it was built, a BoundScanner
+// advanced lazily over it, and the per-rank (verdict, pairEvals,
+// pairHits) tuples scanned so far. Those tuples are a pure function of
+// the component's local group prefix — candidates never cross canopy
+// components and greedy-independence decisions only see same-component
+// earlier ranks — which is what makes replaying them byte-identical to a
+// from-scratch global scan.
+type compScan struct {
+	sc       *core.BoundScanner
+	groups   []core.Group
+	verdicts []bool
+	evals    []int64
+	hits     []int64
+}
+
+// extend scans the component forward so at least upto ranks are cached,
+// returning how many new ranks were scanned.
+func (cs *compScan) extend(upto int) int {
+	before := len(cs.verdicts)
+	if upto > len(cs.groups) {
+		upto = len(cs.groups)
+	}
+	if n := upto - cs.sc.Scanned(); n > 0 {
+		flags, pairEvals, pairHits := cs.sc.ScanHits(n)
+		cs.verdicts = append(cs.verdicts, flags...)
+		cs.evals = append(cs.evals, pairEvals...)
+		cs.hits = append(cs.hits, pairHits...)
+	}
+	return len(cs.verdicts) - before
+}
+
+// BoundCache retains per-component lower-bound scan verdicts across
+// queries and epochs, keyed by canopy root. State.Groups drops the
+// entries of every component touched by ingest (via the pre-union
+// roots); queries on unchanged components replay cached verdicts instead
+// of re-evaluating the necessary predicate. Safe for concurrent use —
+// one mutex serialises whole estimates, which also keeps each entry's
+// lazy extension single-writer.
+type BoundCache struct {
+	mu      sync.Mutex
+	entries map[int32]*compScan
+}
+
+func newBoundCache() *BoundCache {
+	return &BoundCache{entries: make(map[int32]*compScan)}
+}
+
+// invalidate drops the cached scans of the given roots.
+func (bc *BoundCache) invalidate(roots []int32) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	for _, r := range roots {
+		delete(bc.entries, r)
+	}
+}
+
+// Entries returns the current number of cached component scans.
+func (bc *BoundCache) Entries() int {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return len(bc.entries)
+}
+
+// Estimator adapts a BoundCache to one epoch snapshot: rootOf is the
+// component partition frozen at State.Estimator time, so a snapshot's
+// queries keep partitioning consistently even while later ingests union
+// components in the live state. It implements core.BoundEstimator for
+// level 1 and delegates deeper levels (tiny survivor sets, collapsed
+// under different sufficient predicates) to the from-scratch scan.
+type Estimator struct {
+	cache  *BoundCache
+	rootOf []int32
+}
+
+// EstimateLowerBound implements core.BoundEstimator. For level 1 it
+// replays cached per-component verdicts through a fresh
+// graph.PrefixController in the exact block cadence of
+// core.EstimateLowerBoundCtx, producing byte-identical (m, lower, evals,
+// hits), span attributes, and "bound.block" events; components without a
+// valid cache entry are scanned (lazily, only as deep as the consume
+// loop needs) and retained for the next query. It additionally emits the
+// inc.bound.reused_ranks / inc.bound.scanned_ranks counters to sink.
+func (e *Estimator) EstimateLowerBound(ctx context.Context, d *records.Dataset, groups []core.Group, n predicate.P, level, k, workers int, sink obs.Sink) (m int, lower float64, evals, hits int64) {
+	if e == nil || level != 1 {
+		return core.EstimateLowerBoundCtx(ctx, d, groups, n, k, workers)
+	}
+	for gi := range groups {
+		if rep := groups[gi].Rep; rep < 0 || rep >= len(e.rootOf) {
+			// A record the frozen partition has never seen — not reachable
+			// through the documented snapshot lifecycle, but fall back to
+			// the from-scratch scan rather than misattribute components.
+			return core.EstimateLowerBoundCtx(ctx, d, groups, n, k, workers)
+		}
+	}
+	return e.cache.estimate(ctx, d, groups, n, k, workers, e.rootOf, sink)
+}
+
+// ref addresses one global rank: the component (as an index into the
+// query's first-appearance component order) and the rank within it.
+type ref struct{ ci, local int32 }
+
+// estimate is the level-1 replay. It mirrors core.EstimateLowerBoundCtx
+// exactly — same limit, same 256-rank block cadence, same early exits,
+// same span attributes and events — with the per-rank tuples taken from
+// cached component scans where valid and scanned on demand otherwise.
+// fullCPN decomposes as the sum of per-component CPNAt over each
+// component's share of the global prefix, exact because component prefix
+// graphs are vertex-disjoint (the sharded coordinator's theorem, pinned
+// by FuzzBoundMerge).
+func (bc *BoundCache) estimate(ctx context.Context, d *records.Dataset, groups []core.Group, n predicate.P, k, workers int, rootOf []int32, sink obs.Sink) (m int, lower float64, evals, hits int64) {
+	if len(groups) == 0 || k < 1 {
+		return 0, 0, 0, 0
+	}
+	var reusedRanks, scannedRanks int64
+	_, sp := obs.StartChild(ctx, "core.bound")
+	defer func() {
+		if sp != nil {
+			sp.Attr("evals", float64(evals))
+			sp.Attr("hits", float64(hits))
+			sp.Attr("m_rank", float64(m))
+			sp.Attr("m", lower)
+			sp.End()
+		}
+		obs.Count(sink, "inc.bound.reused_ranks", reusedRanks)
+		obs.Count(sink, "inc.bound.scanned_ranks", scannedRanks)
+	}()
+
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+
+	limit := core.BoundScanLimit(groups, k)
+
+	// Partition the global rank order by frozen canopy component. The
+	// full list is partitioned (not just the scan prefix) so a stale
+	// entry whose list merely shares a prefix with the component's
+	// current one is caught by the length check below.
+	compIdx := make(map[int32]int32)
+	var order []int32
+	var local [][]core.Group
+	seq := make([]ref, 0, limit)
+	for gi := range groups {
+		root := rootOf[groups[gi].Rep]
+		ci, ok := compIdx[root]
+		if !ok {
+			ci = int32(len(local))
+			compIdx[root] = ci
+			order = append(order, root)
+			local = append(local, nil)
+		}
+		if gi < limit {
+			seq = append(seq, ref{ci, int32(len(local[ci]))})
+		}
+		local[ci] = append(local[ci], groups[gi])
+	}
+
+	// Resolve each component's cache entry; rebuild on any mismatch.
+	// Verdicts and pair counts depend only on representatives and local
+	// order, so (rep, weight) equality over the full local list is a
+	// sufficient fingerprint.
+	ents := make([]*compScan, len(local))
+	preLen := make([]int32, len(local))
+	for i, lg := range local {
+		ent := bc.entries[order[i]]
+		if ent == nil || !prefixCompatible(ent.groups, lg) {
+			ent = &compScan{sc: core.NewBoundScanner(d, lg, n, workers), groups: lg}
+			bc.entries[order[i]] = ent
+		}
+		ents[i] = ent
+		preLen[i] = int32(len(ent.verdicts))
+	}
+
+	pc := graph.NewPrefixController(k)
+	cnt := make([]int32, len(local))
+	fullCPN := func(prefix int) int {
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for r := 0; r < prefix; r++ {
+			cnt[seq[r].ci]++
+		}
+		total := 0
+		for i, c := range cnt {
+			if c > 0 {
+				total += ents[i].sc.CPNAt(int(c))
+			}
+		}
+		return total
+	}
+
+	need := make([]int32, len(local))
+	var touched []int32
+	independentSoFar := 0
+	consumed := 0
+	for consumed < limit {
+		blockEnd := consumed + core.BoundBlock
+		if blockEnd > limit {
+			blockEnd = limit
+		}
+		// Extend each touched component's scan to cover its ranks in this
+		// block (one ScanHits call per component, like one block of the
+		// global scan restricted to it).
+		touched = touched[:0]
+		for r := consumed; r < blockEnd; r++ {
+			ci := seq[r].ci
+			if need[ci] == 0 {
+				touched = append(touched, ci)
+			}
+			if want := seq[r].local + 1; want > need[ci] {
+				need[ci] = want
+			}
+		}
+		for _, ci := range touched {
+			if want := int(need[ci]); len(ents[ci].verdicts) < want {
+				scannedRanks += int64(ents[ci].extend(want))
+			}
+			need[ci] = 0
+		}
+		// Consume serially in global rank order; stop at the first rank
+		// where the CPN bound certifies K entities — the same stop rule,
+		// counters, and events as the from-scratch scan.
+		for r := consumed; r < blockEnd; r++ {
+			ci, li := seq[r].ci, seq[r].local
+			ent := ents[ci]
+			evals += ent.evals[li]
+			hits += ent.hits[li]
+			if li < preLen[ci] {
+				reusedRanks++
+			}
+			consumed++
+			if ent.verdicts[li] {
+				independentSoFar++
+			}
+			if pc.Feed(ent.verdicts[li], fullCPN) {
+				m = pc.ReachedAt()
+				lower = groups[m-1].Weight
+				if sp != nil {
+					sp.Event("bound.block", obs.Num("scanned", float64(consumed)),
+						obs.Num("independent", float64(independentSoFar)), obs.Num("m", lower))
+				}
+				return m, lower, evals, hits
+			}
+		}
+		if sp != nil {
+			sp.Event("bound.block", obs.Num("scanned", float64(consumed)),
+				obs.Num("independent", float64(independentSoFar)), obs.Num("m", 0))
+		}
+	}
+	if limit < len(groups) {
+		return 0, 0, evals, hits
+	}
+	if pc.Finish(fullCPN) {
+		m = pc.ReachedAt()
+		lower = groups[m-1].Weight
+		if sp != nil {
+			sp.Event("bound.block", obs.Num("scanned", float64(consumed)),
+				obs.Num("independent", float64(independentSoFar)), obs.Num("m", lower))
+		}
+		return m, lower, evals, hits
+	}
+	return 0, 0, evals, hits
+}
+
+// prefixCompatible reports whether a cached entry's group list covers
+// the query's local list as a (rep, weight)-identical prefix.
+func prefixCompatible(ent, query []core.Group) bool {
+	if len(ent) < len(query) {
+		return false
+	}
+	for i := range query {
+		if ent[i].Rep != query[i].Rep || ent[i].Weight != query[i].Weight {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+// Package inc maintains persistent deduplication state across epoch
+// publishes: a canopy union-find over every record ever ingested, the
+// level-1 sufficient collapse per canopy component, and a cache of §4.2
+// lower-bound scan verdicts per component. Ingest marks the components a
+// new record touches dirty; Groups rebuilds only those and reuses every
+// untouched component's collapsed groups verbatim, and the bound cache
+// replays retained greedy-independence verdicts through a fresh
+// graph.PrefixController so served queries skip re-evaluating the
+// necessary predicate on unchanged components (see INCREMENTAL.md).
+//
+// The contract throughout is byte identity: Groups returns exactly what
+// a from-scratch sweep over the accumulated records would, and Estimator
+// reproduces core.EstimateLowerBoundCtx's results, counters, and trace
+// events bit for bit. Only collapse-phase eval counters may differ from
+// the batch pipeline — those depend on global evaluation interleaving,
+// not on the answer (INCREMENTAL.md §5).
+package inc
+
+import (
+	"sort"
+	"time"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/dsu"
+	"topkdedup/internal/intern"
+	"topkdedup/internal/obs"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+)
+
+// keyspace is one blocking-key namespace of the canopy union-find: a
+// predicate whose keys connect records, with its own intern table (so
+// namespaces cannot collide) and the first record seen per key id. One
+// union against the first user per key yields the same transitive
+// closure as unioning every pair sharing the key — the owner idiom of
+// internal/shard's partitioner, applied per record instead of per group
+// representative.
+type keyspace struct {
+	p     predicate.P
+	tab   *intern.Table
+	owner []int32
+}
+
+// component is one canopy component: its member record ids, the level-1
+// sufficient collapse of those members, and whether the collapse needs
+// rebuilding because ingest touched the component since the last Groups.
+type component struct {
+	members []int32
+	groups  []core.Group
+	dirty   bool
+}
+
+// State is the persistent incremental dedup state. It is not safe for
+// concurrent use — the owning accumulator serialises Observe and Groups
+// (stream.Incremental calls them under the server's ingest lock); the
+// BoundCache it feeds is internally locked because served queries hit it
+// concurrently.
+//
+// Canopy components are connected components over the level-1 sufficient
+// AND necessary blocking keys. Deeper levels never consult this state
+// (they run from scratch on the tiny survivor sets), so coarsening the
+// canopy with their keys would shrink reuse without buying correctness.
+// Two invariants follow from the keyspace choice:
+//
+//   - every sufficient-collapse union stays inside one component
+//     (predicate.P.Keys completeness: Eval true implies a shared key),
+//     so dirty tracking by component is complete for Groups; and
+//   - no necessary-predicate candidate pair crosses components, so the
+//     bound phase decomposes exactly per component (the same canopy
+//     theorem the sharded coordinator relies on).
+type State struct {
+	data   *records.Dataset
+	canopy *dsu.DSU
+	spaces []keyspace
+	comps  map[int]*component
+	// rootOf freezes each record's canopy root as of the last Groups
+	// call. Estimator copies it, so snapshot queries keep a consistent
+	// component partition while later ingests union components away.
+	rootOf []int32
+	// stale collects the pre-union roots of every union since the last
+	// Groups call; their cached bound scans are dropped there.
+	stale  []int32
+	keyIDs []uint32
+	bound  *BoundCache
+	sink   obs.Sink
+}
+
+// NewState creates empty incremental state over the dataset the caller
+// appends to. Records must be handed to Observe in append order, each
+// exactly once. levels drives the canopy keyspaces (level 1's sufficient
+// and necessary predicates); an empty schedule yields singleton
+// components only.
+func NewState(data *records.Dataset, levels []predicate.Level) *State {
+	st := &State{
+		data:   data,
+		canopy: dsu.NewGrowable(),
+		comps:  make(map[int]*component),
+		bound:  newBoundCache(),
+	}
+	if len(levels) > 0 {
+		st.spaces = []keyspace{
+			{p: levels[0].Sufficient, tab: intern.New()},
+			{p: levels[0].Necessary, tab: intern.New()},
+		}
+	}
+	return st
+}
+
+// SetMetrics attaches an observability sink for the inc.delta.* metrics
+// Groups emits (see OBSERVABILITY.md). Pass nil to detach. Observational
+// only: state and query results are byte-identical with or without it.
+func (st *State) SetMetrics(s obs.Sink) { st.sink = s }
+
+// Components returns the current number of canopy components.
+func (st *State) Components() int { return len(st.comps) }
+
+// Observe folds one appended record into the canopy: it interns the
+// record's level-1 blocking keys, unions it with each key's first user,
+// and marks every component it lands in or merges away as dirty. Must be
+// called once per record, in record-id order, after the dataset append.
+func (st *State) Observe(rec *records.Record) {
+	id := rec.ID
+	for st.canopy.Len() <= id {
+		st.canopy.Add()
+	}
+	for len(st.rootOf) <= id {
+		st.rootOf = append(st.rootOf, int32(len(st.rootOf)))
+	}
+	st.comps[id] = &component{members: []int32{int32(id)}, dirty: true}
+	for si := range st.spaces {
+		sp := &st.spaces[si]
+		st.keyIDs = sp.p.KeyIDs(sp.tab, rec, st.keyIDs[:0])
+		for len(sp.owner) < sp.tab.Len() {
+			sp.owner = append(sp.owner, -1)
+		}
+		for _, kid := range st.keyIDs {
+			if own := sp.owner[kid]; own >= 0 {
+				st.union(id, int(own))
+			} else {
+				sp.owner[kid] = int32(id)
+			}
+		}
+	}
+}
+
+// union merges the components of records a and b (no-op when already
+// together), recording both pre-union roots as stale so their cached
+// bound scans are invalidated at the next Groups call.
+func (st *State) union(a, b int) {
+	ra, rb := st.canopy.Find(a), st.canopy.Find(b)
+	if ra == rb {
+		return
+	}
+	ca, cb := st.comps[ra], st.comps[rb]
+	st.canopy.Union(a, b)
+	nr := st.canopy.Find(a)
+	if len(ca.members) < len(cb.members) {
+		ca, cb = cb, ca
+	}
+	ca.members = append(ca.members, cb.members...)
+	ca.dirty = true
+	ca.groups = nil
+	delete(st.comps, ra)
+	delete(st.comps, rb)
+	st.comps[nr] = ca
+	st.stale = append(st.stale, int32(ra), int32(rb))
+}
+
+// Groups materialises the level-1 sufficient collapse, rebuilding only
+// dirty components and reusing every clean component's groups verbatim.
+// sufRoot maps a record id to its sufficient-closure root (the owning
+// accumulator's union-find Find); the closure must respect component
+// boundaries, which the canopy keyspaces guarantee for predicates
+// honouring the Keys completeness contract.
+//
+// The result is byte-identical to a from-scratch sweep: within a
+// component, members are visited in ascending record id — the same
+// order a global sweep visits them — so each group's member order,
+// float-summed weight, and first-strict-max representative match, and
+// the final (weight desc, rep asc) sort is a total order, making concat
+// order irrelevant.
+func (st *State) Groups(sufRoot func(int) int) []core.Group {
+	start := time.Now()
+	if len(st.stale) > 0 {
+		st.bound.invalidate(st.stale)
+		st.stale = st.stale[:0]
+	}
+	var dirtyComps, cleanComps, rebuiltGroups, reusedGroups int64
+	total := 0
+	for root, c := range st.comps {
+		if c.dirty {
+			st.rebuild(c, sufRoot)
+			for _, m := range c.members {
+				st.rootOf[m] = int32(root)
+			}
+			c.dirty = false
+			dirtyComps++
+			rebuiltGroups += int64(len(c.groups))
+		} else {
+			cleanComps++
+			reusedGroups += int64(len(c.groups))
+		}
+		total += len(c.groups)
+	}
+	out := make([]core.Group, 0, total)
+	for _, c := range st.comps {
+		out = append(out, c.groups...)
+	}
+	core.SortGroupsByWeight(out)
+	if st.sink != nil {
+		st.sink.Count("inc.delta.dirty_components", dirtyComps)
+		st.sink.Count("inc.delta.clean_components", cleanComps)
+		st.sink.Count("inc.delta.rebuilt_groups", rebuiltGroups)
+		st.sink.Count("inc.delta.reused_groups", reusedGroups)
+		st.sink.Observe("inc.delta.apply.seconds", time.Since(start).Seconds())
+	}
+	return out
+}
+
+// rebuild recomputes one component's sufficient collapse from its
+// members in ascending record-id order (see Groups for why that order
+// is the byte-identity anchor).
+func (st *State) rebuild(c *component, sufRoot func(int) int) {
+	sort.Slice(c.members, func(i, j int) bool { return c.members[i] < c.members[j] })
+	idx := make(map[int]int, len(c.members))
+	groups := make([]core.Group, 0, len(c.members))
+	for _, m := range c.members {
+		r := st.data.Recs[m]
+		root := sufRoot(int(m))
+		if gi, ok := idx[root]; ok {
+			g := &groups[gi]
+			g.Members = append(g.Members, r.ID)
+			g.Weight += r.Weight
+			if r.Weight > st.data.Recs[g.Rep].Weight {
+				g.Rep = r.ID
+			}
+		} else {
+			idx[root] = len(groups)
+			groups = append(groups, core.Group{Rep: r.ID, Members: []int{r.ID}, Weight: r.Weight})
+		}
+	}
+	c.groups = groups
+}
+
+// Estimator freezes the current component partition into a
+// core.BoundEstimator backed by the shared verdict cache. Call it after
+// Groups (rootOf is only current then); the returned estimator stays
+// valid for the snapshot it was taken with even as later ingests mutate
+// the state, because invalidation is keyed by the pre-union roots the
+// frozen partition still uses.
+func (st *State) Estimator() *Estimator {
+	return &Estimator{
+		cache:  st.bound,
+		rootOf: append([]int32(nil), st.rootOf...),
+	}
+}

@@ -1,0 +1,317 @@
+package servebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/eval"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+	"topkdedup/internal/server"
+)
+
+// IncRow is one cell of the incremental-serving experiment: an
+// ingest-batch size × touched-component fraction setting, with the
+// latencies of the four serving regimes INCREMENTAL.md distinguishes —
+// delta apply at publish, first query of an epoch (miss), memoised
+// repeat (hit), and the from-scratch batch pipeline the first two
+// replace.
+type IncRow struct {
+	// BatchSize is the records per ingest batch.
+	BatchSize int `json:"batch_size"`
+	// TouchTarget is the requested fraction of each batch that
+	// duplicates an already-served record (touching its canopy
+	// component); the remainder open brand-new components.
+	TouchTarget float64 `json:"touch_target"`
+	// Records is the served record count when the cell finished.
+	Records int `json:"records"`
+	// Epochs is the number of ingest+refresh+query rounds averaged over.
+	Epochs int `json:"epochs"`
+	// DirtyFrac is the measured fraction of canopy components the
+	// average delta apply had to rebuild (inc.delta.dirty_components
+	// over dirty+clean).
+	DirtyFrac float64 `json:"dirty_frac"`
+	// ApplyAvg is the client-observed /refresh latency: the delta
+	// collapse apply plus snapshot publication.
+	ApplyAvg time.Duration `json:"apply_avg_ns"`
+	// MissAvg is the first /topk of each fresh epoch (X-Cache: miss) —
+	// the K-dependent pipeline over the maintained collapse.
+	MissAvg time.Duration `json:"miss_avg_ns"`
+	// HitAvg is the identical repeat /topk (X-Cache: hit) — the
+	// memoised path.
+	HitAvg time.Duration `json:"hit_avg_ns"`
+	// Scratch is one from-scratch batch-engine run over the cell's
+	// final record set, the baseline both serving paths amortise.
+	Scratch time.Duration `json:"scratch_ns"`
+}
+
+// IncOptions sizes the incremental-serving experiment.
+type IncOptions struct {
+	// Entities is the seeded cluster count — the canopy component count
+	// the touch fraction is relative to (default 2000; each cluster
+	// seeds 2-4 records).
+	Entities int
+	// BatchSizes and TouchTargets span the grid (defaults
+	// {16, 128, 512} × {0.0, 0.5, 1.0}).
+	BatchSizes   []int
+	TouchTargets []float64
+	// Epochs is the ingest+refresh+query rounds per cell (default 5).
+	Epochs int
+	// K is the TopK parameter (default 10).
+	K int
+}
+
+func (o *IncOptions) defaults() {
+	if o.Entities <= 0 {
+		o.Entities = 2000
+	}
+	if len(o.BatchSizes) == 0 {
+		o.BatchSizes = []int{16, 128, 512}
+	}
+	if len(o.TouchTargets) == 0 {
+		o.TouchTargets = []float64{0.0, 0.5, 1.0}
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 5
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+}
+
+// incLevels is the bench's clustered blocking domain: sufficient = exact
+// name equality, necessary = shared cluster prefix. One cluster is one
+// canopy component, so IncOptions.TouchTargets translates directly into
+// the dirty-component fraction the delta apply sees.
+//
+// The paper-analogue domains are NOT usable here: their necessary
+// predicates key on loose textual features (author 3-grams and the
+// like), which connects essentially every record into a single canopy
+// component — the probe in EXPERIMENTS.md "Reading the numbers" (E13)
+// measures exactly 1 component over 4458 citation records. On such a
+// domain the collapse delta is all-or-nothing and a touched-fraction
+// knob would be a no-op; the clustered domain restores the variable
+// under test.
+func incLevels() []predicate.Level {
+	cluster := func(name string) string {
+		for i := 0; i < len(name); i++ {
+			if name[i] == '.' {
+				return name[:i]
+			}
+		}
+		return name
+	}
+	s := predicate.P{
+		Name: "S",
+		Eval: func(a, b *records.Record) bool {
+			return a.Field("name") != "" && a.Field("name") == b.Field("name")
+		},
+		Keys: func(r *records.Record) []string { return []string{"s:" + r.Field("name")} },
+	}
+	n := predicate.P{
+		Name: "N",
+		Eval: func(a, b *records.Record) bool {
+			return cluster(a.Field("name")) == cluster(b.Field("name"))
+		},
+		Keys: func(r *records.Record) []string { return []string{"n:" + cluster(r.Field("name"))} },
+	}
+	return []predicate.Level{{Sufficient: s, Necessary: n}}
+}
+
+// BenchInc measures the incremental serving path across an ingest-batch
+// size × touched-component fraction grid on the clustered synthetic
+// domain (see incLevels). Each cell stands up a fresh server seeded
+// with Entities clusters, then runs Epochs rounds of: ingest one batch
+// (TouchTarget of it aimed at existing clusters, the rest opening new
+// ones), POST /refresh (timing the delta apply), one /topk miss, and
+// one /topk hit — asserting the X-Cache header actually reads miss then
+// hit. The measured dirty-component fraction comes from the server's
+// inc.delta.* counters, so the row reports what the delta apply really
+// rebuilt, not just what the batch aimed at.
+func BenchInc(opts IncOptions) ([]IncRow, error) {
+	opts.defaults()
+	var rows []IncRow
+	newCluster := opts.Entities
+	for _, batchSize := range opts.BatchSizes {
+		for _, touch := range opts.TouchTargets {
+			srv, err := server.New(server.Config{
+				Name:   "incbench",
+				Schema: []string{"name"},
+				Levels: incLevels(),
+				// Publication only on demand: the /refresh timing below is
+				// then exactly one delta apply.
+				RefreshEvery: -1,
+				TraceLimit:   -1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(int64(batchSize)))
+			seed := topk.NewDataset("incbench", "name")
+			for c := 0; c < opts.Entities; c++ {
+				for v, nv := 0, 2+rng.Intn(3); v < nv; v++ {
+					seed.Append(1+0.001*rng.Float64(), fmt.Sprintf("E%06d", c),
+						fmt.Sprintf("c%06d.v%d", c, v))
+				}
+			}
+			if _, err := srv.Seed(seed); err != nil {
+				return nil, err
+			}
+			ts := httptest.NewServer(srv.Handler())
+			row := IncRow{BatchSize: batchSize, TouchTarget: touch, Epochs: opts.Epochs}
+			var dirty, clean int64
+			var ingested []server.IngestRecord
+			for epoch := 0; epoch < opts.Epochs; epoch++ {
+				batch := make([]server.IngestRecord, batchSize)
+				dups := int(touch * float64(batchSize))
+				for i := range batch {
+					var name string
+					if i < dups {
+						// Another rendition of a seeded cluster dirties that
+						// cluster's component.
+						name = fmt.Sprintf("c%06d.v%d", rng.Intn(opts.Entities), rng.Intn(5))
+					} else {
+						// A fresh cluster opens a new singleton component.
+						name = fmt.Sprintf("c%06d.v0", newCluster)
+						newCluster++
+					}
+					batch[i] = server.IngestRecord{Weight: 1, Values: []string{name}}
+				}
+				if err := postIngest(ts, batch); err != nil {
+					ts.Close()
+					return nil, err
+				}
+				ingested = append(ingested, batch...)
+				before := srv.Metrics().Snapshot().Counters
+				start := time.Now()
+				if err := postRefresh(ts); err != nil {
+					ts.Close()
+					return nil, err
+				}
+				row.ApplyAvg += time.Since(start)
+				after := srv.Metrics().Snapshot().Counters
+				dirty += after["inc.delta.dirty_components"] - before["inc.delta.dirty_components"]
+				clean += after["inc.delta.clean_components"] - before["inc.delta.clean_components"]
+
+				path := fmt.Sprintf("/topk?k=%d", opts.K)
+				miss, err := timedQuery(ts, path, "miss")
+				if err != nil {
+					ts.Close()
+					return nil, err
+				}
+				row.MissAvg += miss
+				hit, err := timedQuery(ts, path, "hit")
+				if err != nil {
+					ts.Close()
+					return nil, err
+				}
+				row.HitAvg += hit
+			}
+			row.Records = srv.Records()
+			ts.Close()
+			if dirty+clean > 0 {
+				row.DirtyFrac = float64(dirty) / float64(dirty+clean)
+			}
+			row.ApplyAvg /= time.Duration(opts.Epochs)
+			row.MissAvg /= time.Duration(opts.Epochs)
+			row.HitAvg /= time.Duration(opts.Epochs)
+
+			// The baseline both serving paths amortise: one from-scratch
+			// batch pipeline over the cell's final record set (seed plus
+			// every ingested batch).
+			full := topk.NewDataset("incbench", "name")
+			for _, r := range seed.Recs {
+				full.Append(r.Weight, r.Truth, r.Fields["name"])
+			}
+			for _, r := range ingested {
+				full.Append(r.Weight, r.Truth, r.Values...)
+			}
+			eng := topk.New(full, incLevels(), nil, topk.Config{})
+			start := time.Now()
+			if _, err := eng.TopK(opts.K, 1); err != nil {
+				return nil, err
+			}
+			row.Scratch = time.Since(start)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// postJSON POSTs v as JSON to the bench server.
+func postJSON(ts *httptest.Server, path string, v any) (*http.Response, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(data))
+}
+
+// postIngest sends one batch and drains the response.
+func postIngest(ts *httptest.Server, batch []server.IngestRecord) error {
+	resp, err := postJSON(ts, "/ingest", server.IngestRequest{Records: batch})
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// postRefresh forces one snapshot publication.
+func postRefresh(ts *httptest.Server) error {
+	resp, err := postJSON(ts, "/refresh", struct{}{})
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("refresh status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// timedQuery issues one GET and checks the answer-cache verdict matched
+// the regime the bench is measuring.
+func timedQuery(ts *httptest.Server, path, wantCache string) (time.Duration, error) {
+	start := time.Now()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != wantCache {
+		return 0, fmt.Errorf("%s: X-Cache %q, want %q", path, xc, wantCache)
+	}
+	return elapsed, nil
+}
+
+// RenderIncTable prints the incremental-serving grid.
+func RenderIncTable(w io.Writer, rows []IncRow) {
+	tbl := eval.NewTable("batch", "touch", "records", "dirty%", "apply", "miss", "hit", "scratch")
+	for _, r := range rows {
+		tbl.AddRow(r.BatchSize, fmt.Sprintf("%.2f", r.TouchTarget), r.Records,
+			fmt.Sprintf("%.2f", 100*r.DirtyFrac),
+			r.ApplyAvg.Round(10*time.Microsecond).String(),
+			r.MissAvg.Round(10*time.Microsecond).String(),
+			r.HitAvg.Round(time.Microsecond).String(),
+			r.Scratch.Round(10*time.Microsecond).String())
+	}
+	tbl.Render(w)
+}

@@ -32,3 +32,31 @@ func TestBenchSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchIncSmoke runs a tiny cell of the incremental-serving grid,
+// which also asserts the X-Cache miss→hit sequence of every epoch
+// internally.
+func TestBenchIncSmoke(t *testing.T) {
+	rows, err := BenchInc(IncOptions{Entities: 60, BatchSizes: []int{8}, TouchTargets: []float64{0.0, 1.0}, Epochs: 2, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.ApplyAvg <= 0 || r.MissAvg <= 0 || r.HitAvg <= 0 || r.Scratch <= 0 {
+			t.Fatalf("non-positive latency in row %+v", r)
+		}
+	}
+	// The touch knob must translate into the measured dirty fraction:
+	// all-fresh batches (touch 0) only open new singleton components —
+	// the seeded clusters stay clean — while all-duplicate batches dirty
+	// a real share of them.
+	if rows[0].DirtyFrac >= rows[1].DirtyFrac {
+		t.Fatalf("dirty fractions do not track the touch target: %+v", rows)
+	}
+	if rows[0].DirtyFrac > 0.5 {
+		t.Fatalf("touch=0.0 cell dirtied %.2f of components, want mostly clean", rows[0].DirtyFrac)
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"sync"
+
+	topk "topkdedup"
+)
+
+// Answer-cache statuses, reported in the X-Cache response header of
+// /topk and /rank and counted under the inc.cache.* metrics.
+const (
+	// cacheHit: the answer was memoised for this epoch — served in
+	// microseconds without running any pipeline phase.
+	cacheHit = "hit"
+	// cacheMiss: first query of this (epoch, parameters) key — computed
+	// and stored for subsequent hits.
+	cacheMiss = "miss"
+	// cacheCoalesced: an identical query was already in flight on the
+	// same epoch; this request waited for that one computation
+	// (singleflight) instead of duplicating it.
+	cacheCoalesced = "coalesced"
+	// cacheBypass: the request opted out of the cache (?explain=1 needs
+	// a fresh trace, and queries on a not-current epoch do not poison
+	// the cache).
+	cacheBypass = "bypass"
+)
+
+// answerKey identifies one memoisable query within an epoch: the query
+// kind ('t' /topk, 'k' /rank?k=, 'r' /rank?t=) plus its parameters.
+// Epochs are not part of the key — the whole cache is invalidated when
+// a new epoch publishes.
+type answerKey struct {
+	kind byte
+	k, r int
+	t    float64
+}
+
+// answerEntry is one in-flight or finished answer. The owner (the
+// request that got cacheMiss) writes the result fields and then closes
+// done; hits and coalesced waiters only read them after done is closed,
+// so the channel close is the publication barrier.
+type answerEntry struct {
+	done chan struct{}
+	topk *topk.Result
+	rank *topk.RankResult
+	err  error
+}
+
+// answerCache memoises query answers per epoch with singleflight
+// coalescing of identical concurrent misses. It holds entries for one
+// epoch sequence at a time: publishLocked flushes eagerly on every
+// epoch publish, and begin flushes lazily if a request from a newer
+// epoch arrives first. Entries are immutable once done is closed;
+// errored computations are removed before the close, so a cacheHit can
+// never observe an error.
+type answerCache struct {
+	mu      sync.Mutex
+	seq     uint64
+	entries map[answerKey]*answerEntry
+}
+
+// flush invalidates every entry and re-keys the cache to epoch seq.
+func (c *answerCache) flush(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq = seq
+	clear(c.entries)
+}
+
+// begin resolves one request against the cache: cacheHit with a
+// finished entry, cacheCoalesced with an in-flight entry to wait on,
+// cacheMiss with a fresh entry the caller now owns (it must call finish
+// exactly once), or cacheBypass with no entry when the request's epoch
+// is older than the cache's (a query racing a publish must not poison
+// the new epoch's cache).
+func (c *answerCache) begin(seq uint64, key answerKey) (string, *answerEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq != c.seq {
+		if seq < c.seq {
+			return cacheBypass, nil
+		}
+		c.seq = seq
+		clear(c.entries)
+	}
+	if ent, ok := c.entries[key]; ok {
+		select {
+		case <-ent.done:
+			return cacheHit, ent
+		default:
+			return cacheCoalesced, ent
+		}
+	}
+	ent := &answerEntry{done: make(chan struct{})}
+	c.entries[key] = ent
+	return cacheMiss, ent
+}
+
+// finish publishes a cacheMiss owner's outcome: the caller has set the
+// entry's result fields; an error evicts the entry (errors are not
+// memoised) before waking the waiters.
+func (c *answerCache) finish(seq uint64, key answerKey, ent *answerEntry) {
+	if ent.err != nil {
+		c.mu.Lock()
+		if c.seq == seq && c.entries[key] == ent {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	close(ent.done)
+}
+
+// size returns the current entry count (for the inc.cache.entries
+// gauge).
+func (c *answerCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// beginAnswer is the server-side wrapper over answerCache.begin: it
+// applies the bypass rule for ?explain=1, counts the outcome under the
+// inc.cache.* metrics, and refreshes the inc.cache.entries gauge.
+func (s *Server) beginAnswer(seq uint64, key answerKey, bypass bool) (string, *answerEntry) {
+	status := cacheBypass
+	var ent *answerEntry
+	if !bypass {
+		status, ent = s.answers.begin(seq, key)
+	}
+	switch status {
+	case cacheHit:
+		s.metrics.Count("inc.cache.hit", 1)
+	case cacheMiss:
+		s.metrics.Count("inc.cache.miss", 1)
+	case cacheCoalesced:
+		s.metrics.Count("inc.cache.coalesced", 1)
+	case cacheBypass:
+		s.metrics.Count("inc.cache.bypass", 1)
+	}
+	s.metrics.Gauge("inc.cache.entries", float64(s.answers.size()))
+	return status, ent
+}

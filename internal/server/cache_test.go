@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	topk "topkdedup"
+)
+
+// counter reads one counter out of the server's metrics collector.
+func counter(t *testing.T, srv *Server, name string) int64 {
+	t.Helper()
+	return srv.Metrics().Snapshot().Counters[name]
+}
+
+// queryWithCache issues one GET and returns the X-Cache header plus the
+// raw result bytes.
+func queryWithCache(t *testing.T, ts *httptest.Server, path string) (string, []byte) {
+	t.Helper()
+	resp, body := get(t, ts, path)
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: status %d: %s", path, resp.StatusCode, body)
+	}
+	status := resp.Header.Get("X-Cache")
+	if status == "" {
+		t.Fatalf("%s: missing X-Cache header", path)
+	}
+	var raw struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatalf("decode %s: %v: %s", path, err, body)
+	}
+	return status, raw.Result
+}
+
+// TestTopKCacheLifecycle pins the memoisation contract end to end: the
+// first /topk of an epoch is a miss that runs the pipeline, a repeat is
+// a hit that runs NO pipeline phase (the core.levels counter — one
+// increment per executed pruning level — must not move), returns the
+// identical result bytes, and a /refresh publish invalidates the whole
+// cache.
+func TestTopKCacheLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	ingestBatch(t, ts, names("alice", "alice", "alan", "bob", "bob", "bob", "carol"))
+
+	status, first := queryWithCache(t, ts, "/topk?k=3&r=1")
+	if status != cacheMiss {
+		t.Fatalf("first query: X-Cache=%q, want %q", status, cacheMiss)
+	}
+	if got := counter(t, srv, "inc.cache.miss"); got != 1 {
+		t.Fatalf("inc.cache.miss after first query: %d, want 1", got)
+	}
+
+	levelsBefore := counter(t, srv, "core.levels")
+	boundBefore := counter(t, srv, "core.bound.evals")
+	pruneBefore := counter(t, srv, "core.prune.evals")
+	status, second := queryWithCache(t, ts, "/topk?k=3&r=1")
+	if status != cacheHit {
+		t.Fatalf("repeat query: X-Cache=%q, want %q", status, cacheHit)
+	}
+	if got := counter(t, srv, "inc.cache.hit"); got != 1 {
+		t.Fatalf("inc.cache.hit after repeat: %d, want 1", got)
+	}
+	// The memoised answer must be served without re-running any
+	// collapse/bound/prune work: every pipeline counter is frozen.
+	if got := counter(t, srv, "core.levels"); got != levelsBefore {
+		t.Fatalf("cache hit ran the pipeline: core.levels %d -> %d", levelsBefore, got)
+	}
+	if got := counter(t, srv, "core.bound.evals"); got != boundBefore {
+		t.Fatalf("cache hit ran the bound phase: core.bound.evals %d -> %d", boundBefore, got)
+	}
+	if got := counter(t, srv, "core.prune.evals"); got != pruneBefore {
+		t.Fatalf("cache hit ran the prune phase: core.prune.evals %d -> %d", pruneBefore, got)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("hit bytes differ from miss bytes:\nmiss: %s\nhit:  %s", first, second)
+	}
+
+	// Different parameters are a different key: still a miss on this epoch.
+	if status, _ = queryWithCache(t, ts, "/topk?k=2&r=1"); status != cacheMiss {
+		t.Fatalf("different k: X-Cache=%q, want %q", status, cacheMiss)
+	}
+
+	// Publishing a new epoch invalidates every memoised answer.
+	resp := postJSON(t, ts, "/refresh", struct{}{})
+	resp.Body.Close()
+	if status, _ = queryWithCache(t, ts, "/topk?k=3&r=1"); status != cacheMiss {
+		t.Fatalf("after refresh: X-Cache=%q, want %q", status, cacheMiss)
+	}
+}
+
+// TestRankCacheLifecycle extends the memoisation contract to both /rank
+// forms, and checks the two forms (and /topk) do not collide in the
+// cache key space.
+func TestRankCacheLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	ingestBatch(t, ts, names("alice", "alice", "alan", "bob", "bob", "bob", "carol"))
+
+	for _, path := range []string{"/rank?k=3", "/rank?t=1.5", "/topk?k=3"} {
+		if status, _ := queryWithCache(t, ts, path); status != cacheMiss {
+			t.Fatalf("%s first query: X-Cache=%q, want %q", path, status, cacheMiss)
+		}
+		if status, _ := queryWithCache(t, ts, path); status != cacheHit {
+			t.Fatalf("%s repeat query: X-Cache=%q, want %q", path, status, cacheHit)
+		}
+	}
+	if hits := counter(t, srv, "inc.cache.hit"); hits != 3 {
+		t.Fatalf("inc.cache.hit: %d, want 3", hits)
+	}
+
+	resp := postJSON(t, ts, "/refresh", struct{}{})
+	resp.Body.Close()
+	if status, _ := queryWithCache(t, ts, "/rank?k=3"); status != cacheMiss {
+		t.Fatalf("rank after refresh: X-Cache=%q, want %q", status, cacheMiss)
+	}
+}
+
+// TestExplainBypassesCache pins the ?explain=1 rule: explain queries
+// need a fresh pipeline run for their report, so they neither read nor
+// write the cache — and the cache state around them is untouched.
+func TestExplainBypassesCache(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	ingestBatch(t, ts, names("alice", "alice", "bob"))
+
+	for i := 0; i < 2; i++ {
+		if status, _ := queryWithCache(t, ts, "/topk?k=2&explain=1"); status != cacheBypass {
+			t.Fatalf("explain query %d: X-Cache=%q, want %q", i, status, cacheBypass)
+		}
+	}
+	if got := counter(t, srv, "inc.cache.bypass"); got != 2 {
+		t.Fatalf("inc.cache.bypass: %d, want 2", got)
+	}
+	// The explain runs did not seed the cache: a plain query misses, then hits.
+	if status, _ := queryWithCache(t, ts, "/topk?k=2"); status != cacheMiss {
+		t.Fatalf("plain query after explain: want miss, got %q", status)
+	}
+	if status, _ := queryWithCache(t, ts, "/topk?k=2"); status != cacheHit {
+		t.Fatalf("plain repeat after explain: want hit, got %q", status)
+	}
+}
+
+// TestAnswerCacheSingleflight exercises the cache's state machine
+// directly: a second identical request that arrives while the first is
+// still computing coalesces onto the same entry; once the owner
+// finishes, later requests hit; errored computations are evicted rather
+// than memoised; and requests from a stale epoch bypass.
+func TestAnswerCacheSingleflight(t *testing.T) {
+	c := answerCache{entries: make(map[answerKey]*answerEntry)}
+	key := answerKey{kind: 't', k: 3, r: 1}
+
+	status, owner := c.begin(1, key)
+	if status != cacheMiss {
+		t.Fatalf("first begin: %q, want %q", status, cacheMiss)
+	}
+	status, ent := c.begin(1, key)
+	if status != cacheCoalesced || ent != owner {
+		t.Fatalf("in-flight begin: %q (same entry %v), want coalesced on the owner's entry", status, ent == owner)
+	}
+
+	// A coalesced waiter blocks on done and observes the owner's result
+	// after finish — the channel close is the publication barrier.
+	res := &topk.Result{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ent.done
+		if ent.topk != res || ent.err != nil {
+			t.Errorf("waiter observed %v/%v, want the owner's result", ent.topk, ent.err)
+		}
+	}()
+	owner.topk = res
+	c.finish(1, key, owner)
+	wg.Wait()
+
+	if status, ent = c.begin(1, key); status != cacheHit || ent.topk != res {
+		t.Fatalf("post-finish begin: %q, want hit with the memoised result", status)
+	}
+
+	// Stale epoch: bypass without touching the entries.
+	if status, _ = c.begin(0, key); status != cacheBypass {
+		t.Fatalf("stale-epoch begin: %q, want %q", status, cacheBypass)
+	}
+	if status, _ = c.begin(1, key); status != cacheHit {
+		t.Fatal("bypass must not evict the current epoch's entries")
+	}
+
+	// Newer epoch: lazy flush, the old answer is gone.
+	status, owner = c.begin(2, key)
+	if status != cacheMiss {
+		t.Fatalf("new-epoch begin: %q, want %q", status, cacheMiss)
+	}
+
+	// Errors are not memoised: finish evicts, the next request recomputes.
+	owner.err = fmt.Errorf("boom")
+	c.finish(2, key, owner)
+	if status, _ = c.begin(2, key); status != cacheMiss {
+		t.Fatalf("begin after errored finish: %q, want %q (errors must not be cached)", status, cacheMiss)
+	}
+	if c.size() != 1 {
+		t.Fatalf("cache size: %d, want 1 (only the recomputing entry)", c.size())
+	}
+}
+
+// TestAnswerCacheHitNoAllocs is the alloc-regression smoke for the hot
+// serving path: resolving a memoised answer must not allocate. ci.sh
+// runs it in the short-mode smoke suite.
+func TestAnswerCacheHitNoAllocs(t *testing.T) {
+	c := answerCache{entries: make(map[answerKey]*answerEntry)}
+	key := answerKey{kind: 't', k: 10, r: 2}
+	_, owner := c.begin(7, key)
+	owner.topk = &topk.Result{}
+	c.finish(7, key, owner)
+	allocs := testing.AllocsPerRun(1000, func() {
+		status, ent := c.begin(7, key)
+		if status != cacheHit || ent.topk == nil {
+			t.Fatal("expected a hit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit lookup allocates: %.1f allocs/op, want 0", allocs)
+	}
+}

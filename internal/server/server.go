@@ -145,6 +145,11 @@ type Server struct {
 	epoch atomic.Pointer[epoch]
 	seq   atomic.Uint64
 
+	// answers memoises query results per epoch with singleflight
+	// coalescing (see cache.go and INCREMENTAL.md); flushed on every
+	// publish.
+	answers answerCache
+
 	// Shard-node state: coordinator sessions loaded over /shard/load.
 	shardMu       sync.Mutex
 	shardSessions map[string]*shardSession
@@ -171,6 +176,11 @@ func New(cfg Config) (*Server, error) {
 		shardSessions: make(map[string]*shardSession),
 		shardClient:   cfg.ShardClient,
 	}
+	s.answers.entries = make(map[answerKey]*answerEntry)
+	// Route the accumulator's maintenance metrics (stream.add.*, and the
+	// incremental state's inc.delta.* delta-apply counters) into the
+	// server collector so /metrics shows ingest-side work too.
+	acc.SetMetrics(s.metrics)
 	if cfg.TraceLimit >= 0 {
 		s.tracer = obs.NewRecorder(cfg.TraceLimit)
 	}
@@ -247,6 +257,9 @@ func (s *Server) publishLocked() *epoch {
 	ep := &epoch{snap: s.acc.Snapshot(), seq: s.seq.Add(1)}
 	s.epoch.Store(ep)
 	s.pending = 0
+	// Invalidate the memoised answers of the previous epoch — the
+	// (epoch, parameters) cache contract of INCREMENTAL.md.
+	s.answers.flush(ep.seq)
 	s.metrics.Count("server.snapshot.published", 1)
 	return ep
 }
@@ -480,21 +493,47 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	ep := s.epoch.Load()
+	key := answerKey{kind: 't', k: k, r: rr}
+	status, ent := s.beginAnswer(ep.seq, key, explain)
 	var res *topk.Result
-	if len(s.cfg.ShardPeers) > 0 {
-		pd, perr := s.shardedPruned(ctx, ep, k)
-		if perr != nil {
+	badGateway := false
+	switch status {
+	case cacheHit:
+		res = ent.topk
+	case cacheCoalesced:
+		select {
+		case <-ent.done:
+			res, err = ent.topk, ent.err
+		case <-ctx.Done():
 			root.End()
-			writeError(w, http.StatusBadGateway, "shard peers: "+perr.Error())
+			writeError(w, http.StatusServiceUnavailable, "canceled while waiting for coalesced query")
 			return
 		}
-		res, err = s.queryEngine(ep, explain).TopKFromCtx(ctx, pd, k, rr)
-	} else {
-		res, err = s.queryEngine(ep, explain).TopKCtx(ctx, k, rr)
+	default: // cacheMiss computes and memoises; cacheBypass just computes
+		if len(s.cfg.ShardPeers) > 0 {
+			var pd *topk.PrunedResult
+			pd, err = s.shardedPruned(ctx, ep, k)
+			if err != nil {
+				err = fmt.Errorf("shard peers: %w", err)
+				badGateway = true
+			} else {
+				res, err = s.queryEngine(ep, explain).TopKFromCtx(ctx, pd, k, rr)
+			}
+		} else {
+			res, err = s.queryEngine(ep, explain).TopKCtx(ctx, k, rr)
+		}
+		if status == cacheMiss {
+			ent.topk, ent.err = res, err
+			s.answers.finish(ep.seq, key, ent)
+		}
 	}
 	root.End()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		code := http.StatusInternalServerError
+		if badGateway {
+			code = http.StatusBadGateway
+		}
+		writeError(w, code, err.Error())
 		return
 	}
 	resp := TopKResponse{
@@ -505,9 +544,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.logger != nil {
 		s.logger.Info("topk query", "k", k, "r", rr,
-			"snapshot_seq", ep.seq, "seconds", time.Since(start).Seconds(),
+			"snapshot_seq", ep.seq, "cache", status, "seconds", time.Since(start).Seconds(),
 			"trace", resp.TraceID, "span", root.SpanID().String())
 	}
+	w.Header().Set("X-Cache", status)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -534,11 +574,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "t must be a positive number")
 			return
 		}
-		res, err := s.queryEngine(ep, false).ThresholdedRank(t)
+		res, status, err := s.rankAnswer(r.Context(), ep, answerKey{kind: 'r', t: t}, func() (*topk.RankResult, error) {
+			return s.queryEngine(ep, false).ThresholdedRank(t)
+		})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
+		w.Header().Set("X-Cache", status)
 		writeJSON(w, http.StatusOK, RankResponse{T: t, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res})
 		return
 	}
@@ -558,30 +601,52 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		root.Attr("k", float64(k))
 	}
 	start := time.Now()
-	var res *topk.RankResult
-	var err2 error
-	if len(s.cfg.ShardPeers) > 0 {
-		pd, perr := s.shardedPruned(ctx, ep, k)
-		if perr != nil {
-			root.End()
-			writeError(w, http.StatusBadGateway, "shard peers: "+perr.Error())
-			return
+	res, status, err := s.rankAnswer(ctx, ep, answerKey{kind: 'k', k: k}, func() (*topk.RankResult, error) {
+		if len(s.cfg.ShardPeers) > 0 {
+			pd, perr := s.shardedPruned(ctx, ep, k)
+			if perr != nil {
+				return nil, fmt.Errorf("shard peers: %w", perr)
+			}
+			return s.queryEngine(ep, false).TopKRankFrom(pd, k)
 		}
-		res, err2 = s.queryEngine(ep, false).TopKRankFrom(pd, k)
-	} else {
-		res, err2 = s.queryEngine(ep, false).TopKRankCtx(ctx, k)
-	}
+		return s.queryEngine(ep, false).TopKRankCtx(ctx, k)
+	})
 	root.End()
-	if err2 != nil {
-		writeError(w, http.StatusInternalServerError, err2.Error())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	if s.logger != nil && root != nil {
-		s.logger.Info("rank query", "k", k, "snapshot_seq", ep.seq,
+		s.logger.Info("rank query", "k", k, "snapshot_seq", ep.seq, "cache", status,
 			"seconds", time.Since(start).Seconds(),
 			"trace", root.TraceID().String(), "span", root.SpanID().String())
 	}
+	w.Header().Set("X-Cache", status)
 	writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Records: ep.snap.Len(), Result: res})
+}
+
+// rankAnswer answers one /rank form through the answer cache: hits
+// return the memoised result, coalesced requests wait for the in-flight
+// identical query, and misses run compute and memoise its outcome.
+func (s *Server) rankAnswer(ctx context.Context, ep *epoch, key answerKey, compute func() (*topk.RankResult, error)) (*topk.RankResult, string, error) {
+	status, ent := s.beginAnswer(ep.seq, key, false)
+	switch status {
+	case cacheHit:
+		return ent.rank, status, nil
+	case cacheCoalesced:
+		select {
+		case <-ent.done:
+			return ent.rank, status, ent.err
+		case <-ctx.Done():
+			return nil, status, fmt.Errorf("canceled while waiting for coalesced query")
+		}
+	}
+	res, err := compute()
+	if status == cacheMiss {
+		ent.rank, ent.err = res, err
+		s.answers.finish(ep.seq, key, ent)
+	}
+	return res, status, err
 }
 
 // queryEngine builds the per-query engine over an epoch's frozen
@@ -594,6 +659,15 @@ func (s *Server) queryEngine(ep *epoch, explain bool) *topk.Engine {
 	cfg := s.cfg.Engine
 	cfg.Metrics = s.metrics
 	cfg.Explain = explain
+	// Incremental serving (INCREMENTAL.md): seed Algorithm 2 with the
+	// epoch's maintained level-1 collapse and its frozen bound-verdict
+	// estimator, so a query pays only the K-dependent phases plus any
+	// component work not already cached. Byte-identity with the batch
+	// pipeline is pinned by the differential tests; only collapse eval
+	// counters legitimately differ (the maintained collapse amortised
+	// them at ingest).
+	cfg.StartGroups = ep.snap.Groups()
+	cfg.Bound = ep.snap.BoundEstimator()
 	return topk.New(ep.snap.Dataset(), s.cfg.Levels, s.cfg.Scorer, cfg)
 }
 

@@ -100,6 +100,17 @@ func TestConcurrentSoak(t *testing.T) {
 					fail("querier %d: %s: invalid JSON: %s", g, path, body)
 					return
 				}
+				// Every successful query answer must carry a well-formed
+				// answer-cache verdict, whatever the publish/query race
+				// resolved to.
+				if resp.StatusCode == http.StatusOK && (path[:5] == "/topk" || path[:5] == "/rank") {
+					switch xc := resp.Header.Get("X-Cache"); xc {
+					case cacheHit, cacheMiss, cacheCoalesced, cacheBypass:
+					default:
+						fail("querier %d: %s: bad X-Cache header %q", g, path, xc)
+						return
+					}
+				}
 				if resp.StatusCode == http.StatusOK && (path[:5] == "/topk") {
 					var out TopKResponse
 					if err := json.Unmarshal(body, &out); err != nil {

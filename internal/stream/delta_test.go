@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"topkdedup/internal/core"
+)
+
+// scratchGroups recomputes the level-1 collapse from scratch: the toy
+// domain's sufficient predicate is exact name equality, so the closure
+// is a plain group-by-name sweep in record-id order — the reference the
+// delta rebuild must match byte for byte.
+func scratchGroups(inc *Incremental) []core.Group {
+	byName := make(map[string]int)
+	var groups []core.Group
+	for _, r := range inc.data.Recs {
+		name := r.Field("name")
+		if gi, ok := byName[name]; ok {
+			g := &groups[gi]
+			g.Members = append(g.Members, r.ID)
+			g.Weight += r.Weight
+			if r.Weight > inc.data.Recs[g.Rep].Weight {
+				g.Rep = r.ID
+			}
+		} else {
+			byName[name] = len(groups)
+			groups = append(groups, core.Group{Rep: r.ID, Members: []int{r.ID}, Weight: r.Weight})
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Weight != groups[j].Weight {
+			return groups[i].Weight > groups[j].Weight
+		}
+		return groups[i].Rep < groups[j].Rep
+	})
+	return groups
+}
+
+// TestStreamGroupsMatchScratch pins the delta rebuild: after every
+// random ingest batch, Groups (which re-collapses only dirty canopy
+// components) must equal the from-scratch sweep exactly — member order,
+// weight bit patterns, representative choice, and global sort.
+func TestStreamGroupsMatchScratch(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		inc, err := New("delta", []string{"name"}, toyLevels())
+		if err != nil {
+			t.Fatal(err)
+		}
+		entities := 5 + rng.Intn(50)
+		for batch := 0; batch < 10; batch++ {
+			for i := 0; i < 1+rng.Intn(12); i++ {
+				e := rng.Intn(entities)
+				inc.Add(float64(rng.Intn(15))+rng.Float64(), fmt.Sprintf("E%03d", e),
+					fmt.Sprintf("%c%03d.v%d", 'a'+e%6, e, rng.Intn(2)))
+			}
+			got := inc.Groups()
+			want := scratchGroups(inc)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d batch %d: delta groups diverge from scratch\n got=%v\nwant=%v", trial, batch, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotBoundEstimatorMatchesScratch pins the frozen estimator:
+// snapshot queries that replay cached bound verdicts must return the
+// same pruning result — including MRank, LowerBound, BoundEvals, and
+// PruneEvals — as a from-scratch PrunedDedupFrom over the same groups,
+// across interleaved ingest and repeated (warm-cache) queries.
+func TestSnapshotBoundEstimatorMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inc, err := New("est", []string{"name"}, toyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 20+rng.Intn(30); i++ {
+			e := rng.Intn(80)
+			inc.Add(float64(rng.Intn(20))+rng.Float64(), fmt.Sprintf("E%03d", e),
+				fmt.Sprintf("%c%03d.v%d", 'a'+e%6, e, rng.Intn(2)))
+		}
+		snap := inc.Snapshot()
+		if snap.BoundEstimator() == nil {
+			t.Fatal("snapshot has no bound estimator")
+		}
+		for _, k := range []int{1, 3, 5} {
+			for pass := 0; pass < 2; pass++ { // cold then warm cache
+				got, err := snap.TopK(k, 1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.PrunedDedupFromCtx(context.Background(), snap.Dataset(), snap.Groups(), toyLevels(), core.Options{K: k, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				stripTimes(got)
+				stripTimes(want)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("round %d k=%d pass=%d: estimator-backed result diverges\n got=%+v\nwant=%+v", round, k, pass, got, want)
+				}
+			}
+		}
+	}
+}
+
+// stripTimes zeroes the wall-clock phase durations, which legitimately
+// differ run to run.
+func stripTimes(res *core.Result) {
+	for i := range res.Stats {
+		res.Stats[i].CollapseTime = 0
+		res.Stats[i].BoundTime = 0
+		res.Stats[i].PruneTime = 0
+	}
+}
+
+// canonGrid erases the fields that legitimately differ between the
+// incremental and scratch pipelines at a given sharding: phase times
+// always; collapse evals always (the maintained collapse amortised them
+// at ingest); bound and prune evals only under sharding, where the
+// coordinator's split changes how work is counted but not what is
+// answered (the PR-4 sharding contract).
+func canonGrid(res *core.Result, sharded bool) {
+	stripTimes(res)
+	for i := range res.Stats {
+		res.Stats[i].CollapseEvals = 0
+		if sharded {
+			res.Stats[i].BoundEvals = 0
+			res.Stats[i].PruneEvals = 0
+		}
+	}
+}
+
+// TestIncrementalGridMatchesScratch is the Workers x Shards acceptance
+// grid: at every combination, a snapshot query seeded with the
+// maintained collapse (and, single-machine, the frozen bound estimator)
+// must equal the from-scratch batch pipeline — groups, weights, member
+// order, MRank, LowerBound, everything but the fields canonGrid erases.
+func TestIncrementalGridMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	inc, err := New("grid", []string{"name"}, toyLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 30+rng.Intn(40); i++ {
+			e := rng.Intn(60)
+			inc.Add(float64(rng.Intn(20))+rng.Float64(), fmt.Sprintf("E%03d", e),
+				fmt.Sprintf("%c%03d.v%d", 'a'+e%6, e, rng.Intn(2)))
+		}
+		for _, shards := range []int{1, 2, 3, 5} {
+			inc.SetShards(shards)
+			snap := inc.Snapshot()
+			for _, workers := range []int{1, 2, 4} {
+				for _, k := range []int{1, 3, 6} {
+					got, err := snap.TopK(k, workers, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := core.PrunedDedup(snap.Dataset(), toyLevels(), core.Options{K: k, Workers: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					canonGrid(got, shards > 1)
+					canonGrid(want, shards > 1)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("round %d shards=%d workers=%d k=%d: incremental diverges from scratch\n got=%+v\nwant=%+v",
+							round, shards, workers, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}

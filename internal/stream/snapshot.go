@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"topkdedup/internal/core"
+	"topkdedup/internal/inc"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
@@ -35,6 +36,7 @@ type Snapshot struct {
 	data   *records.Dataset
 	groups []core.Group
 	levels []predicate.Level
+	est    *inc.Estimator
 	evals  int64
 	shards int
 	taken  time.Time
@@ -46,6 +48,9 @@ type Snapshot struct {
 // use from then on.
 func (inc *Incremental) Snapshot() *Snapshot {
 	n := inc.data.Len()
+	// Groups first: the delta rebuild refreshes the component partition
+	// the estimator then freezes (inc.State.Estimator's contract).
+	groups := inc.Groups()
 	return &Snapshot{
 		data: &records.Dataset{
 			Name:   inc.data.Name,
@@ -55,8 +60,9 @@ func (inc *Incremental) Snapshot() *Snapshot {
 			// writing past the snapshot's window.
 			Recs: inc.data.Recs[:n:n],
 		},
-		groups: inc.Groups(),
+		groups: groups,
 		levels: inc.levels,
+		est:    inc.st.Estimator(),
 		evals:  inc.evals,
 		shards: inc.shards,
 		taken:  time.Now(),
@@ -113,5 +119,12 @@ func (s *Snapshot) TopKCtx(ctx context.Context, k, workers int, sink obs.Sink) (
 		})
 		return res, err
 	}
-	return core.PrunedDedupFromCtx(ctx, s.data, s.Groups(), s.levels, core.Options{K: k, Workers: workers, Sink: sink})
+	return core.PrunedDedupFromCtx(ctx, s.data, s.Groups(), s.levels, core.Options{K: k, Workers: workers, Sink: sink, Bound: s.est})
 }
+
+// BoundEstimator returns the snapshot's frozen verdict-replaying
+// lower-bound estimator (see internal/inc): byte-identical to the
+// from-scratch §4.2 scan but reusing cached greedy-independence
+// verdicts for canopy components untouched since earlier queries. The
+// serving layer injects it into its per-epoch engine alongside Groups.
+func (s *Snapshot) BoundEstimator() *inc.Estimator { return s.est }

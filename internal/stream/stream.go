@@ -15,10 +15,10 @@ package stream
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"topkdedup/internal/core"
 	"topkdedup/internal/dsu"
+	"topkdedup/internal/inc"
 	"topkdedup/internal/intern"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/predicate"
@@ -55,6 +55,11 @@ type Incremental struct {
 	// sink receives the stream.* metrics and the query-time core.*
 	// metrics (see SetMetrics).
 	sink obs.Sink
+	// st is the persistent incremental state (internal/inc): the canopy
+	// component partition over all records, the per-component collapse
+	// reused across Groups calls, and the cross-epoch bound-verdict
+	// cache that Snapshot freezes into an estimator.
+	st *inc.State
 }
 
 // New creates an empty accumulator with the given schema and predicate
@@ -64,11 +69,13 @@ func New(name string, schema []string, levels []predicate.Level) (*Incremental, 
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("stream: at least one predicate level required")
 	}
+	data := records.New(name, schema...)
 	return &Incremental{
-		data:   records.New(name, schema...),
+		data:   data,
 		levels: levels,
 		uf:     dsu.NewGrowable(),
 		tab:    intern.New(),
+		st:     inc.NewState(data, levels),
 	}, nil
 }
 
@@ -104,6 +111,7 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 		}
 		inc.buckets[key] = append(inc.buckets[key], int32(id))
 	}
+	inc.st.Observe(rec)
 	if inc.sink != nil {
 		inc.sink.Count("stream.add.records", 1)
 		inc.sink.Count("stream.add.evals", inc.evals-before)
@@ -128,12 +136,16 @@ func (inc *Incremental) SetWorkers(workers int) { inc.workers = workers }
 func (inc *Incremental) SetShards(shards int) { inc.shards = shards }
 
 // SetMetrics attaches an observability sink: each Add emits the
-// stream.add.records and stream.add.evals counters, and each TopK emits
-// a stream.topk span plus the usual core.* per-phase metrics (see
+// stream.add.records and stream.add.evals counters, each Groups emits
+// the inc.delta.* delta-apply metrics, and each TopK emits a
+// stream.topk span plus the usual core.* per-phase metrics (see
 // OBSERVABILITY.md). Pass nil to detach. Observational only — the
 // accumulated state and query results are byte-identical with or
 // without a sink.
-func (inc *Incremental) SetMetrics(s obs.Sink) { inc.sink = s }
+func (inc *Incremental) SetMetrics(s obs.Sink) {
+	inc.sink = s
+	inc.st.SetMetrics(s)
+}
 
 // Len returns the number of accumulated records.
 func (inc *Incremental) Len() int { return inc.data.Len() }
@@ -148,35 +160,13 @@ func (inc *Incremental) Dataset() *records.Dataset { return inc.data }
 
 // Groups materialises the current sure-duplicate components as collapsed
 // groups, sorted by decreasing weight. The representative is the
-// heaviest member.
+// heaviest member. Since the incremental-state rework this is a delta
+// rebuild: only canopy components touched by ingest since the previous
+// call are re-collapsed; every other component's groups are reused
+// verbatim (inc.State documents why the result is byte-identical to a
+// from-scratch sweep, and TestStreamGroupsMatchScratch pins it).
 func (inc *Incremental) Groups() []core.Group {
-	byRoot := make(map[int]*core.Group)
-	order := make([]int, 0)
-	for _, r := range inc.data.Recs {
-		root := inc.uf.Find(r.ID)
-		g, ok := byRoot[root]
-		if !ok {
-			byRoot[root] = &core.Group{Rep: r.ID, Members: []int{r.ID}, Weight: r.Weight}
-			order = append(order, root)
-			continue
-		}
-		g.Members = append(g.Members, r.ID)
-		g.Weight += r.Weight
-		if r.Weight > inc.data.Recs[g.Rep].Weight {
-			g.Rep = r.ID
-		}
-	}
-	groups := make([]core.Group, 0, len(byRoot))
-	for _, root := range order {
-		groups = append(groups, *byRoot[root])
-	}
-	sort.Slice(groups, func(i, j int) bool {
-		if groups[i].Weight != groups[j].Weight {
-			return groups[i].Weight > groups[j].Weight
-		}
-		return groups[i].Rep < groups[j].Rep
-	})
-	return groups
+	return inc.st.Groups(inc.uf.Find)
 }
 
 // TopK answers the TopK count query over the current state: the
