@@ -33,6 +33,7 @@ go run ./cmd/doccheck \
     ./internal/embed \
     ./internal/eval \
     ./internal/experiments \
+    ./internal/faulty \
     ./internal/graph \
     ./internal/inc \
     ./internal/index \
@@ -48,6 +49,7 @@ go run ./cmd/doccheck \
     ./internal/shard \
     ./internal/stream \
     ./internal/strsim \
+    ./internal/wal \
     DESIGN.md \
     EXPERIMENTS.md \
     INCREMENTAL.md \
@@ -68,7 +70,8 @@ go run ./cmd/obscheck -doc OBSERVABILITY.md \
     ./internal/parallel \
     ./internal/server \
     ./internal/shard \
-    ./internal/stream
+    ./internal/stream \
+    ./internal/wal
 
 go build ./...
 go test -race ./...
@@ -83,12 +86,27 @@ go test -race ./...
 go run ./cmd/topkd -smoke
 go run ./cmd/topkd -smoke -shards 4
 
+# Durability smoke (SERVING.md "Durability"): a child topkd is SIGKILLed
+# mid-ingest and restarted on the same WAL directory; every acknowledged
+# batch must be recovered whole, and the reborn server must answer
+# queries and accept new ingests. The byte-level recovery and failover
+# guarantees are pinned by the deterministic fault-injection tests
+# (internal/faulty) in the race suite above; this exercises a real
+# process kill end to end.
+go run ./cmd/topkd -crash-smoke
+
+# Failover soak, re-run by name so the concurrent dual-dispatch and
+# hedging paths get a dedicated race-detector pass with faults firing
+# even when unrelated packages are skipped.
+go test -race -run 'TestReplicatedFaultSoak' ./internal/shard
+
 # Fuzz smoke: a few seconds per target over the committed seed corpora
 # (similarity-measure contracts; R-best segmentation DP invariants;
 # cross-shard bound-merge equivalence).
 go test -run '^$' -fuzz '^FuzzStrsim$' -fuzztime 5s ./internal/strsim
 go test -run '^$' -fuzz '^FuzzSegmentDP$' -fuzztime 5s ./internal/segment
 go test -run '^$' -fuzz '^FuzzBoundMerge$' -fuzztime 5s ./internal/shard
+go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s ./internal/wal
 
 # Smoke-run the instrumentation overhead benchmarks (one iteration per
 # variant; the full comparisons are `go test -bench=NoopSinkOverhead`

@@ -18,7 +18,9 @@
 //	topkd -addr :8080 -schema name,addr -field name
 //	topkd -addr :8080 -field name -in seed.tsv      (warm-start from TSV)
 //	topkd -addr :8080 -shards 4                     (in-process sharded pruning)
+//	topkd -addr :8080 -wal /var/lib/topkd/wal       (durable ingest, replay on boot)
 //	topkd -smoke                                    (self-test and exit)
+//	topkd -crash-smoke                              (SIGKILL-recovery self-test and exit)
 //
 // Multi-node sharding (see SHARDING.md for the worked example): start
 // shard executors with -role shard, then a coordinator naming them:
@@ -56,28 +58,60 @@ import (
 	topk "topkdedup"
 	"topkdedup/internal/domains"
 	"topkdedup/internal/server"
+	"topkdedup/internal/wal"
 )
 
+// options collects every topkd flag; run consumes it whole.
+type options struct {
+	addr             string
+	schema           string
+	field            string
+	overlap          float64
+	refreshEvery     int
+	maxInFlight      int
+	requestTimeout   time.Duration
+	maxBatch         int
+	workers          int
+	in               string
+	smoke            bool
+	crashSmoke       bool
+	role             string
+	peers            string
+	shards           int
+	replicate        bool
+	walDir           string
+	walFsync         string
+	walSnapshotEvery int
+	logLevel         string
+	traceLimit       int
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	schema := flag.String("schema", "name", "comma-separated record field schema")
-	field := flag.String("field", "", "primary entity-name field (default: first schema field)")
-	overlap := flag.Float64("overlap", 0.5, "necessary-predicate 3-gram overlap threshold")
-	refreshEvery := flag.Int("refresh-every", 0, "snapshot policy: 0 = every batch, N > 0 = every N records, negative = only on POST /refresh")
-	maxInFlight := flag.Int("max-inflight", 64, "bounded request queue size; excess requests get 429")
-	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request budget before a 503 (negative disables)")
-	maxBatch := flag.Int("max-batch", 10000, "max records per ingest batch")
-	workers := flag.Int("workers", 0, "query worker goroutines (0 = GOMAXPROCS)")
-	in := flag.String("in", "", "optional seed TSV/CSV to load and publish before serving")
-	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a client session against it, shut down, exit")
-	role := flag.String("role", "standalone", "node role: standalone, coordinator (partitions queries across -peers), or shard (executes a coordinator's partition)")
-	peers := flag.String("peers", "", "comma-separated shard base URLs (coordinator role only)")
-	shards := flag.Int("shards", 0, "in-process shard count for query pruning (standalone/shard roles; <= 1 disables)")
-	logLevel := flag.String("log", "", "structured JSON request logging to stderr: debug, info, warn, or error (empty disables)")
-	traceLimit := flag.Int("trace-limit", 0, "query traces retained for GET /debug/traces (0 = default ring, negative disables tracing)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.schema, "schema", "name", "comma-separated record field schema")
+	flag.StringVar(&o.field, "field", "", "primary entity-name field (default: first schema field)")
+	flag.Float64Var(&o.overlap, "overlap", 0.5, "necessary-predicate 3-gram overlap threshold")
+	flag.IntVar(&o.refreshEvery, "refresh-every", 0, "snapshot policy: 0 = every batch, N > 0 = every N records, negative = only on POST /refresh")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 64, "bounded request queue size; excess requests get 429")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request budget before a 503 (negative disables)")
+	flag.IntVar(&o.maxBatch, "max-batch", 10000, "max records per ingest batch")
+	flag.IntVar(&o.workers, "workers", 0, "query worker goroutines (0 = GOMAXPROCS)")
+	flag.StringVar(&o.in, "in", "", "optional seed TSV/CSV to load and publish before serving")
+	flag.BoolVar(&o.smoke, "smoke", false, "self-test: serve on an ephemeral port, run a client session against it, shut down, exit")
+	flag.BoolVar(&o.crashSmoke, "crash-smoke", false, "self-test: SIGKILL a child topkd mid-ingest, restart it on the same WAL, verify recovery, exit")
+	flag.StringVar(&o.role, "role", "standalone", "node role: standalone, coordinator (partitions queries across -peers), or shard (executes a coordinator's partition)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated shard base URLs (coordinator role only)")
+	flag.IntVar(&o.shards, "shards", 0, "in-process shard count for query pruning (standalone/shard roles; <= 1 disables)")
+	flag.BoolVar(&o.replicate, "replicate", false, "coordinator role: place each shard on a primary + replica peer pair and fail queries over on peer loss (needs >= 2 -peers)")
+	flag.StringVar(&o.walDir, "wal", "", "write-ahead log directory: ingest is logged and fsynced before it is applied, and replayed on boot (empty disables durability)")
+	flag.StringVar(&o.walFsync, "wal-fsync", "always", "WAL fsync policy: always (durable on 200), interval (background ticker), or never (OS page cache)")
+	flag.IntVar(&o.walSnapshotEvery, "wal-snapshot-every", 0, "write a WAL state snapshot and prune replayed segments every N ingest batches (0 = default 256, negative disables)")
+	flag.StringVar(&o.logLevel, "log", "", "structured JSON request logging to stderr: debug, info, warn, or error (empty disables)")
+	flag.IntVar(&o.traceLimit, "trace-limit", 0, "query traces retained for GET /debug/traces (0 = default ring, negative disables tracing)")
 	flag.Parse()
 
-	if err := run(*addr, *schema, *field, *overlap, *refreshEvery, *maxInFlight, *requestTimeout, *maxBatch, *workers, *in, *smoke, *role, *peers, *shards, *logLevel, *traceLimit); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
 		os.Exit(1)
 	}
@@ -96,40 +130,65 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight int,
-	requestTimeout time.Duration, maxBatch, workers int, in string, smoke bool,
-	role, peers string, shards int, logLevel string, traceLimit int) error {
-	logger, err := newLogger(logLevel)
+// syncPolicy maps the -wal-fsync flag to its wal.SyncPolicy.
+func syncPolicy(name string) (wal.SyncPolicy, error) {
+	switch name {
+	case "always", "":
+		return wal.SyncAlways, nil
+	case "interval":
+		return wal.SyncInterval, nil
+	case "never":
+		return wal.SyncNever, nil
+	}
+	return 0, fmt.Errorf("bad -wal-fsync %q (use always, interval, or never)", name)
+}
+
+func run(o options) error {
+	if o.crashSmoke {
+		return crashSmoke()
+	}
+	logger, err := newLogger(o.logLevel)
+	if err != nil {
+		return err
+	}
+	fsync, err := syncPolicy(o.walFsync)
 	if err != nil {
 		return err
 	}
 	var peerList []string
-	if peers != "" {
-		for _, p := range strings.Split(peers, ",") {
+	if o.peers != "" {
+		for _, p := range strings.Split(o.peers, ",") {
 			if p = strings.TrimSpace(p); p != "" {
 				peerList = append(peerList, p)
 			}
 		}
 	}
-	switch role {
+	switch o.role {
 	case "standalone", "shard":
 		if len(peerList) > 0 {
 			return fmt.Errorf("-peers only applies to -role coordinator")
+		}
+		if o.replicate {
+			return fmt.Errorf("-replicate only applies to -role coordinator")
 		}
 	case "coordinator":
 		if len(peerList) == 0 {
 			return fmt.Errorf("-role coordinator requires -peers")
 		}
-		if shards > 1 {
+		if o.shards > 1 {
 			return fmt.Errorf("-shards does not apply to -role coordinator (the shard count is the peer count)")
 		}
+		if o.replicate && len(peerList) < 2 {
+			return fmt.Errorf("-replicate needs at least 2 -peers (each shard gets a primary and a replica on distinct peers)")
+		}
 	default:
-		return fmt.Errorf("unknown -role %q (use standalone, coordinator, or shard)", role)
+		return fmt.Errorf("unknown -role %q (use standalone, coordinator, or shard)", o.role)
 	}
-	fields := strings.Split(schema, ",")
+	fields := strings.Split(o.schema, ",")
 	for i := range fields {
 		fields[i] = strings.TrimSpace(fields[i])
 	}
+	field := o.field
 	if field == "" {
 		field = fields[0]
 	}
@@ -143,42 +202,58 @@ func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight 
 		return fmt.Errorf("field %q not in schema %v", field, fields)
 	}
 
-	levels, scorer := domains.Generic(field, overlap)
+	levels, scorer := domains.Generic(field, o.overlap)
 	srv, err := server.New(server.Config{
-		Schema:         fields,
-		Levels:         levels,
-		Scorer:         topk.PairScorerFunc(scorer),
-		Engine:         topk.Config{Workers: workers, Shards: shards},
-		RefreshEvery:   refreshEvery,
-		MaxInFlight:    maxInFlight,
-		RequestTimeout: requestTimeout,
-		MaxBatch:       maxBatch,
-		ShardPeers:     peerList,
-		TraceLimit:     traceLimit,
-		Logger:         logger,
+		Schema:           fields,
+		Levels:           levels,
+		Scorer:           topk.PairScorerFunc(scorer),
+		Engine:           topk.Config{Workers: o.workers, Shards: o.shards},
+		RefreshEvery:     o.refreshEvery,
+		MaxInFlight:      o.maxInFlight,
+		RequestTimeout:   o.requestTimeout,
+		MaxBatch:         o.maxBatch,
+		ShardPeers:       peerList,
+		ShardReplicate:   o.replicate,
+		WALDir:           o.walDir,
+		WALOptions:       wal.Options{Sync: fsync},
+		WALSnapshotEvery: o.walSnapshotEvery,
+		TraceLimit:       o.traceLimit,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err
 	}
-
-	if in != "" {
-		var d *topk.Dataset
-		if strings.HasSuffix(in, ".csv") {
-			d, err = topk.LoadDatasetCSV("seed", in)
-		} else {
-			d, err = topk.LoadDataset("seed", in)
-		}
-		if err != nil {
-			return err
-		}
-		n, err := srv.Seed(d)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "topkd: seeded %d records from %s\n", n, in)
+	defer srv.Close()
+	if n := srv.Recovered(); n > 0 {
+		fmt.Fprintf(os.Stderr, "topkd: recovered %d records from WAL %s\n", n, o.walDir)
 	}
 
-	if smoke {
+	if o.in != "" {
+		// A WAL that already holds records wins over the seed file: the
+		// recovered state includes the original seed (Seed logs it), and
+		// seeding again would double every record.
+		if srv.Recovered() > 0 {
+			fmt.Fprintf(os.Stderr, "topkd: skipping -in %s (state recovered from WAL)\n", o.in)
+		} else {
+			var d *topk.Dataset
+			if strings.HasSuffix(o.in, ".csv") {
+				d, err = topk.LoadDatasetCSV("seed", o.in)
+			} else {
+				d, err = topk.LoadDataset("seed", o.in)
+			}
+			if err != nil {
+				return err
+			}
+			n, err := srv.Seed(d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "topkd: seeded %d records from %s\n", n, o.in)
+		}
+	}
+
+	addr := o.addr
+	if o.smoke {
 		addr = "127.0.0.1:0"
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -190,7 +265,7 @@ func run(addr, schema, field string, overlap float64, refreshEvery, maxInFlight 
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "topkd: listening on %s\n", ln.Addr())
 
-	if smoke {
+	if o.smoke {
 		err := smokeSession("http://" + ln.Addr().String())
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

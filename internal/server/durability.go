@@ -1,0 +1,151 @@
+// Durability wiring: the server side of internal/wal. New opens the
+// log, rebuilds the accumulator from the newest snapshot plus the WAL
+// tail, and handleIngest/Seed append every accepted batch BEFORE it is
+// applied (WAL-then-apply), so a crash at any instant recovers to a
+// state byte-identical to an uninterrupted run — the crash-recovery
+// property tests pin exactly that. See SERVING.md "Durability".
+package server
+
+import (
+	"fmt"
+
+	topk "topkdedup"
+	"topkdedup/internal/wal"
+)
+
+// openWAL opens Config.WALDir, replays the newest valid snapshot and
+// the log tail behind it into the accumulator, and leaves the log open
+// for the ingest path. No-op when durability is disabled. Called from
+// New before the initial epoch is published, so recovered records are
+// queryable immediately.
+func (s *Server) openWAL() error {
+	if s.cfg.WALDir == "" {
+		return nil
+	}
+	opts := s.cfg.WALOptions
+	opts.Sink = s.metrics
+	l, err := wal.Open(s.cfg.WALDir, opts)
+	if err != nil {
+		return err
+	}
+	applied, recs, ok, err := l.LatestSnapshot()
+	if err != nil {
+		l.Close()
+		return err
+	}
+	var from uint64
+	if ok {
+		for _, r := range recs {
+			s.acc.Add(r.Weight, r.Truth, r.Values...)
+		}
+		s.recovered += len(recs)
+		from = applied
+	}
+	if err := l.Replay(from, func(_ uint64, b wal.Batch) error {
+		for _, r := range b {
+			s.acc.Add(r.Weight, r.Truth, r.Values...)
+		}
+		s.recovered += len(b)
+		return nil
+	}); err != nil {
+		l.Close()
+		return err
+	}
+	s.wal = l
+	return nil
+}
+
+// Recovered reports how many records boot recovery replayed from the
+// WAL (snapshot + tail). Zero when durability is disabled or the log
+// was empty. cmd/topkd uses it to skip file seeding after a restart.
+func (s *Server) Recovered() int { return s.recovered }
+
+// Checkpoint writes a WAL snapshot of the full durable state and prunes
+// the segments it makes redundant, bounding the next boot's replay to
+// the tail behind the snapshot. The accumulator state is captured under
+// the write lock (so the snapshot lands exactly at a batch boundary)
+// but encoded and written outside it, so ingest is never blocked on a
+// disk write. No-op when durability is disabled. Safe for concurrent
+// use; concurrent checkpoints serialise.
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.mu.Lock()
+	applied := s.wal.NextIndex()
+	snap := s.acc.Snapshot()
+	s.mu.Unlock()
+	recs := walRecords(snap.Dataset(), s.cfg.Schema)
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if err := s.wal.WriteSnapshot(applied, recs); err != nil {
+		return err
+	}
+	return s.wal.PruneSegments(applied)
+}
+
+// Close releases the server's durable resources: the WAL's active
+// segment and its background sync ticker. Safe (and a no-op) when
+// durability is disabled; the HTTP side needs no teardown of its own.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// walRecords flattens a frozen dataset into WAL snapshot records, in
+// insertion order — replaying them re-Adds exactly the original
+// sequence, which is what makes recovery byte-identical.
+func walRecords(d *topk.Dataset, schema []string) []wal.Record {
+	recs := make([]wal.Record, len(d.Recs))
+	for i, r := range d.Recs {
+		values := make([]string, len(schema))
+		for j, f := range schema {
+			values[j] = r.Fields[f]
+		}
+		recs[i] = wal.Record{Weight: r.Weight, Truth: r.Truth, Values: values}
+	}
+	return recs
+}
+
+// seedBatch converts a bulk-load dataset into one WAL batch (Seed's
+// durability unit).
+func seedBatch(d *topk.Dataset) wal.Batch {
+	batch := make(wal.Batch, len(d.Recs))
+	for i, rec := range d.Recs {
+		values := make([]string, len(d.Schema))
+		for j, f := range d.Schema {
+			values[j] = rec.Fields[f]
+		}
+		batch[i] = wal.Record{Weight: rec.Weight, Truth: rec.Truth, Values: values}
+	}
+	return batch
+}
+
+// walBatch converts validated ingest records into one WAL batch,
+// normalising omitted weights to 1 first so the logged batch is exactly
+// what the accumulator will apply (and what replay will re-apply).
+func walBatch(recs []IngestRecord) wal.Batch {
+	batch := make(wal.Batch, len(recs))
+	for i, rec := range recs {
+		wgt := rec.Weight
+		if wgt == 0 {
+			wgt = 1
+		}
+		batch[i] = wal.Record{Weight: wgt, Truth: rec.Truth, Values: rec.Values}
+	}
+	return batch
+}
+
+// checkpointErr surfaces a background checkpoint failure: the batch is
+// durable in the log regardless, so the request already succeeded —
+// the failure is logged, not returned to the client.
+func (s *Server) checkpointErr(err error) {
+	if err == nil {
+		return
+	}
+	if s.logger != nil {
+		s.logger.Error("wal checkpoint failed", "err", fmt.Sprint(err))
+	}
+}

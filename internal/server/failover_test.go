@@ -1,0 +1,209 @@
+// HTTP failover acceptance tests: a replicated 4-peer coordinator must
+// answer /topk and /rank byte-identically to a standalone server when a
+// peer process "dies" mid-query (every request after the trigger
+// answers 502, like a crashed topkd behind a load balancer), and must
+// surface a clean 502 — never a hang — when a double fault takes out
+// both endpoints of one shard. These pin the ISSUE acceptance criterion
+// end to end: coordinator HTTP transport → replica failover → replica
+// peers' /shard/* handlers.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"topkdedup/internal/shard"
+)
+
+// killableNode wraps one shard peer: after the first request whose path
+// matches killOn, every request (that one included) answers 502 — the
+// node is dead from the coordinator's point of view.
+type killableNode struct {
+	mu     sync.Mutex
+	dead   bool
+	killOn string // path that triggers death; "" = alive forever
+	hits   int    // requests rejected while dead
+}
+
+// middleware builds the node's handler around the real shard handler.
+func (n *killableNode) middleware(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		if !n.dead && n.killOn != "" && r.URL.Path == n.killOn {
+			n.dead = true
+		}
+		dead := n.dead
+		if dead {
+			n.hits++
+		}
+		n.mu.Unlock()
+		if dead {
+			http.Error(w, "node down", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// rejected reports how many requests the dead node turned away — proof
+// the kill actually intercepted traffic.
+func (n *killableNode) rejected() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hits
+}
+
+// fastReplica keeps failover timings test-sized.
+func fastReplica() shard.ReplicaOptions {
+	return shard.ReplicaOptions{
+		CallTimeout:  5 * time.Second,
+		HedgeDelay:   time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+// replicatedCluster starts n killable shard peers and a replicated
+// coordinator over them.
+func replicatedCluster(t *testing.T, n int, kills map[int]string) (coord *httptest.Server, nodes []*killableNode) {
+	t.Helper()
+	peers := make([]string, n)
+	nodes = make([]*killableNode, n)
+	for i := 0; i < n; i++ {
+		srv, err := New(Config{Schema: []string{"name"}, Levels: toyLevels(), Scorer: toyScorer()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := &killableNode{killOn: kills[i]}
+		ts := httptest.NewServer(node.middleware(srv.Handler()))
+		t.Cleanup(ts.Close)
+		peers[i] = ts.URL
+		nodes[i] = node
+	}
+	_, coord = newTestServer(t, func(c *Config) {
+		c.ShardPeers = peers
+		c.ShardReplicate = true
+		c.ShardReplica = fastReplica()
+	})
+	return coord, nodes
+}
+
+// failoverRecords is a deterministic clustered stream big enough that
+// every shard does real work in every phase.
+func failoverRecords() []IngestRecord {
+	var recs []IngestRecord
+	for e := 0; e < 24; e++ {
+		for c := 0; c <= e%3; c++ {
+			recs = append(recs, IngestRecord{
+				Weight: 1 + 0.001*float64(e*3+c),
+				Truth:  fmt.Sprintf("E%03d", e),
+				Values: []string{fmt.Sprintf("%c%03d.v%d", 'a'+e%6, e, c)},
+			})
+		}
+	}
+	return recs
+}
+
+// TestReplicatedClusterFailoverHTTP is the acceptance pin: 4 shard
+// peers, one killed mid-query at each protocol phase, answers
+// byte-identical to standalone.
+func TestReplicatedClusterFailoverHTTP(t *testing.T) {
+	recs := failoverRecords()
+	_, alone := newTestServer(t, nil)
+	ingestBatch(t, alone, recs)
+	wantTopK := canonResult(t, queryRaw(t, alone, "/topk?k=3&r=2"))
+	wantRank := canonRank(t, queryRaw(t, alone, "/rank?k=3"))
+
+	phases := []string{"/shard/load", "/shard/collapse", "/shard/bounds", "/shard/prune", "/shard/groups"}
+	for _, phase := range phases {
+		for _, victim := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%s_kill%d", strings.TrimPrefix(phase, "/shard/"), victim), func(t *testing.T) {
+				coord, nodes := replicatedCluster(t, 4, map[int]string{victim: phase})
+				ingestBatch(t, coord, recs)
+				if got := canonResult(t, queryRaw(t, coord, "/topk?k=3&r=2")); got != wantTopK {
+					t.Fatalf("/topk with node %d killed on %s differs from standalone\ngot:  %s\nwant: %s",
+						victim, phase, got, wantTopK)
+				}
+				if nodes[victim].rejected() == 0 {
+					t.Fatalf("node %d never rejected a request — the kill did not engage", victim)
+				}
+				if got := canonRank(t, queryRaw(t, coord, "/rank?k=3")); got != wantRank {
+					t.Fatalf("/rank with node %d killed on %s differs from standalone", victim, phase)
+				}
+			})
+		}
+	}
+}
+
+// TestReplicatedClusterNoFaultIdentity pins that replication alone (no
+// fault) does not change a byte versus the unreplicated coordinator.
+func TestReplicatedClusterNoFaultIdentity(t *testing.T) {
+	recs := failoverRecords()
+	plain := shardCluster(t, 4)
+	ingestBatch(t, plain, recs)
+	coord, _ := replicatedCluster(t, 4, nil)
+	ingestBatch(t, coord, recs)
+	for _, path := range []string{"/topk?k=4&r=2", "/topk?k=2&r=1"} {
+		got := canonResult(t, queryRaw(t, coord, path))
+		want := canonResult(t, queryRaw(t, plain, path))
+		if got != want {
+			t.Fatalf("%s: replicated cluster differs from plain cluster\ngot:  %s\nwant: %s", path, got, want)
+		}
+	}
+}
+
+// TestReplicatedClusterDoubleFault502 kills two ADJACENT peers — with
+// ring replica placement that takes out both the primary and the
+// replica of one shard — and requires a clean, prompt 502 with an error
+// body, not a hang and not a 200 with wrong data.
+func TestReplicatedClusterDoubleFault502(t *testing.T) {
+	recs := failoverRecords()
+	coord, _ := replicatedCluster(t, 4, map[int]string{1: "/shard/collapse", 2: "/shard/collapse"})
+	ingestBatch(t, coord, recs)
+	type answer struct {
+		status int
+		body   string
+	}
+	done := make(chan answer, 1)
+	go func() {
+		resp, body := get(t, coord, "/topk?k=3")
+		done <- answer{resp.StatusCode, string(body)}
+	}()
+	select {
+	case a := <-done:
+		if a.status != http.StatusBadGateway {
+			t.Fatalf("double fault answered %d (%s), want 502", a.status, a.body)
+		}
+		if !strings.Contains(a.body, "unavailable") {
+			t.Fatalf("double-fault error body does not name the unavailable shard: %s", a.body)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("double fault hung instead of failing")
+	}
+}
+
+// TestReplicatedClusterDeadAtLoad boots the query with one peer already
+// dead: load-time failover (LoadPartsErrs + MarkDown) must route its
+// shards to the surviving endpoints and still answer byte-identically.
+func TestReplicatedClusterDeadAtLoad(t *testing.T) {
+	recs := failoverRecords()
+	_, alone := newTestServer(t, nil)
+	ingestBatch(t, alone, recs)
+	want := canonResult(t, queryRaw(t, alone, "/topk?k=3&r=2"))
+	coord, nodes := replicatedCluster(t, 4, nil)
+	nodes[3].mu.Lock()
+	nodes[3].dead = true // dead before the first request ever reaches it
+	nodes[3].mu.Unlock()
+	ingestBatch(t, coord, recs)
+	if got := canonResult(t, queryRaw(t, coord, "/topk?k=3&r=2")); got != want {
+		t.Fatalf("query with peer 3 dead at load differs from standalone\ngot:  %s\nwant: %s", got, want)
+	}
+	if nodes[3].rejected() == 0 {
+		t.Fatal("dead node was never contacted — test exercised nothing")
+	}
+}

@@ -39,7 +39,9 @@ import (
 
 	topk "topkdedup"
 	"topkdedup/internal/obs"
+	"topkdedup/internal/shard"
 	"topkdedup/internal/stream"
+	"topkdedup/internal/wal"
 )
 
 // Config configures a Server. Schema and Levels are required; the zero
@@ -89,6 +91,32 @@ type Config struct {
 	// ShardClient is the HTTP client for coordinator→shard calls (nil
 	// selects a client with the server's RequestTimeout per call).
 	ShardClient *http.Client
+	// ShardReplicate mirrors every canopy part onto a primary + replica
+	// peer pair (the replica on the next peer in ring order), so one
+	// dead or stalled peer mid-query fails over with the answer
+	// unchanged. Requires >= 2 ShardPeers. See SHARDING.md.
+	ShardReplicate bool
+	// ShardReplica tunes failover (timeouts, hedging, retries) when
+	// ShardReplicate is set; the zero value selects shard.ReplicaOptions
+	// defaults.
+	ShardReplica shard.ReplicaOptions
+	// WALDir, when non-empty, makes ingest durable: every accepted batch
+	// is appended (and fsynced, per WALOptions.Sync) to a write-ahead
+	// log in this directory BEFORE it is applied, and New replays the
+	// newest snapshot plus the log tail on boot — a killed process
+	// recovers with groups and answers byte-identical to an
+	// uninterrupted run (SERVING.md "Durability"). Empty disables
+	// durability (the pre-WAL behaviour).
+	WALDir string
+	// WALOptions tunes the log (segment size, fsync policy, the test
+	// crash hook). The Sink field is ignored — wal.* metrics route to
+	// the server collector.
+	WALOptions wal.Options
+	// WALSnapshotEvery writes a flat state snapshot and prunes replayed
+	// segments every N accepted batches, bounding boot replay to the
+	// tail behind the newest snapshot. 0 selects 256; negative disables
+	// snapshotting (boot replays the whole log).
+	WALSnapshotEvery int
 	// TraceLimit sizes the ring of recent query traces kept for
 	// GET /debug/traces: 0 keeps the default (obs.DefaultTraceLimit),
 	// a negative value disables tracing entirely (queries then run the
@@ -118,6 +146,9 @@ func (c *Config) defaults() error {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 10000
+	}
+	if c.WALSnapshotEvery == 0 {
+		c.WALSnapshotEvery = 256
 	}
 	return nil
 }
@@ -155,6 +186,14 @@ type Server struct {
 	shardSessions map[string]*shardSession
 	// Coordinator state: the client used for /shard/* calls to peers.
 	shardClient *http.Client
+
+	// Durability state (see durability.go): the open WAL (nil when
+	// Config.WALDir is empty), the accepted-batch count since the last
+	// snapshot (guarded by mu), and the records replayed at boot.
+	wal        *wal.Log
+	walBatches int
+	recovered  int
+	snapMu     sync.Mutex // serialises Checkpoint's write + prune
 }
 
 // New creates a Server and publishes the initial (empty) snapshot as
@@ -190,6 +229,11 @@ func New(cfg Config) (*Server, error) {
 			timeout = 0
 		}
 		s.shardClient = &http.Client{Timeout: timeout}
+	}
+	// Recover durable state before the first epoch publishes, so records
+	// that survived a crash are queryable from the very first snapshot.
+	if err := s.openWAL(); err != nil {
+		return nil, err
 	}
 	s.epoch.Store(&epoch{snap: acc.Snapshot(), seq: 0})
 	return s, nil
@@ -277,14 +321,18 @@ func (s *Server) Seed(d *topk.Dataset) (int, error) {
 			return 0, fmt.Errorf("server: seed schema %v does not match server schema %v", d.Schema, s.cfg.Schema)
 		}
 	}
+	batch := seedBatch(d)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, rec := range d.Recs {
-		values := make([]string, len(d.Schema))
-		for i, f := range d.Schema {
-			values[i] = rec.Fields[f]
+	if s.wal != nil {
+		// Seeded records follow the same WAL-then-apply ordering as
+		// /ingest, so a restart recovers them without re-reading the file.
+		if _, err := s.wal.Append(batch); err != nil {
+			return 0, fmt.Errorf("server: seed wal append: %w", err)
 		}
-		s.acc.Add(rec.Weight, rec.Truth, values...)
+	}
+	for _, rec := range batch {
+		s.acc.Add(rec.Weight, rec.Truth, rec.Values...)
 	}
 	s.pending += len(d.Recs)
 	s.publishLocked()
@@ -411,13 +459,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The batch is normalised once (omitted weights default to 1) so the
+	// WAL logs exactly what the accumulator applies: replay re-Adds the
+	// same sequence and recovery is byte-identical.
+	batch := walBatch(req.Records)
 	s.mu.Lock()
-	for _, rec := range req.Records {
-		wgt := rec.Weight
-		if wgt == 0 {
-			wgt = 1
+	if s.wal != nil {
+		// WAL-then-apply: a batch that cannot be made durable is never
+		// applied, so an acknowledged batch is always recoverable and a
+		// failed one leaves no trace.
+		if _, err := s.wal.Append(batch); err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "wal append: "+err.Error())
+			return
 		}
-		s.acc.Add(wgt, rec.Truth, rec.Values...)
+	}
+	for _, rec := range batch {
+		s.acc.Add(rec.Weight, rec.Truth, rec.Values...)
 	}
 	s.pending += len(req.Records)
 	published := false
@@ -425,9 +483,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.publishLocked()
 		published = true
 	}
+	checkpoint := false
+	if s.wal != nil && s.cfg.WALSnapshotEvery > 0 {
+		s.walBatches++
+		if s.walBatches >= s.cfg.WALSnapshotEvery {
+			s.walBatches = 0
+			checkpoint = true
+		}
+	}
 	total := s.acc.Len()
 	seq := s.epoch.Load().seq
 	s.mu.Unlock()
+	if checkpoint {
+		s.checkpointErr(s.Checkpoint())
+	}
 	s.metrics.Count("server.ingest.records", int64(len(req.Records)))
 	s.metrics.Count("server.ingest.batches", 1)
 	writeJSON(w, http.StatusOK, IngestResponse{

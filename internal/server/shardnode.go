@@ -36,6 +36,7 @@ type shardSession struct {
 func (s *Server) shardedPruned(ctx context.Context, ep *epoch, k int) (*topk.PrunedResult, error) {
 	pd, _, err := shard.RunHTTPCtx(ctx, ep.snap.Dataset(), nil, s.cfg.Levels, s.cfg.ShardPeers, s.shardClient, shard.Options{
 		K: k, PrunePasses: s.cfg.Engine.PrunePasses, Workers: s.cfg.Engine.Workers, Sink: s.metrics,
+		Replicate: s.cfg.ShardReplicate, Replica: s.cfg.ShardReplica,
 	})
 	return pd, err
 }

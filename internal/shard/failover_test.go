@@ -1,0 +1,292 @@
+// Failover differential tests: a replicated sharded run with a peer
+// killed mid-query by internal/faulty must answer byte-identically to
+// the no-fault run, at every phase boundary, across a Workers × Shards
+// grid; a double fault (primary + replica of the same shard) must
+// surface as a typed *shard.UnavailableError, never a hang or panic.
+// Lives in shard_test (like the sharded differential) so it can import
+// internal/faulty, which itself imports the shard package.
+package shard_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"topkdedup/internal/core"
+	"topkdedup/internal/faulty"
+	"topkdedup/internal/predicate"
+	"topkdedup/internal/records"
+	"topkdedup/internal/shard"
+)
+
+// failoverOpts shortens the failure timings so fault paths resolve in
+// test time rather than production time.
+func failoverOpts() shard.ReplicaOptions {
+	return shard.ReplicaOptions{
+		CallTimeout:  5 * time.Second,
+		HedgeDelay:   time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+// resultBytes canonicalises a core.Result for byte comparison, zeroing
+// the timing/eval stats that legitimately vary (same rule as the
+// sharded differential).
+func resultBytes(t *testing.T, res *core.Result) string {
+	t.Helper()
+	stripVariable(res.Stats)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// runReplicatedFaulty executes one replicated exchange with fault rules
+// injected on the primary and/or replica endpoint transports.
+func runReplicatedFaulty(t *testing.T, d *records.Dataset, levels []predicate.Level, opts shard.Options, primRules, replRules []faulty.Rule) (*core.Result, *shard.Replicated, *faulty.Transport, error) {
+	t.Helper()
+	groups := core.SingletonGroups(d)
+	parts := shard.Split(d, groups, levels, opts.Shards)
+	var prim shard.Transport = shard.NewInProcess(d, parts, levels, opts)
+	var primFT *faulty.Transport
+	if len(primRules) > 0 {
+		primFT = faulty.Wrap(prim, primRules...)
+		prim = primFT
+	}
+	var repl shard.Transport = shard.NewInProcess(d, parts, levels, opts)
+	if len(replRules) > 0 {
+		repl = faulty.Wrap(repl, replRules...)
+	}
+	rt, err := shard.NewReplicated(prim, repl, failoverOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, _, err := shard.Exchange(context.Background(), rt, len(levels), d.Len(), opts)
+	return res, rt, primFT, err
+}
+
+// failoverMentions draws a deterministic clustered dataset large enough
+// that every phase (collapse, bound exchange, prune, groups) does real
+// work on every shard.
+func failoverMentions(seed int64, dom domainSpec) []mention {
+	rng := rand.New(rand.NewSource(seed))
+	nEnt := 16 + rng.Intn(12)
+	var ms []mention
+	for e := 0; e < nEnt; e++ {
+		for c := 1 + rng.Intn(4); c > 0; c-- {
+			ms = append(ms, mention{
+				weight: 1 + 0.001*rng.Float64(),
+				truth:  fmt.Sprintf("E%03d", e),
+				name:   dom.render(rng, e),
+			})
+		}
+	}
+	return ms
+}
+
+// TestReplicatedFailoverDifferential is the acceptance grid: for every
+// Workers × Shards cell and every phase boundary, kill a random
+// primary endpoint exactly there and require the answer byte-identical
+// to the unreplicated no-fault run. The kill is verified to have fired
+// (Injected > 0) and to have downed exactly the targeted primary.
+func TestReplicatedFailoverDifferential(t *testing.T) {
+	dom := toyDomain()
+	phases := []struct {
+		name string
+		rule func(victim int) faulty.Rule
+	}{
+		{"collapse", func(v int) faulty.Rule {
+			return faulty.Rule{Shard: v, Op: faulty.OpCollapse, Occurrence: 0, Action: faulty.Kill}
+		}},
+		{"bounds", func(v int) faulty.Rule {
+			return faulty.Rule{Shard: v, Op: faulty.OpBounds, Occurrence: 0, Action: faulty.Kill}
+		}},
+		{"prune", func(v int) faulty.Rule {
+			return faulty.Rule{Shard: v, Op: faulty.OpPrune, Occurrence: 0, Action: faulty.Kill}
+		}},
+		{"groups", func(v int) faulty.Rule {
+			return faulty.Rule{Shard: v, Op: faulty.OpGroups, Occurrence: 0, Action: faulty.Kill}
+		}},
+	}
+	for _, workers := range []int{1, 2} {
+		for _, shards := range []int{2, 4} {
+			ms := failoverMentions(int64(workers*100+shards), dom)
+			d := buildDataset(ms)
+			opts := shard.Options{K: 3, Shards: shards, Workers: workers}
+			base, _, err := shard.Run(d, nil, dom.levels, opts)
+			if err != nil {
+				t.Fatalf("baseline workers=%d shards=%d: %v", workers, shards, err)
+			}
+			want := resultBytes(t, base)
+
+			// No-fault replicated run first: replication alone must not
+			// change a byte.
+			res, _, _, err := runReplicatedFaulty(t, d, dom.levels, opts, nil, nil)
+			if err != nil {
+				t.Fatalf("replicated no-fault workers=%d shards=%d: %v", workers, shards, err)
+			}
+			if got := resultBytes(t, res); got != want {
+				t.Fatalf("workers=%d shards=%d: replicated no-fault differs from baseline\ngot:  %s\nwant: %s",
+					workers, shards, got, want)
+			}
+
+			rng := rand.New(rand.NewSource(int64(workers*1000 + shards)))
+			for _, ph := range phases {
+				victim := rng.Intn(shards)
+				t.Run(fmt.Sprintf("w%d_s%d_%s_kill%d", workers, shards, ph.name, victim), func(t *testing.T) {
+					res, rt, ft, err := runReplicatedFaulty(t, d, dom.levels, opts,
+						[]faulty.Rule{ph.rule(victim)}, nil)
+					if err != nil {
+						t.Fatalf("replicated run with killed primary: %v", err)
+					}
+					if got := resultBytes(t, res); got != want {
+						t.Fatalf("answer changed under failover\ngot:  %s\nwant: %s", got, want)
+					}
+					if ft.Injected() == 0 {
+						t.Fatalf("fault schedule never fired — test exercised nothing")
+					}
+					prim, repl := rt.Downed()
+					if len(prim) != 1 || prim[0] != victim || len(repl) != 0 {
+						t.Fatalf("downed primaries=%v replicas=%v, want primary %d only", prim, repl, victim)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReplicatedDoubleFaultTypedError kills BOTH endpoints of the same
+// shard and requires a typed *shard.UnavailableError within the test
+// deadline — not a hang, not a panic, not a silent wrong answer.
+func TestReplicatedDoubleFaultTypedError(t *testing.T) {
+	dom := toyDomain()
+	d := buildDataset(failoverMentions(7, dom))
+	opts := shard.Options{K: 3, Shards: 2, Workers: 1}
+	for _, phase := range []faulty.Op{faulty.OpCollapse, faulty.OpBounds, faulty.OpPrune, faulty.OpGroups} {
+		t.Run(string(phase), func(t *testing.T) {
+			kill := faulty.Rule{Shard: 1, Op: phase, Occurrence: 0, Action: faulty.Kill}
+			done := make(chan error, 1)
+			go func() {
+				_, _, _, err := runReplicatedFaulty(t, d, dom.levels, opts,
+					[]faulty.Rule{kill}, []faulty.Rule{kill})
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatalf("double fault returned a result")
+				}
+				if !shard.IsUnavailable(err) {
+					t.Fatalf("double fault error not typed UnavailableError: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("double fault hung instead of failing")
+			}
+		})
+	}
+}
+
+// TestReplicatedDropAndErrorFailover covers the two indeterminate
+// single-call faults — request lost before the peer (Drop) and response
+// lost after the peer applied it (Error): both must fail over with the
+// answer unchanged, because the survivor's state is authoritative
+// either way.
+func TestReplicatedDropAndErrorFailover(t *testing.T) {
+	dom := genericDomain()
+	d := buildDataset(failoverMentions(11, dom))
+	opts := shard.Options{K: 4, Shards: 3, Workers: 1}
+	base, _, err := shard.Run(d, nil, dom.levels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultBytes(t, base)
+	for _, act := range []faulty.Action{faulty.Drop, faulty.Error} {
+		for _, op := range []faulty.Op{faulty.OpCollapse, faulty.OpPrune} {
+			t.Run(fmt.Sprintf("%v_%s", act, op), func(t *testing.T) {
+				res, rt, ft, err := runReplicatedFaulty(t, d, dom.levels, opts,
+					[]faulty.Rule{{Shard: 0, Op: op, Occurrence: 0, Action: act}}, nil)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if got := resultBytes(t, res); got != want {
+					t.Fatalf("answer changed after %v on %s\ngot:  %s\nwant: %s", act, op, got, want)
+				}
+				if ft.Injected() == 0 {
+					t.Fatal("fault never fired")
+				}
+				if prim, _ := rt.Downed(); len(prim) != 1 || prim[0] != 0 {
+					t.Fatalf("downed primaries %v, want [0]", prim)
+				}
+			})
+		}
+	}
+}
+
+// TestReplicatedHedgedSlowPeer delays the primary's read-only calls
+// past the hedge threshold: the replica's hedged answer must win
+// without changing a byte and without marking anyone down.
+func TestReplicatedHedgedSlowPeer(t *testing.T) {
+	dom := toyDomain()
+	d := buildDataset(failoverMentions(13, dom))
+	opts := shard.Options{K: 3, Shards: 2, Workers: 1}
+	base, _, err := shard.Run(d, nil, dom.levels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultBytes(t, base)
+	// Slow every Groups call on every shard well past HedgeDelay (1ms).
+	rules := []faulty.Rule{
+		{Shard: -1, Op: faulty.OpGroups, Occurrence: 0, Action: faulty.Delay, Delay: 100 * time.Millisecond},
+	}
+	res, rt, ft, err := runReplicatedFaulty(t, d, dom.levels, opts, rules, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := resultBytes(t, res); got != want {
+		t.Fatalf("hedged answer differs\ngot:  %s\nwant: %s", got, want)
+	}
+	if ft.Injected() == 0 {
+		t.Fatal("delay rule never fired")
+	}
+	if prim, repl := rt.Downed(); len(prim) != 0 || len(repl) != 0 {
+		t.Fatalf("slow (not dead) peer was marked down: primaries=%v replicas=%v", prim, repl)
+	}
+}
+
+// TestReplicatedFaultSoak replays seeded random fault schedules against
+// the primary endpoints only (single-peer loss by construction): every
+// schedule must either complete byte-identical to the no-fault run —
+// Drop/Error/Kill all fail over, Delay just hedges — or, never, error.
+// Run under -race in ci.sh to cover the concurrent dual-dispatch and
+// hedge paths with faults actually firing.
+func TestReplicatedFaultSoak(t *testing.T) {
+	dom := toyDomain()
+	d := buildDataset(failoverMentions(17, dom))
+	const shards = 4
+	opts := shard.Options{K: 3, Shards: shards, Workers: 2}
+	base, _, err := shard.Run(d, nil, dom.levels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultBytes(t, base)
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rules := faulty.RandomRules(int64(seed), shards, 2)
+		res, _, _, err := runReplicatedFaulty(t, d, dom.levels, opts, rules, nil)
+		if err != nil {
+			t.Fatalf("seed %d (rules %+v): single-peer faults must not fail the query: %v", seed, rules, err)
+		}
+		if got := resultBytes(t, res); got != want {
+			t.Fatalf("seed %d (rules %+v): answer changed under faults\ngot:  %s\nwant: %s", seed, rules, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"topkdedup/internal/core"
 	"topkdedup/internal/obs"
@@ -52,6 +53,13 @@ type CloseResponse struct {
 	Closed bool `json:"closed"`
 }
 
+// DefaultClientTimeout bounds every /shard/* round trip of the fallback
+// HTTP client NewHTTP builds when given a nil *http.Client. A stalled
+// peer therefore surfaces as a timeout error the coordinator (or the
+// Replicated transport's failover) can act on, instead of a permanent
+// hang. Callers needing a different bound pass their own client.
+const DefaultClientTimeout = 30 * time.Second
+
 // HTTP is the remote Transport: every shard is a topkd process run with
 // -role shard, driven through the /shard/* endpoints of internal/server.
 // Construct with NewHTTP, ship the partition with LoadParts, then hand
@@ -68,15 +76,17 @@ type HTTP struct {
 }
 
 // NewHTTP returns an HTTP transport over the given peer base URLs (one
-// per shard, e.g. "http://host:7600"). client may be nil for
-// http.DefaultClient; sink, when non-nil, receives the
-// shard.transport.bytes counter (request plus response bodies).
+// per shard, e.g. "http://host:7600"). client may be nil for a default
+// client bounded by DefaultClientTimeout — never http.DefaultClient,
+// whose zero timeout would let one hung peer block the coordinator
+// forever. sink, when non-nil, receives the shard.transport.bytes
+// counter (request plus response bodies).
 func NewHTTP(peers []string, client *http.Client, sink obs.Sink) (*HTTP, error) {
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("shard: at least one peer required")
 	}
 	if client == nil {
-		client = http.DefaultClient
+		client = &http.Client{Timeout: DefaultClientTimeout}
 	}
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -138,10 +148,29 @@ func (h *HTTP) post(ctx context.Context, shard int, path string, req, resp any) 
 // LoadParts ships one partition shard to each peer: the records it owns
 // (ascending global ID, remapped to local indices) and the initial
 // groups, opening the transport's session on every node. The partition
-// must have exactly one part per peer.
+// must have exactly one part per peer. The first per-peer error is
+// returned; LoadPartsErrs exposes all of them for failover decisions.
 func (h *HTTP) LoadParts(ctx context.Context, d *records.Dataset, parts *Partition, opts Options) error {
+	errs, err := h.LoadPartsErrs(ctx, d, parts, opts)
+	if err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// LoadPartsErrs is LoadParts reporting one error slot per shard instead
+// of failing on the first: the replicated run path uses it to mark an
+// endpoint down at load time (its partner still has the part) rather
+// than abort the whole query. The single returned error covers
+// malformed input only (part/peer count mismatch).
+func (h *HTTP) LoadPartsErrs(ctx context.Context, d *records.Dataset, parts *Partition, opts Options) ([]error, error) {
 	if len(parts.Parts) != len(h.peers) {
-		return fmt.Errorf("shard: %d partition parts for %d peers", len(parts.Parts), len(h.peers))
+		return nil, fmt.Errorf("shard: %d partition parts for %d peers", len(parts.Parts), len(h.peers))
 	}
 	reqs := make([]*LoadRequest, len(h.peers))
 	for s, part := range parts.Parts {
@@ -179,12 +208,7 @@ func (h *HTTP) LoadParts(ctx context.Context, d *records.Dataset, parts *Partiti
 		}(s)
 	}
 	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
+	return errs, nil
 }
 
 // Collapse implements Transport over /shard/collapse.
@@ -311,11 +335,65 @@ func RunHTTPCtx(ctx context.Context, d *records.Dataset, groups []core.Group, le
 	if err != nil {
 		return nil, nil, err
 	}
-	defer h.Close()
-	if err := h.LoadParts(ctx, d, parts, opts); err != nil {
-		return nil, nil, err
+	var t Transport = h
+	if opts.Replicate {
+		if len(peers) < 2 {
+			h.Close()
+			return nil, nil, fmt.Errorf("shard: replication needs >= 2 peers, got %d", len(peers))
+		}
+		// Each part's replica lives on the NEXT peer in ring order (its
+		// own session id), so losing one node costs at most the primary
+		// of one part and the replica of another — never both endpoints
+		// of the same part.
+		rot := make([]string, len(peers))
+		for i := range peers {
+			rot[i] = peers[(i+1)%len(peers)]
+		}
+		rh, rerr := NewHTTP(rot, client, opts.Sink)
+		if rerr != nil {
+			h.Close()
+			return nil, nil, rerr
+		}
+		rt, rerr := NewReplicated(h, rh, opts.Replica, opts.Sink)
+		if rerr != nil {
+			h.Close()
+			rh.Close()
+			return nil, nil, rerr
+		}
+		// Load both endpoint sets; a peer that fails its load is marked
+		// down for the shards it would have hosted (its partner carries
+		// them alone) — only a shard losing BOTH copies aborts.
+		primErrs, perr := h.LoadPartsErrs(ctx, d, parts, opts)
+		if perr != nil {
+			rt.Close()
+			return nil, nil, perr
+		}
+		replErrs, perr := rh.LoadPartsErrs(ctx, d, parts, opts)
+		if perr != nil {
+			rt.Close()
+			return nil, nil, perr
+		}
+		for s := range parts.Parts {
+			if primErrs[s] != nil && replErrs[s] != nil {
+				rt.Close()
+				return nil, nil, &UnavailableError{Shard: s, Op: "load", Primary: primErrs[s], Replica: replErrs[s]}
+			}
+			if primErrs[s] != nil {
+				rt.MarkDown(s, false)
+			}
+			if replErrs[s] != nil {
+				rt.MarkDown(s, true)
+			}
+		}
+		t = rt
 	}
-	res, rs, err := Exchange(ctx, h, len(levels), d.Len(), opts)
+	defer t.Close()
+	if !opts.Replicate {
+		if err := h.LoadParts(ctx, d, parts, opts); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, rs, err := Exchange(ctx, t, len(levels), d.Len(), opts)
 	h.GatherTraces(ctx)
 	if rs != nil {
 		rs.Components = parts.Components

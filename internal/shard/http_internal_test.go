@@ -1,0 +1,61 @@
+// White-box transport tests: the nil-client fallback must carry a
+// bounded timeout (a zero-timeout fallback once let a single hung peer
+// block the coordinator forever), and a stalled peer must surface as an
+// error within the client's bound rather than a hang.
+package shard
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNewHTTPFallbackClientIsBounded(t *testing.T) {
+	h, err := NewHTTP([]string{"http://127.0.0.1:1"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.client == http.DefaultClient {
+		t.Fatalf("fallback must not be http.DefaultClient (no timeout)")
+	}
+	if h.client.Timeout != DefaultClientTimeout {
+		t.Fatalf("fallback client timeout = %v, want %v", h.client.Timeout, DefaultClientTimeout)
+	}
+	if h.client.Timeout <= 0 {
+		t.Fatalf("fallback client timeout must be positive")
+	}
+}
+
+func TestStalledPeerTimesOutInsteadOfHanging(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall // never answers within the test's patience
+	}))
+	defer srv.Close()  // runs second: needs the handler unblocked first
+	defer close(stall) // runs first (LIFO), releasing the stalled handler
+	// Same shape as the fallback client, with a test-sized bound.
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	h, err := NewHTTP([]string{srv.URL}, client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := h.Collapse(context.Background(), 0, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("stalled peer answered?")
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("timeout took %v, bound was 200ms", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator hung on a stalled peer — the DefaultClient regression")
+	}
+}

@@ -1,0 +1,446 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"topkdedup/internal/obs"
+)
+
+// Replication (SHARDING.md "Replication and failover"): every canopy
+// partition part runs on TWO endpoints — a primary and a replica — each
+// holding an identical copy of the part's records and groups. Workers
+// are deterministic state machines over the coordinator's call sequence
+// (the property the byte-identity tests pin), so lock-step replication
+// is enough for answer-preserving failover: the Replicated transport
+// applies every state-mutating call to both endpoints and their
+// responses must agree bit for bit; when one endpoint dies mid-query,
+// the other's identical state simply keeps answering, and the final
+// result is byte-identical to the no-fault run. Read-only calls are
+// hedged instead of duplicated: the replica is consulted only when the
+// primary is slow or down.
+//
+// An endpoint that fails a call is marked down for the rest of the
+// query. A mutating call that errors is never retried against the same
+// endpoint — the failure is indeterminate (the peer may or may not have
+// applied it), and re-applying would fork the replica's state; the
+// failover answer comes from the surviving endpoint, whose state is
+// known. Read-only calls are retried with capped exponential backoff
+// before the endpoint is given up on. When both endpoints of a shard
+// are down, calls fail with *UnavailableError — a typed error, never a
+// hang.
+
+// ReplicaOptions tunes the Replicated transport's failure handling. The
+// zero value selects the defaults noted per field.
+type ReplicaOptions struct {
+	// CallTimeout bounds each attempt of each endpoint call; an attempt
+	// that exceeds it fails over (default 30s).
+	CallTimeout time.Duration
+	// HedgeDelay is how long a read-only call waits on the primary
+	// before also asking the replica, first answer wins (default 50ms;
+	// negative disables hedging).
+	HedgeDelay time.Duration
+	// Retries is how many times a failed read-only attempt is retried on
+	// the same endpoint before failing over (default 2). Mutating calls
+	// are never retried (see the package-level indeterminacy note).
+	Retries int
+	// RetryBackoff is the first retry's backoff, doubling per retry and
+	// capped at 1s (default 10ms).
+	RetryBackoff time.Duration
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = 50 * time.Millisecond
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	return o
+}
+
+// maxRetryBackoff caps the exponential retry backoff.
+const maxRetryBackoff = time.Second
+
+// UnavailableError reports that both endpoints of a shard are down — a
+// double fault exceeds the single-peer-loss design point, so the query
+// fails with this typed error rather than a wrong answer or a hang.
+type UnavailableError struct {
+	// Shard is the shard index whose endpoints are both down.
+	Shard int
+	// Op is the transport operation that hit the double fault.
+	Op string
+	// Primary and Replica carry each endpoint's final error (nil when
+	// the endpoint was already marked down before this call).
+	Primary, Replica error
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("shard %d unavailable during %s (primary: %v, replica: %v)",
+		e.Shard, e.Op, e.Primary, e.Replica)
+}
+
+// Replicated is a Transport that mirrors every shard across a primary
+// and a replica Transport (each exposing the same shard count with
+// identically loaded parts) and fails over between them. It preserves
+// the coordinator's contract — calls for one shard never overlap —
+// because every call joins all attempts it started before returning.
+type Replicated struct {
+	prim, repl Transport
+	opts       ReplicaOptions
+	sink       obs.Sink
+
+	mu       sync.Mutex
+	primDown []bool
+	replDown []bool
+}
+
+// NewReplicated pairs a primary and replica transport. Both must expose
+// the same shard count and have been loaded with the same partition.
+func NewReplicated(primary, replica Transport, opts ReplicaOptions, sink obs.Sink) (*Replicated, error) {
+	if primary.Shards() != replica.Shards() {
+		return nil, fmt.Errorf("shard: primary has %d shards, replica %d", primary.Shards(), replica.Shards())
+	}
+	return &Replicated{
+		prim: primary, repl: replica,
+		opts:     opts.withDefaults(),
+		sink:     sink,
+		primDown: make([]bool, primary.Shards()),
+		replDown: make([]bool, primary.Shards()),
+	}, nil
+}
+
+// Shards returns the replicated shard count.
+func (r *Replicated) Shards() int { return r.prim.Shards() }
+
+// markDown records an endpoint failure; further calls skip it.
+func (r *Replicated) markDown(shard int, replica bool) {
+	r.mu.Lock()
+	if replica {
+		r.replDown[shard] = true
+	} else {
+		r.primDown[shard] = true
+	}
+	r.mu.Unlock()
+	obs.Count(r.sink, "failover.peer_down", 1)
+}
+
+// MarkDown marks one endpoint of a shard down from outside the call
+// path — the HTTP run path uses it when a peer fails its load call, so
+// the dead endpoint is never consulted mid-query.
+func (r *Replicated) MarkDown(shard int, replica bool) { r.markDown(shard, replica) }
+
+// state snapshots a shard's endpoint liveness.
+func (r *Replicated) state(shard int) (primUp, replUp bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.primDown[shard], !r.replDown[shard]
+}
+
+// attempt runs one endpoint call under the per-attempt timeout.
+func attempt[T any](ctx context.Context, timeout time.Duration, call func(context.Context) (T, error)) (T, error) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	return call(actx)
+}
+
+// dual applies one MUTATING call to both live endpoints in lock step
+// and reconciles: both ok → responses must agree (divergence is counted
+// — it would mean the determinism contract broke) and the primary's is
+// returned; one ok → the survivor's response is returned and the dead
+// endpoint is marked down; none ok → *UnavailableError.
+func dual[T any](r *Replicated, ctx context.Context, shard int, op string, call func(Transport, context.Context) (T, error)) (T, error) {
+	var zero T
+	primUp, replUp := r.state(shard)
+	type res struct {
+		v   T
+		err error
+	}
+	var primRes, replRes res
+	var wg sync.WaitGroup
+	if primUp {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			primRes.v, primRes.err = attempt(ctx, r.opts.CallTimeout, func(c context.Context) (T, error) {
+				return call(r.prim, c)
+			})
+		}()
+	}
+	if replUp {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replRes.v, replRes.err = attempt(ctx, r.opts.CallTimeout, func(c context.Context) (T, error) {
+				return call(r.repl, c)
+			})
+		}()
+	}
+	wg.Wait()
+	if !primUp && !replUp {
+		return zero, &UnavailableError{Shard: shard, Op: op}
+	}
+	if ctx.Err() != nil {
+		// Coordinator cancelled: not an endpoint fault.
+		return zero, ctx.Err()
+	}
+	primOK := primUp && primRes.err == nil
+	replOK := replUp && replRes.err == nil
+	switch {
+	case primOK && replOK:
+		if !reflect.DeepEqual(primRes.v, replRes.v) {
+			obs.Count(r.sink, "failover.divergence", 1)
+		}
+		return primRes.v, nil
+	case primOK:
+		if replUp {
+			r.markDown(shard, true)
+		}
+		return primRes.v, nil
+	case replOK:
+		if primUp {
+			r.markDown(shard, false)
+		}
+		obs.Count(r.sink, "failover.failovers", 1)
+		return replRes.v, nil
+	default:
+		if primUp {
+			r.markDown(shard, false)
+		}
+		if replUp {
+			r.markDown(shard, true)
+		}
+		obs.Count(r.sink, "failover.double_faults", 1)
+		return zero, &UnavailableError{Shard: shard, Op: op, Primary: primRes.err, Replica: replRes.err}
+	}
+}
+
+// retrying runs a READ-ONLY call against one endpoint with capped
+// exponential backoff between attempts.
+func retrying[T any](r *Replicated, ctx context.Context, t Transport, call func(Transport, context.Context) (T, error)) (T, error) {
+	var v T
+	var err error
+	backoff := r.opts.RetryBackoff
+	for a := 0; a <= r.opts.Retries; a++ {
+		if a > 0 {
+			obs.Count(r.sink, "failover.retries", 1)
+			select {
+			case <-ctx.Done():
+				return v, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
+		}
+		v, err = attempt(ctx, r.opts.CallTimeout, func(c context.Context) (T, error) {
+			return call(t, c)
+		})
+		if err == nil || ctx.Err() != nil {
+			return v, err
+		}
+	}
+	return v, err
+}
+
+// readOnly runs a READ-ONLY call with retry, hedging, and failover:
+// the primary answers unless it is down, slow (the hedge fires the
+// replica after HedgeDelay, first answer wins), or exhausts its
+// retries. All started attempts are joined before returning.
+func readOnly[T any](r *Replicated, ctx context.Context, shard int, op string, call func(Transport, context.Context) (T, error)) (T, error) {
+	var zero T
+	primUp, replUp := r.state(shard)
+	if !primUp && !replUp {
+		return zero, &UnavailableError{Shard: shard, Op: op}
+	}
+	type res struct {
+		v   T
+		err error
+	}
+	single := func(t Transport, down func()) (T, error) {
+		v, err := retrying(r, ctx, t, call)
+		if err != nil && ctx.Err() == nil {
+			down()
+		}
+		return v, err
+	}
+	if primUp && !replUp {
+		v, err := single(r.prim, func() { r.markDown(shard, false) })
+		if err != nil && ctx.Err() == nil {
+			obs.Count(r.sink, "failover.double_faults", 1)
+			return zero, &UnavailableError{Shard: shard, Op: op, Primary: err}
+		}
+		return v, err
+	}
+	if !primUp {
+		v, err := single(r.repl, func() { r.markDown(shard, true) })
+		if err != nil && ctx.Err() == nil {
+			obs.Count(r.sink, "failover.double_faults", 1)
+			return zero, &UnavailableError{Shard: shard, Op: op, Replica: err}
+		}
+		return v, err
+	}
+	// Both up: primary first, hedge the replica if it dawdles.
+	primCh := make(chan res, 1)
+	go func() {
+		v, err := retrying(r, ctx, r.prim, call)
+		primCh <- res{v, err}
+	}()
+	var hedge <-chan time.Time
+	if r.opts.HedgeDelay >= 0 {
+		timer := time.NewTimer(r.opts.HedgeDelay)
+		defer timer.Stop()
+		hedge = timer.C
+	}
+	var replCh chan res
+	// join drains a straggling attempt (never leave one racing the next
+	// call) and still honours the mark-down contract: an endpoint whose
+	// attempt errored is down even when the other endpoint already won.
+	join := func(ch chan res, replica bool) {
+		if ch == nil {
+			return
+		}
+		if sr := <-ch; sr.err != nil && ctx.Err() == nil {
+			r.markDown(shard, replica)
+		}
+	}
+	for {
+		select {
+		case pr := <-primCh:
+			primCh = nil
+			if pr.err == nil {
+				join(replCh, true)
+				return pr.v, nil
+			}
+			if ctx.Err() != nil {
+				join(replCh, true)
+				return zero, ctx.Err()
+			}
+			r.markDown(shard, false)
+			if replCh == nil {
+				// Hedge never fired; ask the replica directly.
+				v, err := single(r.repl, func() { r.markDown(shard, true) })
+				if err != nil && ctx.Err() == nil {
+					obs.Count(r.sink, "failover.double_faults", 1)
+					return zero, &UnavailableError{Shard: shard, Op: op, Primary: pr.err, Replica: err}
+				}
+				if err == nil {
+					obs.Count(r.sink, "failover.failovers", 1)
+				}
+				return v, err
+			}
+			rr := <-replCh
+			replCh = nil
+			if rr.err == nil {
+				obs.Count(r.sink, "failover.failovers", 1)
+				return rr.v, nil
+			}
+			if ctx.Err() != nil {
+				return zero, ctx.Err()
+			}
+			r.markDown(shard, true)
+			obs.Count(r.sink, "failover.double_faults", 1)
+			return zero, &UnavailableError{Shard: shard, Op: op, Primary: pr.err, Replica: rr.err}
+		case rr := <-replCh:
+			replCh = nil
+			if rr.err == nil {
+				obs.Count(r.sink, "failover.hedge_wins", 1)
+				join(primCh, false)
+				return rr.v, nil
+			}
+			if ctx.Err() == nil {
+				r.markDown(shard, true)
+			}
+			// Fall through to whatever the primary says.
+		case <-hedge:
+			hedge = nil
+			obs.Count(r.sink, "failover.hedges", 1)
+			replCh = make(chan res, 1)
+			go func() {
+				v, err := retrying(r, ctx, r.repl, call)
+				replCh <- res{v, err}
+			}()
+		}
+	}
+}
+
+// Collapse implements Transport with lock-step dual dispatch (the
+// collapse mutates worker state).
+func (r *Replicated) Collapse(ctx context.Context, shard, level int) (*CollapseResponse, error) {
+	return dual(r, ctx, shard, "collapse", func(t Transport, c context.Context) (*CollapseResponse, error) {
+		return t.Collapse(c, shard, level)
+	})
+}
+
+// Bounds implements Transport: scans consume scanner state and are
+// dual-dispatched; CPN probes are read-only and hedged.
+func (r *Replicated) Bounds(ctx context.Context, shard int, req *BoundsRequest) (*BoundsResponse, error) {
+	if req.Op == BoundsCPN {
+		return readOnly(r, ctx, shard, "bounds", func(t Transport, c context.Context) (*BoundsResponse, error) {
+			return t.Bounds(c, shard, req)
+		})
+	}
+	return dual(r, ctx, shard, "bounds", func(t Transport, c context.Context) (*BoundsResponse, error) {
+		return t.Bounds(c, shard, req)
+	})
+}
+
+// Prune implements Transport with lock-step dual dispatch (every prune
+// sub-operation mutates worker state).
+func (r *Replicated) Prune(ctx context.Context, shard int, req *PruneRequest) (*PruneResponse, error) {
+	return dual(r, ctx, shard, "prune", func(t Transport, c context.Context) (*PruneResponse, error) {
+		return t.Prune(c, shard, req)
+	})
+}
+
+// Groups implements Transport; the final fetch is read-only and hedged.
+func (r *Replicated) Groups(ctx context.Context, shard int) (*GroupsResponse, error) {
+	return readOnly(r, ctx, shard, "groups", func(t Transport, c context.Context) (*GroupsResponse, error) {
+		return t.Groups(c, shard)
+	})
+}
+
+// Close closes both endpoint transports, returning the first error.
+func (r *Replicated) Close() error {
+	err := r.prim.Close()
+	if cerr := r.repl.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Downed reports which endpoints have been marked down so far (tests
+// assert failover actually exercised the paths they think they forced).
+func (r *Replicated) Downed() (primaries, replicas []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for s, d := range r.primDown {
+		if d {
+			primaries = append(primaries, s)
+		}
+	}
+	for s, d := range r.replDown {
+		if d {
+			replicas = append(replicas, s)
+		}
+	}
+	return primaries, replicas
+}
+
+// IsUnavailable reports whether err is (or wraps) an *UnavailableError,
+// the typed double-fault failure.
+func IsUnavailable(err error) bool {
+	var ue *UnavailableError
+	return errors.As(err, &ue)
+}

@@ -60,6 +60,15 @@ type Options struct {
 	// Workers bounds each shard worker's pool for predicate evaluation
 	// (<= 0 means all CPUs). In-process shards share the process pool.
 	Workers int
+	// Replicate mirrors every shard onto a primary + replica endpoint
+	// pair behind a Replicated transport, so any single endpoint loss
+	// mid-query fails over with the answer unchanged (SHARDING.md
+	// "Replication and failover"). In-process runs pair two workers per
+	// part; RunHTTP places each part's replica on the next peer in ring
+	// order (requires >= 2 peers).
+	Replicate bool
+	// Replica tunes the failover behaviour when Replicate is set.
+	Replica ReplicaOptions
 	// Sink, when non-nil, receives the shard.* coordination metrics (see
 	// OBSERVABILITY.md) in addition to the core.* phase metrics the
 	// in-process workers emit. Observational only.
@@ -100,7 +109,16 @@ func RunCtx(ctx context.Context, d *records.Dataset, groups []core.Group, levels
 	}
 	parts := Split(d, groups, levels, s)
 	obs.Gauge(opts.Sink, "shard.partition.components", float64(parts.Components))
-	t := NewInProcess(d, parts, levels, opts)
+	var t Transport = NewInProcess(d, parts, levels, opts)
+	if opts.Replicate {
+		// Two independent worker sets over the same parts: lock-step
+		// replication needs nothing more in-process.
+		rt, rerr := NewReplicated(t, NewInProcess(d, parts, levels, opts), opts.Replica, opts.Sink)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		t = rt
+	}
 	defer t.Close()
 	res, rs, err := Exchange(ctx, t, len(levels), d.Len(), opts)
 	if rs != nil {

@@ -1,0 +1,11 @@
+package wal
+
+import "math"
+
+// floatBits and bitsFloat fix the on-disk weight encoding to IEEE-754
+// bit patterns, so replay reproduces weights bit-exactly (including
+// negative zero) rather than through a decimal round trip.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// bitsFloat is the inverse of floatBits.
+func bitsFloat(u uint64) float64 { return math.Float64frombits(u) }

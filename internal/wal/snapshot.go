@@ -1,0 +1,230 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"topkdedup/internal/obs"
+)
+
+// Snapshot files bound boot replay: snap-<applied>.dat is a flat dump
+// of every durable record after the first <applied> batches, so
+// recovery loads the newest valid snapshot and replays only the WAL
+// tail behind it. The encoding is deliberately flat and offset-stable
+// (fixed 24-byte header, then records in the frame payload encoding,
+// then a trailing whole-file CRC32C) — no pointer graph, so an mmap of
+// the file can be walked in place.
+const (
+	snapMagic     = "TKWALSN1"
+	snapHeaderLen = 24 // magic + applied u64le + record count u64le
+)
+
+// WriteSnapshot atomically persists recs as the state after the first
+// applied batches (tmp file + fsync + rename), replacing any older
+// snapshot files afterwards. It takes no log lock beyond path naming,
+// so the caller may snapshot a copied state while appends continue.
+func (l *Log) WriteSnapshot(applied uint64, recs []Record) error {
+	buf := make([]byte, snapHeaderLen, snapHeaderLen+64*len(recs))
+	copy(buf[:8], snapMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], applied)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(len(recs)))
+	for _, r := range recs {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], floatBits(r.Weight))
+		buf = append(buf, w[:]...)
+		buf = appendString(buf, r.Truth)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Values)))
+		for _, v := range r.Values {
+			buf = appendString(buf, v)
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
+	buf = append(buf, crc[:]...)
+
+	final := l.snapPath(applied)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	l.mu.Lock()
+	sink := l.sink
+	l.mu.Unlock()
+	obs.Count(sink, "wal.snapshot.writes", 1)
+	obs.Count(sink, "wal.snapshot.records", int64(len(recs)))
+	obs.Count(sink, "wal.snapshot.bytes", int64(len(buf)))
+	// Older snapshots are now strictly dominated; keep only the newest.
+	for _, p := range l.snapFiles() {
+		if p != final {
+			os.Remove(p)
+		}
+	}
+	return nil
+}
+
+// LatestSnapshot loads the newest snapshot that validates, returning
+// its applied batch count and records. A snapshot that fails its CRC or
+// decode is skipped (older ones are tried), mirroring the WAL's
+// crash-tolerant posture: a half-written snapshot must never block
+// recovery when the log behind it is intact. ok is false when no valid
+// snapshot exists (boot then replays the whole log).
+func (l *Log) LatestSnapshot() (applied uint64, recs []Record, ok bool, err error) {
+	paths := l.snapFiles()
+	// snapFiles sorts ascending by applied; try newest first.
+	for i := len(paths) - 1; i >= 0; i-- {
+		a, r, lerr := readSnapshot(paths[i])
+		if lerr != nil {
+			continue
+		}
+		return a, r, true, nil
+	}
+	return 0, nil, false, nil
+}
+
+// latestSnapshotApplied reports how many batches the newest valid
+// snapshot covers (0 when none) — scan() uses it to decide how far back
+// the segment chain must reach.
+func (l *Log) latestSnapshotApplied() (uint64, error) {
+	a, _, ok, err := l.LatestSnapshot()
+	if err != nil || !ok {
+		return 0, err
+	}
+	return a, nil
+}
+
+// readSnapshot decodes one snapshot file, verifying the trailing CRC
+// and every record bound.
+func readSnapshot(path string) (uint64, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < snapHeaderLen+4 || string(data[:8]) != snapMagic {
+		return 0, nil, errors.New("bad snapshot header")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, errors.New("snapshot checksum mismatch")
+	}
+	applied := binary.LittleEndian.Uint64(data[8:16])
+	count := binary.LittleEndian.Uint64(data[16:24])
+	payload := body[snapHeaderLen:]
+	if count > uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("record count %d exceeds payload", count)
+	}
+	recs := make([]Record, 0, count)
+	off := 0
+	for i := uint64(0); i < count; i++ {
+		if off+8 > len(payload) {
+			return 0, nil, fmt.Errorf("record %d: truncated weight", i)
+		}
+		w := bitsFloat(binary.LittleEndian.Uint64(payload[off : off+8]))
+		off += 8
+		var truth string
+		truth, off, err = readString(payload, off)
+		if err != nil {
+			return 0, nil, fmt.Errorf("record %d: truth: %w", i, err)
+		}
+		var nv uint64
+		nv, off, err = readUvarint(payload, off)
+		if err != nil {
+			return 0, nil, fmt.Errorf("record %d: value count: %w", i, err)
+		}
+		if nv > uint64(len(payload)-off) {
+			return 0, nil, fmt.Errorf("record %d: value count %d exceeds payload", i, nv)
+		}
+		values := make([]string, nv)
+		for j := range values {
+			values[j], off, err = readString(payload, off)
+			if err != nil {
+				return 0, nil, fmt.Errorf("record %d value %d: %w", i, j, err)
+			}
+		}
+		recs = append(recs, Record{Weight: w, Truth: truth, Values: values})
+	}
+	if off != len(payload) {
+		return 0, nil, fmt.Errorf("%d trailing bytes", len(payload)-off)
+	}
+	return applied, recs, nil
+}
+
+// PruneSegments removes segments made redundant by a snapshot covering
+// the first applied batches: a segment may go once every batch in it is
+// below applied AND a later segment exists (the active segment is never
+// removed, so appends continue uninterrupted).
+func (l *Log) PruneSegments(applied uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.dead {
+		return ErrClosed
+	}
+	kept := l.segs[:0]
+	var pruned int64
+	for i, seg := range l.segs {
+		if i < len(l.segs)-1 && seg.first+seg.count <= applied {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: prune: %w", err)
+			}
+			pruned++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	obs.Count(l.sink, "wal.segment.pruned", pruned)
+	return nil
+}
+
+// snapPath names the snapshot covering the first applied batches.
+func (l *Log) snapPath(applied uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("snap-%016x.dat", applied))
+}
+
+// snapFiles lists snapshot files sorted ascending by applied count.
+func (l *Log) snapFiles() []string {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil
+	}
+	type snap struct {
+		applied uint64
+		path    string
+	}
+	var snaps []snap
+	for _, e := range entries {
+		var a uint64
+		if n, err := fmt.Sscanf(e.Name(), "snap-%016x.dat", &a); n == 1 && err == nil {
+			snaps = append(snaps, snap{a, filepath.Join(l.dir, e.Name())})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].applied < snaps[j].applied })
+	paths := make([]string, len(snaps))
+	for i, s := range snaps {
+		paths[i] = s.path
+	}
+	return paths
+}
