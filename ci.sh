@@ -47,6 +47,7 @@ go run ./cmd/doccheck \
     ./internal/segment \
     ./internal/server \
     ./internal/shard \
+    ./internal/sketch \
     ./internal/stream \
     ./internal/strsim \
     ./internal/wal \
@@ -70,6 +71,7 @@ go run ./cmd/obscheck -doc OBSERVABILITY.md \
     ./internal/parallel \
     ./internal/server \
     ./internal/shard \
+    ./internal/sketch \
     ./internal/stream \
     ./internal/wal
 
@@ -102,11 +104,13 @@ go test -race -run 'TestReplicatedFaultSoak' ./internal/shard
 
 # Fuzz smoke: a few seconds per target over the committed seed corpora
 # (similarity-measure contracts; R-best segmentation DP invariants;
-# cross-shard bound-merge equivalence).
+# cross-shard bound-merge equivalence; Space-Saving sketch soundness
+# under DSU merges).
 go test -run '^$' -fuzz '^FuzzStrsim$' -fuzztime 5s ./internal/strsim
 go test -run '^$' -fuzz '^FuzzSegmentDP$' -fuzztime 5s ./internal/segment
 go test -run '^$' -fuzz '^FuzzBoundMerge$' -fuzztime 5s ./internal/shard
 go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s ./internal/wal
+go test -run '^$' -fuzz '^FuzzSketchMerge$' -fuzztime 5s ./internal/sketch
 
 # Smoke-run the instrumentation overhead benchmarks (one iteration per
 # variant; the full comparisons are `go test -bench=NoopSinkOverhead`

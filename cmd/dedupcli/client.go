@@ -24,8 +24,10 @@ const clientBatch = 500
 // as the wire format allows: the daemon returns record IDs within its
 // own (server-side) dataset, so representative names are resolved from
 // the just-ingested records when the server started empty, and by ID
-// offset otherwise.
-func runClient(base, path, field string, k, r int, rank bool, threshold float64) error {
+// offset otherwise. A non-empty mode selects the count query's serving
+// tier (exact, approx, or hybrid); approximate answers render with
+// their [lower, count] error intervals.
+func runClient(base, path, field string, k, r int, rank bool, threshold float64, mode string) error {
 	base = strings.TrimRight(base, "/")
 	if _, err := url.Parse(base); err != nil {
 		return fmt.Errorf("bad server URL %q: %w", base, err)
@@ -131,9 +133,29 @@ func runClient(base, path, field string, k, r int, rank bool, threshold float64)
 			fmt.Printf("%3d. %-40s weight=%.2f upper=%.2f resolved=%v\n",
 				i+1, name(e.Group.Rep), e.Group.Weight, e.Upper, e.Resolved)
 		}
+	case mode == server.ModeApprox || mode == server.ModeHybrid:
+		var out server.ApproxTopKResponse
+		q := fmt.Sprintf("%s/topk?k=%d&r=%d&mode=%s", base, k, r, mode)
+		if err := clientGet(client, q, &out); err != nil {
+			return err
+		}
+		fmt.Printf("approximate top-%d (sketch capacity %d, max error bound %g):\n",
+			out.K, out.SketchCapacity, out.MaxErr)
+		for i, e := range out.Entries {
+			fmt.Printf("%3d. %-40s count in [%.2f, %.2f] err=%.2f\n",
+				i+1, name(e.Rep), e.Lower, e.Count, e.Err)
+		}
+		if out.Exact != "" {
+			fmt.Printf("(exact tier: %s)\n", out.Exact)
+		}
+		fmt.Printf("(answered from snapshot %d over %d records)\n", out.SnapshotSeq, out.Records)
 	default:
 		var out server.TopKResponse
-		if err := clientGet(client, fmt.Sprintf("%s/topk?k=%d&r=%d", base, k, r), &out); err != nil {
+		q := fmt.Sprintf("%s/topk?k=%d&r=%d", base, k, r)
+		if mode != "" {
+			q += "&mode=" + url.QueryEscape(mode)
+		}
+		if err := clientGet(client, q, &out); err != nil {
 			return err
 		}
 		for ai, ans := range out.Result.Answers {

@@ -51,17 +51,22 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the query's span tree as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	serverURL := flag.String("server", "", "base URL of a running topkd daemon; ingest the records there and query over HTTP instead of computing locally")
+	mode := flag.String("mode", "", "serving mode for the count query against -server: exact, approx, or hybrid (empty = daemon default; see SERVING.md)")
 	flag.Parse()
 	if *in == "" || *field == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *serverURL != "" {
-		if err := runClient(*serverURL, *in, *field, *k, *r, *rank, *threshold); err != nil {
+		if err := runClient(*serverURL, *in, *field, *k, *r, *rank, *threshold, *mode); err != nil {
 			fmt.Fprintln(os.Stderr, "dedupcli:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *mode != "" {
+		fmt.Fprintln(os.Stderr, "dedupcli: -mode only applies with -server (the local engine is always exact)")
+		os.Exit(2)
 	}
 	if *pprofAddr != "" {
 		go func() {

@@ -8,8 +8,8 @@
 //	topkbench -exp fig7 -exp fig6     # selected experiments
 //
 // Experiments: table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank,
-// stream, serve, shard, inc, all. Scales: small, default, full (record
-// counts in DESIGN.md §5).
+// stream, serve, shard, inc, approx, all. Scales: small, default, full
+// (record counts in DESIGN.md §5).
 package main
 
 import (
@@ -60,7 +60,12 @@ type benchExperiment struct {
 	// miss, cache hit, and from-scratch latencies per ingest-batch size ×
 	// touched-component fraction cell (inc experiment only).
 	IncRows []servebench.IncRow `json:"inc_rows,omitempty"`
-	Phases  *obs.Snapshot       `json:"phases,omitempty"`
+	// ApproxRows carries the approximate-tier capacity sweep: sketch
+	// read vs exact cache-hit vs exact-miss latency, interval
+	// containment, and bound tightness per capacity (approx experiment
+	// only).
+	ApproxRows []servebench.ApproxRow `json:"approx_rows,omitempty"`
+	Phases     *obs.Snapshot          `json:"phases,omitempty"`
 }
 
 type expFlag []string
@@ -78,7 +83,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, serve, shard, inc, all")
+	flag.Var(&exps, "exp", "experiment to run (repeatable / comma separated): table1, fig2, fig3, fig4, fig6, fig7, passes, embed, rank, stream, serve, shard, inc, approx, all")
 	scaleName := flag.String("scale", "default", "dataset scale: small, default, full")
 	jsonPath := flag.String("json", "", "write a machine-readable benchReport of the run to this path")
 	workersFlag := flag.String("workers", "", "comma-separated worker-pool bounds for the fig6 sweep (default \"1,<NumCPU>\"; 0 = NumCPU)")
@@ -208,6 +213,21 @@ func main() {
 			Name: "inc", ElapsedMS: float64(elapsed.Microseconds()) / 1000, IncRows: incRows,
 		})
 		fmt.Printf("-- inc done in %s --\n\n", elapsed.Round(time.Millisecond))
+	}
+
+	if all || want["approx"] {
+		fmt.Printf("== approx (scale %s) ==\n", *scaleName)
+		start := time.Now()
+		approxRows, err := runApprox(scale)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approx failed: %v\n", err)
+			os.Exit(1)
+		}
+		report.Experiments = append(report.Experiments, benchExperiment{
+			Name: "approx", ElapsedMS: float64(elapsed.Microseconds()) / 1000, ApproxRows: approxRows,
+		})
+		fmt.Printf("-- approx done in %s --\n\n", elapsed.Round(time.Millisecond))
 	}
 
 	if all || want["shard"] {
@@ -492,6 +512,22 @@ func runInc(scale experiments.Scale) ([]servebench.IncRow, error) {
 		return nil, err
 	}
 	servebench.RenderIncTable(os.Stdout, rows)
+	return rows, nil
+}
+
+// runApprox sweeps the approximate tier's sketch capacity on the
+// clustered synthetic domain: per capacity, the unchanged-epoch latency
+// of mode=approx vs the exact cache hit vs the exact miss, plus the
+// served intervals' containment of ground truth and their tightness
+// (see SERVING.md "Approximate tier" and EXPERIMENTS.md E14).
+func runApprox(scale experiments.Scale) ([]servebench.ApproxRow, error) {
+	entities := scale.Fig6 / 3
+	fmt.Printf("E14 — approximate-tier capacity sweep, %d seeded clusters\n", entities)
+	rows, err := servebench.BenchApprox(servebench.ApproxOptions{Entities: entities})
+	if err != nil {
+		return nil, err
+	}
+	servebench.RenderApproxTable(os.Stdout, rows)
 	return rows, nil
 }
 

@@ -84,6 +84,8 @@ type options struct {
 	walSnapshotEvery int
 	logLevel         string
 	traceLimit       int
+	sketchCapacity   int
+	modeDefault      string
 }
 
 func main() {
@@ -109,6 +111,8 @@ func main() {
 	flag.IntVar(&o.walSnapshotEvery, "wal-snapshot-every", 0, "write a WAL state snapshot and prune replayed segments every N ingest batches (0 = default 256, negative disables)")
 	flag.StringVar(&o.logLevel, "log", "", "structured JSON request logging to stderr: debug, info, warn, or error (empty disables)")
 	flag.IntVar(&o.traceLimit, "trace-limit", 0, "query traces retained for GET /debug/traces (0 = default ring, negative disables tracing)")
+	flag.IntVar(&o.sketchCapacity, "sketch-capacity", 0, "monitored-set size of the approximate tier's Space-Saving sketch (0 = default, negative disables mode=approx|hybrid)")
+	flag.StringVar(&o.modeDefault, "mode-default", "", "serving mode for /topk requests without ?mode=: exact, approx, or hybrid (empty = exact)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -218,6 +222,8 @@ func run(o options) error {
 		WALOptions:       wal.Options{Sync: fsync},
 		WALSnapshotEvery: o.walSnapshotEvery,
 		TraceLimit:       o.traceLimit,
+		SketchCapacity:   o.sketchCapacity,
+		DefaultMode:      o.modeDefault,
 		Logger:           logger,
 	})
 	if err != nil {
@@ -373,6 +379,38 @@ func smokeSession(base string) error {
 		return fmt.Errorf("topk cache probe: repeat query X-Cache=%q, want \"hit\"", xc)
 	}
 
+	// Approximate-tier round trip (SERVING.md "Approximate tier"): approx
+	// must answer with sketch entries and the X-Approx-Bound header, a
+	// misspelled mode must be a typed 400 (never a silent exact answer),
+	// and hybrid must serve immediately while naming the exact tier's
+	// state.
+	ar, bound, err := getApprox(client, base+"/topk?mode=approx&k=2")
+	if err != nil {
+		return fmt.Errorf("topk approx: %w", err)
+	}
+	if ar.Mode != "approx" || len(ar.Entries) == 0 {
+		return fmt.Errorf("topk approx: bad answer %+v", ar)
+	}
+	if bound == "" {
+		return fmt.Errorf("topk approx: no %s header", server.XApproxBound)
+	}
+	if resp, err := client.Get(base + "/topk?mode=aprox"); err != nil {
+		return fmt.Errorf("topk mode typo probe: %w", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			return fmt.Errorf("topk mode typo probe: status %d, want 400", resp.StatusCode)
+		}
+	}
+	hr, _, err := getApprox(client, base+"/topk?mode=hybrid&k=2")
+	if err != nil {
+		return fmt.Errorf("topk hybrid: %w", err)
+	}
+	if hr.Exact != "cached" && hr.Exact != "refreshing" {
+		return fmt.Errorf("topk hybrid: exact tier state %q", hr.Exact)
+	}
+
 	// EXPLAIN + tracing round trip: the explain query must return the
 	// report, name its trace, and that trace must be fetchable in both
 	// the JSON and the Chrome trace_event shapes.
@@ -424,6 +462,25 @@ func getJSON(client *http.Client, url string, out any) error {
 		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}
 	return json.Unmarshal(body, out)
+}
+
+// getApprox issues one approximate-tier GET and returns the decoded
+// body plus the X-Approx-Bound header value.
+func getApprox(client *http.Client, url string) (*server.ApproxTopKResponse, string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var ar server.ApproxTopKResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return nil, "", err
+	}
+	return &ar, resp.Header.Get(server.XApproxBound), nil
 }
 
 // getCacheHeader issues one GET and returns the X-Cache answer-cache

@@ -1,0 +1,247 @@
+package servebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/eval"
+	"topkdedup/internal/server"
+)
+
+// ApproxRow is one cell of the approximate-tier experiment: a sketch
+// capacity, with the serving latency of the three /topk regimes on an
+// unchanged epoch (approx sketch read, exact cache hit, exact cache
+// miss) plus the quality of the approximate answer against ground
+// truth — the fraction of served intervals that contained the true
+// component weight (the soundness contract: must be 1.0) and how tight
+// the served error bounds were.
+type ApproxRow struct {
+	// Capacity is the sketch's monitored-set size (0 = package default).
+	Capacity int `json:"capacity"`
+	// Records is the served record count.
+	Records int `json:"records"`
+	// Components is the number of distinct collapsed groups the sketch
+	// competes over; capacities below it force eviction churn.
+	Components int `json:"components"`
+	// Queries is the repeat count the latencies are averaged over.
+	Queries int `json:"queries"`
+	// ApproxAvg is the mean GET /topk?mode=approx latency — the sketch
+	// read, no engine work.
+	ApproxAvg time.Duration `json:"approx_avg_ns"`
+	// HitAvg is the mean exact repeat query (X-Cache: hit) latency, the
+	// memoised path approx competes with on unchanged epochs.
+	HitAvg time.Duration `json:"hit_avg_ns"`
+	// ExactMiss is the first exact query of the epoch (X-Cache: miss) —
+	// the full pipeline both fast paths shortcut.
+	ExactMiss time.Duration `json:"exact_miss_ns"`
+	// Containment is the fraction of served approx entries whose
+	// [lower, count] interval contained the component's true weight;
+	// anything below 1.0 is a soundness bug.
+	Containment float64 `json:"containment"`
+	// MaxBound is the served answer's largest per-entry error bound (the
+	// X-Approx-Bound header value); zero means the sketch never evicted
+	// and the answer is exact.
+	MaxBound float64 `json:"max_bound"`
+	// MeanErr is the mean per-entry error bound across the served top-k.
+	MeanErr float64 `json:"mean_err"`
+}
+
+// ApproxOptions sizes the approximate-tier experiment.
+type ApproxOptions struct {
+	// Entities is the seeded cluster count (default 2000; each cluster
+	// seeds 2-4 renditions, and each distinct rendition is one collapsed
+	// group — so the group universe is a few times Entities).
+	Entities int
+	// Capacities is the sketch-capacity sweep (default
+	// {64, 256, 1024, 0}; 0 selects the package default).
+	Capacities []int
+	// Queries is the repeat count per latency average (default 50).
+	Queries int
+	// K is the TopK parameter (default 10).
+	K int
+}
+
+func (o *ApproxOptions) defaults() {
+	if o.Entities <= 0 {
+		o.Entities = 2000
+	}
+	if len(o.Capacities) == 0 {
+		o.Capacities = []int{64, 256, 1024, 0}
+	}
+	if o.Queries <= 0 {
+		o.Queries = 50
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+}
+
+// BenchApprox sweeps the approximate tier over sketch capacities on the
+// clustered synthetic domain (incLevels). Each cell stands up a fresh
+// server, seeds Entities clusters with skewed weights (so the top-k is
+// meaningful), and measures the three unchanged-epoch serving regimes:
+// mode=approx, exact cache hit, and the exact miss they both shortcut.
+// Ground truth per collapsed group is known by construction (sufficient
+// = exact rendition equality), so every served interval is checked for
+// containment — the row's Containment must read 1.0 at every capacity,
+// including ones far below the group count.
+func BenchApprox(opts ApproxOptions) ([]ApproxRow, error) {
+	opts.defaults()
+	var rows []ApproxRow
+	for _, capacity := range opts.Capacities {
+		srv, err := server.New(server.Config{
+			Name:           "approxbench",
+			Schema:         []string{"name"},
+			Levels:         incLevels(),
+			RefreshEvery:   -1,
+			TraceLimit:     -1,
+			SketchCapacity: capacity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Skewed weights: early clusters are heavy, so the true top-k is
+		// stable and the sketch's monitored set has something to keep.
+		rng := rand.New(rand.NewSource(int64(7 + capacity)))
+		seed := topk.NewDataset("approxbench", "name")
+		truth := map[string]float64{}
+		for c := 0; c < opts.Entities; c++ {
+			w := 1 + 100/float64(c+1)
+			for i, n := 0, 2+rng.Intn(4); i < n; i++ {
+				// Versions repeat (Intn(2)), so most groups aggregate
+				// several records — the sketch is counting duplicates, not
+				// singletons.
+				rendition := fmt.Sprintf("c%06d.v%d", c, rng.Intn(2))
+				wgt := w * (1 + 0.001*rng.Float64())
+				seed.Append(wgt, fmt.Sprintf("E%06d", c), rendition)
+				truth[rendition] += wgt
+			}
+		}
+		if _, err := srv.Seed(seed); err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		row := ApproxRow{
+			Capacity:   capacity,
+			Records:    srv.Records(),
+			Components: len(truth),
+			Queries:    opts.Queries,
+		}
+
+		// One decoded approx answer for the quality columns.
+		ar, err := getApprox(ts, opts.K)
+		if err != nil {
+			ts.Close()
+			return nil, err
+		}
+		var contained, total int
+		for _, e := range ar.Entries {
+			w, ok := truth[seed.Recs[e.Rep].Field("name")]
+			if !ok {
+				ts.Close()
+				return nil, fmt.Errorf("capacity %d: approx rep %d is not a seeded record", capacity, e.Rep)
+			}
+			total++
+			if w <= e.Count+1e-6 && w >= e.Lower-1e-6 {
+				contained++
+			}
+			row.MeanErr += e.Err
+		}
+		if total > 0 {
+			row.Containment = float64(contained) / float64(total)
+			row.MeanErr /= float64(total)
+		}
+		row.MaxBound = ar.MaxErr
+
+		// Latencies: exact miss once (fresh epoch), then averaged repeats
+		// of the two fast paths.
+		exactPath := fmt.Sprintf("/topk?k=%d&mode=exact", opts.K)
+		miss, err := timedQuery(ts, exactPath, "miss")
+		if err != nil {
+			ts.Close()
+			return nil, err
+		}
+		row.ExactMiss = miss
+		approxPath := fmt.Sprintf("/topk?k=%d&mode=approx", opts.K)
+		for q := 0; q < opts.Queries; q++ {
+			start := time.Now()
+			if err := drainGet(ts, approxPath); err != nil {
+				ts.Close()
+				return nil, err
+			}
+			row.ApproxAvg += time.Since(start)
+			hit, err := timedQuery(ts, exactPath, "hit")
+			if err != nil {
+				ts.Close()
+				return nil, err
+			}
+			row.HitAvg += hit
+		}
+		row.ApproxAvg /= time.Duration(opts.Queries)
+		row.HitAvg /= time.Duration(opts.Queries)
+		ts.Close()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// getApprox issues one mode=approx query and decodes the body.
+func getApprox(ts *httptest.Server, k int) (*server.ApproxTopKResponse, error) {
+	resp, err := ts.Client().Get(ts.URL + fmt.Sprintf("/topk?k=%d&mode=approx", k))
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("approx: status %d: %s", resp.StatusCode, body)
+	}
+	var ar server.ApproxTopKResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return nil, err
+	}
+	return &ar, nil
+}
+
+// drainGet issues one GET and discards the body, for pure latency
+// timing.
+func drainGet(ts *httptest.Server, path string) error {
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// RenderApproxTable prints the capacity sweep.
+func RenderApproxTable(w io.Writer, rows []ApproxRow) {
+	tbl := eval.NewTable("capacity", "records", "groups", "approx", "hit", "miss", "contain%", "maxbound", "meanerr")
+	for _, r := range rows {
+		label := fmt.Sprint(r.Capacity)
+		if r.Capacity == 0 {
+			label = "default"
+		}
+		tbl.AddRow(label, r.Records, r.Components,
+			r.ApproxAvg.Round(time.Microsecond).String(),
+			r.HitAvg.Round(time.Microsecond).String(),
+			r.ExactMiss.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.1f", 100*r.Containment),
+			fmt.Sprintf("%.1f", r.MaxBound),
+			fmt.Sprintf("%.1f", r.MeanErr))
+	}
+	tbl.Render(w)
+}

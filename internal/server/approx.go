@@ -1,0 +1,251 @@
+// The approximate fast tier of /topk: mode=approx answers straight
+// from the epoch's frozen Space-Saving sketch (internal/sketch) in
+// microseconds with a per-entry [count−ε, count] interval; mode=hybrid
+// returns the same sketch answer immediately and kicks off a
+// singleflight background task that computes the exact answer, warms
+// the epoch answer cache, and records observed-vs-bound error under
+// the sketch.hybrid.* metrics. mode=exact is the pre-existing path,
+// byte-identical. See SERVING.md "Approximate tier".
+package server
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/sketch"
+)
+
+// The /topk serving modes (Config.DefaultMode, ?mode=).
+const (
+	// ModeExact runs the full PrunedDedup pipeline — today's behaviour.
+	ModeExact = "exact"
+	// ModeApprox answers from the epoch's sketch only.
+	ModeApprox = "approx"
+	// ModeHybrid answers from the sketch and refreshes the exact answer
+	// in the background.
+	ModeHybrid = "hybrid"
+)
+
+// apiError is a typed request-validation failure: a stable code plus
+// the human-readable message, serialised as ErrorResponse.
+type apiError struct {
+	code string
+	msg  string
+}
+
+// topkMode validates /topk's query parameters strictly and resolves
+// the serving mode. Unknown parameter names, malformed explain values,
+// and unrecognised modes are 400s with a typed code — a mode=aprox
+// typo must never silently serve exact.
+func (s *Server) topkMode(r *http.Request) (string, *apiError) {
+	q := r.URL.Query()
+	var unknown []string
+	for name := range q {
+		switch name {
+		case "k", "r", "explain", "mode":
+		default:
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		msg := "unknown query parameter"
+		if len(unknown) > 1 {
+			msg += "s"
+		}
+		for i, name := range unknown {
+			if i > 0 {
+				msg += ","
+			}
+			msg += " " + strconv.Quote(name)
+		}
+		return "", &apiError{code: "unknown_param", msg: msg}
+	}
+	if ex := q.Get("explain"); ex != "" && ex != "0" && ex != "1" {
+		return "", &apiError{code: "bad_param", msg: "explain must be 0 or 1, got " + strconv.Quote(ex)}
+	}
+	mode := q.Get("mode")
+	if mode == "" {
+		mode = s.cfg.DefaultMode
+	}
+	switch mode {
+	case ModeExact, ModeApprox, ModeHybrid:
+		return mode, nil
+	default:
+		return "", &apiError{code: "bad_mode",
+			msg: "mode must be exact, approx, or hybrid, got " + strconv.Quote(mode)}
+	}
+}
+
+// ApproxEntry is one entry of an approximate /topk answer: the
+// component's true accumulated weight lies in [Lower, Count], with
+// Err = Count − Lower the overestimation bound (ε). Rep is a record id
+// of the component — the sketch's DSU-root key.
+type ApproxEntry struct {
+	// Rep is a member record id of the component.
+	Rep int `json:"rep"`
+	// Count is the sketch's overestimate of the component weight.
+	Count float64 `json:"count"`
+	// Lower is the interval's lower edge, max(0, Count−Err).
+	Lower float64 `json:"lower"`
+	// Err is the per-entry overestimation bound ε.
+	Err float64 `json:"err"`
+}
+
+// ApproxTopKResponse is the GET /topk?mode=approx|hybrid body: the
+// sketch's top-k with per-entry error intervals, plus enough context to
+// judge the answer's quality (capacity, floor, the served bound).
+type ApproxTopKResponse struct {
+	// K echoes the query parameter.
+	K int `json:"k"`
+	// Mode is the serving mode that produced this body.
+	Mode string `json:"mode"`
+	// SnapshotSeq identifies the epoch the answer was read from.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Records is the record count of that epoch.
+	Records int `json:"records"`
+	// SketchCapacity is the monitored-set bound of the serving sketch.
+	SketchCapacity int `json:"sketch_capacity"`
+	// SketchFloor is the eviction floor: zero means the sketch never
+	// evicted and every interval is exact.
+	SketchFloor float64 `json:"sketch_floor"`
+	// MaxErr is the largest Err across the returned entries — the same
+	// number the X-Approx-Bound header carries.
+	MaxErr float64 `json:"max_err"`
+	// Entries are the approximate top-k, Count descending.
+	Entries []ApproxEntry `json:"entries"`
+	// Exact reports the exact tier's state in hybrid mode: "cached"
+	// when the epoch answer cache already holds the exact answer for
+	// (k, r), "refreshing" while the background task computes it.
+	// Empty in approx mode.
+	Exact string `json:"exact,omitempty"`
+}
+
+// XApproxBound is the response header carrying the served answer's
+// largest per-entry error bound, so clients can gate on answer quality
+// without parsing the body.
+const XApproxBound = "X-Approx-Bound"
+
+func (s *Server) handleApprox(w http.ResponseWriter, _ *http.Request, mode string, k, rr int) {
+	ep := s.epoch.Load()
+	view := ep.snap.SketchView()
+	if view == nil {
+		writeTypedError(w, http.StatusBadRequest, "sketch_disabled",
+			"approximate tier is disabled (SketchCapacity < 0); use mode=exact")
+		return
+	}
+	start := time.Now()
+	entries := view.Top(k)
+	resp := ApproxTopKResponse{
+		K: k, Mode: mode, SnapshotSeq: ep.seq, Records: ep.snap.Len(),
+		SketchCapacity: view.Capacity(), SketchFloor: view.Floor(),
+		Entries: make([]ApproxEntry, len(entries)),
+	}
+	for i, e := range entries {
+		lower := e.Count - e.Err
+		if lower < 0 {
+			lower = 0
+		}
+		resp.Entries[i] = ApproxEntry{Rep: e.Key, Count: e.Count, Lower: lower, Err: e.Err}
+		if e.Err > resp.MaxErr {
+			resp.MaxErr = e.Err
+		}
+	}
+	if mode == ModeHybrid {
+		resp.Exact = s.startHybridExact(ep, view, k, rr)
+	}
+	s.metrics.Count("sketch.serve."+mode, 1)
+	s.metrics.Observe("sketch.serve.seconds", time.Since(start).Seconds())
+	if s.logger != nil {
+		s.logger.Info("approx topk query", "k", k, "mode", mode,
+			"snapshot_seq", ep.seq, "max_err", resp.MaxErr,
+			"seconds", time.Since(start).Seconds())
+	}
+	w.Header().Set(XApproxBound, strconv.FormatFloat(resp.MaxErr, 'g', -1, 64))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// startHybridExact arranges for the exact (k, r) answer to land in the
+// epoch answer cache: a cache hit means it is already there, an
+// in-flight identical computation is left alone (singleflight), and a
+// miss claims the entry and computes in a background goroutine — the
+// hybrid request itself never waits. Returns the Exact field value for
+// the response.
+func (s *Server) startHybridExact(ep *epoch, view *sketch.View, k, rr int) string {
+	key := answerKey{kind: 't', k: k, r: rr}
+	status, ent := s.beginAnswer(ep.seq, key, false)
+	switch status {
+	case cacheHit:
+		return "cached"
+	case cacheMiss:
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			res, _, err := s.computeExact(context.Background(), ep, k, rr, false)
+			ent.topk, ent.err = res, err
+			s.answers.finish(ep.seq, key, ent)
+			s.metrics.Count("sketch.hybrid.refreshed", 1)
+			if err == nil {
+				s.verifySketch(view, res)
+			}
+		}()
+	}
+	// cacheCoalesced: another request owns the computation; cacheBypass:
+	// the epoch moved on under us — nothing worth memoising either way.
+	return "refreshing"
+}
+
+// verifySketch scores the served sketch entries against the exact
+// engine answer: for every sketch entry whose component appears in the
+// exact top groups, the observed error |Count − exact weight| is
+// recorded (sketch.hybrid.observed_error) and the entry counted as
+// within or outside its claimed interval (sketch.hybrid.within_bound /
+// sketch.hybrid.outside_bound). Outside-bound observations are
+// expected when deeper predicate levels or the scorer merge components
+// beyond the level-1 closure the sketch tracks — the interval contract
+// is per sufficient-closure component, not per final entity (SERVING.md
+// spells this out).
+func (s *Server) verifySketch(view *sketch.View, res *topk.Result) {
+	if len(res.Answers) == 0 {
+		return
+	}
+	weightOf := make(map[int]float64)
+	for _, g := range res.Answers[0].Groups {
+		for _, id := range g.Records {
+			weightOf[id] = g.Weight
+		}
+	}
+	var within, outside int64
+	for _, e := range view.Top(0) {
+		exact, ok := weightOf[e.Key]
+		if !ok {
+			continue
+		}
+		diff := exact - e.Count
+		if diff < 0 {
+			diff = -diff
+		}
+		s.metrics.Observe("sketch.hybrid.observed_error", diff)
+		// Tolerance for float summation order: the engine and the sketch
+		// accumulate the same weights along different op sequences.
+		eps := 1e-9 * e.Count
+		if eps < 1e-9 {
+			eps = 1e-9
+		}
+		if exact <= e.Count+eps && exact >= e.Count-e.Err-eps {
+			within++
+		} else {
+			outside++
+		}
+	}
+	if within != 0 {
+		s.metrics.Count("sketch.hybrid.within_bound", within)
+	}
+	if outside != 0 {
+		s.metrics.Count("sketch.hybrid.outside_bound", outside)
+	}
+}

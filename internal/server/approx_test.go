@@ -1,0 +1,480 @@
+// Tests of the approximate fast tier: strict /topk parameter
+// validation (the mode=aprox regression), byte identity of mode=exact
+// with the default path, the approx answer shape and X-Approx-Bound
+// header, hybrid's background exact refresh and sketch.* metrics, WAL
+// rebuild identity, and the differential containment property across
+// seeded domains (toy + citations) and randomized ingest interleavings
+// with greedy shrinking — the served error interval must contain the
+// exact engine count in 100% of queries.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	topk "topkdedup"
+	"topkdedup/internal/experiments"
+	"topkdedup/internal/stream"
+)
+
+func TestTopKRejectsUnknownModeAndParams(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	ingestBatch(t, ts, names("alice", "alice", "bob"))
+	cases := []struct {
+		path string
+		code string
+	}{
+		{"/topk?mode=aprox", "bad_mode"}, // the typo that must never silently serve exact
+		{"/topk?mode=EXACT", "bad_mode"},
+		{"/topk?k=2&foo=1", "unknown_param"},
+		{"/topk?k=2&K=3", "unknown_param"},
+		{"/topk?explain=yes", "bad_param"},
+	}
+	for _, tc := range cases {
+		resp, body := get(t, ts, tc.path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400: %s", tc.path, resp.StatusCode, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("GET %s: bad error body %s", tc.path, body)
+		}
+		if er.Code != tc.code || er.Error == "" {
+			t.Fatalf("GET %s: error %+v, want code %q", tc.path, er, tc.code)
+		}
+	}
+	for _, ok := range []string{"/topk?k=2&mode=exact", "/topk?k=2&explain=0", "/topk?k=2&explain=1&r=2"} {
+		if resp, body := get(t, ts, ok); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", ok, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestDefaultModeValidation(t *testing.T) {
+	if _, err := New(Config{Schema: []string{"name"}, Levels: toyLevels(), DefaultMode: "fast"}); err == nil {
+		t.Fatal("DefaultMode 'fast' should be rejected")
+	}
+	_, ts := newTestServer(t, func(c *Config) { c.DefaultMode = ModeApprox })
+	ingestBatch(t, ts, names("alice", "alice", "bob"))
+	_, body := get(t, ts, "/topk?k=2")
+	var ar ApproxTopKResponse
+	if err := json.Unmarshal(body, &ar); err != nil || ar.Mode != ModeApprox {
+		t.Fatalf("bare /topk under DefaultMode=approx served %s", body)
+	}
+	// An explicit mode still overrides the default.
+	_, body = get(t, ts, "/topk?k=2&mode=exact")
+	var tr TopKResponse
+	if err := json.Unmarshal(body, &tr); err != nil || tr.Result == nil {
+		t.Fatalf("mode=exact under DefaultMode=approx served %s", body)
+	}
+}
+
+func TestModeExactByteIdentical(t *testing.T) {
+	// TraceLimit -1 removes the per-query trace id, the one legitimately
+	// fresh field; everything else must match byte for byte.
+	_, ts := newTestServer(t, func(c *Config) { c.TraceLimit = -1 })
+	ingestBatch(t, ts, names("alice", "alice", "alice", "bob", "bob", "carol", "cory"))
+	resp, def := get(t, ts, "/topk?k=3&r=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default /topk: %d: %s", resp.StatusCode, def)
+	}
+	resp, explicit := get(t, ts, "/topk?k=3&r=2&mode=exact")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mode=exact /topk: %d: %s", resp.StatusCode, explicit)
+	}
+	if string(def) != string(explicit) {
+		t.Fatalf("mode=exact diverges from default path\ndefault: %s\nexplicit: %s", def, explicit)
+	}
+}
+
+func TestApproxAnswerAndHeader(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	ingestBatch(t, ts, names("alice", "alice", "alice", "bob", "bob", "carol"))
+	resp, body := get(t, ts, "/topk?mode=approx&k=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("approx: status %d: %s", resp.StatusCode, body)
+	}
+	var ar ApproxTopKResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("decode approx body: %v: %s", err, body)
+	}
+	if ar.Mode != ModeApprox || ar.K != 2 || ar.Records != 6 || ar.Exact != "" {
+		t.Fatalf("approx response: %+v", ar)
+	}
+	if len(ar.Entries) != 2 || ar.Entries[0].Count != 3 || ar.Entries[1].Count != 2 {
+		t.Fatalf("approx entries: %+v, want counts 3, 2", ar.Entries)
+	}
+	// Under capacity the sketch is exact: zero bounds, tight intervals.
+	for _, e := range ar.Entries {
+		if e.Err != 0 || e.Lower != e.Count {
+			t.Fatalf("entry %+v: want exact interval under capacity", e)
+		}
+	}
+	if got := resp.Header.Get(XApproxBound); got != "0" {
+		t.Fatalf("X-Approx-Bound = %q, want 0", got)
+	}
+	if ar.SketchFloor != 0 || ar.MaxErr != 0 {
+		t.Fatalf("floor %g maxerr %g, want 0 0", ar.SketchFloor, ar.MaxErr)
+	}
+}
+
+func TestApproxDisabledSketch(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.SketchCapacity = -1 })
+	ingestBatch(t, ts, names("alice", "bob"))
+	for _, mode := range []string{ModeApprox, ModeHybrid} {
+		resp, body := get(t, ts, "/topk?mode="+mode)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("mode=%s with disabled sketch: status %d: %s", mode, resp.StatusCode, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Code != "sketch_disabled" {
+			t.Fatalf("mode=%s error body: %s", mode, body)
+		}
+	}
+	// exact still works.
+	if resp, body := get(t, ts, "/topk?k=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact with disabled sketch: %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHybridRefreshesExactAnswer(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	ingestBatch(t, ts, names("alice", "alice", "alice", "bob", "bob", "carol"))
+	resp, body := get(t, ts, "/topk?mode=hybrid&k=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hybrid: status %d: %s", resp.StatusCode, body)
+	}
+	var ar ApproxTopKResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("decode hybrid body: %v: %s", err, body)
+	}
+	if ar.Mode != ModeHybrid || ar.Exact != "refreshing" || len(ar.Entries) != 2 {
+		t.Fatalf("hybrid response: %+v", ar)
+	}
+	// The background task must land the exact (k=2, r=1) answer in the
+	// epoch cache: poll until mode=exact reports a hit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body = get(t, ts, "/topk?k=2&r=1&mode=exact")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exact probe: status %d: %s", resp.StatusCode, body)
+		}
+		if resp.Header.Get("X-Cache") == cacheHit {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("exact answer never became a cache hit after hybrid query")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A second hybrid query now reports the exact tier as cached.
+	_, body = get(t, ts, "/topk?mode=hybrid&k=2")
+	if err := json.Unmarshal(body, &ar); err != nil || ar.Exact != "cached" {
+		t.Fatalf("second hybrid response: %s", body)
+	}
+	if got := srv.Metrics().CounterValue("sketch.hybrid.refreshed"); got < 1 {
+		t.Fatalf("sketch.hybrid.refreshed = %d, want >= 1", got)
+	}
+	// All entries are exact here (no evictions), so verification must
+	// count them within bound and record zero observed error.
+	if got := srv.Metrics().CounterValue("sketch.hybrid.within_bound"); got < 1 {
+		t.Fatalf("sketch.hybrid.within_bound = %d, want >= 1", got)
+	}
+	if got := srv.Metrics().CounterValue("sketch.hybrid.outside_bound"); got != 0 {
+		t.Fatalf("sketch.hybrid.outside_bound = %d, want 0", got)
+	}
+	if got := srv.Metrics().CounterValue("sketch.serve.hybrid"); got != 2 {
+		t.Fatalf("sketch.serve.hybrid = %d, want 2", got)
+	}
+}
+
+func TestApproxSurvivesRestart(t *testing.T) {
+	// A rebooted server replays the WAL through the same accumulator
+	// path, so the recovered sketch — including eviction floor and error
+	// bounds at a deliberately tiny capacity — must serve identical
+	// approximate entries.
+	dir := t.TempDir()
+	mutate := func(c *Config) {
+		c.WALDir = dir
+		c.SketchCapacity = 3
+	}
+	srv, ts := newTestServer(t, mutate)
+	r := rand.New(rand.NewSource(42))
+	for b := 0; b < 4; b++ {
+		recs := make([]IngestRecord, 8)
+		for i := range recs {
+			e := r.Intn(9)
+			recs[i] = IngestRecord{
+				Weight: 1 + 0.001*r.Float64(),
+				Truth:  fmt.Sprintf("E%02d", e),
+				Values: []string{fmt.Sprintf("%c%02d.v%d", 'a'+e%4, e, r.Intn(2))},
+			}
+		}
+		ingestBatch(t, ts, recs)
+	}
+	_, before := get(t, ts, "/topk?mode=approx&k=5")
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reborn, err := New(Config{
+		Schema: []string{"name"}, Levels: toyLevels(), Scorer: toyScorer(),
+		WALDir: dir, SketchCapacity: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	ts2 := httptest.NewServer(reborn.Handler())
+	defer ts2.Close()
+	_, after := get(t, ts2, "/topk?mode=approx&k=5")
+	var a, b ApproxTopKResponse
+	if err := json.Unmarshal(before, &a); err != nil {
+		t.Fatalf("decode pre-crash approx: %v: %s", err, before)
+	}
+	if err := json.Unmarshal(after, &b); err != nil {
+		t.Fatalf("decode post-crash approx: %v: %s", err, after)
+	}
+	if len(a.Entries) == 0 || a.SketchFloor == 0 {
+		t.Fatalf("test needs a sketch with evictions, got %+v", a)
+	}
+	if a.SketchFloor != b.SketchFloor || a.MaxErr != b.MaxErr || len(a.Entries) != len(b.Entries) {
+		t.Fatalf("recovered sketch diverges:\nbefore: %s\nafter:  %s", before, after)
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("recovered entry %d: %+v vs %+v", i, a.Entries[i], b.Entries[i])
+		}
+	}
+}
+
+// approxCase is one differential trial: a record stream, a batch split,
+// a sketch capacity, and the k to query.
+type approxCase struct {
+	schema  []string
+	levels  []topk.Level
+	recs    []IngestRecord
+	batches []int
+	cap     int
+	k       int
+}
+
+// closureWeights replays the records through a bare accumulator and
+// returns each record id's sufficient-closure component weight — the
+// truth the sketch's intervals are measured against.
+func closureWeights(t *testing.T, c *approxCase, n int) map[int]float64 {
+	t.Helper()
+	acc, err := stream.New("truth", c.schema, c.levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range c.recs[:n] {
+		w := rec.Weight
+		if w == 0 {
+			w = 1
+		}
+		acc.Add(w, rec.Truth, rec.Values...)
+	}
+	out := make(map[int]float64)
+	for _, g := range acc.Groups() {
+		var sum float64
+		for _, id := range g.Members {
+			sum += acc.Dataset().Recs[id].Weight
+		}
+		for _, id := range g.Members {
+			out[id] = sum
+		}
+	}
+	return out
+}
+
+// runApproxCase ingests the case's records (random batch split, approx
+// queries after every publish), and returns a description of the first
+// containment violation, or "" when every interval contained both the
+// closure truth and the matching exact engine count.
+func runApproxCase(t *testing.T, c *approxCase) string {
+	t.Helper()
+	srv, err := New(Config{
+		Schema: c.schema, Levels: c.levels, SketchCapacity: c.cap, TraceLimit: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	at := 0
+	for _, sz := range append(append([]int{}, c.batches...), len(c.recs)) {
+		end := at + sz
+		if end > len(c.recs) {
+			end = len(c.recs)
+		}
+		if end > at {
+			ingestBatch(t, ts, c.recs[at:end])
+			at = end
+		}
+		resp, body := get(t, ts, fmt.Sprintf("/topk?mode=approx&k=%d", c.k))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("approx query: status %d: %s", resp.StatusCode, body)
+		}
+		var ar ApproxTopKResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatalf("decode approx: %v: %s", err, body)
+		}
+		truth := closureWeights(t, c, at)
+		eps := 1e-6
+		for _, e := range ar.Entries {
+			w, ok := truth[e.Rep]
+			if !ok {
+				return fmt.Sprintf("after %d records: entry rep %d is not a known record", at, e.Rep)
+			}
+			if w > e.Count+eps || w < e.Count-e.Err-eps {
+				return fmt.Sprintf("after %d records: rep %d weight %g outside [%g, %g]",
+					at, e.Rep, w, e.Count-e.Err, e.Count)
+			}
+		}
+		// The served intervals must also contain the exact engine answer's
+		// weights: with a single-level schedule and no scorer the engine's
+		// top groups ARE closure components, matched by membership.
+		_, exactBody := get(t, ts, fmt.Sprintf("/topk?mode=exact&k=%d", c.k))
+		var tr TopKResponse
+		if err := json.Unmarshal(exactBody, &tr); err != nil {
+			t.Fatalf("decode exact: %v: %s", err, exactBody)
+		}
+		exactOf := make(map[int]float64)
+		if len(tr.Result.Answers) > 0 {
+			for _, g := range tr.Result.Answers[0].Groups {
+				for _, id := range g.Records {
+					exactOf[id] = g.Weight
+				}
+			}
+		}
+		for _, e := range ar.Entries {
+			w, ok := exactOf[e.Rep]
+			if !ok {
+				continue // component below the exact top-k
+			}
+			if w > e.Count+eps || w < e.Count-e.Err-eps {
+				return fmt.Sprintf("after %d records: rep %d exact count %g outside [%g, %g]",
+					at, e.Rep, w, e.Count-e.Err, e.Count)
+			}
+		}
+	}
+	return ""
+}
+
+// shrinkApprox greedily removes records while the violation persists.
+func shrinkApprox(t *testing.T, c *approxCase) *approxCase {
+	t.Helper()
+	cur := *c
+	cur.recs = append([]IngestRecord(nil), c.recs...)
+	cur.batches = nil // single batch while shrinking
+	for pass := 0; pass < 4; pass++ {
+		removed := false
+		for i := 0; i < len(cur.recs) && len(cur.recs) > 1; i++ {
+			cand := cur
+			cand.recs = append(append([]IngestRecord(nil), cur.recs[:i]...), cur.recs[i+1:]...)
+			if runApproxCase(t, &cand) != "" {
+				cur = cand
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return &cur
+}
+
+// TestDifferentialSketchContainment is the approximate tier's
+// correctness anchor (the ISSUE 9 acceptance criterion): across seeded
+// domains and randomized ingest interleavings, every served approx
+// entry's [lower, count] interval contains both the record's
+// sufficient-closure component weight and the exact engine.TopK count
+// of the matching group — in 100% of queries, at every capacity tried,
+// including capacities small enough to force heavy eviction churn.
+func TestDifferentialSketchContainment(t *testing.T) {
+	type domainGen func(t *testing.T, r *rand.Rand) *approxCase
+	toyGen := func(t *testing.T, r *rand.Rand) *approxCase {
+		n := 20 + r.Intn(100)
+		recs := make([]IngestRecord, n)
+		for i := range recs {
+			e := r.Intn(1 + n/5)
+			recs[i] = IngestRecord{
+				Weight: 1 + 0.001*r.Float64(),
+				Truth:  fmt.Sprintf("E%03d", e),
+				Values: []string{fmt.Sprintf("%c%03d.v%d", 'a'+e%6, e, r.Intn(3))},
+			}
+		}
+		return &approxCase{schema: []string{"name"}, levels: toyLevels(), recs: recs}
+	}
+	citations := citationRecords(t)
+	citationGen := func(t *testing.T, r *rand.Rand) *approxCase {
+		n := 40 + r.Intn(len(citations.recs)-40)
+		return &approxCase{
+			schema: citations.schema,
+			levels: citations.levels,
+			recs:   citations.recs[:n],
+		}
+	}
+	caps := []int{2, 5, 16, 0}
+	trial := 0
+	for _, gen := range []domainGen{toyGen, citationGen} {
+		for _, capacity := range caps {
+			trial++
+			r := rand.New(rand.NewSource(int64(7000 + trial)))
+			c := gen(t, r)
+			c.cap = capacity
+			c.k = 1 + r.Intn(6)
+			for left := len(c.recs); left > 0; {
+				sz := 1 + r.Intn(17)
+				if sz > left {
+					sz = left
+				}
+				c.batches = append(c.batches, sz)
+				left -= sz
+			}
+			if msg := runApproxCase(t, c); msg != "" {
+				small := shrinkApprox(t, c)
+				t.Fatalf("trial %d (cap=%d, k=%d, batches %v): %s\nshrunk to %d records:\n%s",
+					trial, capacity, c.k, c.batches, msg, len(small.recs), dumpRecords(small.recs))
+			}
+		}
+	}
+}
+
+// citationDomain is the citation-analogue dataset reshaped for ingest:
+// a single-level schedule (sufficient closure only, no scorer), so the
+// exact engine's answer weights equal closure weights and containment
+// is a deterministic 100% contract.
+type citationDomain struct {
+	schema []string
+	levels []topk.Level
+	recs   []IngestRecord
+}
+
+func citationRecords(t *testing.T) *citationDomain {
+	t.Helper()
+	dd, err := experiments.CitationSetup(240, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]IngestRecord, len(dd.Data.Recs))
+	for i, rec := range dd.Data.Recs {
+		values := make([]string, len(dd.Data.Schema))
+		for j, f := range dd.Data.Schema {
+			values[j] = rec.Fields[f]
+		}
+		recs[i] = IngestRecord{Weight: rec.Weight, Truth: rec.Truth, Values: values}
+	}
+	return &citationDomain{
+		schema: dd.Data.Schema,
+		levels: dd.Domain.Levels[:1],
+		recs:   recs,
+	}
+}

@@ -84,10 +84,12 @@ func (s *Server) Checkpoint() error {
 	return s.wal.PruneSegments(applied)
 }
 
-// Close releases the server's durable resources: the WAL's active
-// segment and its background sync ticker. Safe (and a no-op) when
-// durability is disabled; the HTTP side needs no teardown of its own.
+// Close releases the server's durable resources: it drains hybrid
+// mode's background exact computations, then closes the WAL's active
+// segment and its background sync ticker. Safe when durability is
+// disabled; the HTTP side needs no teardown of its own.
 func (s *Server) Close() error {
+	s.bg.Wait()
 	if s.wal == nil {
 		return nil
 	}

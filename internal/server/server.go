@@ -117,6 +117,18 @@ type Config struct {
 	// tail behind the newest snapshot. 0 selects 256; negative disables
 	// snapshotting (boot replays the whole log).
 	WALSnapshotEvery int
+	// SketchCapacity sizes the approximate fast tier: a bounded
+	// Space-Saving sketch (internal/sketch) over the maintained
+	// sufficient-closure components, serving GET /topk?mode=approx in
+	// microseconds with per-entry error intervals. 0 selects
+	// sketch.DefaultCapacity; a negative value disables the sketch
+	// entirely (mode=approx and mode=hybrid then answer 400). The
+	// sketch is rebuilt from WAL replay on boot — no extra log records.
+	SketchCapacity int
+	// DefaultMode is the /topk serving mode when the request omits
+	// ?mode=: "exact" (the default), "approx", or "hybrid". See
+	// SERVING.md "Approximate tier".
+	DefaultMode string
 	// TraceLimit sizes the ring of recent query traces kept for
 	// GET /debug/traces: 0 keeps the default (obs.DefaultTraceLimit),
 	// a negative value disables tracing entirely (queries then run the
@@ -149,6 +161,13 @@ func (c *Config) defaults() error {
 	}
 	if c.WALSnapshotEvery == 0 {
 		c.WALSnapshotEvery = 256
+	}
+	switch c.DefaultMode {
+	case "":
+		c.DefaultMode = ModeExact
+	case ModeExact, ModeApprox, ModeHybrid:
+	default:
+		return fmt.Errorf("server: DefaultMode %q is not exact, approx, or hybrid", c.DefaultMode)
 	}
 	return nil
 }
@@ -194,6 +213,10 @@ type Server struct {
 	walBatches int
 	recovered  int
 	snapMu     sync.Mutex // serialises Checkpoint's write + prune
+
+	// bg tracks hybrid-mode background exact computations so Close can
+	// drain them before releasing durable resources.
+	bg sync.WaitGroup
 }
 
 // New creates a Server and publishes the initial (empty) snapshot as
@@ -220,6 +243,12 @@ func New(cfg Config) (*Server, error) {
 	// incremental state's inc.delta.* delta-apply counters) into the
 	// server collector so /metrics shows ingest-side work too.
 	acc.SetMetrics(s.metrics)
+	// Enable the approximate tier before WAL recovery runs: replay goes
+	// through acc.Add, so the recovered sketch is byte-identical to the
+	// one an uninterrupted run would hold (no sketch log records).
+	if cfg.SketchCapacity >= 0 {
+		acc.EnableSketch(cfg.SketchCapacity)
+	}
 	if cfg.TraceLimit >= 0 {
 		s.tracer = obs.NewRecorder(cfg.TraceLimit)
 	}
@@ -235,6 +264,7 @@ func New(cfg Config) (*Server, error) {
 	if err := s.openWAL(); err != nil {
 		return nil, err
 	}
+	acc.FlushSketchMetrics() // replay-time sketch counters, one batch
 	s.epoch.Store(&epoch{snap: acc.Snapshot(), seq: 0})
 	return s, nil
 }
@@ -334,6 +364,7 @@ func (s *Server) Seed(d *topk.Dataset) (int, error) {
 	for _, rec := range batch {
 		s.acc.Add(rec.Weight, rec.Truth, rec.Values...)
 	}
+	s.acc.FlushSketchMetrics()
 	s.pending += len(d.Recs)
 	s.publishLocked()
 	s.metrics.Count("server.ingest.records", int64(len(d.Recs)))
@@ -477,6 +508,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for _, rec := range batch {
 		s.acc.Add(rec.Weight, rec.Truth, rec.Values...)
 	}
+	s.acc.FlushSketchMetrics()
 	s.pending += len(req.Records)
 	published := false
 	if s.cfg.RefreshEvery >= 0 && s.pending >= s.cfg.RefreshEvery {
@@ -554,6 +586,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be >= 1")
 		return
 	}
+	mode, aerr := s.topkMode(r)
+	if aerr != nil {
+		writeTypedError(w, http.StatusBadRequest, aerr.code, aerr.msg)
+		return
+	}
+	if mode != ModeExact {
+		s.handleApprox(w, r, mode, k, rr)
+		return
+	}
 	explain := r.URL.Query().Get("explain") == "1"
 	ctx, root := s.traceCtx(r, "server.topk")
 	if root != nil {
@@ -579,18 +620,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	default: // cacheMiss computes and memoises; cacheBypass just computes
-		if len(s.cfg.ShardPeers) > 0 {
-			var pd *topk.PrunedResult
-			pd, err = s.shardedPruned(ctx, ep, k)
-			if err != nil {
-				err = fmt.Errorf("shard peers: %w", err)
-				badGateway = true
-			} else {
-				res, err = s.queryEngine(ep, explain).TopKFromCtx(ctx, pd, k, rr)
-			}
-		} else {
-			res, err = s.queryEngine(ep, explain).TopKCtx(ctx, k, rr)
-		}
+		res, badGateway, err = s.computeExact(ctx, ep, k, rr, explain)
 		if status == cacheMiss {
 			ent.topk, ent.err = res, err
 			s.answers.finish(ep.seq, key, ent)
@@ -661,7 +691,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	if ep.snap.Len() == 0 {
 		// rankquery runs the core pipeline, which needs records; answer
-		// the empty epoch directly.
+		// the empty epoch directly, outside the answer cache.
+		w.Header().Set("X-Cache", cacheBypass)
 		writeJSON(w, http.StatusOK, RankResponse{K: k, SnapshotSeq: ep.seq, Result: &topk.RankResult{}})
 		return
 	}
@@ -716,6 +747,23 @@ func (s *Server) rankAnswer(ctx context.Context, ep *epoch, key answerKey, compu
 		s.answers.finish(ep.seq, key, ent)
 	}
 	return res, status, err
+}
+
+// computeExact runs the exact TopK pipeline over an epoch — the shared
+// compute step of the /topk miss path and hybrid mode's background
+// refresh. The returned bool marks a shard-peer failure (surfaced as
+// 502 rather than 500).
+func (s *Server) computeExact(ctx context.Context, ep *epoch, k, rr int, explain bool) (*topk.Result, bool, error) {
+	if len(s.cfg.ShardPeers) > 0 {
+		pd, err := s.shardedPruned(ctx, ep, k)
+		if err != nil {
+			return nil, true, fmt.Errorf("shard peers: %w", err)
+		}
+		res, err := s.queryEngine(ep, explain).TopKFromCtx(ctx, pd, k, rr)
+		return res, false, err
+	}
+	res, err := s.queryEngine(ep, explain).TopKCtx(ctx, k, rr)
+	return res, false, err
 }
 
 // queryEngine builds the per-query engine over an epoch's frozen
@@ -834,10 +882,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 type ErrorResponse struct {
 	// Error is the human-readable failure description.
 	Error string `json:"error"`
+	// Code is a stable machine-readable discriminator, present on the
+	// typed request-validation failures ("unknown_param", "bad_param",
+	// "bad_mode", "sketch_disabled"); absent elsewhere so pre-existing
+	// error bodies are unchanged.
+	Code string `json:"code,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+func writeTypedError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,174 @@
+// FuzzSketchMerge fuzzes the sketch's update/merge state machine
+// against a brute-force oracle under a miniature DSU, asserting the
+// properties the serving layer's approximate tier relies on:
+//
+//  1. Containment: every monitored entry's interval [Count−Err, Count]
+//     contains the component's true accumulated weight, after every op.
+//  2. Monotone counts: a key's Count never decreases while it stays
+//     monitored (updates and merges only add weight).
+//  3. Sound bounds: Err never shrinks below the true overestimate
+//     (Count − truth), and never goes negative.
+//  4. Merge commutativity on group-union: replaying the same op
+//     sequence with every Merge's root arguments swapped (the surviving
+//     root unchanged, as the DSU dictates) rebuilds identical entries.
+//  5. The monitored set never exceeds capacity.
+//
+// When a merge's absorbed side is a virgin root (never updated or
+// merged — zero mass, like a just-appended record in internal/stream),
+// the harness takes the MergeFresh path, so its no-added-error claim is
+// fuzzed under the same oracle.
+package sketch
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzOps decodes fuzz bytes into a capacity and an op tape over 32
+// record ids: the first byte picks the capacity, then each 3-byte chunk
+// is one op — Update(id, w) three times out of four, otherwise a DSU
+// union driving a Merge or MergeFresh (the high bit of the op byte
+// picks the surviving root, as union-by-size would).
+type fuzzOp struct {
+	update   bool
+	key      int  // update: record id; merge: root a
+	other    int  // merge: root b
+	intoWins bool // merge: true → a survives
+	w        float64
+}
+
+func decodeOps(data []byte) (int, []fuzzOp) {
+	if len(data) < 4 {
+		return 0, nil
+	}
+	capacity := 1 + int(data[0])%8
+	rest := data[1:]
+	if len(rest) > 300 {
+		rest = rest[:300]
+	}
+	var ops []fuzzOp
+	for i := 0; i+2 < len(rest); i += 3 {
+		op, x, y := rest[i], rest[i+1], rest[i+2]
+		if op%4 != 3 {
+			ops = append(ops, fuzzOp{update: true, key: int(x) % 32, w: 1 + float64(y)/64})
+		} else {
+			ops = append(ops, fuzzOp{key: int(x) % 32, other: int(y) % 32, intoWins: op&0x80 != 0})
+		}
+	}
+	return capacity, ops
+}
+
+// replay runs the op tape through a fresh sketch plus oracle. swapped
+// mirrors every Merge's (a, b) argument order — the surviving root is
+// the same either way, so the result must be identical (property 4).
+// When check is non-nil it runs after every op.
+func replay(capacity int, ops []fuzzOp, swapped bool, check func(s *Sketch, m *model)) *Sketch {
+	s := New(capacity)
+	m := newModel()
+	parent := make([]int, 32)
+	virgin := make([]bool, 32)
+	for i := range parent {
+		parent[i] = i
+		virgin[i] = true
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, op := range ops {
+		if op.update {
+			root := find(op.key)
+			s.Update(root, op.w)
+			m.update(root, op.w)
+			virgin[root] = false
+		} else {
+			ra, rb := find(op.key), find(op.other)
+			if ra == rb {
+				continue
+			}
+			into := rb
+			if op.intoWins {
+				into = ra
+			}
+			switch {
+			case virgin[ra]:
+				// Zero-mass side: the stream's first-union case. The
+				// argument roles are fixed, so the swapped mirror replays
+				// it identically.
+				s.MergeFresh(rb, into)
+			case virgin[rb]:
+				s.MergeFresh(ra, into)
+			case swapped:
+				s.Merge(rb, ra, into)
+			default:
+				s.Merge(ra, rb, into)
+			}
+			m.merge(ra, rb, into)
+			virgin[ra], virgin[rb] = false, false
+			if into == ra {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+		if check != nil {
+			check(s, m)
+		}
+	}
+	return s
+}
+
+func FuzzSketchMerge(f *testing.F) {
+	// Updates only, under capacity; eviction churn at capacity 1; a
+	// monitored-monitored merge; merge of evicted (unmonitored) roots
+	// then re-insert; survivor-side flip.
+	f.Add([]byte{0x07, 0x00, 0x01, 0x40, 0x00, 0x02, 0x40, 0x00, 0x01, 0x80})
+	f.Add([]byte{0x00, 0x00, 0x01, 0xff, 0x00, 0x02, 0x80, 0x00, 0x03, 0x40, 0x00, 0x01, 0x20})
+	f.Add([]byte{0x05, 0x00, 0x01, 0x40, 0x00, 0x02, 0x60, 0x03, 0x01, 0x02, 0x00, 0x01, 0x10})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x60, 0x00, 0x02, 0x50, 0x00, 0x03, 0x70, 0x03, 0x01, 0x02, 0x00, 0x02, 0x30})
+	f.Add([]byte{0x02, 0x00, 0x04, 0x40, 0x00, 0x05, 0x40, 0x83, 0x04, 0x05, 0x00, 0x04, 0x40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity, ops := decodeOps(data)
+		if len(ops) == 0 {
+			return
+		}
+		prev := map[int]float64{}
+		s := replay(capacity, ops, false, func(s *Sketch, m *model) {
+			if s.Len() > capacity {
+				t.Fatalf("monitored set %d exceeds capacity %d", s.Len(), capacity)
+			}
+			now := map[int]float64{}
+			for _, e := range s.Top(0) {
+				eps := 1e-9 * math.Max(1, e.Count)
+				if e.Err < -eps {
+					t.Fatalf("key %d: negative bound %g", e.Key, e.Err)
+				}
+				truth := m.weight[e.Key]
+				if truth > e.Count+eps {
+					t.Fatalf("key %d: Count %g below truth %g", e.Key, e.Count, truth)
+				}
+				if e.Err < e.Count-truth-eps {
+					t.Fatalf("key %d: Err %g below true overestimate %g", e.Key, e.Err, e.Count-truth)
+				}
+				if p, ok := prev[e.Key]; ok && e.Count < p-eps {
+					t.Fatalf("key %d: Count shrank %g -> %g", e.Key, p, e.Count)
+				}
+				now[e.Key] = e.Count
+			}
+			prev = now
+		})
+		mirror := replay(capacity, ops, true, nil)
+		a, b := s.Top(0), mirror.Top(0)
+		if len(a) != len(b) {
+			t.Fatalf("swapped-merge replay: %d entries vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("swapped-merge replay: entry %d %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,418 @@
+// Package sketch implements a bounded-memory weighted Space-Saving
+// (stream-summary) structure over the collapsed groups maintained by
+// internal/stream: the approximate fast tier of the serving layer.
+//
+// A Sketch monitors at most Capacity entries, each keyed by a
+// sure-duplicate component root (a record id from the incremental DSU)
+// and carrying a Count (an overestimate of the component's accumulated
+// weight) and an Err (the overestimation bound). The structure's single
+// invariant, pinned by the unit, property, and fuzz tests:
+//
+//	Count − Err ≤ true component weight ≤ Count
+//
+// for every monitored entry, at all times, across any interleaving of
+// weighted updates and DSU merges. Queries read the monitored set only,
+// so an approximate top-k answer costs O(Capacity log Capacity)
+// regardless of dataset size — microseconds, not the milliseconds of
+// the exact PrunedDedup tier.
+//
+// # Deviations from textbook Space-Saving
+//
+// Classic Space-Saving (Metwally et al.) charges a newly monitored key
+// the count of the entry it evicts: any unmonitored key's true weight
+// is bounded by the minimum monitored count, which only grows. Two
+// things break that argument here. First, component roots MERGE: a
+// both-monitored merge removes an entry, so the minimum monitored
+// count can later DROP, and when two unmonitored components union
+// their lost weights add — one minimum no longer bounds the pair. The
+// sketch therefore keeps a monotone eviction floor (the largest count
+// ever evicted) as the charge for unmonitored roots, plus a sparse
+// per-root debt ledger fed only by merges of unmonitored roots;
+// insertion absorbs the root's debt (or the floor) into both Count and
+// Err. Second, merging two monitored entries sums their error bounds
+// rather than taking the max: the components were disjoint, so their
+// overestimates add — max would silently understate the bound, and
+// TestMergeErrorsSum constructs a merge where the max-rule interval
+// provably excludes the true weight.
+//
+// # Determinism
+//
+// Replaying an identical sequence of Update/Merge calls rebuilds a
+// Sketch with identical entries, and Top/View order ties
+// deterministically (Count descending, Key ascending) — which is what
+// lets WAL recovery rebuild the serving sketch byte-identically from
+// the replayed batches with no sketch-specific log records.
+//
+// Not safe for concurrent use; the serving layer drives it under the
+// accumulator lock and freezes an immutable View into each epoch.
+package sketch
+
+import (
+	"sort"
+
+	"topkdedup/internal/obs"
+)
+
+// DefaultCapacity is the monitored-set bound used when the caller does
+// not choose one. 1024 entries ≈ 40KB — far above any k a /topk query
+// asks for, far below the group count of a real corpus.
+const DefaultCapacity = 1024
+
+// Entry is one monitored component: Key is a DSU root record id, Count
+// overestimates the component's accumulated weight, and Err bounds the
+// overestimate, so the true weight lies in [Count−Err, Count].
+type Entry struct {
+	Key   int
+	Count float64
+	Err   float64
+}
+
+// Stats are the sketch's maintenance counters since the previous
+// drain. The sketch never talks to an obs.Sink per operation
+// (internal/obs design constraint 3); callers drain deltas once per
+// ingest batch via EmitMetrics.
+type Stats struct {
+	Updates   int64 // Update calls (records routed into the sketch)
+	Evictions int64 // monitored entries displaced by new keys
+	Merges    int64 // Merge calls where both roots were monitored
+	Rekeys    int64 // Merge calls that renamed a monitored entry's key
+}
+
+// Sketch is the mutable accumulator-side structure. The monitored set
+// is a binary min-heap on (Count, Key) so eviction is O(log Capacity);
+// pos indexes heap slots by key; floor and debt implement the
+// unmonitored-weight bounds described in the package comment.
+type Sketch struct {
+	capacity int
+	heap     []Entry
+	pos      map[int]int
+	// floor is the largest Count ever evicted — monotone, and an upper
+	// bound on the true weight of every unmonitored root without a debt
+	// entry (an evicted root's weight was ≤ its Count then, and it
+	// gains no weight while unmonitored: every Update re-inserts).
+	floor float64
+	// debt bounds the true weight of unmonitored roots produced by
+	// merges (where one floor no longer suffices). Entries are removed
+	// when the root re-enters the monitored set or merges onward, so
+	// the map stays sparse.
+	debt  map[int]float64
+	stats Stats
+}
+
+// New creates an empty sketch monitoring at most capacity entries.
+// capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *Sketch {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Sketch{
+		capacity: capacity,
+		pos:      make(map[int]int, capacity),
+		debt:     make(map[int]float64),
+	}
+}
+
+// Capacity returns the monitored-set bound.
+func (s *Sketch) Capacity() int { return s.capacity }
+
+// Len returns the number of currently monitored entries.
+func (s *Sketch) Len() int { return len(s.heap) }
+
+// Floor returns the monotone eviction floor: zero until the first
+// eviction (the sketch is exact below capacity), afterwards the charge
+// an unmonitored root pays to re-enter the monitored set.
+func (s *Sketch) Floor() float64 { return s.floor }
+
+// Update adds weight w to the component rooted at key. Monitored keys
+// are credited exactly; an unmonitored key enters the monitored set
+// (evicting the minimum entry at capacity) charged with its bound —
+// debt or floor — as both Count surplus and Err, preserving the
+// containment invariant.
+func (s *Sketch) Update(key int, w float64) {
+	s.stats.Updates++
+	if i, ok := s.pos[key]; ok {
+		s.heap[i].Count += w
+		s.siftDown(i)
+		return
+	}
+	if len(s.heap) >= s.capacity {
+		min := s.heap[0]
+		s.stats.Evictions++
+		if min.Count > s.floor {
+			s.floor = min.Count
+		}
+		delete(s.pos, min.Key)
+		s.heap[0] = s.heap[len(s.heap)-1]
+		s.heap = s.heap[:len(s.heap)-1]
+		if len(s.heap) > 0 {
+			s.pos[s.heap[0].Key] = 0
+			s.siftDown(0)
+		}
+	}
+	b := s.takeBound(key)
+	s.pos[key] = len(s.heap)
+	s.heap = append(s.heap, Entry{Key: key, Count: b + w, Err: b})
+	s.siftUp(len(s.heap) - 1)
+}
+
+// Merge folds the component rooted at `other` into the one rooted at
+// `into` after a DSU union of the two: a, b are the pre-union roots and
+// into is the surviving root (one of the two). Counts always sum;
+// error bounds sum too, because the components were disjoint — see the
+// package comment for why max would be unsound. A monitored losing
+// entry is re-keyed to the surviving root; unmonitored weight moves
+// through the debt ledger.
+func (s *Sketch) Merge(a, b, into int) {
+	other := a
+	if into == a {
+		other = b
+	}
+	if other == into {
+		return
+	}
+	j, otherMon := s.pos[other]
+	i, intoMon := s.pos[into]
+	switch {
+	case otherMon && intoMon:
+		s.stats.Merges++
+		moved := s.heap[j]
+		s.removeAt(j)
+		i = s.pos[into]
+		s.heap[i].Count += moved.Count
+		s.heap[i].Err += moved.Err
+		s.siftDown(i)
+	case otherMon:
+		// The losing root's entry survives under the winner's name,
+		// absorbing the winner's unmonitored bound.
+		s.stats.Rekeys++
+		b := s.takeBound(into)
+		delete(s.pos, other)
+		s.pos[into] = j
+		s.heap[j].Key = into
+		s.heap[j].Count += b
+		s.heap[j].Err += b
+		s.siftDown(j)
+	case intoMon:
+		if b := s.takeBound(other); b > 0 {
+			s.heap[i].Count += b
+			s.heap[i].Err += b
+			s.siftDown(i)
+		}
+	default:
+		sum := s.takeBound(other) + s.takeBound(into)
+		if sum > 0 {
+			s.debt[into] = sum
+		}
+	}
+}
+
+// MergeFresh folds a component into `prev`'s component after a DSU
+// union where the ABSORBED side is a brand-new singleton with zero
+// accumulated weight — never updated, never merged, so it carries no
+// entry, no debt, and no mass. The merged component is then exactly
+// prev's component, and its entry (or debt) just moves to the surviving
+// root with no added error. Callers must only use this when the
+// absorbed side provably has zero mass; internal/stream's first union
+// of a just-appended record is the canonical case. Charging the generic
+// Merge debt there instead would stay sound but ratchet the bounds
+// toward the total stream weight — MergeFresh is what keeps them near
+// the classic Space-Saving N/capacity.
+func (s *Sketch) MergeFresh(prev, into int) {
+	if prev == into {
+		return
+	}
+	if j, ok := s.pos[prev]; ok {
+		s.stats.Rekeys++
+		delete(s.pos, prev)
+		s.pos[into] = j
+		s.heap[j].Key = into
+		// Count is unchanged, but Key participates in heap tie-breaking.
+		s.siftDown(j)
+		s.siftUp(j)
+		return
+	}
+	if d, ok := s.debt[prev]; ok {
+		delete(s.debt, prev)
+		s.debt[into] += d
+	}
+	// No debt entry: prev's bound is the floor, and the surviving root
+	// will be charged exactly that on insertion — nothing to record.
+}
+
+// Top returns the k heaviest monitored entries (all of them when
+// k <= 0 or k exceeds Len), ordered by Count descending with ties by
+// Key ascending — a deterministic order independent of heap layout.
+func (s *Sketch) Top(k int) []Entry {
+	out := append([]Entry(nil), s.heap...)
+	sortEntries(out)
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// View freezes the current monitored set into an immutable snapshot
+// for the serving layer's epoch design: the accumulator keeps mutating
+// the Sketch while readers query the View concurrently.
+func (s *Sketch) View() *View {
+	entries := append([]Entry(nil), s.heap...)
+	sortEntries(entries)
+	return &View{entries: entries, capacity: s.capacity, floor: s.floor}
+}
+
+// EmitMetrics drains the maintenance counters accumulated since the
+// previous call into sink (sketch.update.records, sketch.evictions,
+// sketch.merges, sketch.rekeys) and gauges the monitored-set size
+// (sketch.entries). Called once per ingest batch — never per record —
+// honouring the internal/obs batching constraint. A nil sink leaves
+// the counters accumulating.
+func (s *Sketch) EmitMetrics(sink obs.Sink) {
+	if sink == nil {
+		return
+	}
+	st := s.stats
+	s.stats = Stats{}
+	if st.Updates != 0 {
+		sink.Count("sketch.update.records", st.Updates)
+	}
+	if st.Evictions != 0 {
+		sink.Count("sketch.evictions", st.Evictions)
+	}
+	if st.Merges != 0 {
+		sink.Count("sketch.merges", st.Merges)
+	}
+	if st.Rekeys != 0 {
+		sink.Count("sketch.rekeys", st.Rekeys)
+	}
+	sink.Gauge("sketch.entries", float64(len(s.heap)))
+}
+
+// TakeStats drains and returns the maintenance counters without a
+// sink, for tests and benchmarks.
+func (s *Sketch) TakeStats() Stats {
+	st := s.stats
+	s.stats = Stats{}
+	return st
+}
+
+// View is an immutable point-in-time snapshot of a Sketch's monitored
+// set, sorted by Count descending (ties by Key ascending). Safe for
+// unsynchronised concurrent use.
+type View struct {
+	entries  []Entry
+	capacity int
+	floor    float64
+}
+
+// Top returns the k heaviest entries (all when k <= 0 or k exceeds
+// Len). The returned slice is fresh; entries are values.
+func (v *View) Top(k int) []Entry {
+	n := len(v.entries)
+	if k > 0 && k < n {
+		n = k
+	}
+	return append([]Entry(nil), v.entries[:n]...)
+}
+
+// Len returns the number of frozen entries.
+func (v *View) Len() int { return len(v.entries) }
+
+// Capacity returns the bound the source sketch was built with.
+func (v *View) Capacity() int { return v.capacity }
+
+// Floor returns the eviction floor at freeze time (see Sketch.Floor).
+func (v *View) Floor() float64 { return v.floor }
+
+// MaxErr returns the largest per-entry error bound in the view — the
+// headline number the serving layer exports as X-Approx-Bound. Zero
+// for an empty (or exact, never-evicted) view.
+func (v *View) MaxErr() float64 {
+	var m float64
+	for _, e := range v.entries {
+		if e.Err > m {
+			m = e.Err
+		}
+	}
+	return m
+}
+
+// sortEntries orders entries by Count descending, Key ascending — the
+// deterministic serving order.
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+}
+
+// takeBound drains and returns the unmonitored-weight bound for key:
+// its merge debt if it has one, the eviction floor otherwise.
+func (s *Sketch) takeBound(key int) float64 {
+	if d, ok := s.debt[key]; ok {
+		delete(s.debt, key)
+		return d
+	}
+	return s.floor
+}
+
+// less is the heap order: minimum Count at the root, ties broken by
+// Key so eviction order is a pure function of the entry values.
+func (s *Sketch) less(i, j int) bool {
+	if s.heap[i].Count != s.heap[j].Count {
+		return s.heap[i].Count < s.heap[j].Count
+	}
+	return s.heap[i].Key < s.heap[j].Key
+}
+
+func (s *Sketch) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i].Key] = i
+	s.pos[s.heap[j].Key] = j
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && s.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && s.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s.swap(i, least)
+		i = least
+	}
+}
+
+// removeAt deletes the heap slot i, keeping heap order and pos
+// consistent.
+func (s *Sketch) removeAt(i int) {
+	last := len(s.heap) - 1
+	delete(s.pos, s.heap[i].Key)
+	if i != last {
+		s.heap[i] = s.heap[last]
+		s.pos[s.heap[i].Key] = i
+	}
+	s.heap = s.heap[:last]
+	if i < last {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+}

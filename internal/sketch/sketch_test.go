@@ -1,0 +1,375 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topkdedup/internal/obs"
+)
+
+// model is the brute-force oracle: exact per-root accumulated weight
+// under the same Update/Merge sequence the sketch sees.
+type model struct {
+	weight map[int]float64
+}
+
+func newModel() *model { return &model{weight: make(map[int]float64)} }
+
+func (m *model) update(key int, w float64) { m.weight[key] += w }
+
+func (m *model) merge(a, b, into int) {
+	other := a
+	if into == a {
+		other = b
+	}
+	m.weight[into] += m.weight[other]
+	delete(m.weight, other)
+}
+
+// checkInvariant asserts Count−Err ≤ truth ≤ Count and Err ≥ 0 for
+// every monitored entry, with a relative tolerance for float summation
+// order.
+func checkInvariant(t *testing.T, s *Sketch, m *model) {
+	t.Helper()
+	for _, e := range s.Top(0) {
+		eps := 1e-9 * math.Max(1, e.Count)
+		if e.Err < -eps {
+			t.Fatalf("entry %d: negative error bound %g", e.Key, e.Err)
+		}
+		truth := m.weight[e.Key]
+		if truth > e.Count+eps {
+			t.Fatalf("entry %d: Count %g underestimates truth %g", e.Key, e.Count, truth)
+		}
+		if truth < e.Count-e.Err-eps {
+			t.Fatalf("entry %d: truth %g below lower bound %g (Count %g, Err %g)",
+				e.Key, truth, e.Count-e.Err, e.Count, e.Err)
+		}
+	}
+}
+
+func TestExactUnderCapacity(t *testing.T) {
+	s := New(16)
+	m := newModel()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		key := rng.Intn(10)
+		w := 1 + rng.Float64()
+		s.Update(key, w)
+		m.update(key, w)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	for _, e := range s.Top(0) {
+		if e.Err != 0 {
+			t.Fatalf("entry %d: Err = %g, want 0 under capacity", e.Key, e.Err)
+		}
+		if diff := math.Abs(e.Count - m.weight[e.Key]); diff > 1e-9 {
+			t.Fatalf("entry %d: Count = %g, truth %g", e.Key, e.Count, m.weight[e.Key])
+		}
+	}
+}
+
+func TestEvictionKeepsBound(t *testing.T) {
+	s := New(2)
+	m := newModel()
+	// Fill, evict, re-insert the evicted key: its ledger debt must come
+	// back as its error bound.
+	ops := []struct {
+		key int
+		w   float64
+	}{{0, 5}, {1, 3}, {2, 4}, {1, 1}, {3, 10}, {1, 2}}
+	for _, op := range ops {
+		s.Update(op.key, op.w)
+		m.update(op.key, op.w)
+		checkInvariant(t, s, m)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity 2", s.Len())
+	}
+}
+
+func TestMergeBothMonitored(t *testing.T) {
+	s := New(8)
+	s.Update(1, 5)
+	s.Update(2, 3)
+	s.Merge(1, 2, 1)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != 1 || top[0].Count != 8 || top[0].Err != 0 {
+		t.Fatalf("merged entry = %+v, want {1 8 0}", top)
+	}
+}
+
+func TestMergeErrorsSum(t *testing.T) {
+	// Two monitored entries that each carry slack must merge with the
+	// SUM of their bounds: here the true merged weight is 2, Count is
+	// 11, so Err must be >= 9. The issue's max rule would keep Err 5 and
+	// claim [6, 11] — an interval that provably excludes the truth.
+	s := New(2)
+	m := newModel()
+	s.Update(1, 5)
+	m.update(1, 5)
+	s.Update(2, 4)
+	m.update(2, 4)
+	s.Update(3, 1) // evicts 2 (floor 4): entry 3 = {Count 5, Err 4}, truth 1
+	m.update(3, 1)
+	s.Update(4, 1) // evicts 1 (floor 5): entry 4 = {Count 6, Err 5}, truth 1
+	m.update(4, 1)
+	s.Merge(3, 4, 4)
+	m.merge(3, 4, 4)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != 4 {
+		t.Fatalf("top = %+v, want single entry keyed 4", top)
+	}
+	if top[0].Count != 11 || top[0].Err != 9 {
+		t.Fatalf("entry = %+v, want Count 11 Err 9", top[0])
+	}
+	if truth := m.weight[4]; truth < top[0].Count-top[0].Err {
+		t.Fatalf("truth %g below lower bound %g", truth, top[0].Count-top[0].Err)
+	}
+	// The unsound max-rule interval would start at Count−max(4,5) = 6.
+	if truth := m.weight[4]; truth >= top[0].Count-5 {
+		t.Fatalf("test lost its point: truth %g no longer excluded by the max rule", truth)
+	}
+	checkInvariant(t, s, m)
+}
+
+func TestMergeRekeysLoser(t *testing.T) {
+	s := New(8)
+	s.Update(5, 7)
+	// Root 9 was never monitored; union makes it the survivor.
+	s.Merge(5, 9, 9)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != 9 || top[0].Count != 7 || top[0].Err != 0 {
+		t.Fatalf("rekeyed entry = %+v, want {9 7 0}", top)
+	}
+	if s.TakeStats().Rekeys != 1 {
+		t.Fatal("expected one rekey")
+	}
+}
+
+func TestMergeNeitherMonitoredCarriesDebt(t *testing.T) {
+	// Two unmonitored components merging must carry the SUM of their
+	// floor charges as debt: one floor alone no longer bounds the pair.
+	s := New(1)
+	m := newModel()
+	s.Update(1, 5)
+	m.update(1, 5)
+	s.Update(2, 4) // evicts 1 (floor 5): entry 2 = {Count 9, Err 5}
+	m.update(2, 4)
+	s.Update(3, 20) // evicts 2 (floor 9): entry 3 = {Count 29, Err 9}
+	m.update(3, 20)
+	s.Merge(1, 2, 2) // both unmonitored: debt[2] = 9 + 9 = 18
+	m.merge(1, 2, 2)
+	s.Update(2, 1) // evicts 3; entry 2 re-enters charged its debt
+	m.update(2, 1)
+	checkInvariant(t, s, m)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != 2 || top[0].Count != 19 || top[0].Err != 18 {
+		t.Fatalf("entry 2 = %+v, want {2 19 18}", top)
+	}
+}
+
+func TestMergeFreshRekeysMonitored(t *testing.T) {
+	// Absorbing a zero-mass singleton into a monitored component is a
+	// pure rename: no count change, no added error.
+	s := New(4)
+	m := newModel()
+	s.Update(1, 5)
+	m.update(1, 5)
+	s.MergeFresh(1, 2)
+	m.merge(2, 1, 2)
+	checkInvariant(t, s, m)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != 2 || top[0].Count != 5 || top[0].Err != 0 {
+		t.Fatalf("entry = %+v, want {2 5 0}", top)
+	}
+	if st := s.TakeStats(); st.Rekeys != 1 {
+		t.Fatalf("Rekeys = %d, want 1", st.Rekeys)
+	}
+}
+
+func TestMergeFreshMovesDebt(t *testing.T) {
+	// A fresh singleton joining a debt-carrying unmonitored component
+	// moves the debt to the surviving root unchanged — no extra floor
+	// charge for the zero-mass side.
+	s := New(1)
+	m := newModel()
+	s.Update(1, 5)
+	m.update(1, 5)
+	s.Update(2, 4) // evicts 1 (floor 5): entry 2 = {Count 9, Err 5}
+	m.update(2, 4)
+	s.Merge(1, 3, 3) // neither monitored: debt[3] = 5 + 5 = 10
+	m.merge(1, 3, 3)
+	s.MergeFresh(3, 4) // debt moves to 4, still 10
+	m.merge(4, 3, 4)
+	s.Update(4, 1) // evicts 2 (floor 9); entry 4 charged its debt
+	m.update(4, 1)
+	checkInvariant(t, s, m)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != 4 || top[0].Count != 11 || top[0].Err != 10 {
+		t.Fatalf("entry = %+v, want {4 11 10}", top)
+	}
+}
+
+func TestMergeFreshNoDebtNoCharge(t *testing.T) {
+	// A fresh singleton joining an evicted (floor-bounded) component
+	// records nothing: the surviving root pays exactly the floor at its
+	// next insertion, the same charge the old root would have paid. A
+	// generic Merge here would have charged 2× the floor.
+	s := New(1)
+	m := newModel()
+	s.Update(1, 5)
+	m.update(1, 5)
+	s.Update(2, 4) // evicts 1 (floor 5)
+	m.update(2, 4)
+	s.MergeFresh(1, 3)
+	m.merge(3, 1, 3)
+	s.Update(3, 1) // evicts 2 (floor 9); entry 3 charged the floor only
+	m.update(3, 1)
+	checkInvariant(t, s, m)
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Key != 3 || top[0].Count != 10 || top[0].Err != 9 {
+		t.Fatalf("entry = %+v, want {3 10 9}", top)
+	}
+}
+
+func TestRandomInvariant(t *testing.T) {
+	for _, capacity := range []int{1, 2, 7, 32} {
+		rng := rand.New(rand.NewSource(int64(capacity)))
+		s := New(capacity)
+		m := newModel()
+		// live tracks root liveness so merges only touch current roots,
+		// mirroring how the DSU drives the sketch.
+		live := []int{}
+		next := 0
+		for step := 0; step < 3000; step++ {
+			if len(live) < 2 || rng.Intn(4) != 0 {
+				var key int
+				if len(live) > 0 && rng.Intn(3) != 0 {
+					key = live[rng.Intn(len(live))]
+				} else {
+					key = next
+					next++
+					live = append(live, key)
+				}
+				w := 1 + rng.Float64()*5
+				s.Update(key, w)
+				m.update(key, w)
+			} else {
+				i, j := rng.Intn(len(live)), rng.Intn(len(live))
+				if i == j {
+					continue
+				}
+				a, b := live[i], live[j]
+				into := a
+				if rng.Intn(2) == 0 {
+					into = b
+				}
+				s.Merge(a, b, into)
+				m.merge(a, b, into)
+				dead := a
+				if into == a {
+					dead = b
+				}
+				for idx, k := range live {
+					if k == dead {
+						live = append(live[:idx], live[idx+1:]...)
+						break
+					}
+				}
+			}
+			if s.Len() > capacity {
+				t.Fatalf("capacity %d exceeded: Len %d", capacity, s.Len())
+			}
+			checkInvariant(t, s, m)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	build := func() *Sketch {
+		s := New(4)
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 500; i++ {
+			s.Update(rng.Intn(40), 1+rng.Float64())
+			if i%17 == 0 {
+				a, b := rng.Intn(40), rng.Intn(40)
+				if a != b {
+					s.Merge(a, b, b)
+				}
+			}
+		}
+		return s
+	}
+	a, b := build().Top(0), build().Top(0)
+	if len(a) != len(b) {
+		t.Fatalf("replay length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay entry %d mismatch: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTopOrderAndTruncation(t *testing.T) {
+	s := New(8)
+	s.Update(3, 2)
+	s.Update(1, 2)
+	s.Update(2, 5)
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Key != 2 || top[1].Key != 1 {
+		t.Fatalf("Top(2) = %+v, want [{2 5 0} {1 2 0}] (ties by key asc)", top)
+	}
+}
+
+func TestViewFreezesState(t *testing.T) {
+	s := New(8)
+	s.Update(1, 3)
+	v := s.View()
+	s.Update(1, 10)
+	s.Update(2, 99)
+	if v.Len() != 1 || v.Top(0)[0].Count != 3 {
+		t.Fatalf("view mutated by later updates: %+v", v.Top(0))
+	}
+	if v.Capacity() != 8 {
+		t.Fatalf("view capacity = %d, want 8", v.Capacity())
+	}
+}
+
+func TestViewMaxErr(t *testing.T) {
+	s := New(1)
+	s.Update(1, 5)
+	s.Update(2, 4)
+	if got := s.View().MaxErr(); got != 5 {
+		t.Fatalf("MaxErr = %g, want 5", got)
+	}
+	if got := New(4).View().MaxErr(); got != 0 {
+		t.Fatalf("empty MaxErr = %g, want 0", got)
+	}
+}
+
+func TestEmitMetricsDrains(t *testing.T) {
+	s := New(1)
+	s.Update(1, 1)
+	s.Update(2, 1) // eviction
+	s.Merge(1, 2, 2)
+	mem := obs.NewCollector()
+	s.EmitMetrics(mem)
+	if got := mem.CounterValue("sketch.update.records"); got != 2 {
+		t.Fatalf("update.records = %d, want 2", got)
+	}
+	if got := mem.CounterValue("sketch.evictions"); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if g, ok := mem.GaugeValue("sketch.entries"); !ok || g != 1 {
+		t.Fatalf("entries gauge = %g (%v), want 1", g, ok)
+	}
+	// Second emit is empty deltas but refreshes the gauge.
+	s.EmitMetrics(mem)
+	if got := mem.CounterValue("sketch.update.records"); got != 2 {
+		t.Fatalf("counters re-emitted instead of drained: %d", got)
+	}
+}

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// rootWeights maps each component root to the component's true
+// accumulated weight, via the maintained partition.
+func rootWeights(inc *Incremental) map[int]float64 {
+	out := map[int]float64{}
+	for _, g := range inc.Groups() {
+		root := inc.uf.Find(g.Rep)
+		for _, id := range g.Members {
+			out[root] += inc.data.Recs[id].Weight
+		}
+	}
+	return out
+}
+
+func TestSketchExactUnderCapacity(t *testing.T) {
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	inc.EnableSketch(4096)
+	feed(t, inc, 3, 20, 10)
+	truth := rootWeights(inc)
+	entries := inc.Sketch().Top(0)
+	if len(entries) != len(truth) {
+		t.Fatalf("sketch has %d entries, partition has %d components", len(entries), len(truth))
+	}
+	for _, e := range entries {
+		w, ok := truth[e.Key]
+		if !ok {
+			t.Fatalf("sketch key %d is not a live component root", e.Key)
+		}
+		if e.Err != 0 {
+			t.Fatalf("key %d: Err %g under capacity, want 0", e.Key, e.Err)
+		}
+		if math.Abs(e.Count-w) > 1e-9*math.Max(1, w) {
+			t.Fatalf("key %d: Count %g, component weight %g", e.Key, e.Count, w)
+		}
+	}
+}
+
+func TestSketchContainmentAtSmallCapacity(t *testing.T) {
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	inc.EnableSketch(5)
+	feed(t, inc, 17, 30, 12)
+	truth := rootWeights(inc)
+	if got := inc.Sketch().Len(); got > 5 {
+		t.Fatalf("monitored set %d exceeds capacity 5", got)
+	}
+	for _, e := range inc.Sketch().Top(0) {
+		w, ok := truth[e.Key]
+		if !ok {
+			t.Fatalf("sketch key %d is not a live component root", e.Key)
+		}
+		eps := 1e-9 * math.Max(1, e.Count)
+		if w > e.Count+eps || w < e.Count-e.Err-eps {
+			t.Fatalf("key %d: weight %g outside [%g, %g]", e.Key, w, e.Count-e.Err, e.Count)
+		}
+	}
+}
+
+func TestEnableSketchBackfillsExistingRecords(t *testing.T) {
+	fresh, _ := New("t", []string{"name"}, toyLevels())
+	fresh.EnableSketch(4096)
+	late, _ := New("t", []string{"name"}, toyLevels())
+	feed(t, fresh, 9, 12, 8)
+	feed(t, late, 9, 12, 8)
+	late.EnableSketch(4096)
+	a, b := fresh.Sketch().Top(0), late.Sketch().Top(0)
+	if len(a) != len(b) {
+		t.Fatalf("backfilled sketch has %d entries, live-fed %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || math.Abs(a[i].Count-b[i].Count) > 1e-9 {
+			t.Fatalf("entry %d: live %+v vs backfilled %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotSketchView(t *testing.T) {
+	inc, _ := New("t", []string{"name"}, toyLevels())
+	if inc.Snapshot().SketchView() != nil {
+		t.Fatal("snapshot of sketchless accumulator should have nil view")
+	}
+	inc.EnableSketch(64)
+	inc.Add(2, "E0", "a0.v0")
+	snap := inc.Snapshot()
+	v := snap.SketchView()
+	if v == nil || v.Len() != 1 {
+		t.Fatalf("view = %+v, want one entry", v)
+	}
+	inc.Add(3, "E0", "a0.v0")
+	if got := v.Top(0)[0].Count; got != 2 {
+		t.Fatalf("frozen view changed after Add: Count %g, want 2", got)
+	}
+	if got := inc.Snapshot().SketchView().Top(0)[0].Count; got != 5 {
+		t.Fatalf("new snapshot Count %g, want 5", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 	"topkdedup/internal/shard"
+	"topkdedup/internal/sketch"
 )
 
 // Snapshot is an immutable point-in-time view of an Incremental
@@ -37,6 +38,7 @@ type Snapshot struct {
 	groups []core.Group
 	levels []predicate.Level
 	est    *inc.Estimator
+	sk     *sketch.View
 	evals  int64
 	shards int
 	taken  time.Time
@@ -51,6 +53,10 @@ func (inc *Incremental) Snapshot() *Snapshot {
 	// Groups first: the delta rebuild refreshes the component partition
 	// the estimator then freezes (inc.State.Estimator's contract).
 	groups := inc.Groups()
+	var sk *sketch.View
+	if inc.sk != nil {
+		sk = inc.sk.View()
+	}
 	return &Snapshot{
 		data: &records.Dataset{
 			Name:   inc.data.Name,
@@ -63,6 +69,7 @@ func (inc *Incremental) Snapshot() *Snapshot {
 		groups: groups,
 		levels: inc.levels,
 		est:    inc.st.Estimator(),
+		sk:     sk,
 		evals:  inc.evals,
 		shards: inc.shards,
 		taken:  time.Now(),
@@ -121,6 +128,12 @@ func (s *Snapshot) TopKCtx(ctx context.Context, k, workers int, sink obs.Sink) (
 	}
 	return core.PrunedDedupFromCtx(ctx, s.data, s.Groups(), s.levels, core.Options{K: k, Workers: workers, Sink: sink, Bound: s.est})
 }
+
+// SketchView returns the frozen approximate-tier sketch, or nil when
+// the accumulator had no sketch enabled when the snapshot was taken.
+// The serving layer answers mode=approx /topk queries from it without
+// touching the exact pipeline.
+func (s *Snapshot) SketchView() *sketch.View { return s.sk }
 
 // BoundEstimator returns the snapshot's frozen verdict-replaying
 // lower-bound estimator (see internal/inc): byte-identical to the

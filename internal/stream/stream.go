@@ -24,6 +24,7 @@ import (
 	"topkdedup/internal/predicate"
 	"topkdedup/internal/records"
 	"topkdedup/internal/shard"
+	"topkdedup/internal/sketch"
 )
 
 // Incremental is a growing dataset with an incrementally maintained
@@ -60,6 +61,11 @@ type Incremental struct {
 	// reused across Groups calls, and the cross-epoch bound-verdict
 	// cache that Snapshot freezes into an estimator.
 	st *inc.State
+	// sk, when enabled, is the approximate fast tier (internal/sketch):
+	// a bounded Space-Saving summary keyed by the sufficient-closure
+	// roots this accumulator maintains, updated in lock-step with Add's
+	// unions so Snapshot can freeze a consistent View per epoch.
+	sk *sketch.Sketch
 }
 
 // New creates an empty accumulator with the given schema and predicate
@@ -94,6 +100,7 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 	}
 	inc.seenRoot = append(inc.seenRoot, 0) // slot for the new record's root
 	stamp := int32(id + 1)
+	fresh := true // id's component has zero mass until its first union
 	for _, key := range inc.keyIDs {
 		for _, other := range inc.buckets[key] {
 			root := inc.uf.Find(int(other))
@@ -106,10 +113,25 @@ func (inc *Incremental) Add(weight float64, truth string, values ...string) int 
 			inc.seenRoot[root] = stamp
 			inc.evals++
 			if s.Eval(rec, inc.data.Recs[other]) {
+				ra := inc.uf.Find(id)
 				inc.uf.Union(id, int(other))
+				if inc.sk != nil {
+					if fresh {
+						// First union of a just-appended record: its side is
+						// a zero-mass singleton, so the sketch absorbs it for
+						// free instead of paying the two-sided merge bound.
+						inc.sk.MergeFresh(root, inc.uf.Find(id))
+					} else {
+						inc.sk.Merge(ra, root, inc.uf.Find(id))
+					}
+				}
+				fresh = false
 			}
 		}
 		inc.buckets[key] = append(inc.buckets[key], int32(id))
+	}
+	if inc.sk != nil {
+		inc.sk.Update(inc.uf.Find(id), rec.Weight)
 	}
 	inc.st.Observe(rec)
 	if inc.sink != nil {
@@ -145,6 +167,40 @@ func (inc *Incremental) SetShards(shards int) { inc.shards = shards }
 func (inc *Incremental) SetMetrics(s obs.Sink) {
 	inc.sink = s
 	inc.st.SetMetrics(s)
+}
+
+// EnableSketch attaches the approximate fast tier: a bounded
+// Space-Saving sketch (internal/sketch) over the sufficient-closure
+// components, with capacity <= 0 selecting sketch.DefaultCapacity.
+// From then on every Add updates the sketch in lock-step with the
+// component unions, and Snapshot freezes a consistent View alongside
+// the group list. Records already accumulated are back-filled from the
+// current component partition, so enabling is valid at any point —
+// though the serving layer enables it before WAL replay, which is what
+// makes a recovered sketch byte-identical to an uninterrupted run's.
+// Enabling is observational for the exact tier: Groups and TopK are
+// unaffected.
+func (inc *Incremental) EnableSketch(capacity int) {
+	inc.sk = sketch.New(capacity)
+	for id := range inc.data.Recs {
+		inc.sk.Update(inc.uf.Find(id), inc.data.Recs[id].Weight)
+	}
+}
+
+// Sketch returns the attached approximate-tier sketch, or nil when
+// EnableSketch was never called. Callers mutate it only through this
+// accumulator's Add path; reads require the same external
+// synchronisation as every other Incremental method.
+func (inc *Incremental) Sketch() *sketch.Sketch { return inc.sk }
+
+// FlushSketchMetrics drains the sketch's batched maintenance counters
+// into the attached metrics sink (see sketch.EmitMetrics). The serving
+// layer calls it once per applied ingest batch; a disabled sketch or
+// detached sink makes it a no-op.
+func (inc *Incremental) FlushSketchMetrics() {
+	if inc.sk != nil {
+		inc.sk.EmitMetrics(inc.sink)
+	}
 }
 
 // Len returns the number of accumulated records.
