@@ -60,7 +60,8 @@ go run ./cmd/doccheck \
     SHARDING.md
 
 # Metric and trace span names in code must match the OBSERVABILITY.md
-# registry in both directions (see cmd/obscheck).
+# registry in both directions, and the registry must mangle injectively
+# to valid Prometheus family names (see cmd/obscheck).
 go run ./cmd/obscheck -doc OBSERVABILITY.md \
     . \
     ./internal/classifier \
@@ -68,6 +69,7 @@ go run ./cmd/obscheck -doc OBSERVABILITY.md \
     ./internal/core \
     ./internal/experiments \
     ./internal/inc \
+    ./internal/obs \
     ./internal/parallel \
     ./internal/server \
     ./internal/shard \
@@ -87,6 +89,16 @@ go test -race ./...
 # shards under concurrent ingest).
 go run ./cmd/topkd -smoke
 go run ./cmd/topkd -smoke -shards 4
+
+# Prometheus scrape smoke: a real topkd smoke session (auditor on)
+# writes its /metrics?format=prom scrape to a file, and obscheck parses
+# it as an exposition and diffs every scraped family against the
+# OBSERVABILITY.md registry — an undocumented metric in a live scrape
+# fails CI.
+promscrape=$(mktemp)
+go run ./cmd/topkd -smoke -smoke-prom "$promscrape" -audit-rate 1
+go run ./cmd/obscheck -doc OBSERVABILITY.md -prom "$promscrape"
+rm -f "$promscrape"
 
 # Durability smoke (SERVING.md "Durability"): a child topkd is SIGKILLed
 # mid-ingest and restarted on the same WAL directory; every acknowledged
@@ -117,6 +129,7 @@ go test -run '^$' -fuzz '^FuzzSketchMerge$' -fuzztime 5s ./internal/sketch
 # and `go test -benchmem -bench=EngineTopKTracing`, the latter recorded
 # in BENCH_2026-08-05_tracing.txt).
 go test -run '^$' -bench 'BenchmarkNoopSinkOverhead|BenchmarkEngineTopKTracing' -benchtime 1x -short .
+go test -run '^$' -bench 'BenchmarkPromExposition' -benchtime 1x ./internal/obs
 
 # Alloc-regression smoke: the zero-alloc pins (stage-0 prune rescan,
 # pooled tokeniser, stop-word fast path) run as ordinary tests via

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"time"
 
@@ -52,6 +53,8 @@ func runClient(base, path, field string, k, r int, rank bool, threshold float64,
 	if err := clientGet(client, base+"/healthz", &health); err != nil {
 		return fmt.Errorf("healthz: %w", err)
 	}
+	fmt.Fprintf(os.Stderr, "dedupcli: daemon %s (%s) up %.0fs, epoch %d, status %s\n",
+		health.Version, health.GoVersion, health.UptimeSeconds, health.SnapshotSeq, health.Status)
 	before := health.Records
 
 	for at := 0; at < d.Len(); at += clientBatch {

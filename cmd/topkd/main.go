@@ -10,8 +10,9 @@
 //	POST /refresh   force a snapshot publication
 //	GET  /topk      TopK count query (?k=&r=)
 //	GET  /rank      rank query (?k= or ?t=)
-//	GET  /healthz   liveness + snapshot freshness
-//	GET  /metrics   latency quantiles + phase metrics
+//	GET  /healthz   liveness, snapshot freshness, build info, SLO status
+//	GET  /metrics   JSON metrics, or Prometheus text with ?format=prom
+//	GET  /slo       per-endpoint SLO burn-rate report
 //
 // Usage:
 //
@@ -57,6 +58,7 @@ import (
 
 	topk "topkdedup"
 	"topkdedup/internal/domains"
+	"topkdedup/internal/obs"
 	"topkdedup/internal/server"
 	"topkdedup/internal/wal"
 )
@@ -86,6 +88,10 @@ type options struct {
 	traceLimit       int
 	sketchCapacity   int
 	modeDefault      string
+	sloTarget        time.Duration
+	auditRate        float64
+	runtimeSample    time.Duration
+	smokeProm        string
 }
 
 func main() {
@@ -113,6 +119,10 @@ func main() {
 	flag.IntVar(&o.traceLimit, "trace-limit", 0, "query traces retained for GET /debug/traces (0 = default ring, negative disables tracing)")
 	flag.IntVar(&o.sketchCapacity, "sketch-capacity", 0, "monitored-set size of the approximate tier's Space-Saving sketch (0 = default, negative disables mode=approx|hybrid)")
 	flag.StringVar(&o.modeDefault, "mode-default", "", "serving mode for /topk requests without ?mode=: exact, approx, or hybrid (empty = exact)")
+	flag.DurationVar(&o.sloTarget, "slo-target", 0, "per-request latency SLO target; slower answers burn the error budget (0 = per-endpoint defaults)")
+	flag.Float64Var(&o.auditRate, "audit-rate", 0, "fraction of served approx/hybrid answers the background accuracy auditor re-executes exactly (0 disables, 1 audits every answer)")
+	flag.DurationVar(&o.runtimeSample, "runtime-sample-interval", 0, "how often the runtime health gauges (GC, heap, goroutines) refresh between scrapes (0 = default 10s, negative disables the ticker)")
+	flag.StringVar(&o.smokeProm, "smoke-prom", "", "with -smoke: write the scraped Prometheus exposition to this file for external validation")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -208,23 +218,26 @@ func run(o options) error {
 
 	levels, scorer := domains.Generic(field, o.overlap)
 	srv, err := server.New(server.Config{
-		Schema:           fields,
-		Levels:           levels,
-		Scorer:           topk.PairScorerFunc(scorer),
-		Engine:           topk.Config{Workers: o.workers, Shards: o.shards},
-		RefreshEvery:     o.refreshEvery,
-		MaxInFlight:      o.maxInFlight,
-		RequestTimeout:   o.requestTimeout,
-		MaxBatch:         o.maxBatch,
-		ShardPeers:       peerList,
-		ShardReplicate:   o.replicate,
-		WALDir:           o.walDir,
-		WALOptions:       wal.Options{Sync: fsync},
-		WALSnapshotEvery: o.walSnapshotEvery,
-		TraceLimit:       o.traceLimit,
-		SketchCapacity:   o.sketchCapacity,
-		DefaultMode:      o.modeDefault,
-		Logger:           logger,
+		Schema:                fields,
+		Levels:                levels,
+		Scorer:                topk.PairScorerFunc(scorer),
+		Engine:                topk.Config{Workers: o.workers, Shards: o.shards},
+		RefreshEvery:          o.refreshEvery,
+		MaxInFlight:           o.maxInFlight,
+		RequestTimeout:        o.requestTimeout,
+		MaxBatch:              o.maxBatch,
+		ShardPeers:            peerList,
+		ShardReplicate:        o.replicate,
+		WALDir:                o.walDir,
+		WALOptions:            wal.Options{Sync: fsync},
+		WALSnapshotEvery:      o.walSnapshotEvery,
+		TraceLimit:            o.traceLimit,
+		SketchCapacity:        o.sketchCapacity,
+		DefaultMode:           o.modeDefault,
+		SLO:                   server.SLOConfig{LatencyTarget: o.sloTarget},
+		AuditRate:             o.auditRate,
+		RuntimeSampleInterval: o.runtimeSample,
+		Logger:                logger,
 	})
 	if err != nil {
 		return err
@@ -269,10 +282,18 @@ func run(o options) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+	// The "listening on" line keeps its exact shape: crashsmoke.go (and
+	// any wrapper script) parses it to learn the ephemeral port.
+	version, goVersion := server.BuildInfo()
+	fmt.Fprintf(os.Stderr, "topkd: version %s, %s\n", version, goVersion)
 	fmt.Fprintf(os.Stderr, "topkd: listening on %s\n", ln.Addr())
+	if logger != nil {
+		logger.Info("topkd started",
+			"version", version, "go", goVersion, "addr", ln.Addr().String(), "role", o.role)
+	}
 
 	if o.smoke {
-		err := smokeSession("http://" + ln.Addr().String())
+		err := smokeSession("http://"+ln.Addr().String(), o.smokeProm)
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if serr := hs.Shutdown(sctx); err == nil {
@@ -304,9 +325,13 @@ func run(o options) error {
 }
 
 // smokeSession drives one end-to-end client session: health check,
-// ingest, query, metrics. Any unexpected status or malformed body is an
-// error; ci.sh runs this as the serving-layer start/stop smoke test.
-func smokeSession(base string) error {
+// ingest, query, metrics (JSON and Prometheus), SLO report. Any
+// unexpected status or malformed body is an error; ci.sh runs this as
+// the serving-layer start/stop smoke test. A non-empty promOut names a
+// file the scraped Prometheus exposition is written to, so ci.sh can
+// diff a real scrape against the OBSERVABILITY.md registry with
+// `obscheck -prom`.
+func smokeSession(base, promOut string) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	var health server.HealthResponse
@@ -315,6 +340,9 @@ func smokeSession(base string) error {
 	}
 	if !health.OK {
 		return fmt.Errorf("healthz: not ok")
+	}
+	if health.Status != "ok" || health.Version == "" || health.GoVersion == "" {
+		return fmt.Errorf("healthz: build info missing: %+v", health)
 	}
 
 	batch := server.IngestRequest{Records: []server.IngestRecord{
@@ -447,6 +475,47 @@ func smokeSession(base string) error {
 	}
 	if met.Latency["topk"].Count == 0 {
 		return fmt.Errorf("metrics: no topk latency samples recorded")
+	}
+
+	// Prometheus exposition round trip: the scrape must declare the
+	// documented content type and parse cleanly (declared types, monotone
+	// buckets, consistent _sum/_count).
+	resp, err = client.Get(base + "/metrics?format=prom")
+	if err != nil {
+		return fmt.Errorf("metrics prom: %w", err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics prom: status %d: %s", resp.StatusCode, promBody)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		return fmt.Errorf("metrics prom: Content-Type %q, want %q", ct, obs.PromContentType)
+	}
+	families, err := obs.CheckExposition(bytes.NewReader(promBody))
+	if err != nil {
+		return fmt.Errorf("metrics prom: exposition does not parse: %v", err)
+	}
+	if len(families) == 0 {
+		return fmt.Errorf("metrics prom: empty exposition")
+	}
+	if promOut != "" {
+		if err := os.WriteFile(promOut, promBody, 0o644); err != nil {
+			return fmt.Errorf("metrics prom: %w", err)
+		}
+	}
+
+	// SLO report round trip: the default objectives must be live and a
+	// fast smoke session must not have burnt its error budget.
+	var slo server.SLOResponse
+	if err := getJSON(client, base+"/slo", &slo); err != nil {
+		return fmt.Errorf("slo: %w", err)
+	}
+	if len(slo.Objectives) == 0 {
+		return fmt.Errorf("slo: no objectives reported")
+	}
+	if slo.Degraded {
+		return fmt.Errorf("slo: smoke session reported degraded: %+v", slo.Objectives)
 	}
 	return nil
 }

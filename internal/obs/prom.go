@@ -1,0 +1,407 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4, which WritePrometheus emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName mangles a dotted registry name (OBSERVABILITY.md) into a
+// Prometheus metric name: every character outside [a-zA-Z0-9_] becomes
+// an underscore, and a leading digit gains an underscore prefix. The
+// mapping is deterministic and, over the registry, injective (enforced
+// by cmd/obscheck): `topk.stream.add` → `topk_stream_add`. Counters
+// additionally gain a `_total` suffix in the exposition, per Prometheus
+// naming conventions.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value the way Prometheus text exposition
+// expects: shortest round-trip representation, with NaN and infinities
+// spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily is one metric family being assembled for exposition.
+type promFamily struct {
+	name string // mangled exposition name (counters include _total)
+	kind string // "counter", "gauge", or "histogram"
+	val  float64
+	dist Dist // histogram families only
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4), deterministically sorted by exposition name.
+// Counters become `<name>_total` counter families; gauges keep their
+// mangled name; each log2 histogram becomes a native histogram family
+// with cumulative `_bucket{le="..."}` series (upper edges 1e-9·2^i), a
+// closing `le="+Inf"` bucket equal to the observation count, and
+// `_sum`/`_count` series. If two registry names mangle to the same
+// exposition name (the obscheck registry check forbids it), the family
+// encountered first in sorted source order wins and later ones are
+// dropped rather than emitting an invalid double declaration.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	fams := make([]promFamily, 0, len(s.Counters)+len(s.Gauges)+len(s.Observations))
+	seen := make(map[string]struct{})
+	add := func(f promFamily) {
+		if _, dup := seen[f.name]; dup {
+			return
+		}
+		seen[f.name] = struct{}{}
+		fams = append(fams, f)
+	}
+	for _, src := range sortedKeys(s.Counters) {
+		add(promFamily{name: PromName(src) + "_total", kind: "counter", val: float64(s.Counters[src])})
+	}
+	for _, src := range sortedKeysFloat(s.Gauges) {
+		add(promFamily{name: PromName(src), kind: "gauge", val: s.Gauges[src]})
+	}
+	for _, src := range sortedKeysDist(s.Observations) {
+		add(promFamily{name: PromName(src), kind: "histogram", dist: s.Observations[src]})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case "histogram":
+			var cum int64
+			for _, b := range f.dist.Buckets {
+				cum += b.Count
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", f.name, promFloat(b.Le), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", f.name, f.dist.Count)
+			fmt.Fprintf(bw, "%s_sum %s\n", f.name, promFloat(f.dist.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", f.name, f.dist.Count)
+		case "counter":
+			fmt.Fprintf(bw, "%s %s\n", f.name, promFloat(f.val))
+		default:
+			fmt.Fprintf(bw, "%s %s\n", f.name, promFloat(f.val))
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePrometheus writes a point-in-time snapshot of the Collector in
+// the Prometheus text exposition format — the serving layer's
+// `GET /metrics?format=prom` body.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	return c.Snapshot().WritePrometheus(w)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysDist(m map[string]Dist) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysFloat(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// expoFamily tracks the validation state of one family while
+// CheckExposition walks an exposition body.
+type expoFamily struct {
+	name     string
+	kind     string
+	samples  int
+	lastLe   float64
+	lastCum  int64
+	infVal   int64
+	hasInf   bool
+	sumVal   float64
+	hasSum   bool
+	countVal int64
+	hasCount bool
+}
+
+func (f *expoFamily) finish() error {
+	if f == nil {
+		return nil
+	}
+	switch f.kind {
+	case "counter", "gauge":
+		if f.samples != 1 {
+			return fmt.Errorf("family %s: %d samples, want exactly 1", f.name, f.samples)
+		}
+	case "histogram":
+		if !f.hasInf {
+			return fmt.Errorf("family %s: missing le=\"+Inf\" bucket", f.name)
+		}
+		if !f.hasSum || !f.hasCount {
+			return fmt.Errorf("family %s: missing _sum or _count", f.name)
+		}
+		if f.infVal != f.countVal {
+			return fmt.Errorf("family %s: +Inf bucket %d != _count %d", f.name, f.infVal, f.countVal)
+		}
+	}
+	return nil
+}
+
+// CheckExposition parses a Prometheus text exposition body with a
+// hand-rolled line parser and validates its structural invariants:
+// every sample belongs to a preceding `# TYPE` declaration, no family
+// is declared twice, counters are non-negative single samples,
+// histogram buckets have strictly increasing `le` edges with monotone
+// non-decreasing cumulative counts, the `+Inf` bucket equals `_count`,
+// and `_sum`/`_count` are present exactly once. It returns the sorted
+// family names (as declared, so counters carry their `_total` suffix).
+// The parser exists so tests and CI can verify scrapes without a
+// Prometheus dependency.
+func CheckExposition(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	declared := make(map[string]string)
+	var cur *expoFamily
+	var names []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name, kind := fields[2], fields[3]
+			if !validPromName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				return nil, fmt.Errorf("line %d: unsupported type %q for %s", lineNo, kind, name)
+			}
+			if _, dup := declared[name]; dup {
+				return nil, fmt.Errorf("line %d: family %s declared twice", lineNo, name)
+			}
+			if err := cur.finish(); err != nil {
+				return nil, err
+			}
+			declared[name] = kind
+			cur = &expoFamily{name: name, kind: kind}
+			names = append(names, name)
+			continue
+		}
+		name, labels, valStr, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: sample %s before any # TYPE declaration", lineNo, name)
+		}
+		val, err := parsePromValue(valStr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		switch cur.kind {
+		case "counter":
+			if name != cur.name {
+				return nil, fmt.Errorf("line %d: sample %s outside family %s", lineNo, name, cur.name)
+			}
+			if val < 0 || math.IsNaN(val) {
+				return nil, fmt.Errorf("line %d: counter %s has negative or NaN value %s", lineNo, name, valStr)
+			}
+			cur.samples++
+		case "gauge":
+			if name != cur.name {
+				return nil, fmt.Errorf("line %d: sample %s outside family %s", lineNo, name, cur.name)
+			}
+			cur.samples++
+		case "histogram":
+			switch name {
+			case cur.name + "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("line %d: bucket of %s lacks le label", lineNo, cur.name)
+				}
+				cum := int64(val)
+				if val < 0 || float64(cum) != val {
+					return nil, fmt.Errorf("line %d: bucket count %q of %s is not a non-negative integer", lineNo, valStr, cur.name)
+				}
+				if le == "+Inf" {
+					if cur.hasInf {
+						return nil, fmt.Errorf("line %d: duplicate +Inf bucket in %s", lineNo, cur.name)
+					}
+					cur.hasInf, cur.infVal = true, cum
+					if cum < cur.lastCum {
+						return nil, fmt.Errorf("line %d: +Inf bucket %d of %s below prior cumulative %d", lineNo, cum, cur.name, cur.lastCum)
+					}
+					break
+				}
+				if cur.hasInf {
+					return nil, fmt.Errorf("line %d: bucket after +Inf in %s", lineNo, cur.name)
+				}
+				edge, err := parsePromValue(le)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad le %q in %s: %v", lineNo, le, cur.name, err)
+				}
+				if cur.samples > 0 && edge <= cur.lastLe {
+					return nil, fmt.Errorf("line %d: le %q of %s not strictly increasing", lineNo, le, cur.name)
+				}
+				if cum < cur.lastCum {
+					return nil, fmt.Errorf("line %d: bucket count %d of %s not monotone (prev %d)", lineNo, cum, cur.name, cur.lastCum)
+				}
+				cur.lastLe, cur.lastCum = edge, cum
+				cur.samples++
+			case cur.name + "_sum":
+				if cur.hasSum {
+					return nil, fmt.Errorf("line %d: duplicate _sum in %s", lineNo, cur.name)
+				}
+				cur.hasSum, cur.sumVal = true, val
+			case cur.name + "_count":
+				if cur.hasCount {
+					return nil, fmt.Errorf("line %d: duplicate _count in %s", lineNo, cur.name)
+				}
+				cur.hasCount, cur.countVal = true, int64(val)
+			default:
+				return nil, fmt.Errorf("line %d: sample %s outside histogram family %s", lineNo, name, cur.name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := cur.finish(); err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// validPromName reports whether name matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitSample parses one exposition sample line into its metric name,
+// label map, and value string. Label values are expected in the shape
+// WritePrometheus emits (quoted, no embedded quotes or newlines).
+func splitSample(line string) (name string, labels map[string]string, val string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = make(map[string]string)
+		for _, pair := range strings.Split(rest[i+1:end], ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, "", fmt.Errorf("unquoted label value %q in %q", v, line)
+			}
+			labels[pair[:eq]] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validPromName(name) {
+		return "", nil, "", fmt.Errorf("invalid sample name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// parsePromValue parses a sample or le value, accepting the +Inf/-Inf/
+// NaN spellings of the exposition format.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"topk.stream.add":                "topk_stream_add",
+		"server.http.topk.seconds":       "server_http_topk_seconds",
+		"wal.fsync.seconds":              "wal_fsync_seconds",
+		"a-b.c":                          "a_b_c",
+		"9lives":                         "_9lives",
+		"already_fine":                   "already_fine",
+		"sketch.serve.hybrid":            "sketch_serve_hybrid",
+		"failover.endpoints_down":        "failover_endpoints_down",
+		"runtime.gc.pause_total_seconds": "runtime_gc_pause_total_seconds",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func populated() *Collector {
+	c := NewCollector()
+	c.Count("topk.stream.add", 41)
+	c.Count("topk.stream.add", 1)
+	c.Count("inc.cache.hit", 7)
+	c.Gauge("server.records", 1234)
+	c.Gauge("runtime.gc.cpu_fraction", 0.015625)
+	for _, v := range []float64{1e-9, 3e-9, 5e-9, 1e-6, 2e-6, 0.25, 0.5} {
+		c.Observe("engine.topk.seconds", v)
+	}
+	c.Observe("sketch.hybrid.observed_error", 0)
+	return c
+}
+
+func TestWritePrometheusRoundTrips(t *testing.T) {
+	c := populated()
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	fams, err := CheckExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("CheckExposition rejected own output: %v\n%s", err, out)
+	}
+	want := []string{
+		"engine_topk_seconds",
+		"inc_cache_hit_total",
+		"runtime_gc_cpu_fraction",
+		"server_records",
+		"sketch_hybrid_observed_error",
+		"topk_stream_add_total",
+	}
+	if len(fams) != len(want) {
+		t.Fatalf("families = %v, want %v", fams, want)
+	}
+	for i := range want {
+		if fams[i] != want[i] {
+			t.Fatalf("families = %v, want %v", fams, want)
+		}
+	}
+	for _, line := range []string{
+		"# TYPE topk_stream_add_total counter\n",
+		"topk_stream_add_total 42\n",
+		"# TYPE server_records gauge\n",
+		"server_records 1234\n",
+		"# TYPE engine_topk_seconds histogram\n",
+		"engine_topk_seconds_count 7\n",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("output missing %q:\n%s", line, out)
+		}
+	}
+	// A second write of the same snapshot must be byte-identical
+	// (deterministic ordering).
+	var buf2 bytes.Buffer
+	if err := c.WritePrometheus(&buf2); err != nil {
+		t.Fatalf("WritePrometheus again: %v", err)
+	}
+	if buf2.String() != out {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", out, buf2.String())
+	}
+}
+
+func TestWritePrometheusHistogramShape(t *testing.T) {
+	c := NewCollector()
+	c.Observe("x.dist", 1e-9) // bucket 0
+	c.Observe("x.dist", 3e-9) // bucket 2 (upper edge 4e-9)
+	c.Observe("x.dist", 3e-9)
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{
+		"# TYPE x_dist histogram",
+		`x_dist_bucket{le="1e-09"} 1`,
+		`x_dist_bucket{le="4e-09"} 3`,
+		`x_dist_bucket{le="+Inf"} 3`,
+		"x_dist_sum " + promFloat(1e-9+3e-9+3e-9),
+		"x_dist_count 3",
+	}
+	got := strings.Split(strings.TrimSpace(out), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), len(wantLines), out)
+	}
+	for i, w := range wantLines {
+		if got[i] != w {
+			t.Errorf("line %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+func TestCheckExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": "foo 1\n",
+		"duplicate family":   "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n",
+		"bad type":           "# TYPE a summary\na 1\n",
+		"negative counter":   "# TYPE a_total counter\na_total -1\n",
+		"two gauge samples":  "# TYPE a gauge\na 1\na 2\n",
+		"foreign sample":     "# TYPE a gauge\nb 1\n",
+		"non-monotone cum": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"non-increasing le": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="2"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+		"missing inf":        "# TYPE h histogram\n" + `h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"count mismatch":     "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n",
+		"missing sum":        "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+		"bucket without le":  "# TYPE h histogram\n" + `h_bucket{x="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"invalid name":       "# TYPE 1bad gauge\n1bad 1\n",
+		"garbage value":      "# TYPE a gauge\na one\n",
+		"trailing empty fam": "# TYPE a gauge\n",
+	}
+	for name, body := range cases {
+		if _, err := CheckExposition(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: parser accepted\n%s", name, body)
+		}
+	}
+}
+
+func TestCheckExpositionAcceptsEdgeValues(t *testing.T) {
+	body := "# TYPE a gauge\na NaN\n# TYPE b gauge\nb +Inf\n# TYPE c_total counter\nc_total 0\n"
+	fams, err := CheckExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("rejected valid edge values: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %v", fams)
+	}
+}
+
+func TestPromFloatSpellings(t *testing.T) {
+	if promFloat(math.Inf(1)) != "+Inf" || promFloat(math.Inf(-1)) != "-Inf" || promFloat(math.NaN()) != "NaN" {
+		t.Fatal("special float spellings wrong")
+	}
+	if promFloat(0.25) != "0.25" {
+		t.Fatalf("promFloat(0.25) = %q", promFloat(0.25))
+	}
+}
+
+// BenchmarkPromExposition is the alloc smoke for the scrape path: one
+// exposition over a representative snapshot. Run alongside
+// BenchmarkNoopSinkOverhead in ci.sh.
+func BenchmarkPromExposition(b *testing.B) {
+	c := populated()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

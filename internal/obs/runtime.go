@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RuntimeSampler publishes Go runtime health — GC pauses, heap
+// occupancy, goroutine and scheduler figures — into a Sink as
+// `runtime.*` gauges plus a `runtime.gc.pause.seconds` distribution of
+// individual stop-the-world pauses. It keeps just enough state (the
+// last seen GC cycle number) to observe each pause exactly once across
+// samples. Sample is safe for concurrent use; a nil sampler or nil sink
+// is a no-op, so callers can wire it unconditionally.
+type RuntimeSampler struct {
+	sink Sink
+
+	mu     sync.Mutex
+	lastGC uint32
+}
+
+// NewRuntimeSampler creates a sampler that publishes into sink.
+func NewRuntimeSampler(sink Sink) *RuntimeSampler {
+	return &RuntimeSampler{sink: sink}
+}
+
+// Sample reads the runtime counters once and publishes them. The
+// serving layer calls it both on a ticker and synchronously at scrape
+// time, so a fresh reading always accompanies a /metrics response.
+func (rs *RuntimeSampler) Sample() {
+	if rs == nil || rs.sink == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := rs.sink
+	s.Gauge("runtime.goroutines", float64(runtime.NumGoroutine()))
+	s.Gauge("runtime.gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+	s.Gauge("runtime.heap.alloc_bytes", float64(ms.HeapAlloc))
+	s.Gauge("runtime.heap.sys_bytes", float64(ms.HeapSys))
+	s.Gauge("runtime.heap.objects", float64(ms.HeapObjects))
+	s.Gauge("runtime.next_gc_bytes", float64(ms.NextGC))
+	s.Gauge("runtime.gc.cycles", float64(ms.NumGC))
+	s.Gauge("runtime.gc.pause_total_seconds", float64(ms.PauseTotalNs)/1e9)
+	s.Gauge("runtime.gc.cpu_fraction", ms.GCCPUFraction)
+
+	rs.mu.Lock()
+	last := rs.lastGC
+	rs.lastGC = ms.NumGC
+	rs.mu.Unlock()
+	// PauseNs is a ring of the most recent 256 pauses; cycle j (1-based)
+	// lands at (j+255)%256. Skip cycles the ring has already overwritten.
+	if ms.NumGC > last+256 {
+		last = ms.NumGC - 256
+	}
+	for j := last + 1; j <= ms.NumGC; j++ {
+		s.Observe("runtime.gc.pause.seconds", float64(ms.PauseNs[(j+255)%256])/1e9)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeSamplerGauges(t *testing.T) {
+	c := NewCollector()
+	rs := NewRuntimeSampler(c)
+	runtime.GC()
+	rs.Sample()
+	for _, g := range []string{
+		"runtime.goroutines",
+		"runtime.gomaxprocs",
+		"runtime.heap.alloc_bytes",
+		"runtime.heap.sys_bytes",
+		"runtime.heap.objects",
+		"runtime.next_gc_bytes",
+		"runtime.gc.cycles",
+		"runtime.gc.pause_total_seconds",
+		"runtime.gc.cpu_fraction",
+	} {
+		v, ok := c.GaugeValue(g)
+		if !ok {
+			t.Errorf("gauge %s not set", g)
+			continue
+		}
+		if g == "runtime.goroutines" && v < 1 {
+			t.Errorf("%s = %v, want >= 1", g, v)
+		}
+	}
+	snap := c.Snapshot()
+	d, ok := snap.Observations["runtime.gc.pause.seconds"]
+	if !ok || d.Count == 0 {
+		t.Fatal("no GC pause observations after a forced GC")
+	}
+	// A second sample with no new GC cycles must not re-observe the same
+	// pauses.
+	before := d.Count
+	rs.Sample()
+	after := c.Snapshot().Observations["runtime.gc.pause.seconds"].Count
+	if after < before {
+		t.Fatalf("pause observations went backwards: %d -> %d", before, after)
+	}
+}
+
+func TestRuntimeSamplerNilSafe(t *testing.T) {
+	var rs *RuntimeSampler
+	rs.Sample() // must not panic
+	NewRuntimeSampler(nil).Sample()
+}

@@ -123,6 +123,10 @@ type ApproxTopKResponse struct {
 	// (k, r), "refreshing" while the background task computes it.
 	// Empty in approx mode.
 	Exact string `json:"exact,omitempty"`
+	// TraceID names the query's trace (fetch the span tree from
+	// /debug/traces?trace=<id>); empty when tracing is disabled. The
+	// audit sampler logs containment violations under this id.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // XApproxBound is the response header carrying the served answer's
@@ -130,13 +134,20 @@ type ApproxTopKResponse struct {
 // without parsing the body.
 const XApproxBound = "X-Approx-Bound"
 
-func (s *Server) handleApprox(w http.ResponseWriter, _ *http.Request, mode string, k, rr int) {
+func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request, mode string, k, rr int) {
 	ep := s.epoch.Load()
 	view := ep.snap.SketchView()
 	if view == nil {
 		writeTypedError(w, http.StatusBadRequest, "sketch_disabled",
 			"approximate tier is disabled (SketchCapacity < 0); use mode=exact")
 		return
+	}
+	if s.cfg.auditViewHook != nil {
+		view = s.cfg.auditViewHook(view)
+	}
+	_, root := s.traceCtx(r, "server.approx")
+	if root != nil {
+		root.Attr("k", float64(k))
 	}
 	start := time.Now()
 	entries := view.Top(k)
@@ -155,18 +166,25 @@ func (s *Server) handleApprox(w http.ResponseWriter, _ *http.Request, mode strin
 			resp.MaxErr = e.Err
 		}
 	}
+	if root != nil {
+		resp.TraceID = root.TraceID().String()
+	}
 	if mode == ModeHybrid {
 		resp.Exact = s.startHybridExact(ep, view, k, rr)
 	}
+	root.End()
 	s.metrics.Count("sketch.serve."+mode, 1)
 	s.metrics.Observe("sketch.serve.seconds", time.Since(start).Seconds())
 	if s.logger != nil {
 		s.logger.Info("approx topk query", "k", k, "mode", mode,
 			"snapshot_seq", ep.seq, "max_err", resp.MaxErr,
-			"seconds", time.Since(start).Seconds())
+			"seconds", time.Since(start).Seconds(), "trace", resp.TraceID)
 	}
 	w.Header().Set(XApproxBound, strconv.FormatFloat(resp.MaxErr, 'g', -1, 64))
 	writeJSON(w, http.StatusOK, resp)
+	// Sample this served answer for background re-execution against the
+	// exact path (audit.go); never blocks the response.
+	s.maybeAudit(auditJob{ep: ep, mode: mode, traceID: resp.TraceID, k: k, r: rr, entries: resp.Entries})
 }
 
 // startHybridExact arranges for the exact (k, r) answer to land in the

@@ -1,0 +1,145 @@
+// The continuous accuracy auditor (OBSERVABILITY.md "Continuous
+// accuracy auditing"): at Config.AuditRate, a served approx/hybrid
+// answer is re-executed against the exact path in the background — off
+// the request path, through the epoch answer cache, bounded by the same
+// slot pool as foreground queries (an auditor that cannot get a slot
+// skips rather than queues, so it can never starve serving). Every
+// audited entry is checked against the epoch's sufficient-closure
+// component weights: the sketch contract says the true accumulated
+// weight lies in [Lower, Count], so a component weight outside that
+// interval is a containment violation — counted, and logged via slog
+// with the serving query's trace ID so EXPLAIN can reconstruct it.
+package server
+
+import (
+	"context"
+	"time"
+
+	topk "topkdedup"
+)
+
+// auditJob captures one served approximate answer for background
+// re-execution. The entries slice is the response's own (immutable once
+// written).
+type auditJob struct {
+	ep      *epoch
+	mode    string
+	traceID string
+	k, r    int
+	entries []ApproxEntry
+}
+
+// maybeAudit samples served approx/hybrid answers at the configured
+// rate (deterministic 1-in-N on the served-answer sequence) and spawns
+// the background audit for the selected ones. Registered on s.bg so
+// Close drains in-flight audits before releasing the WAL.
+func (s *Server) maybeAudit(job auditJob) {
+	if s.auditEvery == 0 {
+		return
+	}
+	if (s.auditSeq.Add(1)-1)%s.auditEvery != 0 {
+		return
+	}
+	s.bg.Add(1)
+	go s.runAudit(job)
+}
+
+// runAudit re-executes one sampled answer exactly and scores the served
+// entries. The exact query goes through the epoch answer cache, so an
+// audit both benefits from and warms the cache the foreground exact
+// tier uses; the slot-pool acquire is non-blocking — under saturation
+// the audit is dropped (audit.skipped) instead of competing with
+// foreground requests.
+func (s *Server) runAudit(job auditJob) {
+	defer s.bg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.metrics.Count("audit.skipped", 1)
+		return
+	}
+	defer func() { <-s.sem }()
+	start := time.Now()
+	s.metrics.Count("audit.samples", 1)
+
+	key := answerKey{kind: 't', k: job.k, r: job.r}
+	status, ent := s.beginAnswer(job.ep.seq, key, false)
+	var res *topk.Result
+	var err error
+	switch status {
+	case cacheHit:
+		res, err = ent.topk, ent.err
+	case cacheCoalesced:
+		<-ent.done
+		res, err = ent.topk, ent.err
+	default: // cacheMiss computes and memoises; cacheBypass just computes
+		res, _, err = s.computeExact(context.Background(), job.ep, job.k, job.r, false)
+		if status == cacheMiss {
+			ent.topk, ent.err = res, err
+			s.answers.finish(job.ep.seq, key, ent)
+		}
+	}
+	if err != nil || res == nil {
+		s.metrics.Count("audit.errors", 1)
+		return
+	}
+
+	// Containment truth: the epoch's sufficient-closure component
+	// weights — the quantity the sketch tracks and bounds. The final
+	// exact answer (deeper levels + scorer may merge further) supplies
+	// the per-entity observed-error distribution instead.
+	closure := make(map[int]float64)
+	for _, g := range job.ep.snap.Groups() {
+		for _, id := range g.Members {
+			closure[id] = g.Weight
+		}
+	}
+	var final map[int]float64
+	if len(res.Answers) > 0 {
+		final = make(map[int]float64)
+		for _, g := range res.Answers[0].Groups {
+			for _, id := range g.Records {
+				final[id] = g.Weight
+			}
+		}
+	}
+	var within, violated int64
+	for _, e := range job.entries {
+		if exact, ok := final[e.Rep]; ok {
+			diff := exact - e.Count
+			if diff < 0 {
+				diff = -diff
+			}
+			s.metrics.Observe("audit.observed_error", diff)
+		}
+		truth, ok := closure[e.Rep]
+		if !ok {
+			// The component vanished from the epoch's closure (possible
+			// only on a corrupted view); count it as a violation too.
+			truth = -1
+		}
+		// Tolerance for float summation order, matching verifySketch.
+		eps := 1e-9 * e.Count
+		if eps < 1e-9 {
+			eps = 1e-9
+		}
+		if truth >= 0 && truth <= e.Count+eps && truth >= e.Lower-eps {
+			within++
+			continue
+		}
+		violated++
+		if s.logger != nil {
+			s.logger.Warn("audit containment violated",
+				"trace", job.traceID, "mode", job.mode, "snapshot_seq", job.ep.seq,
+				"rep", e.Rep, "count", e.Count, "lower", e.Lower, "err", e.Err,
+				"exact", truth)
+		}
+	}
+	if within != 0 {
+		s.metrics.Count("audit.containment.ok", within)
+	}
+	if violated != 0 {
+		s.metrics.Count("audit.containment.violated", violated)
+	}
+	s.metrics.Observe("audit.seconds", time.Since(start).Seconds())
+}

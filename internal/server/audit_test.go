@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"topkdedup/internal/faulty"
+	"topkdedup/internal/shard"
+	"topkdedup/internal/sketch"
+)
+
+// syncBuffer lets the slog handler and the test read the log
+// concurrently with the audit goroutines writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestAuditCatchesSeededViolation corrupts the served sketch view
+// through the test seam — the top entry's count inflated far past the
+// truth with a zero error bound — and proves the background auditor
+// notices: audit.containment.violated increments and the violation is
+// logged with the serving query's trace ID.
+func TestAuditCatchesSeededViolation(t *testing.T) {
+	var logBuf syncBuffer
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.AuditRate = 1
+		c.Logger = slog.New(slog.NewJSONHandler(&logBuf, nil))
+		c.auditViewHook = func(v *sketch.View) *sketch.View {
+			entries := v.Top(0)
+			if len(entries) == 0 {
+				return v
+			}
+			entries[0].Count += 1000
+			entries[0].Err = 0
+			return sketch.NewView(entries, v.Capacity(), v.Floor())
+		}
+	})
+	ingestBatch(t, ts, names("alice", "alice", "alice", "bob", "bob", "carol"))
+	resp, body := get(t, ts, "/topk?k=2&mode=approx")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("approx query: status %d: %s", resp.StatusCode, body)
+	}
+	var out ApproxTopKResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID == "" {
+		t.Fatal("approx response carries no trace id")
+	}
+
+	if err := srv.Close(); err != nil { // drains the in-flight audit
+		t.Fatal(err)
+	}
+	if n := srv.Metrics().CounterValue("audit.samples"); n == 0 {
+		t.Fatal("auditor sampled nothing at AuditRate 1")
+	}
+	if n := srv.Metrics().CounterValue("audit.containment.violated"); n == 0 {
+		t.Fatal("seeded containment violation not detected")
+	}
+	log := logBuf.String()
+	if !strings.Contains(log, "audit containment violated") {
+		t.Fatalf("violation not logged: %s", log)
+	}
+	if !strings.Contains(log, out.TraceID) {
+		t.Fatalf("violation log missing the serving trace id %q: %s", out.TraceID, log)
+	}
+}
+
+// TestAuditCleanRun is the counterpart: served answers from an
+// uncorrupted sketch audit clean — containment holds, zero violations.
+func TestAuditCleanRun(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) { c.AuditRate = 1 })
+	ingestBatch(t, ts, names("alice", "alice", "alice", "bob", "bob", "carol"))
+	for i := 0; i < 3; i++ {
+		get(t, ts, "/topk?k=2&mode=approx")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	if m.CounterValue("audit.samples") == 0 {
+		t.Fatal("no audits ran")
+	}
+	if m.CounterValue("audit.containment.ok") == 0 {
+		t.Fatal("clean audits recorded no containment checks")
+	}
+	if n := m.CounterValue("audit.containment.violated"); n != 0 {
+		t.Fatalf("clean sketch produced %d violations", n)
+	}
+}
+
+// TestAuditSamplerNeverBlocksForeground injects a long delay into the
+// shard transport the auditor's exact re-execution runs over
+// (internal/faulty through the coordinator seam) and proves the
+// foreground approximate path never waits on it: approx answers stay
+// byte-identical to an unsharded control server and return long before
+// the injected delay elapses, while the audit completes correctly in
+// the background.
+func TestAuditSamplerNeverBlocksForeground(t *testing.T) {
+	const injectedDelay = 300 * time.Millisecond
+
+	peers := make([]string, 2)
+	for i := range peers {
+		_, pts := newTestServer(t, func(c *Config) { c.TraceLimit = -1 })
+		peers[i] = pts.URL
+	}
+	var mu sync.Mutex
+	var wrapped []*faulty.Transport
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.ShardPeers = peers
+		c.AuditRate = 1
+		c.TraceLimit = -1
+		c.wrapShardTransport = func(inner shard.Transport) shard.Transport {
+			ft := faulty.Wrap(inner, faulty.Rule{
+				Shard: -1, Op: faulty.OpCollapse, Action: faulty.Delay, Delay: injectedDelay,
+			})
+			mu.Lock()
+			wrapped = append(wrapped, ft)
+			mu.Unlock()
+			return ft
+		}
+	})
+	_, control := newTestServer(t, func(c *Config) { c.TraceLimit = -1 })
+
+	recs := names("alice", "alice", "alice", "bob", "bob", "carol", "carl", "dave")
+	ingestBatch(t, ts, recs)
+	ingestBatch(t, control, recs)
+
+	// Every approx answer spawns an audit whose exact re-execution goes
+	// through the delayed shard transport; the answers themselves must
+	// come straight from the sketch, unsharded and undelayed.
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		got := approxBody(t, ts, "/topk?k=3&mode=approx")
+		want := approxBody(t, control, "/topk?k=3&mode=approx")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("foreground approx answer diverged under background audits\ngot:  %s\nwant: %s", got, want)
+		}
+	}
+	if elapsed := time.Since(start); elapsed >= injectedDelay {
+		t.Fatalf("foreground queries took %v — blocked on the %v audit delay", elapsed, injectedDelay)
+	}
+
+	if err := srv.Close(); err != nil { // waits for the delayed audits
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	if m.CounterValue("audit.samples") == 0 {
+		t.Fatal("no audits ran")
+	}
+	if m.CounterValue("audit.containment.ok") == 0 {
+		t.Fatal("audits recorded no containment checks")
+	}
+	if n := m.CounterValue("audit.containment.violated"); n != 0 {
+		t.Fatalf("audit over delayed shards produced %d violations", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	injected := 0
+	for _, ft := range wrapped {
+		injected += ft.Injected()
+	}
+	if len(wrapped) == 0 || injected == 0 {
+		t.Fatalf("fault injection never fired (transports=%d injected=%d) — the audit path was not exercised",
+			len(wrapped), injected)
+	}
+}
+
+// TestAuditSamplingRate pins the deterministic 1-in-N schedule: at rate
+// 0.25 exactly every fourth served answer is sampled.
+func TestAuditSamplingRate(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) { c.AuditRate = 0.25 })
+	ingestBatch(t, ts, names("alice", "alice", "bob"))
+	for i := 0; i < 8; i++ {
+		get(t, ts, "/topk?k=2&mode=approx")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	total := m.CounterValue("audit.samples") + m.CounterValue("audit.skipped")
+	if total != 2 {
+		t.Fatalf("8 served answers at rate 0.25: %d audits scheduled, want 2", total)
+	}
+	// Rate 0 disables sampling entirely.
+	srv2, ts2 := newTestServer(t, nil)
+	ingestBatch(t, ts2, names("a", "a"))
+	get(t, ts2, "/topk?k=1&mode=approx")
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv2.Metrics().CounterValue("audit.samples"); n != 0 {
+		t.Fatalf("audit ran with AuditRate 0: %d samples", n)
+	}
+}

@@ -8,6 +8,7 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	topk "topkdedup"
 	"topkdedup/internal/wal"
@@ -81,14 +82,26 @@ func (s *Server) Checkpoint() error {
 	if err := s.wal.WriteSnapshot(applied, recs); err != nil {
 		return err
 	}
-	return s.wal.PruneSegments(applied)
+	if err := s.wal.PruneSegments(applied); err != nil {
+		return err
+	}
+	// Feeds the wal.checkpoint.age_seconds health gauge.
+	s.lastCheckpoint.Store(time.Now().UnixNano())
+	return nil
 }
 
-// Close releases the server's durable resources: it drains hybrid
-// mode's background exact computations, then closes the WAL's active
-// segment and its background sync ticker. Safe when durability is
-// disabled; the HTTP side needs no teardown of its own.
+// Close releases the server's durable resources: it stops the runtime
+// sampler ticker, drains hybrid mode's background exact computations
+// and in-flight audits, then closes the WAL's active segment and its
+// background sync ticker. Safe when durability is disabled, and safe to
+// call more than once (later calls re-close the WAL and report its
+// error).
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() {
+		if s.rtStop != nil {
+			close(s.rtStop)
+		}
+	})
 	s.bg.Wait()
 	if s.wal == nil {
 		return nil

@@ -32,7 +32,10 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +43,7 @@ import (
 	topk "topkdedup"
 	"topkdedup/internal/obs"
 	"topkdedup/internal/shard"
+	"topkdedup/internal/sketch"
 	"topkdedup/internal/stream"
 	"topkdedup/internal/wal"
 )
@@ -138,6 +142,34 @@ type Config struct {
 	// per query with the trace and span IDs attached, plus debug lines
 	// per guarded endpoint). nil disables logging.
 	Logger *slog.Logger
+	// SLO configures the per-endpoint service-level objectives behind
+	// GET /slo, the slo.* burn-rate metrics, and /healthz's degraded
+	// status (see slo.go and OBSERVABILITY.md "SLOs and burn rates").
+	// The zero value enables the default objectives; SLO.Disable turns
+	// tracking off. Observational only: answers never change with SLO
+	// state.
+	SLO SLOConfig
+	// AuditRate is the fraction of served approx/hybrid answers the
+	// background accuracy auditor re-executes against the exact path
+	// (OBSERVABILITY.md "Continuous accuracy auditing"): 0 or negative
+	// disables the auditor, 1 audits every served answer, 0.01 every
+	// hundredth (deterministic 1-in-N sampling). Values above 1 clamp
+	// to 1.
+	AuditRate float64
+	// RuntimeSampleInterval is the period of the runtime.* health
+	// sampler (GC pauses, heap, goroutines — see obs.RuntimeSampler).
+	// 0 selects 10s; a negative value disables the background ticker
+	// (/metrics scrapes still sample synchronously).
+	RuntimeSampleInterval time.Duration
+
+	// wrapShardTransport, when non-nil (in-package tests only), wraps
+	// the shard transport of every coordinator query — the
+	// fault-injection seam (internal/faulty) of the audit tests.
+	wrapShardTransport func(shard.Transport) shard.Transport
+	// auditViewHook, when non-nil (in-package tests only), replaces the
+	// sketch view mode=approx/hybrid serves — the corruption seam the
+	// audit tests use to seed containment violations.
+	auditViewHook func(*sketch.View) *sketch.View
 }
 
 func (c *Config) defaults() error {
@@ -161,6 +193,12 @@ func (c *Config) defaults() error {
 	}
 	if c.WALSnapshotEvery == 0 {
 		c.WALSnapshotEvery = 256
+	}
+	if c.AuditRate < 0 {
+		c.AuditRate = 0
+	}
+	if c.AuditRate > 1 {
+		c.AuditRate = 1
 	}
 	switch c.DefaultMode {
 	case "":
@@ -214,9 +252,24 @@ type Server struct {
 	recovered  int
 	snapMu     sync.Mutex // serialises Checkpoint's write + prune
 
-	// bg tracks hybrid-mode background exact computations so Close can
-	// drain them before releasing durable resources.
+	// bg tracks hybrid-mode background exact computations, audit runs,
+	// and the runtime sampler loop so Close can drain them before
+	// releasing durable resources.
 	bg sync.WaitGroup
+
+	// Ops-grade telemetry state (slo.go, audit.go): start time for
+	// uptime, the SLO tracker (nil when disabled), the runtime sampler
+	// and its ticker stop channel, the last completed WAL checkpoint
+	// (unixnano, for wal.checkpoint.age_seconds), and the audit
+	// sampler's 1-in-N state.
+	started        time.Time
+	slo            *sloTracker
+	rtSampler      *obs.RuntimeSampler
+	rtStop         chan struct{}
+	stopOnce       sync.Once
+	lastCheckpoint atomic.Int64
+	auditEvery     uint64
+	auditSeq       atomic.Uint64
 }
 
 // New creates a Server and publishes the initial (empty) snapshot as
@@ -237,6 +290,26 @@ func New(cfg Config) (*Server, error) {
 		acc:           acc,
 		shardSessions: make(map[string]*shardSession),
 		shardClient:   cfg.ShardClient,
+		started:       time.Now(),
+	}
+	if !cfg.SLO.Disable {
+		s.slo = newSLOTracker(cfg.SLO, s.metrics)
+	}
+	if cfg.AuditRate > 0 {
+		s.auditEvery = uint64(math.Round(1 / cfg.AuditRate))
+		if s.auditEvery < 1 {
+			s.auditEvery = 1
+		}
+	}
+	s.rtSampler = obs.NewRuntimeSampler(s.metrics)
+	if cfg.RuntimeSampleInterval >= 0 {
+		interval := cfg.RuntimeSampleInterval
+		if interval == 0 {
+			interval = 10 * time.Second
+		}
+		s.rtStop = make(chan struct{})
+		s.bg.Add(1)
+		go s.runtimeLoop(interval)
 	}
 	s.answers.entries = make(map[answerKey]*answerEntry)
 	// Route the accumulator's maintenance metrics (stream.add.*, and the
@@ -267,6 +340,24 @@ func New(cfg Config) (*Server, error) {
 	acc.FlushSketchMetrics() // replay-time sketch counters, one batch
 	s.epoch.Store(&epoch{snap: acc.Snapshot(), seq: 0})
 	return s, nil
+}
+
+// runtimeLoop samples the Go runtime health gauges on a ticker until
+// Close stops it. Scrapes also sample synchronously, so the ticker only
+// keeps the gauges fresh for pull-less consumers (expvar, tests).
+func (s *Server) runtimeLoop(interval time.Duration) {
+	defer s.bg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	s.rtSampler.Sample()
+	for {
+		select {
+		case <-s.rtStop:
+			return
+		case <-t.C:
+			s.rtSampler.Sample()
+		}
+	}
 }
 
 // Metrics exposes the server's in-memory collector: per-endpoint
@@ -387,11 +478,13 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/shard/prune", s.guard("shard.prune", http.MethodPost, s.handleShardPrune))
 	mux.Handle("/shard/groups", s.guard("shard.groups", http.MethodPost, s.handleShardGroups))
 	mux.Handle("/shard/close", s.guard("shard.close", http.MethodPost, s.handleShardClose))
-	// Health, metrics, and traces bypass the slot pool and timeout: they
-	// must answer even when the query path is saturated (and the shard
-	// coordinator stitches traces right after heavy queries).
+	// Health, metrics, SLO state, and traces bypass the slot pool and
+	// timeout: they must answer even when the query path is saturated
+	// (and the shard coordinator stitches traces right after heavy
+	// queries).
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	return mux
 }
@@ -414,21 +507,50 @@ func (s *Server) guard(name, method string, h http.HandlerFunc) http.Handler {
 			s.metrics.Count("server.http.throttled", 1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			// Capacity rejections consume the endpoint's error budget.
+			s.slo.record(name, http.StatusTooManyRequests, 0)
 			return
 		}
 		defer func() { <-s.sem }()
 		start := time.Now()
-		h(w, r)
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		elapsed := time.Since(start)
 		s.metrics.Count("server.http."+name+".requests", 1)
-		s.metrics.Observe("server.http."+name+".seconds", time.Since(start).Seconds())
+		s.metrics.Observe("server.http."+name+".seconds", elapsed.Seconds())
+		s.slo.record(name, rec.code(), elapsed)
 		if s.logger != nil {
-			s.logger.Debug("request", "endpoint", name, "seconds", time.Since(start).Seconds())
+			s.logger.Debug("request", "endpoint", name, "seconds", elapsed.Seconds())
 		}
 	})
 	if s.cfg.RequestTimeout <= 0 {
 		return inner
 	}
 	return http.TimeoutHandler(inner, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// statusRecorder captures the status code a guarded handler writes so
+// the SLO tracker can classify the request; an unset status means the
+// implicit 200 of a bare Write.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the first explicit status and forwards it.
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// code returns the effective response status.
+func (r *statusRecorder) code() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
 }
 
 // IngestRecord is one record of an ingest batch, values aligned with
@@ -792,6 +914,10 @@ func (s *Server) queryEngine(ep *epoch, explain bool) *topk.Engine {
 type HealthResponse struct {
 	// OK is always true when the handler answers at all.
 	OK bool `json:"ok"`
+	// Status is "ok", or "degraded" while an SLO fast-burn threshold is
+	// tripped (see slo.go). Observational: a degraded server still
+	// answers everything; load balancers may use it to drain the node.
+	Status string `json:"status"`
 	// Records is the write-side record count.
 	Records int `json:"records"`
 	// SnapshotSeq is the published epoch's sequence number.
@@ -800,16 +926,52 @@ type HealthResponse struct {
 	SnapshotRecords int `json:"snapshot_records"`
 	// SnapshotAgeSeconds is the published epoch's age.
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// Version is the module build version (runtime/debug.ReadBuildInfo;
+	// "(devel)" for go-run binaries).
+	Version string `json:"version"`
+	// GoVersion is the Go toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// UptimeSeconds is the time since the Server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
+
+// buildInfoOnce resolves the binary's build metadata once per process.
+var buildInfoOnce = sync.OnceValues(func() (string, string) {
+	version, goVersion := "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	return version, goVersion
+})
+
+// BuildInfo reports the module build version and Go toolchain baked
+// into the running binary — the same values /healthz serves and topkd
+// logs at startup.
+func BuildInfo() (version, goVersion string) { return buildInfoOnce() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	ep := s.epoch.Load()
+	status := "ok"
+	if s.slo.degraded() {
+		status = "degraded"
+	}
+	version, goVersion := BuildInfo()
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, HealthResponse{
 		OK:                 true,
+		Status:             status,
 		Records:            s.Records(),
 		SnapshotSeq:        ep.seq,
 		SnapshotRecords:    ep.snap.Len(),
 		SnapshotAgeSeconds: time.Since(ep.snap.Taken()).Seconds(),
+		Version:            version,
+		GoVersion:          goVersion,
+		UptimeSeconds:      time.Since(s.started).Seconds(),
 	})
 }
 
@@ -846,18 +1008,72 @@ type MetricsResponse struct {
 // latencyEndpoints are the endpoints /metrics summarises.
 var latencyEndpoints = []string{"ingest", "refresh", "topk", "rank"}
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// metricsFormat resolves the /metrics response format: an explicit
+// ?format=json|prom wins; otherwise the Accept header negotiates (a
+// text/plain or OpenMetrics preference selects the Prometheus text
+// exposition, anything else the pre-existing JSON shape).
+func metricsFormat(r *http.Request) (string, error) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "json", "prom":
+		return format, nil
+	case "":
+	default:
+		return "", fmt.Errorf("format must be json or prom, got %q", format)
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+		return "prom", nil
+	}
+	return "json", nil
+}
+
+// refreshHealthGauges brings every point-in-time gauge current right
+// before a scrape: epoch/record state, uptime, checkpoint age, the
+// runtime sampler, and the SLO burn rates. Counters and histograms are
+// cumulative and need no refresh.
+func (s *Server) refreshHealthGauges() {
 	ep := s.epoch.Load()
-	age := time.Since(ep.snap.Taken()).Seconds()
-	// Refresh the gauges so the embedded snapshot is current too.
 	s.metrics.Gauge("server.snapshot.seq", float64(ep.seq))
-	s.metrics.Gauge("server.snapshot.age_seconds", age)
+	s.metrics.Gauge("server.snapshot.age_seconds", time.Since(ep.snap.Taken()).Seconds())
 	s.metrics.Gauge("server.records", float64(s.Records()))
+	s.metrics.Gauge("server.uptime_seconds", time.Since(s.started).Seconds())
+	if s.wal != nil {
+		// Age of the newest completed checkpoint; before the first one,
+		// the server's age (replay cost grows with this number either
+		// way).
+		since := time.Since(s.started)
+		if ts := s.lastCheckpoint.Load(); ts != 0 {
+			since = time.Since(time.Unix(0, ts))
+		}
+		s.metrics.Gauge("wal.checkpoint.age_seconds", since.Seconds())
+	}
+	s.rtSampler.Sample()
+	s.slo.refreshGauges()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format, err := metricsFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.refreshHealthGauges()
+	// Scrapes are point-in-time by definition; an intermediary replaying
+	// a cached body would invert every rate() over it.
+	w.Header().Set("Cache-Control", "no-store")
+	if format == "prom" {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		// A write failure here means the scraper hung up; nothing to do.
+		s.metrics.WritePrometheus(w)
+		return
+	}
+	ep := s.epoch.Load()
 	snap := s.metrics.Snapshot()
 	resp := MetricsResponse{
 		Records:            s.Records(),
 		SnapshotSeq:        ep.seq,
-		SnapshotAgeSeconds: age,
+		SnapshotAgeSeconds: time.Since(ep.snap.Taken()).Seconds(),
 		Phases:             snap,
 	}
 	for _, name := range latencyEndpoints {

@@ -37,6 +37,7 @@ func (s *Server) shardedPruned(ctx context.Context, ep *epoch, k int) (*topk.Pru
 	pd, _, err := shard.RunHTTPCtx(ctx, ep.snap.Dataset(), nil, s.cfg.Levels, s.cfg.ShardPeers, s.shardClient, shard.Options{
 		K: k, PrunePasses: s.cfg.Engine.PrunePasses, Workers: s.cfg.Engine.Workers, Sink: s.metrics,
 		Replicate: s.cfg.ShardReplicate, Replica: s.cfg.ShardReplica,
+		WrapTransport: s.cfg.wrapShardTransport,
 	})
 	return pd, err
 }

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"topkdedup/internal/obs"
+)
+
+// TestSLOTrackerBurnRates drives the tracker with a fake clock through
+// the burn-rate arithmetic: good traffic burns nothing, concentrated
+// failures trip the fast window, and both windows forget on schedule.
+func TestSLOTrackerBurnRates(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	cfg := SLOConfig{
+		Objectives: []SLOObjective{{
+			Endpoint: "topk", LatencyTarget: time.Second, LatencyQuantile: 0.99, Availability: 0.99,
+		}},
+		FastWindow: time.Minute,
+		SlowWindow: 10 * time.Minute,
+		now:        func() time.Time { return now },
+	}
+	tr := newSLOTracker(cfg, nil)
+
+	for i := 0; i < 100; i++ {
+		tr.record("topk", http.StatusOK, time.Millisecond)
+	}
+	tr.record("ignored", http.StatusInternalServerError, 0) // no objective: dropped
+	if tr.degraded() {
+		t.Fatal("all-good traffic reported degraded")
+	}
+	rep := tr.report(&obs.Snapshot{})
+	if st := rep.Objectives[0]; st.FastBurnRate != 0 || st.SlowWindowTotal != 100 || st.SlowWindowBad != 0 {
+		t.Fatalf("good traffic: %+v", st)
+	}
+
+	// 100 bad among 200 total in the fast window: burn = 0.5/0.01 = 50,
+	// past the default 14.4 threshold. Bad means 5xx, 429, or slow.
+	for i := 0; i < 98; i++ {
+		tr.record("topk", http.StatusInternalServerError, 0)
+	}
+	tr.record("topk", http.StatusTooManyRequests, 0)
+	tr.record("topk", http.StatusOK, 2*time.Second) // slow success is bad too
+	if !tr.degraded() {
+		t.Fatal("50x budget burn not reported degraded")
+	}
+	rep = tr.report(&obs.Snapshot{})
+	if st := rep.Objectives[0]; !st.Tripped || st.FastBurnRate < 14.4 || st.SlowWindowBad != 100 {
+		t.Fatalf("burning traffic: %+v", st)
+	}
+	if !rep.Degraded {
+		t.Fatal("report.Degraded false while an objective is tripped")
+	}
+
+	// Two minutes later the fast window has forgotten the burst but the
+	// slow window still remembers it.
+	now = now.Add(2 * time.Minute)
+	if tr.degraded() {
+		t.Fatal("degradation outlived the fast window")
+	}
+	rep = tr.report(&obs.Snapshot{})
+	if st := rep.Objectives[0]; st.FastBurnRate != 0 || st.SlowWindowBad != 100 {
+		t.Fatalf("after fast window: %+v", st)
+	}
+
+	// Past the slow window everything is forgotten.
+	now = now.Add(20 * time.Minute)
+	rep = tr.report(&obs.Snapshot{})
+	if st := rep.Objectives[0]; st.SlowWindowTotal != 0 || st.SlowBurnRate != 0 {
+		t.Fatalf("after slow window: %+v", st)
+	}
+
+	// A nil tracker (SLO disabled) is inert everywhere.
+	var nilTr *sloTracker
+	nilTr.record("topk", http.StatusInternalServerError, 0)
+	nilTr.refreshGauges()
+	if nilTr.degraded() {
+		t.Fatal("nil tracker degraded")
+	}
+}
+
+// TestSLODegradedHealthz wires the tracker through real HTTP: with an
+// unmeetable latency target every request is bad, so /healthz degrades,
+// /slo reports the tripped objective, and the slo.* gauges publish —
+// while answers keep flowing untouched.
+func TestSLODegradedHealthz(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.SLO = SLOConfig{LatencyTarget: time.Nanosecond, FastBurnThreshold: 2}
+	})
+	ingestBatch(t, ts, names("alice", "alice", "bob"))
+	for i := 0; i < 5; i++ {
+		resp, body := get(t, ts, "/topk?k=2")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("degraded serving must still answer: %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	_, body := get(t, ts, "/healthz")
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Status != "degraded" {
+		t.Fatalf("healthz under burn: %+v", h)
+	}
+	if h.Version == "" || h.GoVersion == "" || h.UptimeSeconds < 0 {
+		t.Fatalf("healthz build info missing: %+v", h)
+	}
+
+	resp, body := get(t, ts, "/slo")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/slo: status %d: %s", resp.StatusCode, body)
+	}
+	var rep SLOResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatalf("/slo not degraded: %s", body)
+	}
+	tripped := false
+	for _, st := range rep.Objectives {
+		if st.Endpoint == "topk" && st.Tripped && st.FastBurnRate >= rep.FastBurnThreshold {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatalf("topk objective not tripped: %s", body)
+	}
+	// /slo refreshed the gauges on its way out.
+	if v, ok := srv.Metrics().GaugeValue("slo.degraded"); !ok || v != 1 {
+		t.Fatalf("slo.degraded gauge = %v (set=%v), want 1", v, ok)
+	}
+	if v, _ := srv.Metrics().GaugeValue("slo.topk.burn_rate_fast"); v < 2 {
+		t.Fatal("slo.topk.burn_rate_fast gauge below threshold despite trip")
+	}
+	if srv.Metrics().CounterValue("slo.topk.bad") == 0 {
+		t.Fatal("slo.topk.bad counter not incremented")
+	}
+}
+
+// TestSLORecovery checks the happy path end to end: default objectives,
+// fast requests, nothing trips.
+func TestSLORecovery(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	ingestBatch(t, ts, names("a", "b", "c"))
+	for i := 0; i < 5; i++ {
+		get(t, ts, "/topk?k=1")
+	}
+	_, body := get(t, ts, "/healthz")
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthy server status %q", h.Status)
+	}
+	_, body = get(t, ts, "/slo")
+	var rep SLOResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded || len(rep.Objectives) != len(latencyEndpoints) {
+		t.Fatalf("healthy /slo: %s", body)
+	}
+}
+
+// TestSLODisabled pins the opt-out: /slo answers 404, /healthz never
+// degrades, and no slo.* metrics appear.
+func TestSLODisabled(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.SLO = SLOConfig{Disable: true}
+	})
+	ingestBatch(t, ts, names("a"))
+	get(t, ts, "/topk?k=1")
+	resp, _ := get(t, ts, "/slo")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/slo with SLO disabled: want 404, got %d", resp.StatusCode)
+	}
+	_, body := get(t, ts, "/healthz")
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("disabled SLO degraded healthz: %+v", h)
+	}
+	get(t, ts, "/metrics") // refreshes gauges; must not create slo.* rows
+	snap := srv.Metrics().Snapshot()
+	for name := range snap.Gauges {
+		if len(name) >= 4 && name[:4] == "slo." {
+			t.Fatalf("slo gauge %q present with SLO disabled", name)
+		}
+	}
+}

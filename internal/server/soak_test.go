@@ -7,28 +7,40 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
+
+	"topkdedup/internal/obs"
 )
 
 // TestConcurrentSoak is the end-to-end race exercise the serving design
-// is accountable to: 4 ingest goroutines and 6 query goroutines hammer
-// one topkd handler stack through real HTTP while snapshots publish
-// continuously. Run under `go test -race` (ci.sh does), it proves
+// is accountable to: 4 ingest goroutines, 6 query goroutines, and 4
+// metrics scrapers (2 Prometheus, 2 JSON) hammer one topkd handler
+// stack through real HTTP while snapshots publish continuously and the
+// accuracy auditor re-executes every served approx answer in the
+// background. Run under `go test -race` (ci.sh does), it proves
 //
-//   - zero data races between ingest, publication, and queries,
-//   - every response is well-formed JSON with a sane status, and
-//   - epochs only ever move forward from a query's point of view.
+//   - zero data races between ingest, publication, queries, scrapes,
+//     and audits,
+//   - every response is well-formed (JSON, or a parseable Prometheus
+//     exposition) with a sane status,
+//   - epochs only ever move forward from a query's point of view, and
+//   - a clean run audits clean: zero containment violations.
 func TestConcurrentSoak(t *testing.T) {
 	const (
 		ingesters        = 4
 		queriers         = 6
+		promScrapers     = 2
+		jsonScrapers     = 2
 		batchesPerWorker = 25
 		batchSize        = 8
 		queriesPerWorker = 40
+		scrapesPerWorker = 15
 	)
 	srv, ts := newTestServer(t, func(c *Config) {
 		c.RefreshEvery = 0 // publish after every batch
+		c.AuditRate = 1    // audit every served approx answer
 	})
 	client := ts.Client()
 
@@ -76,7 +88,10 @@ func TestConcurrentSoak(t *testing.T) {
 		}(g)
 	}
 
-	paths := []string{"/topk?k=3&r=2", "/topk?k=5", "/rank?k=3", "/rank?t=2.5", "/healthz", "/metrics"}
+	paths := []string{
+		"/topk?k=3&r=2", "/topk?k=5", "/rank?k=3", "/rank?t=2.5", "/healthz", "/metrics",
+		"/topk?k=3&mode=approx", "/topk?k=4&mode=hybrid", "/slo",
+	}
 	for g := 0; g < queriers; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -102,8 +117,11 @@ func TestConcurrentSoak(t *testing.T) {
 				}
 				// Every successful query answer must carry a well-formed
 				// answer-cache verdict, whatever the publish/query race
-				// resolved to.
-				if resp.StatusCode == http.StatusOK && (path[:5] == "/topk" || path[:5] == "/rank") {
+				// resolved to. Approx/hybrid answers come from the sketch,
+				// outside the answer cache — no X-Cache, different body.
+				approx := strings.Contains(path, "mode=")
+				if resp.StatusCode == http.StatusOK && !approx &&
+					(strings.HasPrefix(path, "/topk") || strings.HasPrefix(path, "/rank")) {
 					switch xc := resp.Header.Get("X-Cache"); xc {
 					case cacheHit, cacheMiss, cacheCoalesced, cacheBypass:
 					default:
@@ -111,7 +129,7 @@ func TestConcurrentSoak(t *testing.T) {
 						return
 					}
 				}
-				if resp.StatusCode == http.StatusOK && (path[:5] == "/topk") {
+				if resp.StatusCode == http.StatusOK && !approx && strings.HasPrefix(path, "/topk") {
 					var out TopKResponse
 					if err := json.Unmarshal(body, &out); err != nil {
 						fail("querier %d: decode: %v", g, err)
@@ -139,6 +157,63 @@ func TestConcurrentSoak(t *testing.T) {
 		}(g)
 	}
 
+	// Prometheus scrapers: every exposition served mid-soak must parse
+	// cleanly (declared types, monotone buckets, consistent _sum/_count).
+	for g := 0; g < promScrapers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < scrapesPerWorker; i++ {
+				resp, err := client.Get(ts.URL + "/metrics?format=prom")
+				if err != nil {
+					fail("prom scraper %d: %v", g, err)
+					return
+				}
+				families, err := obs.CheckExposition(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("prom scraper %d: status %d", g, resp.StatusCode)
+					return
+				}
+				if err != nil {
+					fail("prom scraper %d: exposition does not parse: %v", g, err)
+					return
+				}
+				if len(families) == 0 {
+					fail("prom scraper %d: empty exposition", g)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// JSON scrapers exercise the pre-existing format concurrently.
+	for g := 0; g < jsonScrapers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < scrapesPerWorker; i++ {
+				for _, path := range []string{"/metrics?format=json", "/slo"} {
+					resp, err := client.Get(ts.URL + path)
+					if err != nil {
+						fail("json scraper %d: %v", g, err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fail("json scraper %d: %s: status %d: %s", g, path, resp.StatusCode, body)
+						return
+					}
+					if !json.Valid(body) {
+						fail("json scraper %d: %s: invalid JSON: %s", g, path, body)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
 	wg.Wait()
 	close(errCh)
 	for err := range errCh {
@@ -159,5 +234,19 @@ func TestConcurrentSoak(t *testing.T) {
 	}
 	if out.Records != want+1 {
 		t.Fatalf("final snapshot has %d records, want %d", out.Records, want+1)
+	}
+
+	// Drain the background audits, then the accuracy verdict: a clean
+	// soak must audit clean — the sketch's containment contract held for
+	// every sampled answer.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	if m.CounterValue("audit.samples") == 0 {
+		t.Fatal("soak served approx answers but no audits ran")
+	}
+	if n := m.CounterValue("audit.containment.violated"); n != 0 {
+		t.Fatalf("clean soak produced %d containment violations", n)
 	}
 }

@@ -387,6 +387,9 @@ func RunHTTPCtx(ctx context.Context, d *records.Dataset, groups []core.Group, le
 		}
 		t = rt
 	}
+	if opts.WrapTransport != nil {
+		t = opts.WrapTransport(t)
+	}
 	defer t.Close()
 	if !opts.Replicate {
 		if err := h.LoadParts(ctx, d, parts, opts); err != nil {

@@ -132,8 +132,18 @@ func (r *Replicated) markDown(shard int, replica bool) {
 	} else {
 		r.primDown[shard] = true
 	}
+	down := 0
+	for i := range r.primDown {
+		if r.primDown[i] {
+			down++
+		}
+		if r.replDown[i] {
+			down++
+		}
+	}
 	r.mu.Unlock()
 	obs.Count(r.sink, "failover.peer_down", 1)
+	obs.Gauge(r.sink, "failover.endpoints_down", float64(down))
 }
 
 // MarkDown marks one endpoint of a shard down from outside the call

@@ -73,6 +73,14 @@ type Options struct {
 	// OBSERVABILITY.md) in addition to the core.* phase metrics the
 	// in-process workers emit. Observational only.
 	Sink obs.Sink
+	// WrapTransport, when non-nil, wraps the run's transport after
+	// replication is applied and just before the exchange starts — the
+	// seam the deterministic fault-injection tests (internal/faulty)
+	// plug into. The wrapper sees the exchange-phase operations
+	// (collapse, bounds, prune, groups, close); the HTTP run path's
+	// partition loads go to the peers directly. Production runs leave it
+	// nil.
+	WrapTransport func(Transport) Transport
 }
 
 // Run executes the full sharded pipeline in the calling process: it
@@ -118,6 +126,9 @@ func RunCtx(ctx context.Context, d *records.Dataset, groups []core.Group, levels
 			return nil, nil, rerr
 		}
 		t = rt
+	}
+	if opts.WrapTransport != nil {
+		t = opts.WrapTransport(t)
 	}
 	defer t.Close()
 	res, rs, err := Exchange(ctx, t, len(levels), d.Len(), opts)

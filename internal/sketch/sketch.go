@@ -304,6 +304,18 @@ type View struct {
 	floor    float64
 }
 
+// NewView builds a View from explicit entries, sorted into the
+// deterministic serving order (Count descending, ties by Key). The
+// entries slice is copied. Production views come from Sketch.View;
+// this constructor exists so the serving layer's audit tests can
+// synthesise corrupted views and prove the background auditor catches
+// them.
+func NewView(entries []Entry, capacity int, floor float64) *View {
+	es := append([]Entry(nil), entries...)
+	sortEntries(es)
+	return &View{entries: es, capacity: capacity, floor: floor}
+}
+
 // Top returns the k heaviest entries (all when k <= 0 or k exceeds
 // Len). The returned slice is fresh; entries are values.
 func (v *View) Top(k int) []Entry {

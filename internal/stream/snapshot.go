@@ -49,10 +49,12 @@ type Snapshot struct {
 // returned Snapshot is immutable and safe for unsynchronised concurrent
 // use from then on.
 func (inc *Incremental) Snapshot() *Snapshot {
+	start := time.Now()
 	n := inc.data.Len()
 	// Groups first: the delta rebuild refreshes the component partition
 	// the estimator then freezes (inc.State.Estimator's contract).
 	groups := inc.Groups()
+	defer obs.ObserveSince(inc.sink, "stream.snapshot", start)
 	var sk *sketch.View
 	if inc.sk != nil {
 		sk = inc.sk.View()

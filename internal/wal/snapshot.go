@@ -196,6 +196,7 @@ func (l *Log) PruneSegments(applied uint64) error {
 	}
 	l.segs = kept
 	obs.Count(l.sink, "wal.segment.pruned", pruned)
+	l.openGauges()
 	return nil
 }
 

@@ -189,6 +189,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := l.openActive(); err != nil {
 		return nil, err
 	}
+	l.openGauges()
 	if opts.Sync == SyncInterval {
 		l.stopSync = make(chan struct{})
 		l.syncWG.Add(1)
@@ -202,7 +203,25 @@ func Open(dir string, opts Options) (*Log, error) {
 func (l *Log) SetSink(s obs.Sink) {
 	l.mu.Lock()
 	l.sink = s
+	l.openGauges()
 	l.mu.Unlock()
+}
+
+// openGauges publishes the open-segment health gauges (wal.open.segments
+// and wal.open.bytes). Callers hold l.mu (or, like Open, still own the
+// log exclusively); every path that changes the
+// segment chain — append growth, rotation, pruning, sink attach — calls
+// it so scrapes always see the current on-disk footprint.
+func (l *Log) openGauges() {
+	if l.sink == nil {
+		return
+	}
+	var bytes int64
+	for i := range l.segs {
+		bytes += l.segs[i].size
+	}
+	obs.Gauge(l.sink, "wal.open.segments", float64(len(l.segs)))
+	obs.Gauge(l.sink, "wal.open.bytes", float64(bytes))
 }
 
 // Dir returns the log's directory.
@@ -466,15 +485,18 @@ func (l *Log) Append(b Batch) (uint64, error) {
 	obs.Count(l.sink, "wal.append.batches", 1)
 	obs.Count(l.sink, "wal.append.records", int64(len(b)))
 	obs.Count(l.sink, "wal.append.bytes", int64(len(frame)))
+	l.openGauges()
 	if err := l.hook(CrashAfterFrame, idx); err != nil {
 		return 0, err
 	}
 	if l.opts.Sync == SyncAlways {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.dead = true
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
 		obs.Count(l.sink, "wal.fsyncs", 1)
+		obs.ObserveSince(l.sink, "wal.fsync", start)
 	}
 	if err := l.hook(CrashAfterSync, idx); err != nil {
 		return 0, err
@@ -541,8 +563,10 @@ func (l *Log) syncLoop() {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed && !l.dead {
+				start := time.Now()
 				if l.f.Sync() == nil {
 					obs.Count(l.sink, "wal.fsyncs", 1)
+					obs.ObserveSince(l.sink, "wal.fsync", start)
 				}
 			}
 			l.mu.Unlock()
